@@ -1,0 +1,119 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * **translation on/off** — the same primary index queried with and
+//!   without Eq. 2 rewriting (the core COAX mechanism);
+//! * **sorted dimension on/off** — grid file with vs without the in-cell
+//!   sort (the §6 "reduce dimensionality by one" trick);
+//! * **build cost** — soft-FD discovery vs the full COAX build.
+
+use coax_bench::datasets;
+use coax_core::discovery::{discover, DiscoveryConfig};
+use coax_core::{CoaxConfig, CoaxIndex};
+use coax_data::RangeQuery;
+use coax_index::{GridFile, GridFileConfig, MultidimIndex};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const ROWS: usize = 50_000;
+
+fn bench_translation_ablation(c: &mut Criterion) {
+    let dataset = datasets::airline(ROWS);
+    let index = CoaxIndex::build(&dataset, &CoaxConfig::default());
+    // Queries constraining only dependent attributes: translation is the
+    // only way to navigate.
+    let deps = index.discovery().dependent_dims();
+    assert!(!deps.is_empty(), "airline data must yield dependencies");
+    let queries: Vec<RangeQuery> = datasets::range_workload(&dataset, 15, ROWS / 2000)
+        .into_iter()
+        .map(|q| {
+            let mut dep_only = RangeQuery::unbounded(dataset.dims());
+            for &d in &deps {
+                dep_only.constrain(d, q.lo(d), q.hi(d));
+            }
+            dep_only
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ablation/translation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    group.bench_function("with-translation", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut n = 0;
+            for q in &queries {
+                out.clear();
+                index.query_primary(q, &mut out);
+                n += out.len();
+            }
+            n
+        });
+    });
+    group.bench_function("without-translation", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut n = 0;
+            for q in &queries {
+                out.clear();
+                index.query_primary_untranslated(q, &mut out);
+                n += out.len();
+            }
+            n
+        });
+    });
+    group.finish();
+}
+
+fn bench_sorted_dim_ablation(c: &mut Criterion) {
+    let dataset = datasets::osm(ROWS);
+    let queries = datasets::range_workload(&dataset, 15, ROWS / 2000);
+    let sorted = GridFile::build(&dataset, &GridFileConfig::with_sort(4, 0, 8));
+    let flat = GridFile::build(&dataset, &GridFileConfig::all_dims(4, 8));
+
+    let mut group = c.benchmark_group("ablation/sorted-dim");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    for (name, grid) in [("sorted", &sorted), ("flat", &flat)] {
+        group.bench_function(name, |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut n = 0;
+                for q in &queries {
+                    out.clear();
+                    grid.range_query_stats(q, &mut out);
+                    n += out.len();
+                }
+                n
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_cost(c: &mut Criterion) {
+    let dataset = datasets::airline(ROWS);
+    let mut group = c.benchmark_group("build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000));
+    group.bench_function("discovery-only", |b| {
+        b.iter(|| discover(&dataset, &DiscoveryConfig::default(), 1).groups.len());
+    });
+    group.bench_function("full-coax-build", |b| {
+        b.iter(|| CoaxIndex::build(&dataset, &CoaxConfig::default()).len());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translation_ablation,
+    bench_sorted_dim_ablation,
+    bench_build_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion counterpart of Fig. 6: range/point query latency per index
+//! on the airline and OSM analogues.
+//!
+//! Scale is deliberately small (50 k rows) so `cargo bench` stays fast;
+//! the `fig6` binary runs the full-scale version with tuning sweeps.
+
+use coax_bench::datasets;
+use coax_core::{CoaxConfig, CoaxIndex};
+use coax_data::{Dataset, RangeQuery};
+use coax_index::{FullScan, MultidimIndex, RTree, RTreeConfig, UniformGrid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const ROWS: usize = 50_000;
+const QUERIES: usize = 20;
+
+struct Setup {
+    name: &'static str,
+    dataset: Dataset,
+    range: Vec<RangeQuery>,
+    point: Vec<RangeQuery>,
+}
+
+fn setups() -> Vec<Setup> {
+    let airline = datasets::airline(ROWS);
+    let osm = datasets::osm(ROWS);
+    let k = ROWS / 2000;
+    vec![
+        Setup {
+            name: "airline",
+            range: datasets::range_workload(&airline, QUERIES, k),
+            point: datasets::point_workload(&airline, QUERIES),
+            dataset: airline,
+        },
+        Setup {
+            name: "osm",
+            range: datasets::range_workload(&osm, QUERIES, k),
+            point: datasets::point_workload(&osm, QUERIES),
+            dataset: osm,
+        },
+    ]
+}
+
+fn run_workload(out: &mut Vec<u32>, index: &dyn MultidimIndex, queries: &[RangeQuery]) -> usize {
+    let mut total = 0;
+    for q in queries {
+        out.clear();
+        index.range_query_stats(q, out);
+        total += out.len();
+    }
+    total
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    for setup in setups() {
+        let coax = CoaxIndex::build(&setup.dataset, &CoaxConfig::default());
+        let rtree = RTree::build(&setup.dataset, RTreeConfig::default());
+        let grid_k = if setup.dataset.dims() > 4 { 4 } else { 16 };
+        let grid = UniformGrid::build(&setup.dataset, grid_k);
+        let scan = FullScan::build(&setup.dataset);
+        let indexes: Vec<(&str, &dyn MultidimIndex)> = vec![
+            ("coax", &coax),
+            ("r-tree", &rtree),
+            ("full-grid", &grid),
+            ("full-scan", &scan),
+        ];
+
+        for (kind, queries) in [("range", &setup.range), ("point", &setup.point)] {
+            let mut group = c.benchmark_group(format!("fig6/{}/{kind}", setup.name));
+            group
+                .sample_size(10)
+                .warm_up_time(Duration::from_millis(300))
+                .measurement_time(Duration::from_millis(1200));
+            for (name, index) in &indexes {
+                group.bench_with_input(BenchmarkId::from_parameter(name), index, |b, index| {
+                    let mut out = Vec::new();
+                    b.iter(|| run_workload(&mut out, *index, queries));
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

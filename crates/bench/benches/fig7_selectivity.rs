@@ -1,0 +1,50 @@
+//! Criterion counterpart of Fig. 7: latency vs selectivity on the
+//! airline-2008 analogue — COAX, R-Tree, Column Files.
+
+use coax_bench::datasets;
+use coax_core::{CoaxConfig, CoaxIndex};
+use coax_data::RangeQuery;
+use coax_index::{ColumnFiles, MultidimIndex, RTree, RTreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const ROWS: usize = 50_000;
+const QUERIES: usize = 10;
+
+fn run(out: &mut Vec<u32>, index: &dyn MultidimIndex, queries: &[RangeQuery]) -> usize {
+    let mut total = 0;
+    for q in queries {
+        out.clear();
+        index.range_query_stats(q, out);
+        total += out.len();
+    }
+    total
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let dataset = datasets::airline_2008(ROWS);
+    let coax = CoaxIndex::build(&dataset, &CoaxConfig::default());
+    let rtree = RTree::build(&dataset, RTreeConfig::default());
+    let cf = ColumnFiles::build_auto(&dataset, 6);
+
+    for (label, k) in datasets::fig7_selectivities(ROWS) {
+        let queries = datasets::range_workload(&dataset, QUERIES, k);
+        let mut group = c.benchmark_group(format!("fig7/{}", label.split(' ').next().unwrap()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(1500));
+        let indexes: Vec<(&str, &dyn MultidimIndex)> =
+            vec![("coax", &coax), ("r-tree", &rtree), ("column-files", &cf)];
+        for (name, index) in indexes {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &index, |b, index| {
+                let mut out = Vec::new();
+                b.iter(|| run(&mut out, *index, &queries));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion counterpart of Fig. 8: latency at three points of each
+//! index's memory-resolution knob (the full trade-off curve with exact
+//! byte counts comes from the `fig8` binary).
+
+use coax_bench::datasets;
+use coax_core::{CoaxConfig, CoaxIndex};
+use coax_data::RangeQuery;
+use coax_index::{ColumnFiles, MultidimIndex, RTree, RTreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const ROWS: usize = 50_000;
+const QUERIES: usize = 10;
+
+fn run(out: &mut Vec<u32>, index: &dyn MultidimIndex, queries: &[RangeQuery]) -> usize {
+    let mut total = 0;
+    for q in queries {
+        out.clear();
+        index.range_query_stats(q, out);
+        total += out.len();
+    }
+    total
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let dataset = datasets::osm(ROWS);
+    let queries = datasets::range_workload(&dataset, QUERIES, ROWS / 2000);
+
+    let mut group = c.benchmark_group("fig8/osm");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+
+    for k in [4usize, 16, 64] {
+        let config = CoaxConfig { cells_per_dim: k, ..Default::default() };
+        let coax = CoaxIndex::build(&dataset, &config);
+        group.bench_with_input(
+            BenchmarkId::new("coax", format!("k{k}_mem{}", coax.memory_overhead())),
+            &coax,
+            |b, index| {
+                let mut out = Vec::new();
+                b.iter(|| run(&mut out, index, &queries));
+            },
+        );
+        let cf = ColumnFiles::build_auto(&dataset, k);
+        group.bench_with_input(
+            BenchmarkId::new("column-files", format!("k{k}_mem{}", cf.memory_overhead())),
+            &cf,
+            |b, index| {
+                let mut out = Vec::new();
+                b.iter(|| run(&mut out, index, &queries));
+            },
+        );
+    }
+    for cap in [4usize, 10, 32] {
+        let rt = RTree::build(&dataset, RTreeConfig::uniform(cap));
+        group.bench_with_input(
+            BenchmarkId::new("r-tree", format!("cap{cap}_mem{}", rt.memory_overhead())),
+            &rt,
+            |b, index| {
+                let mut out = Vec::new();
+                b.iter(|| run(&mut out, index, &queries));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

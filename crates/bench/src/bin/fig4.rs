@@ -1,0 +1,91 @@
+//! Regenerates **Figure 4**: why reducing dimensionality helps grids.
+//!
+//! * **4a** — the non-uniform distribution of page (cell) sizes in a 2-D
+//!   grid layout on skewed data: a histogram of per-cell row counts.
+//! * **4b vs 4c** — a 2-D index layout vs a "learned 1-D grid": after
+//!   COAX predicts one dimension away, the same directory budget buys a
+//!   much finer partitioning of the remaining predictor dimension.
+//!
+//! We use the OSM coordinates (the paper's skew source) and compare the
+//! uniform grid, the quantile grid, and the reduced 1-D layout.
+
+use coax_bench::datasets;
+use coax_bench::harness::{print_table, ReportRow};
+use coax_data::stats::Histogram;
+use coax_data::synth::osm::columns;
+use coax_index::{GridFile, GridFileConfig, UniformGrid};
+
+fn length_stats(label: &str, lengths: &[usize]) -> ReportRow {
+    let n: usize = lengths.iter().sum();
+    let cells = lengths.len();
+    let empty = lengths.iter().filter(|&&l| l == 0).count();
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mean = n as f64 / cells.max(1) as f64;
+    let var = lengths
+        .iter()
+        .map(|&l| (l as f64 - mean).powi(2))
+        .sum::<f64>()
+        / cells.max(1) as f64;
+    ReportRow {
+        label: label.to_string(),
+        values: vec![
+            ("cells".into(), cells.to_string()),
+            ("empty".into(), format!("{:.1}%", 100.0 * empty as f64 / cells.max(1) as f64)),
+            ("mean len".into(), format!("{mean:.1}")),
+            ("std len".into(), format!("{:.1}", var.sqrt())),
+            ("max len".into(), max.to_string()),
+        ],
+    }
+}
+
+fn print_histogram(title: &str, lengths: &[usize], bins: usize) {
+    println!("\n-- {title}: page-length histogram --");
+    let values: Vec<f64> = lengths.iter().map(|&l| l as f64).collect();
+    let hist = Histogram::from_values(&values, bins);
+    let max_count = hist.counts().iter().copied().max().unwrap_or(1).max(1);
+    for (edge, count) in hist.bins() {
+        let bar = "#".repeat((count * 50 / max_count).max(usize::from(count > 0)));
+        println!("{edge:>10.0}+ | {count:>6} {bar}");
+    }
+}
+
+fn main() {
+    let rows = datasets::bench_rows();
+    let osm = datasets::osm(rows);
+    // 2-D layouts over the skewed lat/lon plane.
+    let geo = osm.project(&[columns::LATITUDE, columns::LONGITUDE]);
+    let k2 = (rows as f64).sqrt().sqrt().ceil() as usize * 4; // ~same #cells as 1-D layout below
+
+    println!("Figure 4 reproduction — grid layouts on skewed OSM coordinates ({rows} rows)");
+
+    let uniform = UniformGrid::build(&geo, k2);
+    let quantile = GridFile::build(&geo, &GridFileConfig::all_dims(2, k2));
+    // The "learned 1-D grid" (Fig. 4c): one dimension predicted away, the
+    // remaining predictor gets the whole budget of k2² grid lines.
+    let one_d = GridFile::build(
+        &geo,
+        &GridFileConfig::subset(vec![0], Some(1), (k2 * k2).min(4096)),
+    );
+
+    let table = vec![
+        length_stats(&format!("uniform 2-D (k={k2})"), &uniform.cell_lengths()),
+        length_stats(&format!("quantile 2-D (k={k2})"), &quantile.cell_lengths()),
+        length_stats("learned 1-D grid", &one_d.cell_lengths()),
+    ];
+    print_table("Fig. 4b/4c — layout comparison (same directory order)", &table);
+
+    print_histogram(
+        "Fig. 4a analogue (uniform 2-D layout)",
+        &uniform.cell_lengths(),
+        20,
+    );
+    print_histogram("quantile 2-D layout", &quantile.cell_lengths(), 20);
+    print_histogram("learned 1-D grid", &one_d.cell_lengths(), 20);
+
+    println!(
+        "\nReading: the uniform 2-D layout on skewed data has a heavy-tailed \
+         page-size distribution (Fig. 4a); equi-depth boundaries flatten it; \
+         dropping a predicted dimension lets the same budget partition the \
+         remaining attribute far more evenly."
+    );
+}

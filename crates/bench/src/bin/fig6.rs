@@ -1,0 +1,122 @@
+//! Regenerates **Figure 6**: query runtime on Airline and OSM for range
+//! and point queries — COAX (primary), COAX (outliers), R-Tree, Full
+//! Grid, and Full Scan, each at its best tuning (§8.2.1).
+//!
+//! Paper shape to reproduce (log scale there): COAX beats the R-Tree and
+//! the full grid on both workloads; the outlier index adds a small
+//! constant; full scan is orders of magnitude off.
+
+use coax_bench::harness::{fmt_ms, print_table, time_per_query_ms, ReportRow};
+use coax_bench::{datasets, tuning};
+use coax_core::CoaxConfig;
+use coax_data::{Dataset, RangeQuery};
+use coax_index::{FullScan, MultidimIndex};
+
+fn run_workload(name: &str, dataset: &Dataset, queries: &[RangeQuery], repeats: usize) {
+    // --- Tune every contender on (a sample of) the workload. -----------
+    let tune_sample: Vec<RangeQuery> =
+        queries.iter().take(queries.len().min(25)).cloned().collect();
+
+    let coax_sweep = tuning::sweep_coax(
+        dataset,
+        &tune_sample,
+        1,
+        &tuning::grid_ladder(),
+        &CoaxConfig::default(),
+    );
+    let coax = &tuning::best(&coax_sweep).expect("coax sweep non-empty").index;
+
+    let grid_sweep = tuning::sweep_uniform_grid(dataset, &tune_sample, 1, &tuning::grid_ladder());
+    let grid = &tuning::best(&grid_sweep).expect("grid sweep non-empty").index;
+
+    let rtree_sweep = tuning::sweep_rtree(dataset, &tune_sample, 1, &tuning::capacity_ladder());
+    let rtree = &tuning::best(&rtree_sweep).expect("rtree sweep non-empty").index;
+
+    let full = FullScan::build(dataset);
+
+    // --- Timed comparison (paper plots primary/outliers separately). ---
+    let coax_primary = time_per_query_ms(queries, repeats, |q, out| {
+        coax.query_primary(q, out);
+    });
+    let coax_outliers = time_per_query_ms(queries, repeats, |q, out| {
+        coax.query_outliers(q, out);
+    });
+    let rtree_ms = time_per_query_ms(queries, repeats, |q, out| {
+        rtree.range_query_stats(q, out);
+    });
+    let grid_ms = time_per_query_ms(queries, repeats, |q, out| {
+        grid.range_query_stats(q, out);
+    });
+    let scan_ms = time_per_query_ms(queries, repeats, |q, out| {
+        full.range_query_stats(q, out);
+    });
+
+    let row = |label: &str, ms: f64| ReportRow {
+        label: label.to_string(),
+        values: vec![
+            ("runtime".into(), fmt_ms(ms)),
+            ("vs full scan".into(), format!("{:.0}x", scan_ms / ms.max(1e-9))),
+        ],
+    };
+    print_table(
+        name,
+        &[
+            row("COAX (primary)", coax_primary),
+            row("COAX (outliers)", coax_outliers),
+            row("COAX (total)", coax_primary + coax_outliers),
+            row("R-Tree", rtree_ms),
+            row("Full Grid", grid_ms),
+            row("Full Scan", scan_ms),
+        ],
+    );
+    let best_baseline = rtree_ms.min(grid_ms);
+    println!(
+        "COAX total vs best baseline: {:.2}x faster ({} vs {})",
+        best_baseline / (coax_primary + coax_outliers),
+        fmt_ms(coax_primary + coax_outliers),
+        fmt_ms(best_baseline),
+    );
+}
+
+fn main() {
+    let rows = datasets::bench_rows();
+    let n_queries = datasets::bench_queries();
+    let repeats = datasets::bench_repeats();
+    // Paper's Fig. 6 uses moderately selective range queries; K chosen so
+    // the result set is ~0.05 % of the data.
+    let k = (rows / 2000).max(8);
+
+    println!(
+        "Figure 6 reproduction — query runtime ({rows} rows, {n_queries} queries, \
+         range K={k}); paper shape: COAX < R-Tree < Full Grid << Full Scan"
+    );
+
+    let airline = datasets::airline(rows);
+    run_workload(
+        "Airline (range)",
+        &airline,
+        &datasets::range_workload(&airline, n_queries, k),
+        repeats,
+    );
+    run_workload(
+        "Airline (point)",
+        &airline,
+        &datasets::point_workload(&airline, n_queries),
+        repeats,
+    );
+    drop(airline);
+
+    let osm = datasets::osm(rows);
+    run_workload(
+        "OSM (range)",
+        &osm,
+        &datasets::range_workload(&osm, n_queries, k),
+        repeats,
+    );
+    run_workload(
+        "OSM (point)",
+        &osm,
+        &datasets::point_workload(&osm, n_queries),
+        repeats,
+    );
+}

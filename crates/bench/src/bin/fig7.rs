@@ -1,0 +1,72 @@
+//! Regenerates **Figure 7**: runtime vs range-query selectivity on the
+//! airline-2008 subset — COAX (primary), COAX (outliers), R-Tree, and
+//! Column Files.
+//!
+//! Paper selectivity ladder (on 7 M rows): 35 K, 150 K, 750 K, 1.5 M
+//! points; here scaled proportionally to the benchmark row count. Paper
+//! shape: COAX stays flat-ish and below both baselines; the R-Tree
+//! degrades fastest as selectivity grows; larger queries invoke the
+//! outlier index more.
+
+use coax_bench::harness::{fmt_ms, print_table, time_per_query_ms, ReportRow};
+use coax_bench::{datasets, tuning};
+use coax_core::CoaxConfig;
+use coax_index::MultidimIndex;
+
+fn main() {
+    let rows = datasets::bench_rows();
+    let n_queries = datasets::bench_queries();
+    let repeats = datasets::bench_repeats();
+    println!(
+        "Figure 7 reproduction — runtime vs selectivity on airline-2008 \
+         ({rows} rows, {n_queries} queries/level)"
+    );
+
+    let dataset = datasets::airline_2008(rows);
+    let ladder = datasets::fig7_selectivities(rows);
+
+    // Tune each index once, on the mid-selectivity workload (the paper
+    // tunes per-experiment; a shared mid-point keeps this binary fast —
+    // use `tuning` to see the full per-level sweeps).
+    let tune_queries = datasets::range_workload(&dataset, 20, ladder[1].1);
+    let coax_sweep = tuning::sweep_coax(
+        &dataset,
+        &tune_queries,
+        1,
+        &tuning::grid_ladder(),
+        &CoaxConfig::default(),
+    );
+    let coax = &tuning::best(&coax_sweep).expect("coax sweep").index;
+    let rtree_sweep = tuning::sweep_rtree(&dataset, &tune_queries, 1, &tuning::capacity_ladder());
+    let rtree = &tuning::best(&rtree_sweep).expect("rtree sweep").index;
+    let cf_sweep = tuning::sweep_column_files(&dataset, &tune_queries, 1, &tuning::grid_ladder());
+    let cf = &tuning::best(&cf_sweep).expect("column-files sweep").index;
+
+    let mut rows_out = Vec::new();
+    for (label, k) in &ladder {
+        let queries = datasets::range_workload(&dataset, n_queries, *k);
+        let coax_primary = time_per_query_ms(&queries, repeats, |q, out| {
+            coax.query_primary(q, out);
+        });
+        let coax_outliers = time_per_query_ms(&queries, repeats, |q, out| {
+            coax.query_outliers(q, out);
+        });
+        let rtree_ms = time_per_query_ms(&queries, repeats, |q, out| {
+            rtree.range_query_stats(q, out);
+        });
+        let cf_ms = time_per_query_ms(&queries, repeats, |q, out| {
+            cf.range_query_stats(q, out);
+        });
+        rows_out.push(ReportRow {
+            label: label.clone(),
+            values: vec![
+                ("COAX (primary)".into(), fmt_ms(coax_primary)),
+                ("COAX (outliers)".into(), fmt_ms(coax_outliers)),
+                ("COAX (total)".into(), fmt_ms(coax_primary + coax_outliers)),
+                ("R-Tree".into(), fmt_ms(rtree_ms)),
+                ("Column Files".into(), fmt_ms(cf_ms)),
+            ],
+        });
+    }
+    print_table("Fig. 7 — runtime vs average query selectivity", &rows_out);
+}

@@ -1,0 +1,78 @@
+//! Regenerates the §8.2.1 tuning experiments: the per-index configuration
+//! sweeps behind "we use the configuration that performs best for each
+//! index", including the paper's finding that the best R-tree node
+//! capacity lies between 8 and 12, and the memory-cap rule (directory ≤
+//! data bytes).
+
+use coax_bench::harness::{fmt_bytes, fmt_ms, print_table, ReportRow};
+use coax_bench::{datasets, tuning};
+use coax_core::CoaxConfig;
+
+fn main() {
+    let rows = datasets::bench_rows();
+    let n_queries = datasets::bench_queries().min(40);
+    let repeats = datasets::bench_repeats();
+    println!("Tuning sweeps (§8.2.1) — {rows} rows, {n_queries} range queries");
+
+    let dataset = datasets::airline(rows);
+    let k = (rows / 2000).max(8);
+    let queries = datasets::range_workload(&dataset, n_queries, k);
+
+    let rt = tuning::sweep_rtree(&dataset, &queries, repeats, &tuning::capacity_ladder());
+    let rt_rows: Vec<ReportRow> = rt
+        .iter()
+        .map(|p| ReportRow {
+            label: p.label.clone(),
+            values: vec![
+                ("mem".into(), fmt_bytes(p.memory_overhead)),
+                ("mean query".into(), fmt_ms(p.mean_query_ms)),
+            ],
+        })
+        .collect();
+    print_table("R-Tree node capacity sweep (paper: best in 8..12)", &rt_rows);
+    if let Some(b) = tuning::best(&rt) {
+        println!("best: {}", b.label);
+    }
+
+    let ug = tuning::sweep_uniform_grid(&dataset, &queries, repeats, &tuning::grid_ladder());
+    let ug_rows: Vec<ReportRow> = ug
+        .iter()
+        .map(|p| ReportRow {
+            label: p.label.clone(),
+            values: vec![
+                ("mem".into(), fmt_bytes(p.memory_overhead)),
+                ("mean query".into(), fmt_ms(p.mean_query_ms)),
+            ],
+        })
+        .collect();
+    print_table(
+        "Full-grid resolution sweep (directory capped at data bytes)",
+        &ug_rows,
+    );
+    println!(
+        "data bytes = {}; configurations above the cap were skipped",
+        fmt_bytes(dataset.data_bytes())
+    );
+
+    let cx = tuning::sweep_coax(
+        &dataset,
+        &queries,
+        repeats,
+        &tuning::grid_ladder(),
+        &CoaxConfig::default(),
+    );
+    let cx_rows: Vec<ReportRow> = cx
+        .iter()
+        .map(|p| ReportRow {
+            label: p.label.clone(),
+            values: vec![
+                ("mem".into(), fmt_bytes(p.memory_overhead)),
+                ("mean query".into(), fmt_ms(p.mean_query_ms)),
+            ],
+        })
+        .collect();
+    print_table("COAX primary-grid resolution sweep", &cx_rows);
+    if let Some(b) = tuning::best(&cx) {
+        println!("best: {}", b.label);
+    }
+}

@@ -1,0 +1,149 @@
+//! Timing and reporting utilities shared by the figure binaries.
+
+use coax_data::{RangeQuery, RowId};
+use std::time::Instant;
+
+/// Mean wall-clock milliseconds per query of `f` over `queries`, with one
+/// untimed warm-up pass and `repeats` timed passes.
+pub fn time_per_query_ms<F>(queries: &[RangeQuery], repeats: usize, mut f: F) -> f64
+where
+    F: FnMut(&RangeQuery, &mut Vec<RowId>),
+{
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let repeats = repeats.max(1);
+    let mut out = Vec::new();
+    for q in queries {
+        out.clear();
+        f(q, &mut out);
+    }
+    let start = Instant::now();
+    for _ in 0..repeats {
+        for q in queries {
+            out.clear();
+            f(q, &mut out);
+            std::hint::black_box(out.len());
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e3 / (repeats * queries.len()) as f64
+}
+
+/// One row of a figure/table report.
+#[derive(Clone, Debug)]
+pub struct ReportRow {
+    /// Row label (index name, configuration, …).
+    pub label: String,
+    /// `(column name, formatted value)` pairs.
+    pub values: Vec<(String, String)>,
+}
+
+/// Prints an aligned text table of rows sharing the same columns.
+pub fn print_table(title: &str, rows: &[ReportRow]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let columns: Vec<&String> = rows[0].values.iter().map(|(c, _)| c).collect();
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    let label_width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once(4))
+        .max()
+        .unwrap();
+    for row in rows {
+        for (i, (_, v)) in row.values.iter().enumerate() {
+            widths[i] = widths[i].max(v.len());
+        }
+    }
+    print!("{:label_width$}", "");
+    for (c, w) in columns.iter().zip(&widths) {
+        print!("  {c:>w$}");
+    }
+    println!();
+    for row in rows {
+        print!("{:label_width$}", row.label);
+        for ((_, v), w) in row.values.iter().zip(&widths) {
+            print!("  {v:>w$}");
+        }
+        println!();
+    }
+}
+
+/// Formats milliseconds with sub-microsecond resolution intact.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 1.0 {
+        format!("{ms:.3} ms")
+    } else if ms >= 1e-3 {
+        format!("{:.3} us", ms * 1e3)
+    } else {
+        format!("{:.0} ns", ms * 1e6)
+    }
+}
+
+/// Formats a byte count with binary units.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_counts_work() {
+        let queries = vec![RangeQuery::unbounded(1); 4];
+        let mut calls = 0usize;
+        let ms = time_per_query_ms(&queries, 2, |_q, out| {
+            calls += 1;
+            out.push(0);
+        });
+        // 1 warmup pass + 2 timed passes over 4 queries.
+        assert_eq!(calls, 12);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn timing_empty_workload() {
+        assert_eq!(time_per_query_ms(&[], 3, |_q, _o| {}), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(2.5), "2.500 ms");
+        assert_eq!(fmt_ms(0.0025), "2.500 us");
+        assert_eq!(fmt_ms(0.000002), "2 ns");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let rows = vec![
+            ReportRow {
+                label: "coax".into(),
+                values: vec![("time".into(), "1 ms".into()), ("mem".into(), "2 KiB".into())],
+            },
+            ReportRow {
+                label: "r-tree".into(),
+                values: vec![("time".into(), "5 ms".into()), ("mem".into(), "1 MiB".into())],
+            },
+        ];
+        print_table("smoke", &rows);
+        print_table("empty", &[]);
+    }
+}

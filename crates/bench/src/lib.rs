@@ -1,0 +1,25 @@
+//! Benchmark harness for the COAX reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§8) has a binary that
+//! regenerates it (see `DESIGN.md` §4 for the full index):
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — dataset characteristics |
+//! | `fig4`   | Fig. 4 — page-size distribution of 2-D grid layouts |
+//! | `fig6`   | Fig. 6 — range/point query runtime, all indexes |
+//! | `fig7`   | Fig. 7 — runtime vs selectivity |
+//! | `fig8`   | Fig. 8 — runtime vs memory-overhead trade-off |
+//! | `theory` | Eq. 5 + Theorems 7.1–7.4, measured vs predicted |
+//! | `tuning` | §8.2.1 — per-index tuning sweeps |
+//!
+//! Scale knobs (defaults are laptop-scale; the paper's full row counts
+//! work too, they just take longer):
+//!
+//! * `COAX_BENCH_ROWS` — rows per dataset (default 200 000)
+//! * `COAX_BENCH_QUERIES` — queries per workload (default 100)
+//! * `COAX_BENCH_REPEATS` — timed passes over each workload (default 3)
+
+pub mod datasets;
+pub mod harness;
+pub mod tuning;

@@ -1,0 +1,228 @@
+//! Per-index tuning sweeps (§8.2.1).
+//!
+//! The paper: *"We use the configuration that performs best for each
+//! index … Due to memory constraints, we limit any index that would
+//! require more memory overhead for its index directory than memory
+//! occupied by the underlying data itself."* Each sweep honours that cap,
+//! measures mean query time on the given workload, and keeps the built
+//! index so Fig. 8 can plot the whole (memory, runtime) trade-off curve
+//! and Figs. 6/7 can pick the best point.
+
+use crate::harness::time_per_query_ms;
+use coax_core::{CoaxConfig, CoaxIndex};
+use coax_data::{Dataset, RangeQuery};
+use coax_index::{ColumnFiles, MultidimIndex, RTree, RTreeConfig, UniformGrid};
+
+/// One point of a tuning sweep: a built index plus its measurements.
+#[derive(Debug)]
+pub struct SweepPoint<I> {
+    /// Human-readable configuration ("k=8", "cap=12", …).
+    pub label: String,
+    /// Directory overhead in bytes.
+    pub memory_overhead: usize,
+    /// Mean query time over the tuning workload.
+    pub mean_query_ms: f64,
+    /// The built index.
+    pub index: I,
+}
+
+/// The sweep point with the lowest mean query time.
+pub fn best<I>(sweep: &[SweepPoint<I>]) -> Option<&SweepPoint<I>> {
+    sweep.iter().min_by(|a, b| {
+        a.mean_query_ms
+            .partial_cmp(&b.mean_query_ms)
+            .expect("finite timings")
+    })
+}
+
+/// Default grid-resolution ladder for sweeps.
+pub fn grid_ladder() -> Vec<usize> {
+    vec![2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128]
+}
+
+/// Default node-capacity ladder for the R-tree (§8.2.1 sweeps 2–32).
+pub fn capacity_ladder() -> Vec<usize> {
+    vec![2, 4, 8, 10, 12, 16, 24, 32]
+}
+
+fn within_cell_cap(cells_per_dim: usize, grid_dims: usize) -> bool {
+    // Mirror of the builders' MAX_CELLS guard, checked up front so sweeps
+    // skip instead of panicking.
+    const MAX_CELLS: usize = 1 << 28;
+    cells_per_dim
+        .checked_pow(grid_dims as u32)
+        .is_some_and(|c| c <= MAX_CELLS)
+}
+
+/// Sweeps the uniform ("full") grid over `cells_per_dim` values.
+pub fn sweep_uniform_grid(
+    dataset: &Dataset,
+    workload: &[RangeQuery],
+    repeats: usize,
+    ladder: &[usize],
+) -> Vec<SweepPoint<UniformGrid>> {
+    let cap = dataset.data_bytes();
+    let mut out = Vec::new();
+    for &k in ladder {
+        if !within_cell_cap(k, dataset.dims()) {
+            continue;
+        }
+        let index = UniformGrid::build(dataset, k);
+        if index.memory_overhead() > cap {
+            continue;
+        }
+        let mean = time_per_query_ms(workload, repeats, |q, buf| {
+            index.range_query_stats(q, buf);
+        });
+        out.push(SweepPoint {
+            label: format!("k={k}"),
+            memory_overhead: index.memory_overhead(),
+            mean_query_ms: mean,
+            index,
+        });
+    }
+    out
+}
+
+/// Sweeps column files (auto-selected sort dimension) over grid sizes.
+pub fn sweep_column_files(
+    dataset: &Dataset,
+    workload: &[RangeQuery],
+    repeats: usize,
+    ladder: &[usize],
+) -> Vec<SweepPoint<ColumnFiles>> {
+    let cap = dataset.data_bytes();
+    let mut out = Vec::new();
+    for &k in ladder {
+        if !within_cell_cap(k, dataset.dims().saturating_sub(1)) {
+            continue;
+        }
+        let index = ColumnFiles::build_auto(dataset, k);
+        if index.memory_overhead() > cap {
+            continue;
+        }
+        let mean = time_per_query_ms(workload, repeats, |q, buf| {
+            index.range_query_stats(q, buf);
+        });
+        out.push(SweepPoint {
+            label: format!("k={k}"),
+            memory_overhead: index.memory_overhead(),
+            mean_query_ms: mean,
+            index,
+        });
+    }
+    out
+}
+
+/// Sweeps the R-tree over node capacities.
+pub fn sweep_rtree(
+    dataset: &Dataset,
+    workload: &[RangeQuery],
+    repeats: usize,
+    capacities: &[usize],
+) -> Vec<SweepPoint<RTree>> {
+    let cap = dataset.data_bytes();
+    let mut out = Vec::new();
+    for &c in capacities {
+        if c < 2 {
+            continue;
+        }
+        let index = RTree::build(dataset, RTreeConfig::uniform(c));
+        if index.memory_overhead() > cap {
+            continue;
+        }
+        let mean = time_per_query_ms(workload, repeats, |q, buf| {
+            index.range_query_stats(q, buf);
+        });
+        out.push(SweepPoint {
+            label: format!("cap={c}"),
+            memory_overhead: index.memory_overhead(),
+            mean_query_ms: mean,
+            index,
+        });
+    }
+    out
+}
+
+/// Sweeps COAX over the primary grid resolution. Soft-FD discovery runs
+/// once and is shared across all builds (the directory size does not
+/// change what correlates).
+pub fn sweep_coax(
+    dataset: &Dataset,
+    workload: &[RangeQuery],
+    repeats: usize,
+    ladder: &[usize],
+    base: &CoaxConfig,
+) -> Vec<SweepPoint<CoaxIndex>> {
+    let cap = dataset.data_bytes();
+    let discovery = coax_core::discovery::discover(dataset, &base.discovery, base.seed);
+    let grid_dims = discovery.indexed_dims().len().saturating_sub(1);
+    let mut out = Vec::new();
+    for &k in ladder {
+        if !within_cell_cap(k, grid_dims) {
+            continue;
+        }
+        let config = CoaxConfig { cells_per_dim: k, ..*base };
+        let index = CoaxIndex::build_with_discovery(dataset, discovery.clone(), &config);
+        if index.memory_overhead() > cap {
+            continue;
+        }
+        let mean = time_per_query_ms(workload, repeats, |q, buf| {
+            index.range_query_stats(q, buf);
+        });
+        out.push(SweepPoint {
+            label: format!("k={k}"),
+            memory_overhead: index.memory_overhead(),
+            mean_query_ms: mean,
+            index,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn sweeps_respect_memory_cap_and_pick_best() {
+        let ds = datasets::osm(4000);
+        let workload = datasets::range_workload(&ds, 8, 40);
+        let cap = ds.data_bytes();
+
+        let grids = sweep_uniform_grid(&ds, &workload, 1, &[2, 4, 8, 16]);
+        assert!(!grids.is_empty());
+        assert!(grids.iter().all(|p| p.memory_overhead <= cap));
+        assert!(best(&grids).is_some());
+
+        let cfs = sweep_column_files(&ds, &workload, 1, &[2, 4, 8]);
+        assert!(!cfs.is_empty());
+
+        let rtrees = sweep_rtree(&ds, &workload, 1, &[4, 10, 32]);
+        assert_eq!(rtrees.len(), 3);
+        let b = best(&rtrees).unwrap();
+        assert!(rtrees.iter().all(|p| p.mean_query_ms >= b.mean_query_ms));
+    }
+
+    #[test]
+    fn coax_sweep_shares_discovery() {
+        let ds = datasets::airline(4000);
+        let workload = datasets::range_workload(&ds, 6, 40);
+        let mut base = CoaxConfig::default();
+        base.discovery.learn.sample_count = 1024;
+        let sweep = sweep_coax(&ds, &workload, 1, &[4, 8], &base);
+        assert_eq!(sweep.len(), 2);
+        // Same discovery → same partition sizes across the sweep.
+        assert_eq!(sweep[0].index.primary_len(), sweep[1].index.primary_len());
+    }
+
+    #[test]
+    fn oversized_configs_are_skipped_not_fatal() {
+        let ds = datasets::airline(200); // tiny data → tiny cap
+        let workload = datasets::range_workload(&ds, 3, 10);
+        // k=128 on 8 dims exceeds the cell cap by far; must be skipped.
+        let grids = sweep_uniform_grid(&ds, &workload, 1, &[128]);
+        assert!(grids.is_empty());
+    }
+}

@@ -1,0 +1,397 @@
+//! Automatic soft-FD discovery over all attribute pairs (§5).
+//!
+//! The paper: *"we recursively consider unique pairs of attributes and use
+//! a Monte Carlo sampler to check whether a linear model fits the training
+//! records … If two attributes are found to be correlated, we save the
+//! resulting pair along with their model parameters. In the final step, we
+//! merge all groups that have an attribute in common and pick one
+//! attribute in each group to be the predictor."*
+//!
+//! Acceptance is evidence-based, computed on a Monte-Carlo row sample by
+//! [`crate::learn::fit_pair`]: a directed candidate `x → y` is accepted
+//! when its support (rows inside the margins), fit quality (R² over dense
+//! cell centres) and *relative margin* (margin width over the dependent's
+//! range — the effectiveness driver of Eq. 5) all pass the configured
+//! gates. Accepted pairs are merged with a union–find; each group elects
+//! the predictor with the strongest outgoing evidence.
+
+use crate::learn::{fit_pair, fit_pair_spline, LearnConfig, PairFit};
+use crate::model::FdModel;
+use coax_data::{Dataset, Value};
+
+/// Gates and knobs for discovery.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoveryConfig {
+    /// Algorithm 1 parameters used for every candidate fit.
+    pub learn: LearnConfig,
+    /// Minimum fraction of sampled rows inside the margins.
+    pub min_support: Value,
+    /// Minimum R² of the dense-centre fit.
+    pub min_r_squared: Value,
+    /// Maximum margin width relative to the dependent range; Eq. 5 makes
+    /// wide margins useless even when support is high.
+    pub max_relative_margin: Value,
+    /// When a pair fails the linear gates, also try a linear-spline model
+    /// (§7.2/§9 extension) before giving up — this is what lets COAX pick
+    /// up *curved* dependencies. The same gates apply to the spline fit.
+    pub enable_spline: bool,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        Self {
+            learn: LearnConfig::default(),
+            // OSM-style dependencies keep only ~73 % of rows in-band, so
+            // the support gate must sit below that.
+            min_support: 0.6,
+            min_r_squared: 0.75,
+            // A ±4σ band on a genuinely noisy dependency (e.g. scheduled
+            // vs actual arrival, σ ≈ 3 % of the range) already spends
+            // ~0.25 of the range; pure noise spends > 1. 0.35 separates
+            // the two with headroom on both sides.
+            max_relative_margin: 0.35,
+            enable_spline: true,
+        }
+    }
+}
+
+/// One discovered correlation group: a predictor attribute plus the
+/// models that infer each dependent attribute from it.
+#[derive(Clone, Debug)]
+pub struct CorrelationGroup {
+    /// The elected predictor column (stays indexed).
+    pub predictor: usize,
+    /// One model per dependent column (dropped from the index).
+    pub models: Vec<FdModel>,
+}
+
+impl CorrelationGroup {
+    /// The dependent columns of this group.
+    pub fn dependents(&self) -> impl Iterator<Item = usize> + '_ {
+        self.models.iter().map(|m| m.dependent())
+    }
+
+    /// All columns of the group, predictor first.
+    pub fn members(&self) -> Vec<usize> {
+        let mut v = vec![self.predictor];
+        v.extend(self.dependents());
+        v
+    }
+}
+
+/// The result of soft-FD discovery on a dataset.
+#[derive(Clone, Debug)]
+pub struct Discovery {
+    /// Correlation groups, disjoint by construction.
+    pub groups: Vec<CorrelationGroup>,
+    /// Dimensionality of the source dataset.
+    pub dims: usize,
+}
+
+impl Discovery {
+    /// Columns that remain indexed: predictors plus every uncorrelated
+    /// attribute, ascending.
+    pub fn indexed_dims(&self) -> Vec<usize> {
+        let dependent: Vec<usize> = self.dependent_dims();
+        (0..self.dims).filter(|d| !dependent.contains(d)).collect()
+    }
+
+    /// Columns inferred through models (not indexed), ascending.
+    pub fn dependent_dims(&self) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            self.groups.iter().flat_map(|g| g.dependents().collect::<Vec<_>>()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every model across all groups.
+    pub fn all_models(&self) -> impl Iterator<Item = &FdModel> {
+        self.groups.iter().flat_map(|g| g.models.iter())
+    }
+
+    /// A discovery with no groups (indexes every dimension) — the fallback
+    /// when nothing correlates.
+    pub fn empty(dims: usize) -> Self {
+        Self { groups: Vec::new(), dims }
+    }
+}
+
+/// Runs pair-wise soft-FD discovery on `dataset`.
+pub fn discover(dataset: &Dataset, config: &DiscoveryConfig, seed: u64) -> Discovery {
+    let dims = dataset.dims();
+    if dataset.is_empty() || dims < 2 {
+        return Discovery::empty(dims);
+    }
+
+    // --- Evaluate both directions of every unordered pair. -------------
+    let mut accepted: Vec<PairFit> = Vec::new();
+    for i in 0..dims {
+        for j in (i + 1)..dims {
+            let pair_seed = seed ^ ((i as u64) << 32 | j as u64).wrapping_mul(0x9e37_79b9);
+            for (x, y) in [(i, j), (j, i)] {
+                if let Some(fit) = fit_any(dataset, x, y, config, pair_seed) {
+                    accepted.push(fit);
+                }
+            }
+        }
+    }
+    if accepted.is_empty() {
+        return Discovery::empty(dims);
+    }
+
+    // --- Merge connected attributes (union–find). -----------------------
+    let mut uf = UnionFind::new(dims);
+    for fit in &accepted {
+        uf.union(fit.x_dim, fit.y_dim);
+    }
+
+    // --- Elect one predictor per component. ------------------------------
+    // Evidence per candidate predictor: number of accepted outgoing edges,
+    // then total support, then lower column index.
+    let mut groups = Vec::new();
+    let mut components: Vec<Vec<usize>> = vec![Vec::new(); dims];
+    for d in 0..dims {
+        components[uf.find(d)].push(d);
+    }
+    for members in components.into_iter().filter(|m| m.len() >= 2) {
+        let predictor = *members
+            .iter()
+            .max_by(|&&a, &&b| {
+                let ka = edge_evidence(&accepted, a);
+                let kb = edge_evidence(&accepted, b);
+                ka.partial_cmp(&kb)
+                    .expect("finite evidence")
+                    .then(b.cmp(&a)) // prefer the lower index on ties
+            })
+            .expect("non-empty component");
+
+        // Models predictor → dependent: reuse the accepted fit when the
+        // direction was evaluated, otherwise fit it now (a member may have
+        // joined the component through a different edge).
+        let mut models = Vec::new();
+        for &dep in members.iter().filter(|&&d| d != predictor) {
+            let existing = accepted
+                .iter()
+                .find(|f| f.x_dim == predictor && f.y_dim == dep)
+                .cloned();
+            let fit = existing.or_else(|| {
+                let s = seed ^ ((predictor as u64) << 32 | dep as u64).wrapping_mul(0x517c_c1b7);
+                fit_any(dataset, predictor, dep, config, s)
+            });
+            if let Some(f) = fit {
+                models.push(f.model);
+            }
+            // A member that the elected predictor cannot explain keeps its
+            // own index dimension — dropping it silently would break
+            // soundness.
+        }
+        if !models.is_empty() {
+            groups.push(CorrelationGroup { predictor, models });
+        }
+    }
+    groups.sort_by_key(|g| g.predictor);
+    Discovery { groups, dims }
+}
+
+fn passes(fit: &PairFit, config: &DiscoveryConfig) -> bool {
+    fit.support >= config.min_support
+        && fit.r_squared >= config.min_r_squared
+        && fit.relative_margin <= config.max_relative_margin
+        && fit.model.margin_width() > 0.0
+}
+
+/// Fits `x → y` with the linear model first; when that fails the gates
+/// and splines are enabled, retries with the spline family. Returns only
+/// gate-passing fits.
+fn fit_any(
+    dataset: &Dataset,
+    x: usize,
+    y: usize,
+    config: &DiscoveryConfig,
+    seed: u64,
+) -> Option<PairFit> {
+    if let Some(fit) = fit_pair(dataset, x, y, &config.learn, seed) {
+        if passes(&fit, config) {
+            return Some(fit);
+        }
+    }
+    if config.enable_spline {
+        if let Some(fit) = fit_pair_spline(dataset, x, y, &config.learn, seed) {
+            if passes(&fit, config) {
+                return Some(fit);
+            }
+        }
+    }
+    None
+}
+
+/// (accepted out-edges, summed support) of `dim` as a predictor.
+fn edge_evidence(accepted: &[PairFit], dim: usize) -> (usize, Value) {
+    let mut count = 0;
+    let mut support = 0.0;
+    for f in accepted.iter().filter(|f| f.x_dim == dim) {
+        count += 1;
+        support += f.support;
+    }
+    (count, support)
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Root at the smaller index so components are stable.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coax_data::synth::airline::{self, AirlineConfig};
+    use coax_data::synth::osm::{self, OsmConfig};
+    use coax_data::synth::{
+        Generator, PlantedConfig, PlantedDependent, PlantedGroup, UniformConfig,
+    };
+
+    #[test]
+    fn finds_planted_two_group_structure() {
+        let cfg = PlantedConfig {
+            rows: 30_000,
+            groups: vec![
+                PlantedGroup {
+                    x_range: (0.0, 1000.0),
+                    dependents: vec![
+                        PlantedDependent { slope: 2.0, intercept: 10.0, noise_sigma: 4.0 },
+                        PlantedDependent { slope: -0.5, intercept: 900.0, noise_sigma: 3.0 },
+                    ],
+                    outlier_fraction: 0.05,
+                    outlier_offset_sigmas: 30.0,
+                },
+                PlantedGroup {
+                    x_range: (5000.0, 9000.0),
+                    dependents: vec![PlantedDependent {
+                        slope: 1.5,
+                        intercept: -200.0,
+                        noise_sigma: 10.0,
+                    }],
+                    outlier_fraction: 0.05,
+                    outlier_offset_sigmas: 30.0,
+                },
+            ],
+            independent: vec![(0.0, 1.0), (100.0, 200.0)],
+            seed: 1,
+        };
+        let ds = cfg.generate();
+        let disc = discover(&ds, &DiscoveryConfig::default(), 2);
+        assert_eq!(disc.groups.len(), 2, "groups: {:?}", disc.groups);
+        // Columns 0..2 form one group, 3..4 the other, 5..6 independent.
+        let mut members0 = disc.groups[0].members();
+        members0.sort_unstable();
+        assert_eq!(members0, vec![0, 1, 2]);
+        let mut members1 = disc.groups[1].members();
+        members1.sort_unstable();
+        assert_eq!(members1, vec![3, 4]);
+        assert_eq!(disc.indexed_dims().len(), 2 + 2); // 2 predictors + 2 independents
+        assert!(disc.indexed_dims().contains(&5));
+        assert!(disc.indexed_dims().contains(&6));
+    }
+
+    #[test]
+    fn no_groups_on_uncorrelated_data() {
+        let ds = UniformConfig::cube(4, 20_000, 3).generate();
+        let disc = discover(&ds, &DiscoveryConfig::default(), 4);
+        assert!(disc.groups.is_empty(), "found phantom groups: {:?}", disc.groups);
+        assert_eq!(disc.indexed_dims(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn airline_groups_match_ground_truth() {
+        let ds = AirlineConfig::small(40_000, 5).generate();
+        let disc = discover(&ds, &DiscoveryConfig::default(), 6);
+        // Expect exactly the two planted groups; independents stay out.
+        assert_eq!(disc.groups.len(), 2, "groups: {:?}", disc.groups);
+        let mut found: Vec<Vec<usize>> = disc
+            .groups
+            .iter()
+            .map(|g| {
+                let mut m = g.members();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        found.sort();
+        let mut expected: Vec<Vec<usize>> =
+            airline::ground_truth::GROUPS.iter().map(|g| g.to_vec()).collect();
+        expected.sort();
+        assert_eq!(found, expected);
+        for ind in airline::ground_truth::INDEPENDENT {
+            assert!(disc.indexed_dims().contains(&ind));
+        }
+    }
+
+    #[test]
+    fn osm_finds_id_timestamp_pair_despite_27pct_outliers() {
+        let ds = OsmConfig::small(40_000, 7).generate();
+        let disc = discover(&ds, &DiscoveryConfig::default(), 8);
+        assert_eq!(disc.groups.len(), 1, "groups: {:?}", disc.groups);
+        let mut members = disc.groups[0].members();
+        members.sort_unstable();
+        assert_eq!(members, osm::ground_truth::GROUP.to_vec());
+        // Lat/lon stay indexed.
+        for ind in osm::ground_truth::INDEPENDENT {
+            assert!(disc.indexed_dims().contains(&ind));
+        }
+    }
+
+    #[test]
+    fn empty_and_one_dimensional_datasets() {
+        let empty = Dataset::new(vec![vec![], vec![]]);
+        assert!(discover(&empty, &DiscoveryConfig::default(), 1).groups.is_empty());
+        let one_dim = Dataset::new(vec![vec![1.0, 2.0, 3.0]]);
+        let d = discover(&one_dim, &DiscoveryConfig::default(), 1);
+        assert!(d.groups.is_empty());
+        assert_eq!(d.indexed_dims(), vec![0]);
+    }
+
+    #[test]
+    fn union_find_merges_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert_eq!(uf.find(2), uf.find(0));
+        assert_ne!(uf.find(0), uf.find(3));
+        assert_eq!(uf.find(4), uf.find(3));
+    }
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let ds = AirlineConfig::small(20_000, 9).generate();
+        let a = discover(&ds, &DiscoveryConfig::default(), 10);
+        let b = discover(&ds, &DiscoveryConfig::default(), 10);
+        assert_eq!(a.groups.len(), b.groups.len());
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.predictor, gb.predictor);
+            assert_eq!(ga.models.len(), gb.models.len());
+        }
+    }
+}

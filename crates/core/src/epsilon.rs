@@ -1,0 +1,179 @@
+//! Tolerance-margin (ε) selection policies.
+//!
+//! The paper treats ε_LB/ε_UB as tuning inputs: "the distances at which
+//! the data separators have been drawn in both directions" (§4), chosen by
+//! looking at the density of records around the fitted model (Fig. 3).
+//! Three policies cover the experiments:
+//!
+//! * [`EpsilonPolicy::Quantile`] — keep a target fraction of rows inside
+//!   the margins (how we calibrate Table 1's primary-index ratios);
+//!   naturally asymmetric for skewed residuals.
+//! * [`EpsilonPolicy::Sigmas`] — `k · σ` of the residuals on both sides,
+//!   the classic noise-band choice used by the theory sections (§7).
+//! * [`EpsilonPolicy::Fixed`] — explicit margins, for ablations and the
+//!   effectiveness sweeps (Eq. 5).
+
+use coax_data::stats::quantile_sorted;
+use coax_data::Value;
+
+/// How to derive (ε_LB, ε_UB) from model residuals.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EpsilonPolicy {
+    /// Keep ~`coverage` of the residual mass inside the margins, split
+    /// equally between the two tails.
+    Quantile {
+        /// Target fraction in `(0, 1]`.
+        coverage: Value,
+    },
+    /// `k · σ` of the residuals on both sides.
+    Sigmas(Value),
+    /// `k · σ̂` on both sides, where σ̂ is the MAD-based robust standard
+    /// deviation. Unlike [`EpsilonPolicy::Sigmas`] and
+    /// [`EpsilonPolicy::Quantile`], this locks onto the *inlier band* even
+    /// when a quarter of the rows are gross outliers (the OSM case), which
+    /// is what the paper's density-based margin drawing (Fig. 3)
+    /// accomplishes visually.
+    RobustSigmas(Value),
+    /// Explicit margins.
+    Fixed {
+        /// ε_LB ≥ 0.
+        lb: Value,
+        /// ε_UB ≥ 0.
+        ub: Value,
+    },
+}
+
+impl Default for EpsilonPolicy {
+    fn default() -> Self {
+        // ±4 robust sigmas keeps essentially all benign-noise rows in the
+        // primary partition while excluding displaced outliers, matching
+        // Table 1's primary ratios on both synthetic datasets.
+        EpsilonPolicy::RobustSigmas(4.0)
+    }
+}
+
+impl EpsilonPolicy {
+    /// Computes `(eps_lb, eps_ub)` from signed residuals `y − ŷ`.
+    ///
+    /// Residual order is irrelevant; the slice is copied and sorted
+    /// internally for the quantile policy. Empty residuals yield `(0, 0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid policy parameters (coverage outside `(0, 1]`,
+    /// negative `k`, negative fixed margins).
+    pub fn compute(&self, residuals: &[Value]) -> (Value, Value) {
+        match *self {
+            EpsilonPolicy::Fixed { lb, ub } => {
+                assert!(lb >= 0.0 && ub >= 0.0, "fixed margins must be non-negative");
+                (lb, ub)
+            }
+            EpsilonPolicy::Sigmas(k) => {
+                assert!(k >= 0.0, "sigma multiplier must be non-negative");
+                let sigma = coax_data::stats::std_dev(residuals);
+                (k * sigma, k * sigma)
+            }
+            EpsilonPolicy::RobustSigmas(k) => {
+                assert!(k >= 0.0, "sigma multiplier must be non-negative");
+                let sigma = coax_data::stats::robust_std(residuals).unwrap_or(0.0);
+                (k * sigma, k * sigma)
+            }
+            EpsilonPolicy::Quantile { coverage } => {
+                assert!(
+                    coverage > 0.0 && coverage <= 1.0,
+                    "coverage must be in (0, 1]"
+                );
+                if residuals.is_empty() {
+                    return (0.0, 0.0);
+                }
+                let mut sorted = residuals.to_vec();
+                sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+                let tail = (1.0 - coverage) / 2.0;
+                let lo = quantile_sorted(&sorted, tail);
+                let hi = quantile_sorted(&sorted, 1.0 - tail);
+                // Margins are distances: clamp in case all residuals share
+                // one sign (a biased fit).
+                ((-lo).max(0.0), hi.max(0.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_passthrough() {
+        let p = EpsilonPolicy::Fixed { lb: 1.5, ub: 2.5 };
+        assert_eq!(p.compute(&[9.0, -9.0]), (1.5, 2.5));
+    }
+
+    #[test]
+    fn sigmas_scales_with_noise() {
+        // Residuals ±2 square wave: σ = 2.
+        let resid: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 2.0 } else { -2.0 }).collect();
+        let (lb, ub) = EpsilonPolicy::Sigmas(3.0).compute(&resid);
+        assert!((lb - 6.0).abs() < 1e-9);
+        assert_eq!(lb, ub);
+    }
+
+    #[test]
+    fn quantile_covers_requested_fraction() {
+        let resid: Vec<f64> = (-500..=500).map(|i| i as f64 / 10.0).collect();
+        let (lb, ub) = EpsilonPolicy::Quantile { coverage: 0.9 }.compute(&resid);
+        // Uniform residuals on [-50, 50]: 5 % tails → ±45.
+        assert!((lb - 45.0).abs() < 0.2, "lb={lb}");
+        assert!((ub - 45.0).abs() < 0.2, "ub={ub}");
+        let inside = resid.iter().filter(|&&r| -lb <= r && r <= ub).count();
+        let frac = inside as f64 / resid.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn quantile_is_asymmetric_for_skewed_residuals() {
+        // Heavy upper tail.
+        let mut resid: Vec<f64> = (0..900).map(|i| (i % 10) as f64 / 10.0 - 0.5).collect();
+        resid.extend((0..100).map(|i| 10.0 + i as f64));
+        let (lb, ub) = EpsilonPolicy::Quantile { coverage: 0.9 }.compute(&resid);
+        assert!(ub > 5.0 * lb, "upper margin should dominate: lb={lb} ub={ub}");
+    }
+
+    #[test]
+    fn quantile_clamps_one_sided_residuals() {
+        let resid = vec![1.0, 2.0, 3.0, 4.0];
+        let (lb, ub) = EpsilonPolicy::Quantile { coverage: 0.5 }.compute(&resid);
+        assert_eq!(lb, 0.0, "all-positive residuals need no lower margin");
+        assert!(ub > 0.0);
+    }
+
+    #[test]
+    fn robust_sigmas_ignore_outlier_mass() {
+        // 75 % residuals in a ±1 band, 25 % displaced by ±1000.
+        let resid: Vec<f64> = (0..1000)
+            .map(|i| match i % 4 {
+                0 => 1000.0 * if i % 8 == 0 { 1.0 } else { -1.0 },
+                1 => -0.8,
+                2 => 0.3,
+                _ => 0.9,
+            })
+            .collect();
+        let (lb_robust, _) = EpsilonPolicy::RobustSigmas(4.0).compute(&resid);
+        let (lb_classic, _) = EpsilonPolicy::Sigmas(4.0).compute(&resid);
+        assert!(lb_robust < 10.0, "robust margin stays on the band: {lb_robust}");
+        assert!(lb_classic > 100.0, "classic sigma chases outliers: {lb_classic}");
+    }
+
+    #[test]
+    fn empty_residuals() {
+        assert_eq!(EpsilonPolicy::default().compute(&[]), (0.0, 0.0));
+        assert_eq!(EpsilonPolicy::Sigmas(2.0).compute(&[]), (0.0, 0.0));
+        assert_eq!(EpsilonPolicy::RobustSigmas(2.0).compute(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn zero_coverage_rejected() {
+        EpsilonPolicy::Quantile { coverage: 0.0 }.compute(&[1.0]);
+    }
+}

@@ -1,0 +1,953 @@
+//! The COAX index (§3, Fig. 1): a reduced-dimensionality primary index
+//! over the rows that obey the learned soft FDs, plus a full-dimensional
+//! outlier index for the rest, with query translation in front.
+//!
+//! Layout decisions follow §6: the primary index is a quantile grid file
+//! over the *indexed* attributes only (predictors + uncorrelated), with
+//! one of them sorted inside cells instead of gridded — so `n` dims with
+//! `m` predicted attributes need an `n − m − 1`-dimensional directory.
+//! Dependent attributes are *stored* in the pages (queries still filter on
+//! them exactly) but never navigated.
+//!
+//! Updates (§5, §9): inserts are margin-checked and buffered; each insert
+//! inside the margins also advances the per-model Bayesian posterior, so
+//! [`CoaxIndex::rebuild`] can refresh the lines and margins from
+//! everything observed and fold the buffer into fresh grids.
+
+use crate::discovery::{discover, CorrelationGroup, Discovery, DiscoveryConfig};
+use crate::epsilon::EpsilonPolicy;
+use crate::learn::split_rows;
+use crate::model::{FdModel, SoftFdModel};
+use crate::regression::BayesianLinReg;
+use crate::translate::{translate, translate_all};
+use coax_data::{Dataset, RangeQuery, RowId, Value};
+use coax_index::{GridFile, GridFileConfig, MultidimIndex, RTree, RTreeConfig, ScanStats};
+
+/// Which conventional structure holds the outlier partition.
+///
+/// The paper describes the outlier index as "a typical multidimensional
+/// index structure" and stresses that COAX "works with any
+/// multidimensional index structure" — this enum is that pluggability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutlierBackend {
+    /// Quantile grid file over all dimensions (with the sorted-attribute
+    /// trick). The default: cheapest directory for small partitions.
+    #[default]
+    GridFile,
+    /// STR-packed R-tree with the given node capacity. Pays more directory
+    /// memory for better pruning on very selective queries.
+    RTree {
+        /// Leaf and internal node capacity.
+        capacity: usize,
+    },
+}
+
+/// Build-time configuration of [`CoaxIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct CoaxConfig {
+    /// Soft-FD discovery gates and Algorithm 1 knobs.
+    pub discovery: DiscoveryConfig,
+    /// Cells per gridded attribute of the primary index.
+    pub cells_per_dim: usize,
+    /// Upper bound on cells per gridded attribute of the outlier index.
+    /// The actual resolution adapts to the outlier count (targeting a few
+    /// dozen rows per cell) so a small outlier partition never pays for a
+    /// large directory — the paper counts the outlier directory against
+    /// COAX's memory footprint (Fig. 8), so over-provisioning it would
+    /// squander the primary index's savings. Ignored by the R-tree
+    /// backend.
+    pub outlier_cells_per_dim: usize,
+    /// Structure used for the outlier partition.
+    pub outlier_backend: OutlierBackend,
+    /// Sorted attribute of the primary index. `None` picks the first
+    /// group's predictor (translation tightens exactly that attribute, so
+    /// the in-cell binary search cuts deepest there), falling back to the
+    /// first indexed attribute.
+    pub sort_dim: Option<usize>,
+    /// Seed for the sampling inside discovery.
+    pub seed: u64,
+}
+
+impl Default for CoaxConfig {
+    fn default() -> Self {
+        Self {
+            discovery: DiscoveryConfig::default(),
+            cells_per_dim: 16,
+            outlier_cells_per_dim: 8,
+            outlier_backend: OutlierBackend::default(),
+            sort_dim: None,
+            seed: 0xC0A0,
+        }
+    }
+}
+
+/// The outlier partition behind its chosen backend.
+#[derive(Clone, Debug)]
+enum OutlierIndex {
+    Grid(GridFile),
+    RTree(RTree),
+}
+
+impl OutlierIndex {
+    fn build(
+        dataset: &Dataset,
+        backend: OutlierBackend,
+        sort_dim: Option<usize>,
+        max_cells_per_dim: usize,
+    ) -> Self {
+        match backend {
+            OutlierBackend::GridFile => {
+                let dims = dataset.dims();
+                let grid_dims = dims - usize::from(sort_dim.is_some());
+                let k = adaptive_cells_per_dim(dataset.len(), grid_dims, max_cells_per_dim);
+                let config = match sort_dim {
+                    Some(sd) => GridFileConfig::with_sort(dims, sd, k),
+                    None => GridFileConfig::all_dims(dims, k),
+                };
+                OutlierIndex::Grid(GridFile::build(dataset, &config))
+            }
+            OutlierBackend::RTree { capacity } => {
+                OutlierIndex::RTree(RTree::build(dataset, RTreeConfig::uniform(capacity)))
+            }
+        }
+    }
+
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        match self {
+            OutlierIndex::Grid(g) => g.range_query_stats(query, out),
+            OutlierIndex::RTree(t) => t.range_query_stats(query, out),
+        }
+    }
+
+    fn memory_overhead(&self) -> usize {
+        match self {
+            OutlierIndex::Grid(g) => g.memory_overhead(),
+            OutlierIndex::RTree(t) => t.memory_overhead(),
+        }
+    }
+
+    /// Iterates stored `(local_id, row)` pairs (rebuild path).
+    fn for_each_entry(&self, mut f: impl FnMut(RowId, &[Value])) {
+        match self {
+            OutlierIndex::Grid(g) => {
+                for (id, row) in g.entries() {
+                    f(id, row);
+                }
+            }
+            OutlierIndex::RTree(t) => {
+                for (id, row) in t.entries() {
+                    f(id, row);
+                }
+            }
+        }
+    }
+}
+
+/// Per-part scan counters of one COAX query (Figs. 6–8 report the primary
+/// and outlier costs separately).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoaxQueryStats {
+    /// Work done inside the primary (soft-FD) index.
+    pub primary: ScanStats,
+    /// Work done inside the outlier index.
+    pub outliers: ScanStats,
+    /// Buffered-insert rows checked linearly.
+    pub pending_examined: usize,
+    /// Matches found in the pending buffer.
+    pub pending_matches: usize,
+}
+
+impl CoaxQueryStats {
+    /// Flattens into a single [`ScanStats`] (trait-level reporting).
+    pub fn flatten(&self) -> ScanStats {
+        let mut s = self.primary.merge(self.outliers);
+        s.rows_examined += self.pending_examined;
+        s.matches += self.pending_matches;
+        s
+    }
+}
+
+/// A row inserted after the build, not yet folded into the grids.
+#[derive(Clone, Debug)]
+struct PendingRow {
+    id: RowId,
+    values: Vec<Value>,
+    /// Whether the row was inside every model's margins at insert time.
+    in_margins: bool,
+}
+
+/// Error returned by [`CoaxIndex::insert`] for malformed rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertError {
+    /// Row length differs from the index dimensionality.
+    WrongArity {
+        /// Index dimensionality.
+        expected: usize,
+        /// Length of the offending row.
+        got: usize,
+    },
+    /// The row contains NaN or an infinity.
+    NonFinite,
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::WrongArity { expected, got } => {
+                write!(f, "row has {got} values, index has {expected} dimensions")
+            }
+            InsertError::NonFinite => write!(f, "row contains a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// The correlation-aware index: learned soft-FD primary + outlier index.
+#[derive(Clone, Debug)]
+pub struct CoaxIndex {
+    dims: usize,
+    config: CoaxConfig,
+    discovery: Discovery,
+    /// Reduced-dimensionality grid over the primary partition.
+    primary: GridFile,
+    /// Local row id (inside `primary`) → original row id.
+    primary_ids: Vec<RowId>,
+    /// Full-dimensional grid over the outlier partition.
+    outliers: OutlierIndex,
+    /// Local row id (inside `outliers`) → original row id.
+    outlier_ids: Vec<RowId>,
+    /// Sorted attribute of the primary index.
+    sort_dim: Option<usize>,
+    /// One posterior accumulator per *linear* model (in discovery model
+    /// order), advanced by inserts. Spline models carry `None`: their
+    /// shape is frozen between full rebuilds.
+    posteriors: Vec<Option<BayesianLinReg>>,
+    /// Buffered inserts, scanned linearly at query time.
+    pending: Vec<PendingRow>,
+    next_id: RowId,
+}
+
+impl CoaxIndex {
+    /// Builds COAX over `dataset`: discovers soft FDs, splits the rows,
+    /// and constructs both indexes.
+    pub fn build(dataset: &Dataset, config: &CoaxConfig) -> Self {
+        let discovery = discover(dataset, &config.discovery, config.seed);
+        Self::build_with_discovery(dataset, discovery, config)
+    }
+
+    /// Builds COAX from an externally supplied discovery result (ablation
+    /// studies, hand-specified dependencies, rebuilds).
+    pub fn build_with_discovery(
+        dataset: &Dataset,
+        discovery: Discovery,
+        config: &CoaxConfig,
+    ) -> Self {
+        let dims = dataset.dims();
+        assert_eq!(discovery.dims, dims, "discovery dimensionality mismatch");
+        let models: Vec<FdModel> = discovery.all_models().cloned().collect();
+        let (primary_rows, outlier_rows) = split_rows(dataset, &models);
+
+        let indexed = discovery.indexed_dims();
+        let sort_dim = resolve_sort_dim(config.sort_dim, &discovery, &indexed);
+        let grid_dims: Vec<usize> =
+            indexed.iter().copied().filter(|&d| Some(d) != sort_dim).collect();
+
+        let primary_ds = dataset.take_rows(&primary_rows);
+        let primary = GridFile::build(
+            &primary_ds,
+            &GridFileConfig::subset(grid_dims, sort_dim, config.cells_per_dim),
+        );
+
+        let outlier_ds = dataset.take_rows(&outlier_rows);
+        // The outlier index is a conventional structure over *all* dims
+        // behind the configured backend; the grid backend still benefits
+        // from the sorted-attribute trick and adapts its resolution to the
+        // partition size (≈32 rows per cell).
+        let outliers = OutlierIndex::build(
+            &outlier_ds,
+            config.outlier_backend,
+            sort_dim,
+            config.outlier_cells_per_dim,
+        );
+
+        // Seed one Bayesian posterior per linear model from the primary
+        // rows so later inserts refine rather than restart the fit.
+        let prior = config.discovery.learn.prior_precision;
+        let posteriors = models
+            .iter()
+            .map(|m| {
+                m.as_linear().map(|lin| {
+                    let mut reg = BayesianLinReg::new(prior);
+                    for &r in &primary_rows {
+                        reg.observe(
+                            dataset.value(r, lin.predictor),
+                            dataset.value(r, lin.dependent),
+                        );
+                    }
+                    reg
+                })
+            })
+            .collect();
+
+        let next_id = dataset.len() as RowId;
+        Self {
+            dims,
+            config: *config,
+            discovery,
+            primary,
+            primary_ids: primary_rows,
+            outliers,
+            outlier_ids: outlier_rows,
+            sort_dim,
+            posteriors,
+            pending: Vec::new(),
+            next_id,
+        }
+    }
+
+    /// The discovered dependency structure.
+    pub fn discovery(&self) -> &Discovery {
+        &self.discovery
+    }
+
+    /// The correlation groups in use.
+    pub fn groups(&self) -> &[CorrelationGroup] {
+        &self.discovery.groups
+    }
+
+    /// Attributes the primary index actually indexes (grid + sorted).
+    pub fn indexed_dims(&self) -> Vec<usize> {
+        self.discovery.indexed_dims()
+    }
+
+    /// The primary index's sorted attribute.
+    pub fn sort_dim(&self) -> Option<usize> {
+        self.sort_dim
+    }
+
+    /// Rows in the primary partition.
+    pub fn primary_len(&self) -> usize {
+        self.primary_ids.len()
+    }
+
+    /// Rows in the outlier partition.
+    pub fn outlier_len(&self) -> usize {
+        self.outlier_ids.len()
+    }
+
+    /// Buffered inserts not yet folded into the grids.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// How many buffered inserts passed the margin check at insert time
+    /// (i.e. will join the primary partition on rebuild, barring a model
+    /// refresh that moves the margins).
+    pub fn pending_in_margins(&self) -> usize {
+        self.pending.iter().filter(|p| p.in_margins).count()
+    }
+
+    /// Fraction of built rows in the primary partition (Table 1's
+    /// "Primary Index Ratio"). Pending inserts are excluded.
+    pub fn primary_ratio(&self) -> f64 {
+        let built = self.primary_ids.len() + self.outlier_ids.len();
+        if built == 0 {
+            return 1.0;
+        }
+        self.primary_ids.len() as f64 / built as f64
+    }
+
+    /// Directory overhead of the primary index alone (Fig. 8's
+    /// "COAX (primary)" series).
+    pub fn primary_overhead(&self) -> usize {
+        self.primary.memory_overhead()
+    }
+
+    /// Directory overhead of the outlier index alone (Fig. 8's
+    /// "COAX (outliers)" series).
+    pub fn outlier_overhead(&self) -> usize {
+        self.outliers.memory_overhead()
+    }
+
+    /// The translated navigation query for `query` (exposed for the
+    /// effectiveness experiments).
+    pub fn translate_query(&self, query: &RangeQuery) -> RangeQuery {
+        translate(query, &self.discovery.groups)
+    }
+
+    /// Queries only the primary (soft-FD) index. Results are exact w.r.t.
+    /// the primary partition; outliers and pending rows are *not*
+    /// consulted — pair with [`CoaxIndex::query_outliers`] for full
+    /// results. Fig. 6/7 time the two parts separately.
+    ///
+    /// Navigation uses multi-interval translation
+    /// ([`crate::translate::translate_all`]): non-monotone spline models
+    /// split the scan into disjoint predictor bands instead of covering
+    /// their hull.
+    pub fn query_primary(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        const NAV_FAN_OUT_CAP: usize = 8;
+        let navs = translate_all(query, &self.discovery.groups, NAV_FAN_OUT_CAP);
+        let from = out.len();
+        let mut stats = ScanStats::default();
+        for nav in &navs {
+            if nav.is_empty() {
+                continue;
+            }
+            stats = stats.merge(self.primary.range_query_filtered(nav, query, out));
+        }
+        for id in &mut out[from..] {
+            *id = self.primary_ids[*id as usize];
+        }
+        stats
+    }
+
+    /// Ablation hook: queries the primary index with the *original* query
+    /// as navigation (no translation). Results are identical to
+    /// [`CoaxIndex::query_primary`]; only the scanned volume differs —
+    /// the ablation benches measure exactly that gap.
+    pub fn query_primary_untranslated(
+        &self,
+        query: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> ScanStats {
+        let from = out.len();
+        let stats = self.primary.range_query_filtered(query, query, out);
+        for id in &mut out[from..] {
+            *id = self.primary_ids[*id as usize];
+        }
+        stats
+    }
+
+    /// Queries only the outlier index (original, untranslated query — the
+    /// margins mean nothing to outliers).
+    pub fn query_outliers(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        let from = out.len();
+        let stats = self.outliers.range_query_stats(query, out);
+        for id in &mut out[from..] {
+            *id = self.outlier_ids[*id as usize];
+        }
+        stats
+    }
+
+    /// Full query: primary + outliers + pending buffer, with per-part
+    /// counters.
+    pub fn query_detailed(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> CoaxQueryStats {
+        let mut stats = CoaxQueryStats {
+            primary: self.query_primary(query, out),
+            outliers: self.query_outliers(query, out),
+            ..Default::default()
+        };
+        for p in &self.pending {
+            stats.pending_examined += 1;
+            if query.matches(&p.values) {
+                out.push(p.id);
+                stats.pending_matches += 1;
+            }
+        }
+        stats
+    }
+
+    /// Inserts a row, routing it by the margin check and advancing the
+    /// Bayesian posteriors (§5's update story). The row is buffered and
+    /// scanned linearly until [`CoaxIndex::rebuild`] folds it in; the
+    /// returned id identifies it in query results.
+    pub fn insert(&mut self, row: &[Value]) -> Result<RowId, InsertError> {
+        if row.len() != self.dims {
+            return Err(InsertError::WrongArity { expected: self.dims, got: row.len() });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(InsertError::NonFinite);
+        }
+        let models: Vec<&FdModel> = self.discovery.all_models().collect();
+        let in_margins = models
+            .iter()
+            .all(|m| m.contains(row[m.predictor()], row[m.dependent()]));
+        if in_margins {
+            for (m, reg) in models.iter().zip(&mut self.posteriors) {
+                if let Some(reg) = reg {
+                    reg.observe(row[m.predictor()], row[m.dependent()]);
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(PendingRow { id, values: row.to_vec(), in_margins });
+        Ok(id)
+    }
+
+    /// Rebuilds the grids, folding in the pending buffer and refreshing
+    /// every model from its Bayesian posterior (new line) and from the
+    /// full residual distribution (new margins). Group structure is kept;
+    /// run [`CoaxIndex::build`] again to re-discover from scratch.
+    pub fn rebuild(&self) -> CoaxIndex {
+        let dataset = self.to_dataset();
+        let epsilon = self.config.discovery.learn.epsilon;
+        let groups = self
+            .discovery
+            .groups
+            .iter()
+            .map(|g| refresh_group(g, &self.discovery, &self.posteriors, &dataset, epsilon))
+            .collect();
+        let discovery = Discovery { groups, dims: self.dims };
+        let mut rebuilt =
+            CoaxIndex::build_with_discovery(&dataset, discovery, &self.config);
+        rebuilt.next_id = self.next_id;
+        rebuilt
+    }
+
+    /// Reconstructs the full logical dataset (built rows in id order, then
+    /// pending rows).
+    fn to_dataset(&self) -> Dataset {
+        let n = self.next_id as usize;
+        let mut columns = vec![vec![0.0; n]; self.dims];
+        for (local, row) in self.primary.entries() {
+            let orig = self.primary_ids[local as usize] as usize;
+            for (d, col) in columns.iter_mut().enumerate() {
+                col[orig] = row[d];
+            }
+        }
+        self.outliers.for_each_entry(|local, row| {
+            let orig = self.outlier_ids[local as usize] as usize;
+            for (d, col) in columns.iter_mut().enumerate() {
+                col[orig] = row[d];
+            }
+        });
+        for p in &self.pending {
+            for (d, col) in columns.iter_mut().enumerate() {
+                col[p.id as usize] = p.values[d];
+            }
+        }
+        Dataset::new(columns)
+    }
+}
+
+impl MultidimIndex for CoaxIndex {
+    fn name(&self) -> &str {
+        "coax"
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.primary_ids.len() + self.outlier_ids.len() + self.pending.len()
+    }
+
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        self.query_detailed(query, out).flatten()
+    }
+
+    fn memory_overhead(&self) -> usize {
+        let model_bytes: usize = self.discovery.all_models().map(FdModel::model_bytes).sum();
+        self.primary.memory_overhead() + self.outliers.memory_overhead() + model_bytes
+    }
+}
+
+/// Grid resolution that puts roughly `32` rows in each cell of a
+/// `grid_dims`-dimensional directory, clamped to `[1, max]`.
+fn adaptive_cells_per_dim(rows: usize, grid_dims: usize, max: usize) -> usize {
+    if grid_dims == 0 {
+        return 1;
+    }
+    let target_cells = (rows as f64 / 32.0).max(1.0);
+    let k = target_cells.powf(1.0 / grid_dims as f64).round() as usize;
+    k.clamp(1, max.max(1))
+}
+
+/// Picks the primary index's sorted attribute: explicit override, else the
+/// first group's predictor, else the first indexed attribute, else none.
+fn resolve_sort_dim(
+    requested: Option<usize>,
+    discovery: &Discovery,
+    indexed: &[usize],
+) -> Option<usize> {
+    if let Some(sd) = requested {
+        assert!(
+            indexed.contains(&sd),
+            "sort_dim {sd} is not an indexed attribute (indexed: {indexed:?})"
+        );
+        return Some(sd);
+    }
+    discovery
+        .groups
+        .first()
+        .map(|g| g.predictor)
+        .or_else(|| indexed.first().copied())
+}
+
+/// Rebuild-time model refresh: linear models take their line from the
+/// posterior and their margins from the full current residuals; spline
+/// models keep their shape (re-discover to re-fit them).
+fn refresh_group(
+    group: &CorrelationGroup,
+    discovery: &Discovery,
+    posteriors: &[Option<BayesianLinReg>],
+    dataset: &Dataset,
+    epsilon: EpsilonPolicy,
+) -> CorrelationGroup {
+    // Posteriors are stored in discovery's model iteration order.
+    let order: Vec<&FdModel> = discovery.all_models().collect();
+    let models = group
+        .models
+        .iter()
+        .map(|m| {
+            let Some(lin) = m.as_linear() else {
+                return m.clone();
+            };
+            let idx = order
+                .iter()
+                .position(|o| {
+                    o.predictor() == lin.predictor && o.dependent() == lin.dependent
+                })
+                .expect("model present in discovery");
+            let params = posteriors[idx]
+                .as_ref()
+                .and_then(BayesianLinReg::params)
+                .unwrap_or(lin.params);
+            let residuals: Vec<Value> = dataset
+                .column(lin.predictor)
+                .iter()
+                .zip(dataset.column(lin.dependent))
+                .map(|(&x, &y)| y - params.predict(x))
+                .collect();
+            let (lb, ub) = epsilon.compute(&residuals);
+            SoftFdModel::new(lin.predictor, lin.dependent, params, lb, ub).into()
+        })
+        .collect();
+    CorrelationGroup { predictor: group.predictor, models }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coax_data::synth::{
+        Generator, PlantedConfig, PlantedDependent, PlantedGroup, UniformConfig,
+    };
+    use coax_data::workload::{knn_rectangle_queries, point_queries};
+    use coax_index::FullScan;
+
+    fn planted_dataset(rows: usize, seed: u64) -> Dataset {
+        PlantedConfig {
+            rows,
+            groups: vec![PlantedGroup {
+                x_range: (0.0, 1000.0),
+                dependents: vec![PlantedDependent {
+                    slope: 2.0,
+                    intercept: 25.0,
+                    noise_sigma: 4.0,
+                }],
+                outlier_fraction: 0.08,
+                outlier_offset_sigmas: 25.0,
+            }],
+            independent: vec![(0.0, 100.0)],
+            seed,
+        }
+        .generate()
+    }
+
+    fn assert_exact(index: &CoaxIndex, ds: &Dataset, queries: &[RangeQuery]) {
+        let fs = FullScan::build(ds);
+        for q in queries {
+            let mut expected = fs.range_query(q);
+            let mut got = index.range_query(q);
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn exact_results_on_planted_data() {
+        let ds = planted_dataset(8000, 1);
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        assert!(!index.groups().is_empty(), "dependency must be discovered");
+        let mut queries = knn_rectangle_queries(&ds, 15, 50, 2);
+        queries.extend(point_queries(&ds, 15, 3));
+        assert_exact(&index, &ds, &queries);
+    }
+
+    #[test]
+    fn dependent_dimension_is_not_indexed() {
+        let ds = planted_dataset(8000, 4);
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        let dependents = index.discovery().dependent_dims();
+        assert_eq!(dependents, vec![1]);
+        assert_eq!(index.indexed_dims(), vec![0, 2]);
+        // n − m − 1 directory dims: 3 attrs, 1 predicted, 1 sorted → 1.
+        assert_eq!(index.sort_dim(), Some(0));
+    }
+
+    #[test]
+    fn primary_ratio_tracks_planted_outliers() {
+        let ds = planted_dataset(20_000, 5);
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        let ratio = index.primary_ratio();
+        assert!(
+            (ratio - 0.92).abs() < 0.03,
+            "8 % planted outliers → ~0.92 primary ratio, got {ratio}"
+        );
+        assert_eq!(index.primary_len() + index.outlier_len(), ds.len());
+    }
+
+    #[test]
+    fn queries_on_dependent_attribute_use_translation() {
+        let ds = planted_dataset(20_000, 6);
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        // Constrain only the dependent attribute.
+        let mut q = RangeQuery::unbounded(3);
+        q.constrain(1, 500.0, 600.0);
+        let nav = index.translate_query(&q);
+        assert!(nav.lo(0) > f64::NEG_INFINITY, "translation must bound the predictor");
+        assert!(nav.hi(0) < f64::INFINITY);
+        // And the results are still exact.
+        assert_exact(&index, &ds, &[q]);
+    }
+
+    #[test]
+    fn translation_reduces_scanned_rows() {
+        let ds = planted_dataset(20_000, 7);
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        let mut q = RangeQuery::unbounded(3);
+        q.constrain(1, 500.0, 540.0);
+        let mut out = Vec::new();
+        let stats = index.query_detailed(&q, &mut out);
+        // Without translation the primary index would have to scan every
+        // row (no indexed dim is constrained). With it, only the band.
+        assert!(
+            stats.primary.rows_examined < index.primary_len() / 4,
+            "examined {} of {}",
+            stats.primary.rows_examined,
+            index.primary_len()
+        );
+        assert_eq!(stats.flatten().matches, out.len());
+    }
+
+    #[test]
+    fn no_correlation_degrades_gracefully() {
+        let ds = UniformConfig::cube(3, 5000, 8).generate();
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        assert!(index.groups().is_empty());
+        assert_eq!(index.outlier_len(), 0, "no models → nothing is an outlier");
+        assert_eq!(index.primary_ratio(), 1.0);
+        let queries = knn_rectangle_queries(&ds, 10, 40, 9);
+        assert_exact(&index, &ds, &queries);
+    }
+
+    #[test]
+    fn one_hundred_percent_outliers_still_exact() {
+        // Hand a discovery whose margins contain nothing.
+        let ds = UniformConfig::cube(2, 2000, 10).generate();
+        let model = SoftFdModel::new(
+            0,
+            1,
+            crate::regression::LinParams { slope: 1.0, intercept: 100.0 },
+            0.0,
+            0.0,
+        );
+        let discovery = Discovery {
+            groups: vec![CorrelationGroup { predictor: 0, models: vec![model.into()] }],
+            dims: 2,
+        };
+        let index = CoaxIndex::build_with_discovery(&ds, discovery, &CoaxConfig::default());
+        assert_eq!(index.primary_len(), 0);
+        assert_eq!(index.outlier_len(), 2000);
+        let queries = knn_rectangle_queries(&ds, 8, 30, 11);
+        assert_exact(&index, &ds, &queries);
+    }
+
+    #[test]
+    fn insert_routes_and_queries_see_pending() {
+        let ds = planted_dataset(5000, 12);
+        let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        let model = index.groups()[0].models[0].clone();
+        // An in-band row and a gross outlier.
+        let x = 500.0;
+        let in_band = vec![x, model.predict(x), 50.0];
+        let off_band = vec![x, model.predict(x) + 100.0 * model.margin_width(), 50.0];
+        let id1 = index.insert(&in_band).unwrap();
+        let id2 = index.insert(&off_band).unwrap();
+        assert_eq!(id1 as usize, ds.len());
+        assert_eq!(index.pending_len(), 2);
+        let hits = index.range_query(&RangeQuery::point(&in_band));
+        assert!(hits.contains(&id1));
+        let hits = index.range_query(&RangeQuery::point(&off_band));
+        assert!(hits.contains(&id2));
+    }
+
+    #[test]
+    fn insert_validation() {
+        let ds = planted_dataset(1000, 13);
+        let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        assert_eq!(
+            index.insert(&[1.0]),
+            Err(InsertError::WrongArity { expected: 3, got: 1 })
+        );
+        assert_eq!(index.insert(&[1.0, f64::NAN, 2.0]), Err(InsertError::NonFinite));
+    }
+
+    #[test]
+    fn rebuild_folds_pending_and_stays_exact() {
+        let ds = planted_dataset(5000, 14);
+        let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        let model = index.groups()[0].models[0].clone();
+        // Insert 200 new in-band rows and 20 outliers.
+        for i in 0..220 {
+            let x = (i as f64 * 4.3) % 1000.0;
+            let y = if i % 11 == 0 {
+                model.predict(x) + 50.0 * model.margin_width()
+            } else {
+                model.predict(x)
+            };
+            index.insert(&[x, y, 42.0]).unwrap();
+        }
+        let rebuilt = index.rebuild();
+        assert_eq!(rebuilt.pending_len(), 0);
+        assert_eq!(rebuilt.len(), ds.len() + 220);
+        // The rebuilt index answers exactly like a linear scan over the
+        // reconstructed data.
+        let all = rebuilt.to_dataset();
+        let queries = knn_rectangle_queries(&all, 10, 40, 15);
+        let fs = FullScan::build(&all);
+        for q in &queries {
+            let mut expected = fs.range_query(q);
+            let mut got = rebuilt.range_query(q);
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn rebuild_preserves_row_ids() {
+        let ds = planted_dataset(3000, 16);
+        let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        let q = RangeQuery::point(&ds.row(77));
+        let before = index.range_query(&q);
+        index.insert(&[1.0, 1.0, 1.0]).unwrap();
+        let rebuilt = index.rebuild();
+        let after = rebuilt.range_query(&q);
+        assert_eq!(before, after, "row ids must survive a rebuild");
+    }
+
+    #[test]
+    fn curved_dependency_uses_spline_and_stays_exact() {
+        // y = (x − 500)²/250 + N(0, 3): no single line passes the gates,
+        // so discovery must fall back to the spline family (§7.2/§9).
+        use coax_data::stats::sample_normal;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut zs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..1000.0);
+            xs.push(x);
+            ys.push((x - 500.0f64).powi(2) / 250.0 + sample_normal(&mut rng, 0.0, 3.0));
+            zs.push(rng.gen_range(0.0..100.0));
+        }
+        let ds = Dataset::new(vec![xs, ys, zs]);
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+
+        assert_eq!(index.groups().len(), 1, "groups: {:?}", index.groups());
+        let model = &index.groups()[0].models[0];
+        assert!(model.as_spline().is_some(), "curved FD needs a spline: {model:?}");
+        assert_eq!(index.discovery().dependent_dims(), vec![1]);
+
+        // Exactness on mixed workloads.
+        let mut queries = knn_rectangle_queries(&ds, 10, 50, 100);
+        let mut dep_only = RangeQuery::unbounded(3);
+        dep_only.constrain(1, 100.0, 160.0); // two disconnected x bands
+        queries.push(dep_only.clone());
+        assert_exact(&index, &ds, &queries);
+
+        // Translation bounds the predictor even through the curve.
+        let nav = index.translate_query(&dep_only);
+        assert!(nav.lo(0) > f64::NEG_INFINITY && nav.hi(0) < f64::INFINITY);
+        let mut out = Vec::new();
+        let stats = index.query_primary(&dep_only, &mut out);
+        assert!(
+            stats.rows_examined < index.primary_len(),
+            "spline translation must prune: {} of {}",
+            stats.rows_examined,
+            index.primary_len()
+        );
+
+        // Inserts still route through the spline's contains().
+        let mut index = index;
+        let on_curve = vec![300.0, (300.0f64 - 500.0).powi(2) / 250.0, 5.0];
+        let off_curve = vec![300.0, 1000.0, 5.0];
+        index.insert(&on_curve).unwrap();
+        index.insert(&off_curve).unwrap();
+        assert_eq!(index.pending_in_margins(), 1);
+        // Rebuild keeps the frozen spline and stays exact.
+        let rebuilt = index.rebuild();
+        assert!(rebuilt.groups()[0].models[0].as_spline().is_some());
+        assert!(rebuilt
+            .range_query(&RangeQuery::point(&on_curve))
+            .iter()
+            .any(|&id| id as usize >= n));
+    }
+
+    #[test]
+    fn memory_overhead_sums_parts() {
+        let ds = planted_dataset(4000, 17);
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        assert!(index.memory_overhead() >= index.primary_overhead() + index.outlier_overhead());
+        assert!(index.primary_overhead() > 0);
+    }
+
+    #[test]
+    fn rtree_outlier_backend_is_exact_and_pluggable() {
+        let ds = planted_dataset(10_000, 30);
+        let grid_cfg = CoaxConfig::default();
+        let rtree_cfg = CoaxConfig {
+            outlier_backend: OutlierBackend::RTree { capacity: 10 },
+            ..Default::default()
+        };
+        let with_grid = CoaxIndex::build(&ds, &grid_cfg);
+        let with_rtree = CoaxIndex::build(&ds, &rtree_cfg);
+        assert_eq!(with_grid.outlier_len(), with_rtree.outlier_len());
+
+        let mut queries = knn_rectangle_queries(&ds, 10, 60, 31);
+        queries.extend(point_queries(&ds, 10, 32));
+        for q in &queries {
+            let mut a = with_grid.range_query(q);
+            let mut b = with_rtree.range_query(q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "backends must agree on {q:?}");
+        }
+        assert_exact(&with_rtree, &ds, &queries);
+
+        // Rebuild works through the R-tree backend too (entry iteration).
+        let mut idx = with_rtree;
+        idx.insert(&[1.0, 27.0, 3.0]).unwrap();
+        let rebuilt = idx.rebuild();
+        assert_eq!(rebuilt.len(), ds.len() + 1);
+        assert!(rebuilt
+            .range_query(&RangeQuery::point(&[1.0, 27.0, 3.0]))
+            .iter()
+            .any(|&id| id as usize == ds.len()));
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let ds = Dataset::new(vec![vec![], vec![]]);
+        let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        assert!(index.is_empty());
+        assert!(index.range_query(&RangeQuery::unbounded(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an indexed attribute")]
+    fn sort_dim_must_be_indexed() {
+        let ds = planted_dataset(5000, 18);
+        // Discover first so we know dim 1 is dependent.
+        let cfg = CoaxConfig { sort_dim: Some(1), ..Default::default() };
+        CoaxIndex::build(&ds, &cfg);
+    }
+}

@@ -1,0 +1,574 @@
+//! Algorithm 1: learning a soft-FD model from a sample.
+//!
+//! The paper's pipeline (§5) keeps training cheap on big tables:
+//!
+//! 1. draw `sample_count` rows;
+//! 2. overlay a `bucket_chunks × bucket_chunks` grid on the sampled
+//!    `(C_x, C_d)` pairs and count each cell;
+//! 3. discard sparse cells (below `cell_threshold`) — this is what filters
+//!    the outliers out of the *training* set;
+//! 4. regress over the surviving cells' centres, weighted by count;
+//! 5. derive the tolerance margins from the sampled rows' residuals;
+//! 6. split all rows into primary/outlier partitions by the margins.
+//!
+//! The bucket grid also doubles as the trained structure the paper keeps
+//! for incremental updates; here that role is played by the
+//! [`BayesianLinReg`] accumulator each model carries.
+
+use crate::epsilon::EpsilonPolicy;
+use crate::model::{FdModel, SoftFdModel};
+use crate::regression::BayesianLinReg;
+use crate::spline::SplineFdModel;
+use coax_data::stats::sample_indices;
+use coax_data::{Dataset, RowId, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tuning knobs of Algorithm 1 (§5 discusses the accuracy/run-time
+/// trade-off of each).
+#[derive(Clone, Copy, Debug)]
+pub struct LearnConfig {
+    /// Rows sampled to train and evaluate a candidate model.
+    pub sample_count: usize,
+    /// Grid resolution per axis (the paper's `bucket_chunks`).
+    pub bucket_chunks: usize,
+    /// Hard floor on the per-cell count for a cell to contribute a
+    /// training centre (the paper's `threshold`).
+    pub cell_threshold: usize,
+    /// The effective threshold also scales with occupancy:
+    /// `max(cell_threshold, factor · sample_count / bucket_chunks²)`.
+    /// Uniformly spread outliers put ~`sample/k²` rows in *every* cell, so
+    /// a fixed threshold would let outlier cells into the training set on
+    /// outlier-heavy data (the OSM case); a factor ≥ 2 filters them while
+    /// dense on-band cells sail over it.
+    pub cell_threshold_factor: Value,
+    /// Robust refinement rounds after the centre fit: each round refits on
+    /// the sampled rows whose residual is within 4 robust sigmas of the
+    /// current line, removing the slope bias any surviving outlier cells
+    /// introduced. 0 disables.
+    pub refine_iterations: usize,
+    /// Margin policy applied to the sampled residuals.
+    pub epsilon: EpsilonPolicy,
+    /// Slope-prior precision of the Bayesian regression (0 = OLS).
+    pub prior_precision: Value,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        Self {
+            sample_count: 8192,
+            bucket_chunks: 32,
+            cell_threshold: 3,
+            cell_threshold_factor: 2.0,
+            refine_iterations: 1,
+            epsilon: EpsilonPolicy::default(),
+            prior_precision: 0.0,
+        }
+    }
+}
+
+impl LearnConfig {
+    /// The occupancy-scaled cell threshold actually applied.
+    pub fn effective_cell_threshold(&self) -> usize {
+        let density =
+            self.sample_count as Value / (self.bucket_chunks * self.bucket_chunks) as Value;
+        self.cell_threshold
+            .max((self.cell_threshold_factor * density).ceil() as usize)
+    }
+}
+
+/// The outcome of fitting one attribute pair — the evidence discovery
+/// uses to accept or reject the soft FD.
+#[derive(Clone, Debug)]
+pub struct PairFit {
+    /// Predictor column.
+    pub x_dim: usize,
+    /// Dependent column.
+    pub y_dim: usize,
+    /// The learned model with margins.
+    pub model: FdModel,
+    /// Fraction of sampled rows inside the margins (≈ the primary-index
+    /// ratio this dependency would yield).
+    pub support: Value,
+    /// R² of the fit: over dense-cell centres for linear models, over the
+    /// raw sample for splines.
+    pub r_squared: Value,
+    /// Margin width relative to the dependent attribute's sampled range —
+    /// Eq. 5 says effectiveness degrades as this grows.
+    pub relative_margin: Value,
+    /// The regression accumulator, kept for incremental updates
+    /// (linear models only).
+    pub regression: Option<BayesianLinReg>,
+}
+
+/// Fits a soft-FD model `x_dim → y_dim` per Algorithm 1.
+///
+/// Returns `None` when no useful model exists: empty data, a (nearly)
+/// constant attribute on either side, too few dense cells, or an
+/// undetermined regression. Quality gating beyond existence (support, R²)
+/// is the caller's job — see [`crate::discovery`].
+pub fn fit_pair(
+    dataset: &Dataset,
+    x_dim: usize,
+    y_dim: usize,
+    config: &LearnConfig,
+    seed: u64,
+) -> Option<PairFit> {
+    assert!(x_dim != y_dim, "a column cannot predict itself");
+    assert!(config.bucket_chunks > 0, "bucket_chunks must be positive");
+    if dataset.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample = sample_indices(&mut rng, dataset.len(), config.sample_count.max(2));
+    let xs: Vec<Value> = sample.iter().map(|&r| dataset.value(r as RowId, x_dim)).collect();
+    let ys: Vec<Value> = sample.iter().map(|&r| dataset.value(r as RowId, y_dim)).collect();
+
+    // --- Bucket grid over the sample (Algorithm 1's counting loop). ----
+    let (x_lo, x_hi) = min_max(&xs)?;
+    let (y_lo, y_hi) = min_max(&ys)?;
+    if x_hi <= x_lo || y_hi <= y_lo {
+        return None; // constant attribute: no usable linear dependency
+    }
+    let k = config.bucket_chunks;
+    let wx = (x_hi - x_lo) / k as Value;
+    let wy = (y_hi - y_lo) / k as Value;
+    let mut buckets = vec![0u32; k * k];
+    for (&x, &y) in xs.iter().zip(&ys) {
+        let i = (((x - x_lo) / wx) as usize).min(k - 1);
+        let j = (((y - y_lo) / wy) as usize).min(k - 1);
+        buckets[i * k + j] += 1;
+    }
+
+    // --- Weighted regression over dense-cell centres. ------------------
+    let threshold = config.effective_cell_threshold();
+    let mut reg = BayesianLinReg::new(config.prior_precision);
+    let mut dense_cells = 0usize;
+    for i in 0..k {
+        for j in 0..k {
+            let count = buckets[i * k + j];
+            if count as usize > threshold {
+                let cx = x_lo + (i as Value + 0.5) * wx;
+                let cy = y_lo + (j as Value + 0.5) * wy;
+                reg.observe_weighted(cx, cy, count as Value);
+                dense_cells += 1;
+            }
+        }
+    }
+    if dense_cells < 2 {
+        return None; // a single centre cannot pin down a line
+    }
+    let mut params = reg.params()?;
+    let mut r_squared = reg.r_squared()?;
+
+    // --- Robust refinement on the raw sample. ---------------------------
+    // The centre fit can carry a residual slope bias from outlier cells
+    // that survived the threshold; refitting on the rows inside the
+    // current inlier band removes it (the Monte-Carlo check of §5).
+    for _ in 0..config.refine_iterations {
+        let residuals: Vec<Value> =
+            xs.iter().zip(&ys).map(|(&x, &y)| y - params.predict(x)).collect();
+        let band = 4.0 * coax_data::stats::robust_std(&residuals).unwrap_or(0.0);
+        if band <= 0.0 {
+            break;
+        }
+        let mut refit = BayesianLinReg::new(config.prior_precision);
+        for ((&x, &y), &r) in xs.iter().zip(&ys).zip(&residuals) {
+            if r.abs() <= band {
+                refit.observe(x, y);
+            }
+        }
+        match (refit.params(), refit.r_squared()) {
+            (Some(p), Some(r2)) => {
+                params = p;
+                r_squared = r2;
+                reg = refit;
+            }
+            _ => break, // degenerate refit: keep the centre fit
+        }
+    }
+
+    // --- Margins from the sampled rows' residuals. ---------------------
+    let residuals: Vec<Value> =
+        xs.iter().zip(&ys).map(|(&x, &y)| y - params.predict(x)).collect();
+    let (eps_lb, eps_ub) = config.epsilon.compute(&residuals);
+    let model = SoftFdModel::new(x_dim, y_dim, params, eps_lb, eps_ub);
+
+    let inside = xs.iter().zip(&ys).filter(|&(&x, &y)| model.contains(x, y)).count();
+    let support = inside as Value / xs.len() as Value;
+    let relative_margin = model.margin_width() / (y_hi - y_lo);
+
+    Some(PairFit {
+        x_dim,
+        y_dim,
+        model: model.into(),
+        support,
+        r_squared,
+        relative_margin,
+        regression: Some(reg),
+    })
+}
+
+/// Fits a *spline* soft-FD model `x_dim → y_dim` (the §7.2/§9 extension
+/// for curved dependencies a single line cannot cover):
+///
+/// 1. sample rows, build the CSM centre sequence over `bucket_chunks`
+///    predictor intervals (Appendix B) — the centres trace the curve
+///    while averaging out both noise and sparse outliers;
+/// 2. estimate the local noise σ̂ as the robust std of sample residuals
+///    against the interpolated centre polyline, and set ε by the margin
+///    policy on those residuals;
+/// 3. fit a bounded-error spline ([`SplineFdModel::fit`]) through the
+///    centres with that ε;
+/// 4. score support / R² / relative margin on the raw sample, exactly as
+///    the linear path does, so discovery can gate both families alike.
+///
+/// Returns `None` when no spline is expressible (constant attributes,
+/// empty data, degenerate centres).
+pub fn fit_pair_spline(
+    dataset: &Dataset,
+    x_dim: usize,
+    y_dim: usize,
+    config: &LearnConfig,
+    seed: u64,
+) -> Option<PairFit> {
+    assert!(x_dim != y_dim, "a column cannot predict itself");
+    if dataset.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5911e);
+    let sample = sample_indices(&mut rng, dataset.len(), config.sample_count.max(2));
+    let xs: Vec<Value> = sample.iter().map(|&r| dataset.value(r as RowId, x_dim)).collect();
+    let ys: Vec<Value> = sample.iter().map(|&r| dataset.value(r as RowId, y_dim)).collect();
+    let (x_lo, x_hi) = min_max(&xs)?;
+    let (y_lo, y_hi) = min_max(&ys)?;
+    if x_hi <= x_lo || y_hi <= y_lo {
+        return None;
+    }
+
+    // --- CSM centres over the predictor axis. ---------------------------
+    let seq = crate::theory::csm::CsmSequence::build(&xs, &ys, config.bucket_chunks.max(2));
+    if seq.centres.len() < 2 {
+        return None;
+    }
+    // Centre x-positions: midpoints of the non-empty intervals. Rebuild
+    // them here to pair with the returned centres.
+    let k = config.bucket_chunks.max(2);
+    let width = (x_hi - x_lo) / k as Value;
+    let mut centre_x = Vec::with_capacity(seq.centres.len());
+    {
+        // Recompute occupancy to know which intervals were non-empty.
+        let mut counts = vec![0usize; k];
+        for &x in &xs {
+            let i = (((x - x_lo) / width) as usize).min(k - 1);
+            counts[i] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                centre_x.push(x_lo + (i as Value + 0.5) * width);
+            }
+        }
+    }
+    debug_assert_eq!(centre_x.len(), seq.centres.len());
+
+    // --- Noise estimate against the interpolated centre polyline. -------
+    let polyline = |x: Value| -> Value {
+        let idx = centre_x.partition_point(|&cx| cx <= x);
+        if idx == 0 {
+            seq.centres[0]
+        } else if idx >= centre_x.len() {
+            seq.centres[centre_x.len() - 1]
+        } else {
+            let (x0, x1) = (centre_x[idx - 1], centre_x[idx]);
+            let (c0, c1) = (seq.centres[idx - 1], seq.centres[idx]);
+            c0 + (c1 - c0) * (x - x0) / (x1 - x0)
+        }
+    };
+    let residuals: Vec<Value> =
+        xs.iter().zip(&ys).map(|(&x, &y)| y - polyline(x)).collect();
+    let (eps_lb, eps_ub) = config.epsilon.compute(&residuals);
+    let eps = 0.5 * (eps_lb + eps_ub);
+    if eps <= 0.0 {
+        return None;
+    }
+
+    // --- Spline through the centres. -------------------------------------
+    // Fit with a *tight* construction tolerance (≈1σ̂ of the noise) so the
+    // spline hugs the curve, then widen the queryable margin to the policy
+    // ε. Fitting directly with the full margin would let segments stray
+    // ε away from the curve, leaving no budget for the data's own noise.
+    let sigma_hat = coax_data::stats::robust_std(&residuals).unwrap_or(0.0);
+    let fit_eps = if sigma_hat > 0.0 { sigma_hat.min(eps) } else { eps };
+    let spline =
+        SplineFdModel::fit(x_dim, y_dim, &centre_x, &seq.centres, fit_eps)?.with_margin(eps);
+
+    // --- Score on the raw sample. -----------------------------------------
+    let inside = xs.iter().zip(&ys).filter(|&(&x, &y)| spline.contains(x, y)).count();
+    let support = inside as Value / xs.len() as Value;
+    let mean_y = coax_data::stats::mean(&ys);
+    let ss_tot: Value = ys.iter().map(|&y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: Value = xs
+        .iter()
+        .zip(&ys)
+        .map(|(&x, &y)| {
+            let r = y - spline.predict(x);
+            r * r
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) } else { 0.0 };
+    let relative_margin = 2.0 * eps / (y_hi - y_lo);
+
+    Some(PairFit {
+        x_dim,
+        y_dim,
+        model: spline.into(),
+        support,
+        r_squared,
+        relative_margin,
+        regression: None,
+    })
+}
+
+/// The final loop of Algorithm 1, generalised to several models: a row
+/// joins the primary partition iff **every** model's margins contain it;
+/// a single violated dependency sends it to the outlier index.
+///
+/// Returns `(primary_rows, outlier_rows)`; the two partition the dataset.
+pub fn split_rows(dataset: &Dataset, models: &[FdModel]) -> (Vec<RowId>, Vec<RowId>) {
+    let mut primary = Vec::with_capacity(dataset.len());
+    let mut outliers = Vec::new();
+    'rows: for r in dataset.row_ids() {
+        for m in models {
+            let x = dataset.value(r, m.predictor());
+            let y = dataset.value(r, m.dependent());
+            if !m.contains(x, y) {
+                outliers.push(r);
+                continue 'rows;
+            }
+        }
+        primary.push(r);
+    }
+    (primary, outliers)
+}
+
+fn min_max(xs: &[Value]) -> Option<(Value, Value)> {
+    let first = *xs.first()?;
+    Some(xs.iter().fold((first, first), |(lo, hi), &v| (lo.min(v), hi.max(v))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coax_data::synth::{Generator, LinearPairConfig, UniformConfig};
+
+    fn planted(outlier_fraction: f64, seed: u64) -> (Dataset, LinearPairConfig) {
+        let cfg = LinearPairConfig {
+            rows: 20_000,
+            slope: 2.0,
+            intercept: 50.0,
+            noise_sigma: 5.0,
+            outlier_fraction,
+            seed,
+            ..Default::default()
+        };
+        (cfg.generate(), cfg)
+    }
+
+    #[test]
+    fn recovers_planted_line() {
+        let (ds, cfg) = planted(0.05, 1);
+        let fit = fit_pair(&ds, 0, 1, &LearnConfig::default(), 7).expect("model exists");
+        let params = fit.model.as_linear().expect("linear path").params;
+        assert!(
+            (params.slope - cfg.slope).abs() < 0.05,
+            "slope {} vs planted {}",
+            params.slope,
+            cfg.slope
+        );
+        assert!(
+            (params.intercept - cfg.intercept).abs() < 15.0,
+            "intercept {} vs planted {}",
+            params.intercept,
+            cfg.intercept
+        );
+        assert!(fit.r_squared > 0.95, "r2 = {}", fit.r_squared);
+        // ~95 % of rows are inliers and the margin is a few sigma wide.
+        assert!(
+            (fit.support - 0.95).abs() < 0.03,
+            "support should track the inlier fraction, got {}",
+            fit.support
+        );
+    }
+
+    #[test]
+    fn linear_fit_keeps_its_posterior_for_updates() {
+        let (ds, _) = planted(0.02, 20);
+        let fit = fit_pair(&ds, 0, 1, &LearnConfig::default(), 21).unwrap();
+        assert!(fit.regression.is_some(), "linear fits carry an accumulator");
+    }
+
+    #[test]
+    fn margins_scale_with_planted_noise() {
+        let (ds_tight, _) = planted(0.0, 2);
+        let wide_cfg = LinearPairConfig {
+            rows: 20_000,
+            noise_sigma: 25.0,
+            outlier_fraction: 0.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let ds_wide = wide_cfg.generate();
+        let lc = LearnConfig::default();
+        let tight = fit_pair(&ds_tight, 0, 1, &lc, 1).unwrap();
+        let wide = fit_pair(&ds_wide, 0, 1, &lc, 1).unwrap();
+        let ratio = wide.model.margin_width() / tight.model.margin_width();
+        assert!(
+            (3.0..8.0).contains(&ratio),
+            "5x noise should widen margins ~5x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn uncorrelated_pair_has_low_quality() {
+        let ds = UniformConfig::cube(2, 20_000, 4).generate();
+        let fit = fit_pair(&ds, 0, 1, &LearnConfig::default(), 5);
+        // A fit may exist (a flat line through noise) but must score badly:
+        // either poor R² or a margin covering most of the value range.
+        if let Some(f) = fit {
+            assert!(
+                f.r_squared < 0.3 || f.relative_margin > 0.5,
+                "noise must not look like a dependency: r2={} rel_margin={}",
+                f.r_squared,
+                f.relative_margin
+            );
+        }
+    }
+
+    #[test]
+    fn constant_columns_yield_no_model() {
+        let ds = Dataset::new(vec![vec![1.0; 100], (0..100).map(|i| i as f64).collect()]);
+        assert!(fit_pair(&ds, 0, 1, &LearnConfig::default(), 6).is_none());
+        assert!(fit_pair(&ds, 1, 0, &LearnConfig::default(), 6).is_none());
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_model() {
+        let ds = Dataset::new(vec![vec![], vec![]]);
+        assert!(fit_pair(&ds, 0, 1, &LearnConfig::default(), 7).is_none());
+    }
+
+    #[test]
+    fn split_rows_partitions_exactly() {
+        let (ds, _) = planted(0.1, 8);
+        let fit = fit_pair(&ds, 0, 1, &LearnConfig::default(), 9).unwrap();
+        let (primary, outliers) = split_rows(&ds, std::slice::from_ref(&fit.model));
+        assert_eq!(primary.len() + outliers.len(), ds.len());
+        // Partition respects the membership predicate.
+        for &r in primary.iter().take(500) {
+            assert!(fit.model.contains(ds.value(r, 0), ds.value(r, 1)));
+        }
+        for &r in outliers.iter().take(500) {
+            assert!(!fit.model.contains(ds.value(r, 0), ds.value(r, 1)));
+        }
+        // ~10 % planted outliers.
+        let ratio = primary.len() as f64 / ds.len() as f64;
+        assert!((ratio - 0.9).abs() < 0.04, "primary ratio {ratio}");
+    }
+
+    #[test]
+    fn split_rows_with_no_models_keeps_everything_primary() {
+        let ds = UniformConfig::cube(2, 50, 10).generate();
+        let (primary, outliers) = split_rows(&ds, &[]);
+        assert_eq!(primary.len(), 50);
+        assert!(outliers.is_empty());
+    }
+
+    #[test]
+    fn sample_smaller_than_dataset_is_used() {
+        let (ds, cfg) = planted(0.05, 11);
+        let lc = LearnConfig { sample_count: 512, ..Default::default() };
+        let fit = fit_pair(&ds, 0, 1, &lc, 12).unwrap();
+        let slope = fit.model.as_linear().unwrap().params.slope;
+        assert!((slope - cfg.slope).abs() < 0.2);
+    }
+
+    #[test]
+    fn spline_fit_covers_a_curved_dependency() {
+        // y = (x − 500)² / 250 + N(0, 3): a parabola a single line cannot
+        // model with useful margins (its best linear fit has slope ~0).
+        use coax_data::stats::sample_normal;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 20_000;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..1000.0);
+            xs.push(x);
+            ys.push((x - 500.0).powi(2) / 250.0 + sample_normal(&mut rng, 0.0, 3.0));
+        }
+        let ds = Dataset::new(vec![xs, ys]);
+        let lc = LearnConfig::default();
+
+        // Linear path: terrible fit quality.
+        if let Some(linear) = fit_pair(&ds, 0, 1, &lc, 5) {
+            assert!(
+                linear.r_squared < 0.3 || linear.relative_margin > 0.35,
+                "a line must not pass the gates on a parabola: r2={} margin={}",
+                linear.r_squared,
+                linear.relative_margin
+            );
+        }
+
+        // Spline path: tight fit.
+        let spline = fit_pair_spline(&ds, 0, 1, &lc, 5).expect("spline fits a parabola");
+        assert!(spline.r_squared > 0.95, "r2 = {}", spline.r_squared);
+        assert!(spline.support > 0.95, "support = {}", spline.support);
+        assert!(
+            spline.relative_margin < 0.15,
+            "relative margin = {}",
+            spline.relative_margin
+        );
+        let model = spline.model.as_spline().unwrap();
+        assert!(model.n_segments() >= 3, "a parabola needs several pieces");
+        // Predictions track the curve.
+        for x in [100.0, 400.0, 500.0, 750.0, 900.0] {
+            let truth = (x - 500.0f64).powi(2) / 250.0;
+            assert!(
+                (model.predict(x) - truth).abs() < 4.0 * model.eps,
+                "prediction at {x}: {} vs {truth}",
+                model.predict(x)
+            );
+        }
+    }
+
+    #[test]
+    fn spline_fit_rejects_pure_noise_by_score() {
+        let ds = UniformConfig::cube(2, 20_000, 77).generate();
+        if let Some(fit) = fit_pair_spline(&ds, 0, 1, &LearnConfig::default(), 8) {
+            assert!(
+                fit.r_squared < 0.3 || fit.relative_margin > 0.35,
+                "noise must not pass spline gates: r2={} margin={}",
+                fit.r_squared,
+                fit.relative_margin
+            );
+        }
+    }
+
+    #[test]
+    fn spline_fit_degenerate_inputs() {
+        let constant = Dataset::new(vec![vec![1.0; 50], (0..50).map(|i| i as f64).collect()]);
+        assert!(fit_pair_spline(&constant, 0, 1, &LearnConfig::default(), 9).is_none());
+        let empty = Dataset::new(vec![vec![], vec![]]);
+        assert!(fit_pair_spline(&empty, 0, 1, &LearnConfig::default(), 9).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (ds, _) = planted(0.05, 13);
+        let a = fit_pair(&ds, 0, 1, &LearnConfig::default(), 14).unwrap();
+        let b = fit_pair(&ds, 0, 1, &LearnConfig::default(), 14).unwrap();
+        assert_eq!(a.model, b.model);
+    }
+}

@@ -1,0 +1,43 @@
+//! COAX — the paper's contribution: correlation-aware indexing with soft
+//! functional dependencies.
+//!
+//! The pipeline, bottom to top:
+//!
+//! 1. [`regression`] — ordinary and Bayesian (conjugate, incrementally
+//!    updatable) linear regression over streamed observations.
+//! 2. [`learn`] — Algorithm 1: sample the data, overlay a 2-D bucket grid,
+//!    keep dense cells, fit a line to the weighted cell centres, derive the
+//!    tolerance margins, and split rows into primary/outlier partitions.
+//! 3. [`discovery`] — §5: scan attribute pairs for soft FDs, merge
+//!    correlated pairs into groups (union–find), elect one predictor per
+//!    group.
+//! 4. [`model`] / [`spline`] — the learned dependency ψ̂ with margins
+//!    (ε_LB, ε_UB): a single line (§4) or a bounded-error linear spline
+//!    (§7.2 extension).
+//! 5. [`translate`] — Eq. 2: rewrite constraints on dependent attributes
+//!    into constraints on their predictors, intersected with the direct
+//!    constraints.
+//! 6. [`index`] — [`CoaxIndex`]: a reduced-dimensionality grid-file
+//!    primary index plus a full-dimensional outlier index, with exact
+//!    merged results and an insert path.
+//! 7. [`theory`] — §7 + appendices: effectiveness (Eq. 5), the
+//!    Centre-Sequence Model, and Monte-Carlo validation of Theorems
+//!    7.1–7.4.
+
+pub mod discovery;
+pub mod epsilon;
+pub mod index;
+pub mod learn;
+pub mod model;
+pub mod regression;
+pub mod spline;
+pub mod theory;
+pub mod translate;
+
+pub use discovery::{CorrelationGroup, Discovery, DiscoveryConfig};
+pub use epsilon::EpsilonPolicy;
+pub use index::{CoaxConfig, CoaxIndex, CoaxQueryStats, InsertError, OutlierBackend};
+pub use learn::{LearnConfig, PairFit};
+pub use model::{FdModel, SoftFdModel};
+pub use regression::{ols, BayesianLinReg, LinParams};
+pub use spline::SplineFdModel;

@@ -1,0 +1,379 @@
+//! Learned soft-FD models: a line (or spline) with tolerance margins.
+//!
+//! Paper Eq. 1: every primary-partition point `(p_x, p_d)` satisfies
+//! `p_d ∈ [ψ̂(p_x) − ε_LB, ψ̂(p_x) + ε_UB]`. The margins are what make the
+//! model *sound*: a constraint on the dependent attribute can be mapped to
+//! a predictor range that provably contains every primary row matching it.
+//!
+//! [`SoftFdModel`] is the paper's main (linear) model; [`FdModel`] is the
+//! closed set of model families COAX can carry — linear plus the
+//! linear-spline extension of §7.2/§9 ([`crate::spline::SplineFdModel`]).
+
+use crate::regression::LinParams;
+use crate::spline::SplineFdModel;
+use coax_data::Value;
+
+/// A linear soft functional dependency `C_x → C_d` with margins.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoftFdModel {
+    /// Column index of the predictor attribute `C_x`.
+    pub predictor: usize,
+    /// Column index of the dependent attribute `C_d`.
+    pub dependent: usize,
+    /// The fitted line ψ̂.
+    pub params: LinParams,
+    /// Lower margin ε_LB ≥ 0 (how far below the line primary rows may sit).
+    pub eps_lb: Value,
+    /// Upper margin ε_UB ≥ 0.
+    pub eps_ub: Value,
+}
+
+impl SoftFdModel {
+    /// Creates a model, validating margins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either margin is negative or non-finite.
+    pub fn new(
+        predictor: usize,
+        dependent: usize,
+        params: LinParams,
+        eps_lb: Value,
+        eps_ub: Value,
+    ) -> Self {
+        assert!(
+            eps_lb >= 0.0 && eps_ub >= 0.0 && eps_lb.is_finite() && eps_ub.is_finite(),
+            "margins must be finite and non-negative"
+        );
+        Self { predictor, dependent, params, eps_lb, eps_ub }
+    }
+
+    /// ψ̂(x).
+    #[inline]
+    pub fn predict(&self, x: Value) -> Value {
+        self.params.predict(x)
+    }
+
+    /// Signed displacement of `(x, y)` from the line (Algorithm 1's
+    /// `displacements` array).
+    #[inline]
+    pub fn displacement(&self, x: Value, y: Value) -> Value {
+        y - self.predict(x)
+    }
+
+    /// Whether `(x, y)` lies within the margins — the primary/outlier
+    /// split predicate of Algorithm 1.
+    #[inline]
+    pub fn contains(&self, x: Value, y: Value) -> bool {
+        let d = self.displacement(x, y);
+        -self.eps_lb <= d && d <= self.eps_ub
+    }
+
+    /// Total margin width `ε_LB + ε_UB` (the `2ε` of the symmetric
+    /// analysis in §7).
+    pub fn margin_width(&self) -> Value {
+        self.eps_lb + self.eps_ub
+    }
+
+    /// Maps a constraint `y ∈ [y_lo, y_hi]` on the dependent attribute to
+    /// the tightest predictor range `[x_lo, x_hi]` that contains **every**
+    /// primary-partition row satisfying it (the inferred constraint of
+    /// Eq. 2, before intersection with the direct constraint).
+    ///
+    /// Derivation for slope `m > 0`: a primary row has
+    /// `m·x + b − ε_LB ≤ y ≤ m·x + b + ε_UB`, so `y ≤ y_hi` implies
+    /// `x ≤ (y_hi − b + ε_LB)/m` and `y ≥ y_lo` implies
+    /// `x ≥ (y_lo − b − ε_UB)/m`. Slope `m < 0` mirrors the bounds. A
+    /// (near-)zero slope carries no information about `x`, so the range is
+    /// unbounded — translation then simply does not tighten anything.
+    ///
+    /// Infinite inputs are handled: an unconstrained side stays
+    /// unconstrained.
+    pub fn invert_range(&self, y_lo: Value, y_hi: Value) -> (Value, Value) {
+        let m = self.params.slope;
+        let b = self.params.intercept;
+        if m == 0.0 || !m.is_normal() {
+            return (f64::NEG_INFINITY, f64::INFINITY);
+        }
+        let from_hi = if y_hi == f64::INFINITY {
+            f64::INFINITY * m.signum()
+        } else {
+            (y_hi - b + self.eps_lb) / m
+        };
+        let from_lo = if y_lo == f64::NEG_INFINITY {
+            f64::NEG_INFINITY * m.signum()
+        } else {
+            (y_lo - b - self.eps_ub) / m
+        };
+        if m > 0.0 {
+            (from_lo, from_hi)
+        } else {
+            (from_hi, from_lo)
+        }
+    }
+
+    /// The dependent-attribute band `[ψ̂(x) − ε_LB, ψ̂(x) + ε_UB]` at `x`
+    /// (the B-box cross-section of Fig. 5).
+    pub fn band(&self, x: Value) -> (Value, Value) {
+        let c = self.predict(x);
+        (c - self.eps_lb, c + self.eps_ub)
+    }
+}
+
+/// Any dependency model COAX can attach to a correlation group.
+///
+/// The enum (rather than a trait object) keeps models `Clone`,
+/// pattern-matchable, and allocation-free on the hot path; the paper only
+/// ever considers these two families (§7.2: "one can use more complicated
+/// non-linear methods … we specifically consider linear splines").
+#[derive(Clone, Debug, PartialEq)]
+pub enum FdModel {
+    /// A single line with asymmetric margins (the paper's main model).
+    Linear(SoftFdModel),
+    /// A bounded-error linear spline (§7.2/§9 extension) for curved
+    /// dependencies a single line cannot cover with useful margins.
+    Spline(SplineFdModel),
+}
+
+impl From<SoftFdModel> for FdModel {
+    fn from(m: SoftFdModel) -> Self {
+        FdModel::Linear(m)
+    }
+}
+
+impl From<SplineFdModel> for FdModel {
+    fn from(m: SplineFdModel) -> Self {
+        FdModel::Spline(m)
+    }
+}
+
+impl FdModel {
+    /// Column index of the predictor attribute.
+    pub fn predictor(&self) -> usize {
+        match self {
+            FdModel::Linear(m) => m.predictor,
+            FdModel::Spline(m) => m.predictor,
+        }
+    }
+
+    /// Column index of the dependent attribute.
+    pub fn dependent(&self) -> usize {
+        match self {
+            FdModel::Linear(m) => m.dependent,
+            FdModel::Spline(m) => m.dependent,
+        }
+    }
+
+    /// ψ̂(x).
+    pub fn predict(&self, x: Value) -> Value {
+        match self {
+            FdModel::Linear(m) => m.predict(x),
+            FdModel::Spline(m) => m.predict(x),
+        }
+    }
+
+    /// Whether `(x, y)` lies inside the margins (the primary/outlier split
+    /// predicate).
+    pub fn contains(&self, x: Value, y: Value) -> bool {
+        match self {
+            FdModel::Linear(m) => m.contains(x, y),
+            FdModel::Spline(m) => m.contains(x, y),
+        }
+    }
+
+    /// Total margin width (`ε_LB + ε_UB`; `2ε` for splines).
+    pub fn margin_width(&self) -> Value {
+        match self {
+            FdModel::Linear(m) => m.margin_width(),
+            FdModel::Spline(m) => 2.0 * m.eps,
+        }
+    }
+
+    /// Maps a dependent-attribute constraint to the predictor range
+    /// containing every in-margin row satisfying it (Eq. 2's inferred
+    /// constraint). May return an inverted (empty) interval when nothing
+    /// can match.
+    pub fn invert_range(&self, y_lo: Value, y_hi: Value) -> (Value, Value) {
+        match self {
+            FdModel::Linear(m) => m.invert_range(y_lo, y_hi),
+            FdModel::Spline(m) => m.invert_range(y_lo, y_hi),
+        }
+    }
+
+    /// The disjoint union of predictor intervals whose margin bands can
+    /// intersect `y ∈ [y_lo, y_hi]`, ascending and merged. Linear models
+    /// contribute at most one interval; splines may contribute several
+    /// (non-monotone dependencies). An empty vector means no in-margin
+    /// row can match.
+    pub fn invert_ranges(&self, y_lo: Value, y_hi: Value) -> Vec<(Value, Value)> {
+        match self {
+            FdModel::Linear(m) => {
+                let (lo, hi) = m.invert_range(y_lo, y_hi);
+                if lo <= hi {
+                    vec![(lo, hi)]
+                } else {
+                    Vec::new()
+                }
+            }
+            FdModel::Spline(m) => m.invert_ranges(y_lo, y_hi),
+        }
+    }
+
+    /// The linear model, if this is one.
+    pub fn as_linear(&self) -> Option<&SoftFdModel> {
+        match self {
+            FdModel::Linear(m) => Some(m),
+            FdModel::Spline(_) => None,
+        }
+    }
+
+    /// The spline model, if this is one.
+    pub fn as_spline(&self) -> Option<&SplineFdModel> {
+        match self {
+            FdModel::Linear(_) => None,
+            FdModel::Spline(m) => Some(m),
+        }
+    }
+
+    /// Approximate heap + inline bytes this model occupies (memory
+    /// accounting for Fig. 8).
+    pub fn model_bytes(&self) -> usize {
+        match self {
+            FdModel::Linear(_) => std::mem::size_of::<SoftFdModel>(),
+            FdModel::Spline(m) => {
+                std::mem::size_of::<SplineFdModel>()
+                    + std::mem::size_of_val(m.segments())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(slope: f64, intercept: f64, lb: f64, ub: f64) -> SoftFdModel {
+        SoftFdModel::new(0, 1, LinParams { slope, intercept }, lb, ub)
+    }
+
+    #[test]
+    fn contains_respects_asymmetric_margins() {
+        let m = model(2.0, 1.0, 0.5, 2.0);
+        // line at x=3 → 7; band = [6.5, 9.0]
+        assert!(m.contains(3.0, 6.5));
+        assert!(m.contains(3.0, 9.0));
+        assert!(!m.contains(3.0, 6.49));
+        assert!(!m.contains(3.0, 9.01));
+        assert_eq!(m.band(3.0), (6.5, 9.0));
+        assert_eq!(m.margin_width(), 2.5);
+    }
+
+    #[test]
+    fn displacement_is_signed() {
+        let m = model(1.0, 0.0, 1.0, 1.0);
+        assert_eq!(m.displacement(2.0, 5.0), 3.0);
+        assert_eq!(m.displacement(2.0, -1.0), -3.0);
+    }
+
+    #[test]
+    fn invert_range_positive_slope_is_sound_and_tight() {
+        let m = model(2.0, 10.0, 1.0, 3.0);
+        let (x_lo, x_hi) = m.invert_range(20.0, 30.0);
+        // y ≥ 20 ⇒ x ≥ (20 − 10 − 3)/2 = 3.5 ; y ≤ 30 ⇒ x ≤ (30 − 10 + 1)/2 = 10.5
+        assert!((x_lo - 3.5).abs() < 1e-12);
+        assert!((x_hi - 10.5).abs() < 1e-12);
+        // Soundness: any in-band point with y in range has x in range.
+        for xi in 0..200 {
+            let x = xi as f64 * 0.1;
+            let (b_lo, b_hi) = m.band(x);
+            for yi in 0..30 {
+                let y = b_lo + (b_hi - b_lo) * yi as f64 / 29.0;
+                if (20.0..=30.0).contains(&y) {
+                    assert!(
+                        (x_lo..=x_hi).contains(&x),
+                        "in-band row (x={x}, y={y}) escaped the inverted range"
+                    );
+                }
+            }
+        }
+        // Tightness: the extreme corners are achieved.
+        assert!(m.contains(3.5, 20.0), "lower corner is in-band");
+        assert!(m.contains(10.5, 30.0), "upper corner is in-band");
+    }
+
+    #[test]
+    fn invert_range_negative_slope_flips_bounds() {
+        let m = model(-2.0, 10.0, 1.0, 1.0);
+        let (x_lo, x_hi) = m.invert_range(0.0, 4.0);
+        // y ≤ 4 ⇒ −2x + 10 − 1 ≤ 4 ⇒ x ≥ (4 − 10 + 1)/(−2) = 2.5
+        // y ≥ 0 ⇒ −2x + 10 + 1 ≥ 0 ⇒ x ≤ (0 − 10 − 1)/(−2) = 5.5
+        assert!((x_lo - 2.5).abs() < 1e-12);
+        assert!((x_hi - 5.5).abs() < 1e-12);
+        assert!(x_lo < x_hi);
+    }
+
+    #[test]
+    fn invert_range_zero_slope_is_uninformative() {
+        let m = model(0.0, 5.0, 1.0, 1.0);
+        assert_eq!(m.invert_range(0.0, 1.0), (f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn invert_range_handles_open_ends() {
+        let m = model(2.0, 0.0, 1.0, 1.0);
+        let (lo, hi) = m.invert_range(f64::NEG_INFINITY, 10.0);
+        assert_eq!(lo, f64::NEG_INFINITY);
+        assert!((hi - 5.5).abs() < 1e-12);
+        let (lo, hi) = m.invert_range(4.0, f64::INFINITY);
+        assert!((lo - 1.5).abs() < 1e-12);
+        assert_eq!(hi, f64::INFINITY);
+        // Negative slope with open ends keeps orientation correct.
+        let neg = model(-1.0, 0.0, 0.0, 0.0);
+        let (lo, hi) = neg.invert_range(f64::NEG_INFINITY, 0.0);
+        assert_eq!((lo, hi), (0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn inverted_empty_y_range_gives_empty_x_range() {
+        let m = model(1.0, 0.0, 0.0, 0.0);
+        let (lo, hi) = m.invert_range(10.0, 5.0);
+        assert!(lo > hi, "empty dependent range must invert to an empty predictor range");
+    }
+
+    #[test]
+    #[should_panic(expected = "margins must be finite")]
+    fn negative_margin_rejected() {
+        model(1.0, 0.0, -0.1, 1.0);
+    }
+
+    #[test]
+    fn fd_model_delegates_to_linear() {
+        let inner = model(2.0, 1.0, 0.5, 2.0);
+        let fd: FdModel = inner.into();
+        assert_eq!(fd.predictor(), 0);
+        assert_eq!(fd.dependent(), 1);
+        assert_eq!(fd.predict(3.0), inner.predict(3.0));
+        assert_eq!(fd.contains(3.0, 7.0), inner.contains(3.0, 7.0));
+        assert_eq!(fd.margin_width(), 2.5);
+        assert_eq!(fd.invert_range(0.0, 10.0), inner.invert_range(0.0, 10.0));
+        assert!(fd.as_linear().is_some());
+        assert!(fd.as_spline().is_none());
+        assert!(fd.model_bytes() > 0);
+    }
+
+    #[test]
+    fn fd_model_delegates_to_spline() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x - 25.0).abs()).collect();
+        let spline = SplineFdModel::fit(2, 3, &xs, &ys, 0.5).unwrap();
+        let fd: FdModel = spline.clone().into();
+        assert_eq!(fd.predictor(), 2);
+        assert_eq!(fd.dependent(), 3);
+        assert_eq!(fd.predict(10.0), spline.predict(10.0));
+        assert_eq!(fd.margin_width(), 1.0);
+        assert!(fd.contains(10.0, 15.2));
+        assert!(!fd.contains(10.0, 17.0));
+        assert!(fd.as_spline().is_some());
+        assert!(fd.model_bytes() > std::mem::size_of::<SplineFdModel>());
+    }
+}

@@ -1,0 +1,421 @@
+//! Linear-spline soft-FD models (§7.2 extension / §9 future work).
+//!
+//! A single line cannot model a curved dependency without blowing up its
+//! margins (and Eq. 5 says wide margins destroy effectiveness). The paper
+//! points at linear splines — "recently shown to be very effective in
+//! learned indexes" — and Theorem 7.4 predicts how many segments a stream
+//! needs: `s(n) → n·σ²/ε²`.
+//!
+//! [`SplineFdModel::fit`] uses greedy anchored bounded-error segmentation:
+//! each segment is anchored at its first point and maintains the interval
+//! of slopes that keep *every* covered point within ±ε of the segment
+//! line; when the interval empties, a new segment starts. This is the
+//! one-pass shrinking-cone construction (a simplification of the optimal
+//! O'Rourke/PGM algorithm: anchoring costs up to half the optimal segment
+//! length but keeps the same ±ε guarantee and the same `σ²/ε²` scaling,
+//! which is all Theorem 7.4 needs).
+
+use crate::regression::LinParams;
+use coax_data::Value;
+
+/// One spline piece, valid from `x_start` to the next piece's `x_start`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Left edge of the piece's domain.
+    pub x_start: Value,
+    /// The line used inside the piece.
+    pub params: LinParams,
+}
+
+/// A piecewise-linear soft-FD model `C_x → C_d` with a uniform ±ε bound
+/// on every training point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SplineFdModel {
+    /// Column index of the predictor attribute.
+    pub predictor: usize,
+    /// Column index of the dependent attribute.
+    pub dependent: usize,
+    /// Symmetric error bound the fit guarantees on its training points.
+    pub eps: Value,
+    segments: Vec<Segment>,
+}
+
+impl SplineFdModel {
+    /// Fits a bounded-error spline to `(x, y)` pairs.
+    ///
+    /// Points need not be sorted (they are sorted internally by `x`).
+    /// Returns `None` for empty input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative/non-finite or slice lengths differ.
+    pub fn fit(
+        predictor: usize,
+        dependent: usize,
+        xs: &[Value],
+        ys: &[Value],
+        eps: Value,
+    ) -> Option<Self> {
+        assert_eq!(xs.len(), ys.len(), "spline fit requires equal lengths");
+        assert!(eps >= 0.0 && eps.is_finite(), "eps must be finite and non-negative");
+        if xs.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            xs[a].partial_cmp(&xs[b]).expect("finite values")
+        });
+
+        let mut segments = Vec::new();
+        let (mut ax, mut ay) = (xs[order[0]], ys[order[0]]);
+        let (mut slope_lo, mut slope_hi) = (f64::NEG_INFINITY, f64::INFINITY);
+        let mut have_slope = false;
+
+        let close = |segments: &mut Vec<Segment>,
+                     ax: Value,
+                     ay: Value,
+                     lo: Value,
+                     hi: Value,
+                     have: bool| {
+            let slope = if !have {
+                // Single-point segment: continue the neighbouring slope
+                // (falling back to flat for a lone first segment) so that
+                // extrapolation past the domain edge tracks the local
+                // trend instead of going flat.
+                segments.last().map_or(0.0, |s| s.params.slope)
+            } else if lo == f64::NEG_INFINITY {
+                hi
+            } else if hi == f64::INFINITY {
+                lo
+            } else {
+                0.5 * (lo + hi)
+            };
+            segments.push(Segment {
+                x_start: ax,
+                params: LinParams { slope, intercept: ay - slope * ax },
+            });
+        };
+
+        for &i in order.iter().skip(1) {
+            let (x, y) = (xs[i], ys[i]);
+            if x == ax {
+                // Duplicate predictor value: the anchor line passes within
+                // ε of it or it forces a break (a vertical cluster wider
+                // than 2ε can never satisfy the bound; we keep the anchor
+                // and let the violating duplicate start a fresh segment —
+                // the guarantee below is on *covered* points).
+                if (y - ay).abs() <= eps {
+                    continue;
+                }
+                close(&mut segments, ax, ay, slope_lo, slope_hi, have_slope);
+                (ax, ay) = (x, y);
+                (slope_lo, slope_hi) = (f64::NEG_INFINITY, f64::INFINITY);
+                have_slope = false;
+                continue;
+            }
+            let dx = x - ax;
+            let lo = (y - eps - ay) / dx;
+            let hi = (y + eps - ay) / dx;
+            let new_lo = slope_lo.max(lo);
+            let new_hi = slope_hi.min(hi);
+            if new_lo > new_hi {
+                close(&mut segments, ax, ay, slope_lo, slope_hi, have_slope);
+                (ax, ay) = (x, y);
+                (slope_lo, slope_hi) = (f64::NEG_INFINITY, f64::INFINITY);
+                have_slope = false;
+            } else {
+                (slope_lo, slope_hi) = (new_lo, new_hi);
+                have_slope = true;
+            }
+        }
+        close(&mut segments, ax, ay, slope_lo, slope_hi, have_slope);
+
+        Some(Self { predictor, dependent, eps, segments })
+    }
+
+    /// Replaces the margin ε while keeping the fitted shape.
+    ///
+    /// Useful to *fit* tightly (small construction ε, so the spline hugs
+    /// the curve) and then *query* with a wider tolerance band that also
+    /// absorbs the data's noise — the spline analogue of drawing the
+    /// Fig. 3 margins around a fitted model. The training-point guarantee
+    /// (`max_error ≤ old ε`) continues to hold whenever the new margin is
+    /// at least the construction ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative or non-finite.
+    pub fn with_margin(mut self, eps: Value) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "eps must be finite and non-negative");
+        self.eps = eps;
+        self
+    }
+
+    /// Number of spline pieces (the quantity of Theorem 7.4).
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The pieces, ascending by `x_start`.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// ψ̂(x): evaluates the piece whose domain contains `x` (clamping to
+    /// the first piece below the spline's domain).
+    pub fn predict(&self, x: Value) -> Value {
+        let idx = self.segments.partition_point(|s| s.x_start <= x);
+        let seg = &self.segments[idx.saturating_sub(1)];
+        seg.params.predict(x)
+    }
+
+    /// Whether `(x, y)` lies within ±ε of the spline.
+    pub fn contains(&self, x: Value, y: Value) -> bool {
+        (y - self.predict(x)).abs() <= self.eps
+    }
+
+    /// Maximum absolute error over a point set (test/verification helper).
+    pub fn max_error(&self, xs: &[Value], ys: &[Value]) -> Value {
+        xs.iter()
+            .zip(ys)
+            .map(|(&x, &y)| (y - self.predict(x)).abs())
+            .fold(0.0, Value::max)
+    }
+
+    /// Maps `y ∈ [y_lo, y_hi]` to a single predictor interval containing
+    /// every `x` whose band `[ψ̂(x) − ε, ψ̂(x) + ε]` intersects it — the
+    /// spline analogue of [`crate::model::SoftFdModel::invert_range`]. The
+    /// union over pieces may be disconnected; its bounding interval is
+    /// returned (a sound superset). [`SplineFdModel::invert_ranges`]
+    /// returns the exact disjoint union instead.
+    pub fn invert_range(&self, y_lo: Value, y_hi: Value) -> (Value, Value) {
+        let ranges = self.invert_ranges(y_lo, y_hi);
+        match (ranges.first(), ranges.last()) {
+            (Some(first), Some(last)) => (first.0, last.1),
+            _ => (1.0, -1.0), // canonical empty interval
+        }
+    }
+
+    /// Maps `y ∈ [y_lo, y_hi]` to the **disjoint union** of predictor
+    /// intervals whose bands can intersect it, sorted ascending and with
+    /// overlapping/touching pieces merged. A non-monotone dependency (the
+    /// two branches of a parabola) yields several intervals; navigating
+    /// each separately avoids scanning the dead region in between.
+    pub fn invert_ranges(&self, y_lo: Value, y_hi: Value) -> Vec<(Value, Value)> {
+        let mut pieces: Vec<(Value, Value)> = Vec::new();
+        for (i, seg) in self.segments.iter().enumerate() {
+            // Piece domain: [x_start, next x_start) — unbounded for edges.
+            let dom_lo = if i == 0 { f64::NEG_INFINITY } else { seg.x_start };
+            let dom_hi = self
+                .segments
+                .get(i + 1)
+                .map_or(f64::INFINITY, |next| next.x_start);
+            let m = seg.params.slope;
+            let b = seg.params.intercept;
+            let (mut x_lo, mut x_hi) = if m == 0.0 || !m.is_normal() {
+                // Flat piece: informative only through its own band.
+                let band_lo = b - self.eps;
+                let band_hi = b + self.eps;
+                if band_hi < y_lo || band_lo > y_hi {
+                    continue;
+                }
+                (dom_lo, dom_hi)
+            } else {
+                let a = (y_lo - self.eps - b) / m;
+                let c = (y_hi + self.eps - b) / m;
+                (a.min(c), a.max(c))
+            };
+            x_lo = x_lo.max(dom_lo);
+            x_hi = x_hi.min(dom_hi);
+            if x_lo <= x_hi {
+                pieces.push((x_lo, x_hi));
+            }
+        }
+        pieces.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bounds"));
+        // Merge overlapping or touching neighbours (adjacent segment
+        // domains share their boundary point).
+        let mut merged: Vec<(Value, Value)> = Vec::with_capacity(pieces.len());
+        for (lo, hi) in pieces {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coax_data::stats::sample_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_line_data_needs_one_segment() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 5.0).collect();
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, 1.0).unwrap();
+        assert_eq!(spline.n_segments(), 1);
+        assert!(spline.max_error(&xs, &ys) <= 1.0 + 1e-9);
+        assert!((spline.predict(250.0) - 505.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn v_shape_needs_two_segments() {
+        // y = |x − 50| · 3 : one knee.
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x - 50.0).abs() * 3.0).collect();
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, 0.5).unwrap();
+        assert_eq!(spline.n_segments(), 2, "segments: {:?}", spline.segments());
+        assert!(spline.max_error(&xs, &ys) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn error_bound_holds_on_noisy_curve() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..3000).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x * 0.05).sin() * 100.0 + sample_normal(&mut rng, 0.0, 0.5))
+            .collect();
+        let eps = 3.0;
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, eps).unwrap();
+        assert!(
+            spline.max_error(&xs, &ys) <= eps + 1e-9,
+            "max err {}",
+            spline.max_error(&xs, &ys)
+        );
+        assert!(spline.n_segments() > 3, "a sine needs several pieces");
+        // Every training point is contained by construction.
+        for (&x, &y) in xs.iter().zip(&ys).step_by(37) {
+            assert!(spline.contains(x, y));
+        }
+    }
+
+    #[test]
+    fn tighter_eps_needs_more_segments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..4000).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x + sample_normal(&mut rng, 0.0, 2.0))
+            .collect();
+        let coarse = SplineFdModel::fit(0, 1, &xs, &ys, 20.0).unwrap();
+        let fine = SplineFdModel::fit(0, 1, &xs, &ys, 5.0).unwrap();
+        assert!(
+            fine.n_segments() > 2 * coarse.n_segments(),
+            "eps 4x tighter should need ~16x segments (Thm 7.4): {} vs {}",
+            fine.n_segments(),
+            coarse.n_segments()
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, 0.1).unwrap();
+        assert_eq!(spline.n_segments(), 1);
+        assert!(spline.max_error(&xs, &ys) <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn duplicate_x_within_band_is_covered() {
+        let xs = vec![1.0, 1.0, 1.0, 2.0];
+        let ys = vec![10.0, 10.5, 9.5, 12.0];
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, 1.0).unwrap();
+        assert!(spline.max_error(&xs, &ys) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn single_point_fit() {
+        let spline = SplineFdModel::fit(0, 1, &[3.0], &[7.0], 0.5).unwrap();
+        assert_eq!(spline.n_segments(), 1);
+        assert_eq!(spline.predict(3.0), 7.0);
+        assert!(spline.contains(3.0, 7.4));
+    }
+
+    #[test]
+    fn empty_fit_is_none() {
+        assert!(SplineFdModel::fit(0, 1, &[], &[], 1.0).is_none());
+    }
+
+    #[test]
+    fn invert_range_covers_matching_points() {
+        // Monotone curve; check the inverted interval is sound.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x / 40.0).collect();
+        let eps = 2.0;
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, eps).unwrap();
+        let (y_lo, y_hi) = (100.0, 300.0);
+        let (x_lo, x_hi) = spline.invert_range(y_lo, y_hi);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            if (y_lo..=y_hi).contains(&y) {
+                assert!(
+                    (x_lo..=x_hi).contains(&x),
+                    "point ({x}, {y}) escaped inverted range [{x_lo}, {x_hi}]"
+                );
+            }
+        }
+        // And it is far tighter than the whole domain.
+        assert!(x_hi - x_lo < 150.0);
+    }
+
+    #[test]
+    fn invert_ranges_splits_parabola_branches() {
+        // y = (x − 100)²/10: values y ∈ [250, 400] occur on two branches.
+        let xs: Vec<f64> = (0..201).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x - 100.0f64).powi(2) / 10.0).collect();
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, 2.0).unwrap();
+        let ranges = spline.invert_ranges(250.0, 400.0);
+        assert_eq!(ranges.len(), 2, "two branches: {ranges:?}");
+        assert!(ranges[0].1 < ranges[1].0, "disjoint: {ranges:?}");
+        // Soundness per interval + tightness of the union.
+        for (&x, &y) in xs.iter().zip(&ys) {
+            if (250.0..=400.0).contains(&y) {
+                assert!(
+                    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&x)),
+                    "matching x={x} escaped {ranges:?}"
+                );
+            }
+        }
+        // The dead middle region (y < 250 band) is excluded.
+        assert!(!ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&100.0)));
+        // Bounding wrapper spans the union.
+        let (blo, bhi) = spline.invert_range(250.0, 400.0);
+        assert_eq!((blo, bhi), (ranges[0].0, ranges[1].1));
+    }
+
+    #[test]
+    fn invert_ranges_merges_touching_pieces() {
+        // Monotone line split into many segments still yields ONE interval.
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + (x / 50.0).sin() * 30.0).collect();
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, 5.0).unwrap();
+        assert!(spline.n_segments() > 3);
+        let ranges = spline.invert_ranges(200.0, 400.0);
+        // The wiggle may open at most a couple of gaps, never one per piece.
+        assert!(
+            ranges.len() <= 3,
+            "near-monotone data should merge: {ranges:?}"
+        );
+    }
+
+    #[test]
+    fn invert_range_empty_when_band_misses() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.clone();
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, 1.0).unwrap();
+        let (lo, hi) = spline.invert_range(1000.0, 2000.0);
+        // Only the unbounded last piece could reach, and it does linearly:
+        // the inverted interval exists but sits far right of the data; a
+        // query there returns nothing after filtering. For a *flat* spline
+        // the interval is genuinely empty:
+        let flat = SplineFdModel::fit(0, 1, &[0.0, 1.0], &[5.0, 5.0], 0.5).unwrap();
+        let (flo, fhi) = flat.invert_range(100.0, 200.0);
+        assert!(flo > fhi, "flat spline cannot reach y=100: ({flo}, {fhi})");
+        assert!(lo <= hi);
+    }
+}

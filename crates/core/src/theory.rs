@@ -1,0 +1,344 @@
+//! The paper's theoretical model (§7 + Appendices B–F) and the Monte-Carlo
+//! machinery that validates it empirically.
+//!
+//! Closed forms implemented:
+//!
+//! * **Eq. 5** — margin effectiveness `q_y / (2ε + q_y)`.
+//! * **Theorem 7.1** — expected keys covered by one linear segment
+//!   (the Mean First Exit Time of the transformed walk): `ε²/σ²`.
+//! * **Theorem 7.2** — MFET with drift `d = µ − a`:
+//!   `T(0) = (ε/d)·tanh(εd/σ²)`, maximal at `d = 0` (slope = gap mean).
+//! * **Theorem 7.3** — variance of the covered-key count: `2ε⁴/3σ⁴`.
+//! * **Theorem 7.4** — segments needed for a stream of length n:
+//!   `s(n) → n·σ²/ε²`.
+//!
+//! The [`csm`] submodule builds the Centre-Sequence Model representation
+//! (Appendix B) of real 2-D data and simulates the gap random walks the
+//! proofs reason about, so the benches can print *measured vs predicted*
+//! for every theorem.
+
+use coax_data::Value;
+
+/// Eq. 5: the ratio between the ideal scan area (R-box) and the actual
+/// scanned area (S-box) for a query of dependent-range `q_y` under margin
+/// ε. Approaches 1 as margins tighten, 0 as they dominate the query.
+pub fn effectiveness(q_y: Value, eps: Value) -> Value {
+    assert!(q_y >= 0.0 && eps >= 0.0, "ranges and margins are non-negative");
+    if q_y == 0.0 && eps == 0.0 {
+        return 1.0; // a zero-width query under a zero margin scans exactly itself
+    }
+    q_y / (2.0 * eps + q_y)
+}
+
+/// Theorem 7.1: expected number of keys covered by a single linear
+/// segment with slope `µ` and margin `eps`, for gap std-dev `sigma`.
+pub fn expected_keys_per_segment(eps: Value, sigma: Value) -> Value {
+    assert!(sigma > 0.0, "gap distribution must have positive variance");
+    (eps * eps) / (sigma * sigma)
+}
+
+/// Theorem 7.2 (Eq. 9): MFET of the drifted walk, `d = µ − slope`.
+/// Converges to Theorem 7.1 as `d → 0`.
+pub fn expected_keys_with_drift(eps: Value, drift: Value, sigma: Value) -> Value {
+    assert!(sigma > 0.0, "gap distribution must have positive variance");
+    if drift == 0.0 {
+        return expected_keys_per_segment(eps, sigma);
+    }
+    (eps / drift.abs()) * ((eps * drift.abs()) / (sigma * sigma)).tanh()
+}
+
+/// Theorem 7.3: variance of the number of keys covered by one segment.
+pub fn keys_per_segment_variance(eps: Value, sigma: Value) -> Value {
+    assert!(sigma > 0.0, "gap distribution must have positive variance");
+    2.0 * eps.powi(4) / (3.0 * sigma.powi(4))
+}
+
+/// Theorem 7.4: the number of segments needed to cover a stream of `n`
+/// keys converges to `n·σ²/ε²`.
+pub fn expected_segments(n: usize, eps: Value, sigma: Value) -> Value {
+    n as Value / expected_keys_per_segment(eps, sigma)
+}
+
+/// The Centre-Sequence Model (Appendix B) and random-walk simulation.
+pub mod csm {
+    use coax_data::stats::{kl_divergence_from_uniform, sample_normal};
+    use coax_data::Value;
+    use rand::Rng;
+
+    /// The CSM representation of 2-D data: equally spaced intervals along
+    /// the predictor axis, each contributing the mean dependent value of
+    /// its points (Appendix B.2).
+    #[derive(Clone, Debug)]
+    pub struct CsmSequence {
+        /// Mean `y` per non-empty interval, in interval order.
+        pub centres: Vec<Value>,
+        /// Number of intervals that contained no points (Appendix B.3's
+        /// skew warning: many empty intervals break the equal-spacing
+        /// assumption).
+        pub empty_intervals: usize,
+        /// KL divergence of the x-marginal from uniform (the model's
+        /// applicability test, Eq. 7).
+        pub kl_from_uniform: Value,
+    }
+
+    impl CsmSequence {
+        /// Builds the centre sequence with `n_intervals` splits of the
+        /// predictor range.
+        pub fn build(xs: &[Value], ys: &[Value], n_intervals: usize) -> Self {
+            assert_eq!(xs.len(), ys.len(), "CSM requires equal lengths");
+            assert!(n_intervals > 0, "need at least one interval");
+            if xs.is_empty() {
+                return Self {
+                    centres: Vec::new(),
+                    empty_intervals: n_intervals,
+                    kl_from_uniform: 0.0,
+                };
+            }
+            let (lo, hi) = xs
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| (l.min(x), h.max(x)));
+            let width = if hi > lo { (hi - lo) / n_intervals as Value } else { 1.0 };
+            let mut sums = vec![0.0; n_intervals];
+            let mut counts = vec![0usize; n_intervals];
+            for (&x, &y) in xs.iter().zip(ys) {
+                let i = (((x - lo) / width) as usize).min(n_intervals - 1);
+                sums[i] += y;
+                counts[i] += 1;
+            }
+            let mut centres = Vec::with_capacity(n_intervals);
+            let mut empty = 0;
+            for (s, c) in sums.iter().zip(&counts) {
+                if *c > 0 {
+                    centres.push(s / *c as Value);
+                } else {
+                    empty += 1;
+                }
+            }
+            Self {
+                centres,
+                empty_intervals: empty,
+                kl_from_uniform: kl_divergence_from_uniform(xs, n_intervals.min(64)),
+            }
+        }
+
+        /// The gap sequence `g_i = y_{i+1} − y_i` the proofs reason about.
+        pub fn gaps(&self) -> Vec<Value> {
+            self.centres.windows(2).map(|w| w[1] - w[0]).collect()
+        }
+
+        /// Sample mean and std of the gaps (`µ`, `σ` of Theorem 7.1).
+        pub fn gap_moments(&self) -> (Value, Value) {
+            let gaps = self.gaps();
+            (
+                coax_data::stats::mean(&gaps),
+                coax_data::stats::std_dev(&gaps),
+            )
+        }
+    }
+
+    /// Simulates one First Exit Time: the walk `Z_i = Σ (G_j − slope)`
+    /// with `G_j ~ N(µ, σ)`, stopped when `|Z| > eps` (capped at
+    /// `max_steps`). Returns the step count.
+    pub fn simulate_exit_time<R: Rng + ?Sized>(
+        rng: &mut R,
+        mu: Value,
+        sigma: Value,
+        slope: Value,
+        eps: Value,
+        max_steps: usize,
+    ) -> usize {
+        let mut z = 0.0;
+        for i in 1..=max_steps {
+            z += sample_normal(rng, mu, sigma) - slope;
+            if z.abs() > eps {
+                return i;
+            }
+        }
+        max_steps
+    }
+
+    /// Mean of `trials` simulated exit times (the empirical MFET that
+    /// Theorems 7.1/7.2 predict).
+    pub fn empirical_mfet<R: Rng + ?Sized>(
+        rng: &mut R,
+        mu: Value,
+        sigma: Value,
+        slope: Value,
+        eps: Value,
+        trials: usize,
+        max_steps: usize,
+    ) -> (Value, Value) {
+        let times: Vec<Value> = (0..trials)
+            .map(|_| simulate_exit_time(rng, mu, sigma, slope, eps, max_steps) as Value)
+            .collect();
+        (
+            coax_data::stats::mean(&times),
+            coax_data::stats::variance(&times),
+        )
+    }
+
+    /// Counts the segments the renewal process of Theorem 7.4 needs to
+    /// cover a concrete gap stream: every margin exit closes a segment and
+    /// re-anchors the walk.
+    pub fn count_segments(gaps: &[Value], slope: Value, eps: Value) -> usize {
+        assert!(eps > 0.0, "margin must be positive");
+        let mut segments = 1;
+        let mut z = 0.0;
+        for &g in gaps {
+            z += g - slope;
+            if z.abs() > eps {
+                segments += 1;
+                z = 0.0;
+            }
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn effectiveness_limits() {
+        // ε → 0 ⇒ effectiveness → 1.
+        assert!((effectiveness(10.0, 0.0) - 1.0).abs() < 1e-12);
+        // ε ≫ q_y ⇒ effectiveness → 0.
+        assert!(effectiveness(1.0, 1e6) < 1e-5);
+        // Eq. 5 exactly: q_y = 2ε ⇒ 1/2.
+        assert!((effectiveness(4.0, 2.0) - 0.5).abs() < 1e-12);
+        // Monotone in q_y, antitone in ε.
+        assert!(effectiveness(5.0, 1.0) < effectiveness(10.0, 1.0));
+        assert!(effectiveness(5.0, 2.0) < effectiveness(5.0, 1.0));
+        // Degenerate zero/zero case defined as 1.
+        assert_eq!(effectiveness(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn closed_forms_match_hand_computation() {
+        assert_eq!(expected_keys_per_segment(10.0, 1.0), 100.0);
+        assert_eq!(expected_keys_per_segment(3.0, 1.5), 4.0);
+        assert!((keys_per_segment_variance(10.0, 1.0) - 2.0e4 / 3.0).abs() < 1e-9);
+        assert_eq!(expected_segments(1000, 10.0, 1.0), 10.0);
+    }
+
+    #[test]
+    fn drifted_mfet_converges_to_driftless() {
+        let base = expected_keys_per_segment(8.0, 1.0);
+        let tiny_drift = expected_keys_with_drift(8.0, 1e-9, 1.0);
+        assert!((base - tiny_drift).abs() / base < 1e-3);
+    }
+
+    #[test]
+    fn theorem_7_2_maximum_at_zero_drift() {
+        let eps = 8.0;
+        let sigma = 1.0;
+        let at_zero = expected_keys_with_drift(eps, 0.0, sigma);
+        for d in [0.05, 0.1, 0.5, -0.05, -0.3] {
+            let v = expected_keys_with_drift(eps, d, sigma);
+            assert!(
+                v < at_zero,
+                "drift {d} should cover fewer keys: {v} vs {at_zero}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_mfet_matches_theorem_7_1() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let (eps, sigma) = (10.0, 1.0);
+        let predicted = expected_keys_per_segment(eps, sigma);
+        let (measured, _) =
+            csm::empirical_mfet(&mut rng, 2.5, sigma, 2.5, eps, 3000, 100_000);
+        let rel = (measured - predicted).abs() / predicted;
+        assert!(
+            rel < 0.15,
+            "MFET: measured {measured} vs predicted {predicted} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn empirical_variance_matches_theorem_7_3() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let (eps, sigma) = (10.0, 1.0);
+        let predicted = keys_per_segment_variance(eps, sigma);
+        let (_, measured) =
+            csm::empirical_mfet(&mut rng, 0.0, sigma, 0.0, eps, 8000, 100_000);
+        let rel = (measured - predicted).abs() / predicted;
+        assert!(
+            rel < 0.25,
+            "variance: measured {measured} vs predicted {predicted} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn drift_shortens_empirical_exits() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let (eps, sigma) = (10.0, 1.0);
+        let (at_mu, _) = csm::empirical_mfet(&mut rng, 1.0, sigma, 1.0, eps, 1500, 100_000);
+        let (off_mu, _) =
+            csm::empirical_mfet(&mut rng, 1.0, sigma, 1.35, eps, 1500, 100_000);
+        assert!(
+            off_mu < 0.8 * at_mu,
+            "mismatched slope should exit sooner: {off_mu} vs {at_mu}"
+        );
+    }
+
+    #[test]
+    fn segment_count_matches_theorem_7_4() {
+        // ε/σ = 10 keeps the discrete walk's barrier-overshoot error under
+        // ~10 % of the continuum prediction (it scales with σ/ε).
+        let mut rng = StdRng::seed_from_u64(74);
+        let (eps, sigma, mu) = (10.0, 1.0, 3.0);
+        let n = 200_000;
+        let gaps: Vec<f64> = (0..n)
+            .map(|_| coax_data::stats::sample_normal(&mut rng, mu, sigma))
+            .collect();
+        let measured = csm::count_segments(&gaps, mu, eps);
+        let predicted = expected_segments(n, eps, sigma);
+        let rel = (measured as f64 - predicted).abs() / predicted;
+        assert!(
+            rel < 0.2,
+            "segments: measured {measured} vs predicted {predicted} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn csm_sequence_reconstructs_line() {
+        // Points on y = 3x with dense uniform x: centres follow the line,
+        // gaps have mean 3·(interval width).
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x).collect();
+        let seq = csm::CsmSequence::build(&xs, &ys, 100);
+        assert_eq!(seq.empty_intervals, 0);
+        assert!(seq.kl_from_uniform < 0.01, "uniform x: KL {}", seq.kl_from_uniform);
+        let (mu, sigma) = seq.gap_moments();
+        // interval width = 999.9/100 ≈ 10 ⇒ gap mean ≈ 30.
+        assert!((mu - 30.0).abs() < 0.5, "gap mean {mu}");
+        assert!(sigma < 1.0, "line has almost deterministic gaps, σ = {sigma}");
+    }
+
+    #[test]
+    fn csm_flags_skewed_data() {
+        // All x bunched at one end: most intervals empty, KL large.
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let mut xs2 = xs.clone();
+        xs2.push(1000.0); // one far point stretches the range
+        let mut ys2 = ys.clone();
+        ys2.push(0.0);
+        let seq = csm::CsmSequence::build(&xs2, &ys2, 50);
+        assert!(seq.empty_intervals > 40);
+        assert!(seq.kl_from_uniform > 0.5, "KL {}", seq.kl_from_uniform);
+    }
+
+    #[test]
+    fn csm_empty_input() {
+        let seq = csm::CsmSequence::build(&[], &[], 10);
+        assert!(seq.centres.is_empty());
+        assert_eq!(seq.empty_intervals, 10);
+        assert!(seq.gaps().is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Query translation (§4, Eq. 2).
+//!
+//! A constraint on a dependent attribute `C_d` is mapped through the
+//! learned model into a constraint on its predictor `C_x`; the final
+//! constraint on `C_x` is the **intersection** of the direct constraint
+//! and every inferred one:
+//!
+//! ```text
+//! [ max(ψ̂⁻¹(q_d), q_x_low) , min(ψ̂⁻¹(q_d), q_x_high) ]        (Eq. 2)
+//! ```
+//!
+//! Soundness (why no primary row is missed): every primary-partition row
+//! satisfies `C_d ∈ [ψ̂(C_x) − ε_LB, ψ̂(C_x) + ε_UB]` (Eq. 1), so a row
+//! whose `C_d` lies inside the query's dependent range must have `C_x`
+//! inside [`crate::model::SoftFdModel::invert_range`] of that range. Intersecting can
+//! therefore only cut regions where no *matching primary* row exists.
+//! Outlier rows respect no margins — which is exactly why they live in a
+//! separate, fully-indexed outlier index queried with the original query.
+
+use crate::discovery::CorrelationGroup;
+use coax_data::RangeQuery;
+
+/// Rewrites `query` into the navigation query COAX's primary index uses:
+/// per group, each dependent-attribute constraint is inverted through its
+/// model and intersected into the predictor's bounds.
+///
+/// The returned query keeps the original constraints on every dimension
+/// (including dependent ones) — the primary index simply cannot *navigate*
+/// by dependent dimensions, but the in-cell exact filter still applies
+/// them. The result is always a sub-rectangle of `query` (translation
+/// only tightens).
+pub fn translate(query: &RangeQuery, groups: &[CorrelationGroup]) -> RangeQuery {
+    let mut nav = query.clone();
+    for group in groups {
+        for model in &group.models {
+            let (y_lo, y_hi) = (query.lo(model.dependent()), query.hi(model.dependent()));
+            if y_lo == f64::NEG_INFINITY && y_hi == f64::INFINITY {
+                continue; // unconstrained dependent: nothing to infer
+            }
+            let (x_lo, x_hi) = model.invert_range(y_lo, y_hi);
+            let new_lo = nav.lo(model.predictor()).max(x_lo);
+            let new_hi = nav.hi(model.predictor()).min(x_hi);
+            nav.constrain(model.predictor(), new_lo, new_hi);
+        }
+    }
+    nav
+}
+
+/// Multi-interval translation: like [`translate`], but when a model's
+/// inversion is a *disconnected* union (a spline over a non-monotone
+/// dependency), the navigation splits into one sub-rectangle per interval
+/// instead of scanning their bounding hull.
+///
+/// The returned rectangles are pairwise disjoint on some predictor
+/// dimension (the split intervals are disjoint and later intersections
+/// only shrink them), so querying each and concatenating results never
+/// duplicates a row. An empty vector means no in-margin row can match.
+///
+/// `cap` bounds the fan-out: if splitting a model would exceed it, that
+/// model falls back to its bounding interval (sound, just less tight).
+pub fn translate_all(
+    query: &RangeQuery,
+    groups: &[CorrelationGroup],
+    cap: usize,
+) -> Vec<RangeQuery> {
+    let cap = cap.max(1);
+    let mut navs = vec![query.clone()];
+    for group in groups {
+        for model in &group.models {
+            let (y_lo, y_hi) = (query.lo(model.dependent()), query.hi(model.dependent()));
+            if y_lo == f64::NEG_INFINITY && y_hi == f64::INFINITY {
+                continue;
+            }
+            let mut intervals = model.invert_ranges(y_lo, y_hi);
+            if intervals.is_empty() {
+                return Vec::new(); // nothing in-margin can match
+            }
+            if navs.len() * intervals.len() > cap {
+                // Collapse to the bounding interval for this model.
+                intervals = vec![(intervals[0].0, intervals[intervals.len() - 1].1)];
+            }
+            let pred = model.predictor();
+            let mut next = Vec::with_capacity(navs.len() * intervals.len());
+            for nav in &navs {
+                for &(x_lo, x_hi) in &intervals {
+                    let new_lo = nav.lo(pred).max(x_lo);
+                    let new_hi = nav.hi(pred).min(x_hi);
+                    if new_lo <= new_hi {
+                        let mut split = nav.clone();
+                        split.constrain(pred, new_lo, new_hi);
+                        next.push(split);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            navs = next;
+        }
+    }
+    navs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SoftFdModel;
+    use crate::regression::LinParams;
+
+    fn group(models: Vec<SoftFdModel>) -> CorrelationGroup {
+        CorrelationGroup {
+            predictor: models[0].predictor,
+            models: models.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    fn simple_model(slope: f64, intercept: f64, eps: f64) -> SoftFdModel {
+        SoftFdModel::new(0, 1, LinParams { slope, intercept }, eps, eps)
+    }
+
+    #[test]
+    fn dependent_constraint_tightens_predictor() {
+        // y = 2x, ε = 1. Query: y ∈ [10, 20], x unconstrained.
+        let g = group(vec![simple_model(2.0, 0.0, 1.0)]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 10.0, 20.0);
+        let nav = translate(&q, &[g]);
+        // x ∈ [(10 − 1)/2, (20 + 1)/2] = [4.5, 10.5]
+        assert!((nav.lo(0) - 4.5).abs() < 1e-12);
+        assert!((nav.hi(0) - 10.5).abs() < 1e-12);
+        // Dependent constraint is preserved for exact filtering.
+        assert_eq!(nav.lo(1), 10.0);
+        assert_eq!(nav.hi(1), 20.0);
+    }
+
+    #[test]
+    fn intersection_with_direct_constraint() {
+        let g = group(vec![simple_model(2.0, 0.0, 1.0)]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 6.0, 30.0); // direct predictor constraint
+        q.constrain(1, 10.0, 20.0); // inferred: [4.5, 10.5]
+        let nav = translate(&q, &[g]);
+        // Eq. 2: max of lows, min of highs.
+        assert_eq!(nav.lo(0), 6.0);
+        assert!((nav.hi(0) - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconstrained_dependent_changes_nothing() {
+        let g = group(vec![simple_model(2.0, 0.0, 1.0)]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 1.0, 2.0);
+        let nav = translate(&q, &[g]);
+        assert_eq!(nav, q);
+    }
+
+    #[test]
+    fn multiple_dependents_all_tighten_the_same_predictor() {
+        // Two models off predictor 0: y1 = x (ε 1), y2 = −x + 100 (ε 2).
+        let m1 = SoftFdModel::new(0, 1, LinParams { slope: 1.0, intercept: 0.0 }, 1.0, 1.0);
+        let m2 =
+            SoftFdModel::new(0, 2, LinParams { slope: -1.0, intercept: 100.0 }, 2.0, 2.0);
+        let g = CorrelationGroup { predictor: 0, models: vec![m1.into(), m2.into()] };
+        let mut q = RangeQuery::unbounded(3);
+        q.constrain(1, 40.0, 60.0); // infers x ∈ [39, 61]
+        q.constrain(2, 45.0, 50.0); // infers x ∈ [(50−100+2)/(−1)... ] = [48, 57]
+        let nav = translate(&q, &[g]);
+        assert!((nav.lo(0) - 48.0).abs() < 1e-12, "lo {}", nav.lo(0));
+        assert!((nav.hi(0) - 57.0).abs() < 1e-12, "hi {}", nav.hi(0));
+    }
+
+    #[test]
+    fn half_open_dependent_ranges() {
+        let g = group(vec![simple_model(2.0, 0.0, 1.0)]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, f64::NEG_INFINITY, 20.0);
+        let nav = translate(&q, &[g]);
+        assert_eq!(nav.lo(0), f64::NEG_INFINITY);
+        assert!((nav.hi(0) - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_is_always_a_subrectangle() {
+        let g = group(vec![simple_model(0.5, 10.0, 3.0)]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, -5.0, 80.0);
+        q.constrain(1, 0.0, 40.0);
+        let nav = translate(&q, &[g]);
+        for d in 0..2 {
+            assert!(nav.lo(d) >= q.lo(d));
+            assert!(nav.hi(d) <= q.hi(d));
+        }
+    }
+
+    #[test]
+    fn contradictory_inference_yields_empty_navigation() {
+        // Query asks for y far below anything the band allows at the
+        // queried x range: intersection must come out empty.
+        let g = group(vec![simple_model(1.0, 0.0, 1.0)]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 100.0, 200.0); // band y ≈ [99, 201]
+        q.constrain(1, 0.0, 10.0); // infers x ∈ [−1, 11]
+        let nav = translate(&q, &[g]);
+        assert!(nav.is_empty(), "nav = {nav:?}");
+    }
+
+    #[test]
+    fn translate_all_single_interval_matches_translate() {
+        let g = group(vec![simple_model(2.0, 0.0, 1.0)]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 10.0, 20.0);
+        let navs = translate_all(&q, std::slice::from_ref(&g), 8);
+        assert_eq!(navs.len(), 1);
+        assert_eq!(navs[0], translate(&q, &[g]));
+    }
+
+    #[test]
+    fn translate_all_splits_on_spline_branches() {
+        use crate::spline::SplineFdModel;
+        let xs: Vec<f64> = (0..201).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x - 100.0f64).powi(2) / 10.0).collect();
+        let spline = SplineFdModel::fit(0, 1, &xs, &ys, 2.0).unwrap();
+        let g = CorrelationGroup { predictor: 0, models: vec![spline.into()] };
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 250.0, 400.0);
+        let navs = translate_all(&q, std::slice::from_ref(&g), 8);
+        assert_eq!(navs.len(), 2, "two branches: {navs:?}");
+        // Disjoint on the predictor.
+        assert!(navs[0].hi(0) < navs[1].lo(0) || navs[1].hi(0) < navs[0].lo(0));
+        // Capped fan-out collapses to the bounding hull (1 rectangle).
+        let capped = translate_all(&q, std::slice::from_ref(&g), 1);
+        assert_eq!(capped.len(), 1);
+        assert!(capped[0].lo(0) <= navs[0].lo(0).min(navs[1].lo(0)));
+        assert!(capped[0].hi(0) >= navs[0].hi(0).max(navs[1].hi(0)));
+    }
+
+    #[test]
+    fn translate_all_contradiction_returns_empty() {
+        let g = group(vec![simple_model(1.0, 0.0, 1.0)]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 100.0, 200.0);
+        q.constrain(1, 0.0, 10.0);
+        assert!(translate_all(&q, &[g], 8).is_empty());
+    }
+
+    #[test]
+    fn translation_soundness_on_random_band_points() {
+        // Fuzz-ish check without proptest: points on the band that match
+        // the query must fall inside the navigation rectangle.
+        let model = simple_model(1.7, -3.0, 2.5);
+        let g = group(vec![model]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 10.0, 90.0);
+        q.constrain(1, 20.0, 80.0);
+        let nav = translate(&q, &[g]);
+        let mut x = 0.0;
+        while x < 120.0 {
+            let (b_lo, b_hi) = model.band(x);
+            let mut y = b_lo;
+            while y <= b_hi {
+                if q.matches(&[x, y]) {
+                    assert!(
+                        nav.matches(&[x, y]),
+                        "matching in-band point ({x}, {y}) excluded by nav"
+                    );
+                }
+                y += 0.5;
+            }
+            x += 0.37;
+        }
+    }
+}

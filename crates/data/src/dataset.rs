@@ -1,0 +1,388 @@
+//! Column-major multidimensional dataset storage.
+//!
+//! All indexes in this workspace operate over a [`Dataset`]: an immutable
+//! table of `n_rows × dims` finite `f64` values. Columns are stored
+//! contiguously (`Vec<f64>` per attribute) because the learning layer scans
+//! single attributes (regression, quantiles) far more often than whole rows,
+//! and because indexes keep their own row-id pages rather than copying rows.
+
+use crate::{RowId, Value};
+
+/// An immutable, column-major multidimensional table.
+///
+/// Invariants (enforced by [`DatasetBuilder`] and `new`):
+///
+/// * every column has exactly `n_rows` entries;
+/// * every value is finite (no NaN/±∞) — rectangle predicates and linear
+///   regression are only meaningful over totally ordered finite values;
+/// * there is at least one column (zero-dimensional tables are rejected).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    columns: Vec<Vec<Value>>,
+    names: Vec<String>,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from columns, validating the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty, columns have unequal lengths, or any
+    /// value is non-finite. Use [`DatasetBuilder`] for a fallible,
+    /// row-oriented construction path.
+    pub fn new(columns: Vec<Vec<Value>>) -> Self {
+        let names = (0..columns.len()).map(|d| format!("attr{d}")).collect();
+        Self::with_names(columns, names)
+    }
+
+    /// Like [`Dataset::new`] but with explicit attribute names.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Dataset::new`], plus `names.len()` must equal
+    /// the number of columns.
+    pub fn with_names(columns: Vec<Vec<Value>>, names: Vec<String>) -> Self {
+        assert!(!columns.is_empty(), "dataset must have at least one column");
+        assert_eq!(columns.len(), names.len(), "one name per column required");
+        let n_rows = columns[0].len();
+        for (d, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), n_rows, "column {d} length mismatch");
+            assert!(
+                col.iter().all(|v| v.is_finite()),
+                "column {d} contains a non-finite value"
+            );
+        }
+        assert!(
+            n_rows <= RowId::MAX as usize,
+            "row count exceeds RowId::MAX"
+        );
+        Self { columns, names, n_rows }
+    }
+
+    /// Number of attributes (columns).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// `true` if the dataset holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The full column for attribute `dim`.
+    #[inline]
+    pub fn column(&self, dim: usize) -> &[Value] {
+        &self.columns[dim]
+    }
+
+    /// Attribute name for `dim` (defaults to `attr{dim}`).
+    #[inline]
+    pub fn name(&self, dim: usize) -> &str {
+        &self.names[dim]
+    }
+
+    /// All attribute names in column order.
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Single cell access.
+    #[inline]
+    pub fn value(&self, row: RowId, dim: usize) -> Value {
+        self.columns[dim][row as usize]
+    }
+
+    /// Materialises row `row` into `out` (cleared first).
+    ///
+    /// Kept allocation-free so scan loops can reuse one buffer.
+    #[inline]
+    pub fn row_into(&self, row: RowId, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c[row as usize]));
+    }
+
+    /// Materialises row `row` into a fresh vector (convenience for tests).
+    pub fn row(&self, row: RowId) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.dims());
+        self.row_into(row, &mut out);
+        out
+    }
+
+    /// Iterator over all row ids.
+    pub fn row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        (0..self.n_rows).map(|i| i as RowId)
+    }
+
+    /// `(min, max)` of attribute `dim`, or `None` for an empty dataset.
+    pub fn min_max(&self, dim: usize) -> Option<(Value, Value)> {
+        let col = self.column(dim);
+        let first = *col.first()?;
+        let mut lo = first;
+        let mut hi = first;
+        for &v in &col[1..] {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// A new dataset containing only the rows in `rows` (in that order).
+    ///
+    /// Used to carve the paper's primary/outlier partitions out of the
+    /// original table.
+    pub fn take_rows(&self, rows: &[RowId]) -> Dataset {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r as usize]).collect())
+            .collect();
+        Dataset::with_names(columns, self.names.clone())
+    }
+
+    /// A new dataset with only the listed attributes, preserving order.
+    pub fn project(&self, dims: &[usize]) -> Dataset {
+        let columns = dims.iter().map(|&d| self.columns[d].clone()).collect();
+        let names = dims.iter().map(|&d| self.names[d].clone()).collect();
+        Dataset::with_names(columns, names)
+    }
+
+    /// Approximate heap footprint of the raw data (bytes), excluding any
+    /// index directory. Fig. 8 plots *index overhead*, which is accounted
+    /// separately by each index.
+    pub fn data_bytes(&self) -> usize {
+        self.columns.len() * self.n_rows * std::mem::size_of::<Value>()
+    }
+}
+
+/// Row-oriented, fallible construction of a [`Dataset`].
+///
+/// ```
+/// use coax_data::DatasetBuilder;
+/// let mut b = DatasetBuilder::new(2);
+/// b.push_row(&[1.0, 10.0]).unwrap();
+/// b.push_row(&[2.0, 20.0]).unwrap();
+/// let ds = b.finish();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.value(1, 1), 20.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DatasetBuilder {
+    columns: Vec<Vec<Value>>,
+    names: Option<Vec<String>>,
+}
+
+/// Error returned when a pushed row is malformed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowError {
+    /// The pushed slice length differs from the builder dimensionality.
+    WrongArity {
+        /// Builder dimensionality.
+        expected: usize,
+        /// Length of the offending row.
+        got: usize,
+    },
+    /// The row contains NaN or an infinity.
+    NonFinite,
+}
+
+impl std::fmt::Display for RowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RowError::WrongArity { expected, got } => {
+                write!(f, "row has {got} values, dataset has {expected} columns")
+            }
+            RowError::NonFinite => write!(f, "row contains a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for RowError {}
+
+impl DatasetBuilder {
+    /// Creates a builder for `dims`-dimensional rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dataset must have at least one column");
+        Self { columns: vec![Vec::new(); dims], names: None }
+    }
+
+    /// Creates a builder with pre-allocated capacity per column.
+    pub fn with_capacity(dims: usize, rows: usize) -> Self {
+        assert!(dims > 0, "dataset must have at least one column");
+        Self { columns: vec![Vec::with_capacity(rows); dims], names: None }
+    }
+
+    /// Sets attribute names (must match the dimensionality at `finish`).
+    pub fn names<S: Into<String>>(mut self, names: Vec<S>) -> Self {
+        self.names = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<(), RowError> {
+        if row.len() != self.columns.len() {
+            return Err(RowError::WrongArity { expected: self.columns.len(), got: row.len() });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(RowError::NonFinite);
+        }
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.columns[0].len()
+    }
+
+    /// `true` if no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalises the dataset.
+    pub fn finish(self) -> Dataset {
+        match self.names {
+            Some(names) => Dataset::with_names(self.columns, names),
+            None => Dataset::new(self.columns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col() -> Dataset {
+        Dataset::new(vec![vec![3.0, 1.0, 2.0], vec![30.0, 10.0, 20.0]])
+    }
+
+    #[test]
+    fn dims_len_and_access() {
+        let ds = two_col();
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.value(0, 0), 3.0);
+        assert_eq!(ds.value(2, 1), 20.0);
+        assert_eq!(ds.row(1), vec![1.0, 10.0]);
+    }
+
+    #[test]
+    fn row_into_reuses_buffer() {
+        let ds = two_col();
+        let mut buf = vec![99.0; 7];
+        ds.row_into(0, &mut buf);
+        assert_eq!(buf, vec![3.0, 30.0]);
+        ds.row_into(2, &mut buf);
+        assert_eq!(buf, vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn min_max_per_dimension() {
+        let ds = two_col();
+        assert_eq!(ds.min_max(0), Some((1.0, 3.0)));
+        assert_eq!(ds.min_max(1), Some((10.0, 30.0)));
+    }
+
+    #[test]
+    fn min_max_empty_dataset() {
+        let ds = Dataset::new(vec![vec![], vec![]]);
+        assert!(ds.is_empty());
+        assert_eq!(ds.min_max(0), None);
+    }
+
+    #[test]
+    fn take_rows_preserves_order_and_allows_duplicates() {
+        let ds = two_col();
+        let sub = ds.take_rows(&[2, 0, 2]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.column(0), &[2.0, 3.0, 2.0]);
+        assert_eq!(sub.column(1), &[20.0, 30.0, 20.0]);
+    }
+
+    #[test]
+    fn project_selects_and_reorders_columns() {
+        let ds = Dataset::with_names(
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        let p = ds.project(&[2, 0]);
+        assert_eq!(p.dims(), 2);
+        assert_eq!(p.name(0), "c");
+        assert_eq!(p.name(1), "a");
+        assert_eq!(p.row(0), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn default_names_are_positional() {
+        let ds = two_col();
+        assert_eq!(ds.name(0), "attr0");
+        assert_eq!(ds.name(1), "attr1");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unequal_columns_rejected() {
+        Dataset::new(vec![vec![1.0], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        Dataset::new(vec![vec![f64::NAN]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_dims_rejected() {
+        Dataset::new(vec![]);
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let mut b = DatasetBuilder::with_capacity(3, 2).names(vec!["x", "y", "z"]);
+        b.push_row(&[1.0, 2.0, 3.0]).unwrap();
+        b.push_row(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(b.len(), 2);
+        let ds = b.finish();
+        assert_eq!(ds.name(2), "z");
+        assert_eq!(ds.column(1), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_rows() {
+        let mut b = DatasetBuilder::new(2);
+        assert_eq!(
+            b.push_row(&[1.0]),
+            Err(RowError::WrongArity { expected: 2, got: 1 })
+        );
+        assert_eq!(b.push_row(&[1.0, f64::INFINITY]), Err(RowError::NonFinite));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn data_bytes_counts_values_only() {
+        let ds = two_col();
+        assert_eq!(ds.data_bytes(), 2 * 3 * 8);
+    }
+}

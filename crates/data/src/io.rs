@@ -1,0 +1,270 @@
+//! CSV import/export for datasets.
+//!
+//! The reproduction runs on synthetic data, but a downstream user will
+//! want to point COAX at their own table. This module reads and writes a
+//! minimal numeric CSV dialect with std only (no serde): one optional
+//! header row, comma separators, every field a finite decimal number.
+
+use crate::{Dataset, DatasetBuilder, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors arising while parsing CSV input.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data row had a different number of fields than the first row.
+    Ragged {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Fields expected (from the first row).
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A field failed to parse as a finite number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+        /// The raw field content.
+        field: String,
+    },
+    /// The input contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Ragged { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::BadNumber { line, column, field } => {
+                write!(f, "line {line}, column {column}: not a finite number: {field:?}")
+            }
+            CsvError::Empty => write!(f, "no data rows in input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes `dataset` as CSV with a header row of attribute names.
+///
+/// Values are emitted with full `f64` round-trip precision, so
+/// `read_csv(write_csv(ds)) == ds` exactly.
+pub fn write_csv<W: Write>(dataset: &Dataset, writer: &mut W) -> std::io::Result<()> {
+    writeln!(writer, "{}", dataset.names().join(","))?;
+    let dims = dataset.dims();
+    let mut row = Vec::with_capacity(dims);
+    for r in dataset.row_ids() {
+        dataset.row_into(r, &mut row);
+        for (d, v) in row.iter().enumerate() {
+            if d > 0 {
+                writer.write_all(b",")?;
+            }
+            // `{}` on f64 is the shortest representation that round-trips.
+            write!(writer, "{v}")?;
+        }
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Convenience wrapper returning the CSV as a `String`.
+pub fn to_csv_string(dataset: &Dataset) -> String {
+    let mut out = Vec::new();
+    write_csv(dataset, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("CSV output is ASCII")
+}
+
+/// Reads a dataset from CSV.
+///
+/// The first line is treated as a header iff any of its fields fails to
+/// parse as a number; otherwise it is data and attributes get positional
+/// names. Empty lines are skipped. All rows must have the same arity and
+/// contain only finite numbers.
+pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+
+    // Find the first non-empty line; decide header vs data.
+    let (first_fields, header): (Vec<String>, Option<Vec<String>>) = loop {
+        let Some(line) = lines.next() else { return Err(CsvError::Empty) };
+        line_no += 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
+        let numeric = fields.iter().all(|f| f.parse::<Value>().is_ok_and(Value::is_finite));
+        if numeric {
+            break (fields, None);
+        }
+        break (Vec::new(), Some(fields));
+    };
+
+    let mut builder: Option<DatasetBuilder> = None;
+    let push = |fields: &[String], line: usize, builder: &mut Option<DatasetBuilder>|
+     -> Result<(), CsvError> {
+        let b = builder.get_or_insert_with(|| DatasetBuilder::new(fields.len()));
+        let mut row = Vec::with_capacity(fields.len());
+        for (column, f) in fields.iter().enumerate() {
+            let v: Value = f
+                .parse()
+                .ok()
+                .filter(|v: &Value| v.is_finite())
+                .ok_or_else(|| CsvError::BadNumber { line, column, field: f.clone() })?;
+            row.push(v);
+        }
+        b.push_row(&row).map_err(|e| match e {
+            crate::dataset::RowError::WrongArity { expected, got } => {
+                CsvError::Ragged { line, expected, got }
+            }
+            crate::dataset::RowError::NonFinite => CsvError::BadNumber {
+                line,
+                column: 0,
+                field: String::new(),
+            },
+        })
+    };
+
+    if !first_fields.is_empty() {
+        push(&first_fields, line_no, &mut builder)?;
+    }
+    for line in lines {
+        line_no += 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
+        push(&fields, line_no, &mut builder)?;
+    }
+
+    let builder = builder.ok_or(CsvError::Empty)?;
+    let dataset = match header {
+        Some(names) => {
+            // Arity of data rows was checked against the first data row;
+            // reconcile with the header length too.
+            let ds = builder.finish();
+            if names.len() != ds.dims() {
+                return Err(CsvError::Ragged {
+                    line: line_no,
+                    expected: names.len(),
+                    got: ds.dims(),
+                });
+            }
+            Dataset::with_names(
+                (0..ds.dims()).map(|d| ds.column(d).to_vec()).collect(),
+                names,
+            )
+        }
+        None => builder.finish(),
+    };
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::with_names(
+            vec![vec![1.5, -2.25, 1e-9], vec![10.0, 20.0, 1e12]],
+            vec!["alpha".into(), "beta".into()],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = sample();
+        let csv = to_csv_string(&ds);
+        let back = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(back.dims(), 2);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.name(0), "alpha");
+        assert_eq!(back.name(1), "beta");
+        assert_eq!(back.column(0), ds.column(0));
+        assert_eq!(back.column(1), ds.column(1));
+    }
+
+    #[test]
+    fn headerless_input_gets_positional_names() {
+        let ds = read_csv("1,2\n3,4\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.name(0), "attr0");
+        assert_eq!(ds.value(1, 1), 4.0);
+    }
+
+    #[test]
+    fn blank_lines_and_whitespace_tolerated() {
+        let ds = read_csv("x,y\n\n 1 , 2 \n\n3,4\n\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.name(0), "x");
+        assert_eq!(ds.value(0, 1), 2.0);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv("a,b\n1,2\n3\n".as_bytes()).unwrap_err();
+        match err {
+            CsvError::Ragged { line, expected, got } => {
+                assert_eq!((line, expected, got), (3, 2, 1));
+            }
+            other => panic!("expected Ragged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_field_rejected() {
+        let err = read_csv("a,b\n1,oops\n".as_bytes()).unwrap_err();
+        match err {
+            CsvError::BadNumber { line, column, field } => {
+                assert_eq!((line, column), (2, 1));
+                assert_eq!(field, "oops");
+            }
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinities_rejected() {
+        assert!(matches!(
+            read_csv("a\ninf\n".as_bytes()),
+            Err(CsvError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(matches!(read_csv("".as_bytes()), Err(CsvError::Empty)));
+        assert!(matches!(read_csv("a,b\n".as_bytes()), Err(CsvError::Empty)));
+        assert!(matches!(read_csv("\n\n".as_bytes()), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn header_arity_mismatch_rejected() {
+        assert!(matches!(
+            read_csv("a,b,c\n1,2\n".as_bytes()),
+            Err(CsvError::Ragged { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::BadNumber { line: 7, column: 2, field: "x".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = CsvError::Ragged { line: 3, expected: 2, got: 5 };
+        assert!(e.to_string().contains("expected 2"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Dataset storage, synthetic data generators, query workloads and
+//! statistics utilities for the COAX reproduction.
+//!
+//! This crate is the bottom layer of the workspace: it knows nothing about
+//! indexing. It provides:
+//!
+//! * [`Dataset`] — an immutable, column-major multidimensional table of
+//!   `f64` values, the storage format shared by every index.
+//! * [`RangeQuery`] — hyper-rectangle predicates (the paper's query model,
+//!   §4: point queries and partially-constrained queries are special cases).
+//! * [`synth`] — synthetic dataset generators standing in for the paper's
+//!   Airline and OpenStreetMap datasets (see `DESIGN.md` §3 for the
+//!   substitution argument).
+//! * [`workload`] — the paper's query generator (§8.1.2): pick a random
+//!   record, take its K nearest neighbours, and use the bounding rectangle.
+//! * [`stats`] — sampling, quantiles, histograms, KL divergence (paper
+//!   §B.3), and the small numeric toolbox used by the learning layer.
+//! * [`io`] — numeric CSV import/export so downstream users can point the
+//!   index at their own tables.
+
+pub mod dataset;
+pub mod io;
+pub mod query;
+pub mod stats;
+pub mod synth;
+pub mod workload;
+
+pub use dataset::{Dataset, DatasetBuilder};
+pub use query::RangeQuery;
+
+/// The scalar type for every attribute value.
+///
+/// The paper stores single-precision floats; we use `f64` so that the
+/// regression and range arithmetic in the learning layer are free of
+/// precision artefacts (see `DESIGN.md` §6).
+pub type Value = f64;
+
+/// Identifier of a row inside a [`Dataset`].
+///
+/// `u32` bounds datasets at ~4.3 billion rows, far beyond what this
+/// reproduction targets, while halving the footprint of posting lists
+/// compared to `usize`.
+pub type RowId = u32;

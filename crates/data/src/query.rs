@@ -1,0 +1,224 @@
+//! Hyper-rectangle range queries.
+//!
+//! The paper's query model (§4): every query is a closed rectangle
+//! `q_lo[d] ≤ C_d ≤ q_hi[d]` per attribute. Unconstrained dimensions use
+//! `(-∞, +∞)`, and point queries set `q_lo == q_hi`. Infinite *bounds* are
+//! allowed even though dataset *values* must be finite.
+
+use crate::{Dataset, RowId, Value};
+
+/// A closed hyper-rectangle predicate over all attributes of a dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeQuery {
+    lo: Vec<Value>,
+    hi: Vec<Value>,
+}
+
+impl RangeQuery {
+    /// A query that matches everything: `(-∞, +∞)` on every dimension.
+    pub fn unbounded(dims: usize) -> Self {
+        assert!(dims > 0, "query must have at least one dimension");
+        Self { lo: vec![f64::NEG_INFINITY; dims], hi: vec![f64::INFINITY; dims] }
+    }
+
+    /// A query from explicit per-dimension bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, are zero, or any bound is NaN.
+    pub fn new(lo: Vec<Value>, hi: Vec<Value>) -> Self {
+        assert!(!lo.is_empty(), "query must have at least one dimension");
+        assert_eq!(lo.len(), hi.len(), "lo/hi length mismatch");
+        assert!(
+            lo.iter().chain(hi.iter()).all(|v| !v.is_nan()),
+            "query bounds must not be NaN"
+        );
+        Self { lo, hi }
+    }
+
+    /// A point query matching exactly `point` (paper §8.2.1: "a range query
+    /// where the lower bound and upper bound … are equal").
+    pub fn point(point: &[Value]) -> Self {
+        Self::new(point.to_vec(), point.to_vec())
+    }
+
+    /// Constrains dimension `dim` to `[lo, hi]`, replacing previous bounds.
+    pub fn constrain(&mut self, dim: usize, lo: Value, hi: Value) -> &mut Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "query bounds must not be NaN");
+        self.lo[dim] = lo;
+        self.hi[dim] = hi;
+        self
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bound of dimension `dim`.
+    #[inline]
+    pub fn lo(&self, dim: usize) -> Value {
+        self.lo[dim]
+    }
+
+    /// Upper bound of dimension `dim`.
+    #[inline]
+    pub fn hi(&self, dim: usize) -> Value {
+        self.hi[dim]
+    }
+
+    /// All lower bounds.
+    #[inline]
+    pub fn lows(&self) -> &[Value] {
+        &self.lo
+    }
+
+    /// All upper bounds.
+    #[inline]
+    pub fn highs(&self) -> &[Value] {
+        &self.hi
+    }
+
+    /// `true` if `lo == hi` on every dimension (a point query).
+    pub fn is_point(&self) -> bool {
+        self.lo.iter().zip(&self.hi).all(|(l, h)| l == h)
+    }
+
+    /// `true` if dimension `dim` is `(-∞, +∞)`.
+    pub fn is_unconstrained(&self, dim: usize) -> bool {
+        self.lo[dim] == f64::NEG_INFINITY && self.hi[dim] == f64::INFINITY
+    }
+
+    /// `true` if some dimension has `lo > hi`, i.e. no row can match.
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| l > h)
+    }
+
+    /// Whether the value vector `row` satisfies every bound.
+    #[inline]
+    pub fn matches(&self, row: &[Value]) -> bool {
+        debug_assert_eq!(row.len(), self.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(row)
+            .all(|((l, h), v)| *l <= *v && *v <= *h)
+    }
+
+    /// Whether row `row` of `dataset` satisfies every bound, without
+    /// materialising the row.
+    #[inline]
+    pub fn matches_row(&self, dataset: &Dataset, row: RowId) -> bool {
+        (0..self.dims()).all(|d| {
+            let v = dataset.value(row, d);
+            self.lo[d] <= v && v <= self.hi[d]
+        })
+    }
+
+    /// Intersects in place with another rectangle (used by query
+    /// translation, Eq. 2: the final constraint is the intersection of the
+    /// direct and the inferred constraints).
+    pub fn intersect(&mut self, other: &RangeQuery) {
+        assert_eq!(self.dims(), other.dims(), "dimension mismatch");
+        for d in 0..self.dims() {
+            self.lo[d] = self.lo[d].max(other.lo[d]);
+            self.hi[d] = self.hi[d].min(other.hi[d]);
+        }
+    }
+
+    /// The query projected onto a subset of dimensions (directory lookups
+    /// in reduced-dimensionality indexes).
+    pub fn project(&self, dims: &[usize]) -> RangeQuery {
+        RangeQuery::new(
+            dims.iter().map(|&d| self.lo[d]).collect(),
+            dims.iter().map(|&d| self.hi[d]).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_matches_everything() {
+        let q = RangeQuery::unbounded(3);
+        assert!(q.matches(&[1e300, -1e300, 0.0]));
+        assert!(!q.is_point());
+        assert!(q.is_unconstrained(0));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn point_query_matches_only_the_point() {
+        let q = RangeQuery::point(&[1.0, 2.0]);
+        assert!(q.is_point());
+        assert!(q.matches(&[1.0, 2.0]));
+        assert!(!q.matches(&[1.0, 2.0001]));
+    }
+
+    #[test]
+    fn closed_bounds_are_inclusive() {
+        let mut q = RangeQuery::unbounded(1);
+        q.constrain(0, 1.0, 2.0);
+        assert!(q.matches(&[1.0]));
+        assert!(q.matches(&[2.0]));
+        assert!(!q.matches(&[0.999]));
+        assert!(!q.matches(&[2.001]));
+    }
+
+    #[test]
+    fn empty_when_bounds_inverted() {
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 5.0, 3.0);
+        assert!(q.is_empty());
+        assert!(!q.matches(&[0.0, 4.0]));
+    }
+
+    #[test]
+    fn matches_row_against_dataset() {
+        let ds = Dataset::new(vec![vec![1.0, 5.0], vec![10.0, 50.0]]);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 0.0, 2.0);
+        assert!(q.matches_row(&ds, 0));
+        assert!(!q.matches_row(&ds, 1));
+    }
+
+    #[test]
+    fn intersect_tightens_bounds() {
+        let mut a = RangeQuery::new(vec![0.0, 0.0], vec![10.0, 10.0]);
+        let b = RangeQuery::new(vec![5.0, -1.0], vec![20.0, 4.0]);
+        a.intersect(&b);
+        assert_eq!(a, RangeQuery::new(vec![5.0, 0.0], vec![10.0, 4.0]));
+    }
+
+    #[test]
+    fn intersection_can_become_empty() {
+        let mut a = RangeQuery::new(vec![0.0], vec![1.0]);
+        a.intersect(&RangeQuery::new(vec![2.0], vec![3.0]));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn project_keeps_selected_dims() {
+        let q = RangeQuery::new(vec![0.0, 1.0, 2.0], vec![10.0, 11.0, 12.0]);
+        let p = q.project(&[2, 0]);
+        assert_eq!(p.lo(0), 2.0);
+        assert_eq!(p.hi(1), 10.0);
+        assert_eq!(p.dims(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_bounds_rejected() {
+        RangeQuery::new(vec![f64::NAN], vec![1.0]);
+    }
+
+    #[test]
+    fn infinite_bounds_allowed() {
+        let q = RangeQuery::new(vec![f64::NEG_INFINITY], vec![0.0]);
+        assert!(q.matches(&[-1e308]));
+        assert!(!q.matches(&[0.5]));
+    }
+}

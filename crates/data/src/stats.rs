@@ -1,0 +1,397 @@
+//! Small numeric toolbox: moments, quantiles, histograms, KL divergence,
+//! and random variate generation.
+//!
+//! Everything the learning layer (Algorithm 1) and the CSM theory module
+//! (paper §7/§B) need lives here, implemented by hand so the workspace only
+//! depends on `rand` for raw uniform bits.
+
+use crate::Value;
+use rand::Rng;
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[Value]) -> Value {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<Value>() / xs.len() as Value
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[Value]) -> Value {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<Value>() / xs.len() as Value
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[Value]) -> Value {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient of two equally long slices.
+///
+/// Returns `0.0` when either side has zero variance (a constant column can
+/// never support a *useful* soft FD: it is trivially predictable, so the
+/// discovery layer handles it separately).
+pub fn pearson(xs: &[Value], ys: &[Value]) -> Value {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of `xs` using linear interpolation between
+/// order statistics; `None` for an empty slice.
+///
+/// Sorts a copy — callers with many quantiles on the same data should sort
+/// once and use [`quantile_sorted`].
+pub fn quantile(xs: &[Value], q: Value) -> Option<Value> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// [`quantile`] over data that is already sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(xs: &[Value], q: Value) -> Value {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    if xs.len() == 1 {
+        return xs[0];
+    }
+    let pos = q * (xs.len() - 1) as Value;
+    let idx = pos.floor() as usize;
+    let frac = pos - idx as Value;
+    if idx + 1 >= xs.len() {
+        xs[xs.len() - 1]
+    } else {
+        xs[idx] * (1.0 - frac) + xs[idx + 1] * frac
+    }
+}
+
+/// Median of `xs`; `None` for an empty slice.
+pub fn median(xs: &[Value]) -> Option<Value> {
+    quantile(xs, 0.5)
+}
+
+/// Median absolute deviation (MAD) around the median; `None` for an empty
+/// slice. With the 1.4826 consistency factor this estimates the standard
+/// deviation of the *inlier* population even when up to half the data is
+/// grossly displaced — which is exactly what margin selection needs on
+/// outlier-heavy soft FDs.
+pub fn mad(xs: &[Value]) -> Option<Value> {
+    let m = median(xs)?;
+    let deviations: Vec<Value> = xs.iter().map(|&x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Robust standard-deviation estimate `1.4826 · MAD`; `None` when empty.
+pub fn robust_std(xs: &[Value]) -> Option<Value> {
+    mad(xs).map(|m| 1.4826 * m)
+}
+
+/// `k+1` quantile boundaries splitting `xs` into `k` equi-depth buckets
+/// (the grid-file boundary rule of paper §6: "boundaries for each cell
+/// based on quantiles along each dimension").
+///
+/// Boundaries are strictly increasing only if the data allows; duplicates
+/// collapse for heavily repeated values and callers must handle equal
+/// neighbours (the grid file does).
+pub fn equi_depth_boundaries(xs: &[Value], k: usize) -> Vec<Value> {
+    assert!(k > 0, "need at least one bucket");
+    if xs.is_empty() {
+        return vec![0.0; k + 1];
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    (0..=k)
+        .map(|i| quantile_sorted(&sorted, i as Value / k as Value))
+        .collect()
+}
+
+/// A fixed-width histogram over `[min, max]`.
+///
+/// Used for Fig. 4a (distribution of page sizes) and as a general
+/// diagnostic. Values outside the range are clamped into the edge bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    min: Value,
+    width: Value,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `max < min`.
+    pub fn new(min: Value, max: Value, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(max >= min, "histogram range inverted");
+        let width = if max > min { (max - min) / bins as Value } else { 1.0 };
+        Self { min, width, counts: vec![0; bins] }
+    }
+
+    /// Builds a histogram spanning the observed range of `xs`.
+    pub fn from_values(xs: &[Value], bins: usize) -> Self {
+        let (lo, hi) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
+        let (lo, hi) = if xs.is_empty() { (0.0, 1.0) } else { (lo, hi) };
+        let mut h = Self::new(lo, hi, bins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: Value) {
+        let raw = ((x - self.min) / self.width).floor();
+        let idx = (raw.max(0.0) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_low_edge, count)` pairs for reporting.
+    pub fn bins(&self) -> impl Iterator<Item = (Value, usize)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.min + i as Value * self.width, c))
+    }
+}
+
+/// Kullback–Leibler divergence of the empirical distribution of `xs`
+/// (discretised into `bins` equal-width cells) from the uniform distribution
+/// over the same support — the CSM prerequisite check of paper §B.3.
+///
+/// Returns `0.0` for empty or constant data (a single point mass over a
+/// single support cell *is* uniform on its support).
+pub fn kl_divergence_from_uniform(xs: &[Value], bins: usize) -> Value {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let hist = Histogram::from_values(xs, bins);
+    let n = hist.total() as Value;
+    // P_uniform over the *occupied* bins, mirroring the paper's unique-set
+    // definition (§B.3 normalises by the number of distinct values), so a
+    // point mass on a single support cell has divergence 0 from "uniform on
+    // its support".
+    let occupied = hist.counts().iter().filter(|&&c| c > 0).count().max(1);
+    let uniform = 1.0 / occupied as Value;
+    hist.counts()
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as Value / n;
+            p * (p / uniform).ln()
+        })
+        .sum::<Value>()
+        .max(0.0)
+}
+
+/// Standard normal variate via Box–Muller (avoids a `rand_distr` dep).
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> Value {
+    // Rejection-free polar-less form; u1 is kept away from 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal variate with the given mean and standard deviation.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: Value, std: Value) -> Value {
+    mean + std * sample_standard_normal(rng)
+}
+
+/// Uniformly samples `k` distinct indices out of `0..n` (Floyd's algorithm);
+/// if `k >= n` returns all indices. Order is unspecified.
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    // Floyd's algorithm: O(k) expected inserts into a small set.
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        // population variance of {2,4,4,4,5,5,7,9} is 4
+        assert!((variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_and_no_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        let constant = [7.0, 7.0, 7.0, 7.0];
+        assert_eq!(pearson(&xs, &constant), 0.0);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        // Symmetric ±1 around 5: MAD = 1.
+        assert_eq!(mad(&[4.0, 5.0, 6.0]), Some(1.0));
+    }
+
+    #[test]
+    fn robust_std_ignores_gross_outliers() {
+        // 90 % standard-normal-ish values, 10 % at ±1000.
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..5000)
+            .map(|i| {
+                if i % 10 == 0 {
+                    if i % 20 == 0 { 1000.0 } else { -1000.0 }
+                } else {
+                    sample_standard_normal(&mut rng)
+                }
+            })
+            .collect();
+        let classic = std_dev(&xs);
+        let robust = robust_std(&xs).unwrap();
+        assert!(classic > 100.0, "classic std is dominated by outliers: {classic}");
+        assert!(
+            (robust - 1.0).abs() < 0.15,
+            "robust std should track the inlier sigma, got {robust}"
+        );
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[9.0], 0.3), Some(9.0));
+    }
+
+    #[test]
+    fn equi_depth_boundaries_split_evenly() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = equi_depth_boundaries(&xs, 4);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0], 0.0);
+        assert_eq!(b[4], 99.0);
+        // interior boundaries near the 25/50/75 percentiles
+        assert!((b[1] - 24.75).abs() < 1e-9);
+        assert!((b[2] - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equi_depth_boundaries_on_skew_collapse() {
+        let xs = vec![1.0; 50];
+        let b = equi_depth_boundaries(&xs, 4);
+        assert!(b.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for &v in &[0.0, 1.9, 2.0, 9.99, 10.0, -5.0, 15.0] {
+            h.add(v);
+        }
+        // bins: [0,2) [2,4) [4,6) [6,8) [8,10]; -5 clamps low, 10/15 clamp high
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 3]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_from_values_spans_range() {
+        let h = Histogram::from_values(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn kl_divergence_zero_for_uniform_and_positive_for_skew() {
+        let uniform: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let kl_u = kl_divergence_from_uniform(&uniform, 10);
+        assert!(kl_u < 0.01, "uniform data should have ~0 KL, got {kl_u}");
+
+        let skewed: Vec<f64> = (0..1000)
+            .map(|i| if i < 950 { i as f64 % 10.0 } else { 500.0 + i as f64 })
+            .collect();
+        let kl_s = kl_divergence_from_uniform(&skewed, 10);
+        assert!(kl_s > 0.3, "skewed data should have large KL, got {kl_s}");
+        assert_eq!(kl_divergence_from_uniform(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng, 5.0, 2.0)).collect();
+        assert!((mean(&xs) - 5.0).abs() < 0.1);
+        assert!((std_dev(&xs) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = sample_indices(&mut rng, 100, 20);
+        assert_eq!(picks.len(), 20);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(picks.iter().all(|&i| i < 100));
+        // k >= n returns everything
+        assert_eq!(sample_indices(&mut rng, 5, 10).len(), 5);
+    }
+}

@@ -1,0 +1,286 @@
+//! Synthetic analogue of the paper's **US Airlines 2000–2009** dataset
+//! (80 M rows × 8 attributes; Table 1).
+//!
+//! The real dataset is not available offline, so we generate a table with
+//! the same *dependency structure* the paper exploits (§8.1.2):
+//!
+//! * **Group A** — `(Distance, TimeElapsed, AirTime)`: flight time is
+//!   essentially distance over cruise speed plus taxi overhead. Outliers are
+//!   diverted / holding-pattern flights whose elapsed time explodes.
+//! * **Group B** — `(DepTime, ArrTime, ScheduledArrTime)`: arrival follows
+//!   departure by roughly the mean stage length. Outliers are overnight
+//!   wrap-arounds (arrival past midnight) and severely delayed flights.
+//! * Two independent attributes — `DayOfWeek` (discrete uniform) and
+//!   `Carrier` (Zipf-distributed id) — that no model should pick up.
+//!
+//! The two groups are generated independently so that discovery tests have
+//! unambiguous ground truth (the real data has mild cross-group coupling;
+//! nothing in COAX depends on its absence — see `DESIGN.md` §3).
+//!
+//! Column order: `Distance, TimeElapsed, AirTime, DepTime, ArrTime,
+//! ScheduledArrTime, DayOfWeek, Carrier`.
+
+use super::Generator;
+use crate::stats::sample_normal;
+use crate::{Dataset, DatasetBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Column indices of the airline dataset, for readable experiment code.
+pub mod columns {
+    /// Great-circle flight distance, miles.
+    pub const DISTANCE: usize = 0;
+    /// Gate-to-gate time, minutes.
+    pub const TIME_ELAPSED: usize = 1;
+    /// Wheels-off to wheels-on time, minutes.
+    pub const AIR_TIME: usize = 2;
+    /// Departure time, minutes since midnight.
+    pub const DEP_TIME: usize = 3;
+    /// Arrival time, minutes since midnight (can wrap for red-eyes).
+    pub const ARR_TIME: usize = 4;
+    /// Scheduled arrival time, minutes since midnight.
+    pub const SCHED_ARR_TIME: usize = 5;
+    /// Day of week, 1–7.
+    pub const DAY_OF_WEEK: usize = 6;
+    /// Carrier id, 0–19 (Zipf-distributed).
+    pub const CARRIER: usize = 7;
+}
+
+/// Ground truth about the generated dependency structure, used by tests and
+/// by `table1` reporting.
+pub mod ground_truth {
+    /// The two correlated groups, by column index.
+    pub const GROUPS: [&[usize]; 2] = [&[0, 1, 2], &[3, 4, 5]];
+    /// Columns not involved in any soft FD.
+    pub const INDEPENDENT: [usize; 2] = [6, 7];
+    /// Cruise speed used for the distance → air-time dependency (miles/min).
+    pub const CRUISE_SPEED: f64 = 7.5;
+    /// Mean taxi overhead (minutes) separating air time from elapsed time.
+    pub const TAXI_OVERHEAD: f64 = 28.0;
+    /// Mean block time (minutes) separating arrival from departure.
+    pub const MEAN_BLOCK: f64 = 150.0;
+}
+
+/// Configuration of the synthetic airline dataset.
+#[derive(Clone, Debug)]
+pub struct AirlineConfig {
+    /// Number of rows (the paper uses 80 M; defaults here are laptop-scale).
+    pub rows: usize,
+    /// Fraction of rows whose group-A values (elapsed/air time) are
+    /// displaced by diversions or holding patterns.
+    pub outlier_fraction_flight: Value,
+    /// Fraction of rows whose group-B values (arrival times) are displaced
+    /// by overnight wrap-around or severe delay.
+    pub outlier_fraction_schedule: Value,
+    /// Number of distinct carriers.
+    pub carriers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AirlineConfig {
+    fn default() -> Self {
+        // Calibrated so P(outlier in either group) ≈ 8 %, matching
+        // Table 1's 92 % primary-index ratio.
+        Self {
+            rows: 1_000_000,
+            outlier_fraction_flight: 0.040,
+            outlier_fraction_schedule: 0.045,
+            carriers: 20,
+            seed: 0x0a1e,
+        }
+    }
+}
+
+impl AirlineConfig {
+    /// A small instance for tests and examples.
+    pub fn small(rows: usize, seed: u64) -> Self {
+        Self { rows, seed, ..Default::default() }
+    }
+
+    /// The "airline data for the year 2008 only" subset used by the paper
+    /// for Figs. 7 and 8 (7 M rows there; scaled here). Same structure,
+    /// different seed stream.
+    pub fn year2008(rows: usize, seed: u64) -> Self {
+        Self { rows, seed: seed ^ 0x2008, ..Default::default() }
+    }
+}
+
+impl Generator for AirlineConfig {
+    fn generate(&self) -> Dataset {
+        assert!(self.carriers > 0, "need at least one carrier");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = DatasetBuilder::with_capacity(8, self.rows).names(vec![
+            "Distance",
+            "TimeElapsed",
+            "AirTime",
+            "DepTime",
+            "ArrTime",
+            "ScheduledArrTime",
+            "DayOfWeek",
+            "Carrier",
+        ]);
+        // Zipf CDF over carrier ids (s = 1): big carriers dominate.
+        let carrier_cdf = zipf_cdf(self.carriers, 1.0);
+        for _ in 0..self.rows {
+            // --- Group A: Distance → AirTime → TimeElapsed -------------
+            // Short-haul-heavy distance distribution in [80, 2900] miles.
+            let u: f64 = rng.gen();
+            let distance = 80.0 + 2820.0 * u * u;
+            let mut air_time = distance / ground_truth::CRUISE_SPEED
+                + sample_normal(&mut rng, 0.0, 4.0);
+            let mut elapsed = air_time
+                + ground_truth::TAXI_OVERHEAD
+                + sample_normal(&mut rng, 0.0, 6.0);
+            if rng.gen::<f64>() < self.outlier_fraction_flight {
+                // Diversion / holding: both times blow up, far off the line.
+                let extra = rng.gen_range(120.0..480.0);
+                air_time += extra * 0.6;
+                elapsed += extra;
+            }
+            air_time = air_time.max(10.0);
+            elapsed = elapsed.max(air_time + 5.0);
+
+            // --- Group B: DepTime → ArrTime → ScheduledArrTime ----------
+            // Morning and evening departure banks.
+            let dep = if rng.gen::<f64>() < 0.5 {
+                sample_normal(&mut rng, 480.0, 120.0)
+            } else {
+                sample_normal(&mut rng, 1020.0, 150.0)
+            }
+            .clamp(300.0, 1380.0);
+            let mut arr = dep + ground_truth::MEAN_BLOCK + sample_normal(&mut rng, 0.0, 30.0);
+            let mut sched = arr - sample_normal(&mut rng, 12.0, 10.0);
+            if rng.gen::<f64>() < self.outlier_fraction_schedule {
+                if rng.gen::<f64>() < 0.5 {
+                    // Red-eye wrap-around: arrival lands after midnight.
+                    arr -= 1440.0;
+                } else {
+                    // Severe delay: actual arrival far past schedule.
+                    arr += rng.gen_range(180.0..600.0);
+                }
+            }
+            sched = sched.clamp(0.0, 1440.0);
+
+            // --- Independent attributes ---------------------------------
+            let day = rng.gen_range(1..=7) as Value;
+            let carrier = sample_discrete(&mut rng, &carrier_cdf) as Value;
+
+            let row = [distance, elapsed, air_time, dep, arr, sched, day, carrier];
+            b.push_row(&row).expect("generated row is finite");
+        }
+        b.finish()
+    }
+}
+
+/// Cumulative Zipf(s) weights over `n` ranks.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = (1..=n)
+        .map(|k| {
+            acc += 1.0 / (k as f64).powf(s);
+            acc
+        })
+        .collect();
+    for w in cdf.iter_mut() {
+        *w /= acc;
+    }
+    cdf
+}
+
+/// Samples an index from a CDF table.
+fn sample_discrete<R: Rng + ?Sized>(rng: &mut R, cdf: &[f64]) -> usize {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::pearson;
+
+    #[test]
+    fn shape_and_names() {
+        let ds = AirlineConfig::small(2000, 1).generate();
+        assert_eq!(ds.dims(), 8);
+        assert_eq!(ds.len(), 2000);
+        assert_eq!(ds.name(columns::DISTANCE), "Distance");
+        assert_eq!(ds.name(columns::CARRIER), "Carrier");
+    }
+
+    #[test]
+    fn planted_groups_are_correlated() {
+        let ds = AirlineConfig::small(20_000, 2).generate();
+        let r_da = pearson(ds.column(columns::DISTANCE), ds.column(columns::AIR_TIME));
+        let r_de = pearson(ds.column(columns::DISTANCE), ds.column(columns::TIME_ELAPSED));
+        let r_ae = pearson(ds.column(columns::DEP_TIME), ds.column(columns::ARR_TIME));
+        // Pearson is computed over *all* rows including the planted gross
+        // outliers, so the bars sit below the clean-subset correlation.
+        assert!(r_da > 0.90, "distance/airtime r={r_da}");
+        assert!(r_de > 0.85, "distance/elapsed r={r_de}");
+        assert!(r_ae > 0.75, "dep/arr r={r_ae}");
+    }
+
+    #[test]
+    fn independent_attributes_are_uncorrelated() {
+        let ds = AirlineConfig::small(20_000, 3).generate();
+        for &ind in &ground_truth::INDEPENDENT {
+            for d in 0..6 {
+                let r = pearson(ds.column(ind), ds.column(d));
+                assert!(r.abs() < 0.05, "col {ind} vs {d}: r={r}");
+            }
+        }
+        // The two groups are mutually independent too.
+        let r = pearson(ds.column(columns::DISTANCE), ds.column(columns::DEP_TIME));
+        assert!(r.abs() < 0.05, "cross-group r={r}");
+    }
+
+    #[test]
+    fn outlier_fraction_matches_table1_primary_ratio() {
+        let cfg = AirlineConfig::small(50_000, 4);
+        let ds = cfg.generate();
+        // Measure rows within a generous margin of both planted lines.
+        let ok = (0..ds.len() as u32)
+            .filter(|&i| {
+                let dist = ds.value(i, columns::DISTANCE);
+                let air = ds.value(i, columns::AIR_TIME);
+                let dep = ds.value(i, columns::DEP_TIME);
+                let arr = ds.value(i, columns::ARR_TIME);
+                let a_ok =
+                    (air - dist / ground_truth::CRUISE_SPEED).abs() < 40.0;
+                let b_ok = (arr - dep - ground_truth::MEAN_BLOCK).abs() < 120.0;
+                a_ok && b_ok
+            })
+            .count();
+        let ratio = ok as f64 / ds.len() as f64;
+        assert!(
+            (0.88..=0.95).contains(&ratio),
+            "primary ratio should be ~0.92, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn carrier_is_zipf_skewed() {
+        let ds = AirlineConfig::small(20_000, 5).generate();
+        let col = ds.column(columns::CARRIER);
+        let top = col.iter().filter(|&&c| c == 0.0).count() as f64 / col.len() as f64;
+        let tail = col.iter().filter(|&&c| c == 19.0).count() as f64 / col.len() as f64;
+        assert!(top > 5.0 * tail, "carrier 0 ({top}) should dominate carrier 19 ({tail})");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AirlineConfig::small(100, 7).generate();
+        let b = AirlineConfig::small(100, 7).generate();
+        assert_eq!(a.column(0), b.column(0));
+        assert_eq!(a.column(4), b.column(4));
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalised() {
+        let cdf = zipf_cdf(10, 1.0);
+        assert_eq!(cdf.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        assert!((cdf[9] - 1.0).abs() < 1e-12);
+    }
+}

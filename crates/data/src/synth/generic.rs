@@ -1,0 +1,401 @@
+//! Fully parameterised synthetic datasets: uniform boxes, Gaussian cluster
+//! mixtures, and planted soft functional dependencies.
+//!
+//! These are the workhorses of the test suite: the planted generators let a
+//! test assert that discovery recovers *exactly* the dependency structure
+//! that was planted, with known slope, noise level and outlier fraction.
+
+use super::Generator;
+use crate::stats::sample_normal;
+use crate::{Dataset, DatasetBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform i.i.d. values in per-dimension ranges. No correlations at all —
+/// the null case for soft-FD discovery.
+#[derive(Clone, Debug)]
+pub struct UniformConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Inclusive `(lo, hi)` range per dimension.
+    pub ranges: Vec<(Value, Value)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UniformConfig {
+    /// A `dims`-dimensional unit cube with `rows` rows.
+    pub fn cube(dims: usize, rows: usize, seed: u64) -> Self {
+        Self { rows, ranges: vec![(0.0, 1.0); dims], seed }
+    }
+}
+
+impl Generator for UniformConfig {
+    fn generate(&self) -> Dataset {
+        assert!(!self.ranges.is_empty(), "need at least one dimension");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let columns = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                assert!(hi >= lo, "inverted range");
+                (0..self.rows)
+                    .map(|_| if hi > lo { rng.gen_range(lo..=hi) } else { lo })
+                    .collect()
+            })
+            .collect();
+        Dataset::new(columns)
+    }
+}
+
+/// A mixture of isotropic Gaussian clusters over a bounding box, plus a
+/// uniform background — the lat/lon skew model (cities over countryside)
+/// that makes uniform grids degenerate (paper Fig. 4a).
+#[derive(Clone, Debug)]
+pub struct GaussianClustersConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Dimensionality of each point.
+    pub dims: usize,
+    /// Number of cluster centres (drawn uniformly in the box).
+    pub clusters: usize,
+    /// Cluster standard deviation as a fraction of the box side.
+    pub spread: Value,
+    /// Fraction of rows drawn from the uniform background instead of a
+    /// cluster.
+    pub background: Value,
+    /// Bounding box, identical on every dimension.
+    pub range: (Value, Value),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaussianClustersConfig {
+    /// A 2-d "city map" default: 12 clusters, 10 % background.
+    pub fn map(rows: usize, seed: u64) -> Self {
+        Self {
+            rows,
+            dims: 2,
+            clusters: 12,
+            spread: 0.02,
+            background: 0.1,
+            range: (0.0, 1.0),
+            seed,
+        }
+    }
+}
+
+impl Generator for GaussianClustersConfig {
+    fn generate(&self) -> Dataset {
+        assert!(self.dims > 0 && self.clusters > 0, "need dims and clusters");
+        let (lo, hi) = self.range;
+        assert!(hi > lo, "inverted range");
+        let side = hi - lo;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let centres: Vec<Vec<Value>> = (0..self.clusters)
+            .map(|_| (0..self.dims).map(|_| rng.gen_range(lo..hi)).collect())
+            .collect();
+        let mut b = DatasetBuilder::with_capacity(self.dims, self.rows);
+        let mut row = vec![0.0; self.dims];
+        for _ in 0..self.rows {
+            if rng.gen::<f64>() < self.background {
+                for v in row.iter_mut() {
+                    *v = rng.gen_range(lo..hi);
+                }
+            } else {
+                let c = &centres[rng.gen_range(0..self.clusters)];
+                for (v, &centre) in row.iter_mut().zip(c) {
+                    *v = sample_normal(&mut rng, centre, self.spread * side).clamp(lo, hi);
+                }
+            }
+            b.push_row(&row).expect("generated row is finite");
+        }
+        b.finish()
+    }
+}
+
+/// A 2-column dataset with a planted linear soft FD
+/// `y = slope·x + intercept + N(0, noise_sigma)`, where a fraction of rows
+/// are *outliers* displaced far off the line.
+///
+/// This is the minimal setting of the paper's Figures 2/3/5 and of
+/// Algorithm 1, and the primary fixture for unit tests.
+#[derive(Clone, Debug)]
+pub struct LinearPairConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Predictor range (uniform).
+    pub x_range: (Value, Value),
+    /// Planted slope.
+    pub slope: Value,
+    /// Planted intercept.
+    pub intercept: Value,
+    /// Std-dev of the on-line Gaussian noise.
+    pub noise_sigma: Value,
+    /// Fraction of rows displaced off the line.
+    pub outlier_fraction: Value,
+    /// Minimum displacement of an outlier, in multiples of `noise_sigma`.
+    pub outlier_offset_sigmas: Value,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LinearPairConfig {
+    fn default() -> Self {
+        Self {
+            rows: 10_000,
+            x_range: (0.0, 1000.0),
+            slope: 2.0,
+            intercept: 50.0,
+            noise_sigma: 5.0,
+            outlier_fraction: 0.05,
+            outlier_offset_sigmas: 20.0,
+            seed: 0,
+        }
+    }
+}
+
+impl Generator for LinearPairConfig {
+    fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (xlo, xhi) = self.x_range;
+        assert!(xhi > xlo, "inverted x range");
+        let mut xs = Vec::with_capacity(self.rows);
+        let mut ys = Vec::with_capacity(self.rows);
+        for _ in 0..self.rows {
+            let x = rng.gen_range(xlo..xhi);
+            let mut y = self.slope * x + self.intercept
+                + sample_normal(&mut rng, 0.0, self.noise_sigma);
+            if rng.gen::<f64>() < self.outlier_fraction {
+                // Displace beyond any plausible margin, on a random side.
+                let side = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                let extra = rng.gen_range(1.0..4.0);
+                y += side * self.outlier_offset_sigmas * self.noise_sigma * extra;
+            }
+            xs.push(x);
+            ys.push(y);
+        }
+        Dataset::with_names(vec![xs, ys], vec!["x".into(), "y".into()])
+    }
+}
+
+/// Specification of one dependent attribute inside a [`PlantedConfig`]
+/// correlation group.
+#[derive(Clone, Debug)]
+pub struct PlantedDependent {
+    /// Planted slope w.r.t. the group predictor.
+    pub slope: Value,
+    /// Planted intercept.
+    pub intercept: Value,
+    /// Std-dev of the on-line noise.
+    pub noise_sigma: Value,
+}
+
+/// One correlation group: a uniform predictor attribute plus any number of
+/// dependents that follow it linearly.
+#[derive(Clone, Debug)]
+pub struct PlantedGroup {
+    /// Predictor value range (uniform).
+    pub x_range: (Value, Value),
+    /// Dependents, in output-column order after the predictor.
+    pub dependents: Vec<PlantedDependent>,
+    /// Fraction of rows where *this group's* dependents are displaced.
+    pub outlier_fraction: Value,
+    /// Outlier displacement in multiples of each dependent's sigma.
+    pub outlier_offset_sigmas: Value,
+}
+
+/// An n-dimensional dataset with an arbitrary planted dependency structure:
+/// a list of correlation groups followed by independent uniform attributes.
+///
+/// Column order: group 0 predictor, group 0 dependents…, group 1 predictor,
+/// …, then the independent attributes.
+#[derive(Clone, Debug)]
+pub struct PlantedConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Correlation groups.
+    pub groups: Vec<PlantedGroup>,
+    /// Ranges for the trailing independent attributes.
+    pub independent: Vec<(Value, Value)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PlantedConfig {
+    /// Total number of output columns.
+    pub fn dims(&self) -> usize {
+        self.groups.iter().map(|g| 1 + g.dependents.len()).sum::<usize>()
+            + self.independent.len()
+    }
+
+    /// Column index of each group's predictor.
+    pub fn predictor_columns(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.groups.len());
+        let mut col = 0;
+        for g in &self.groups {
+            out.push(col);
+            col += 1 + g.dependents.len();
+        }
+        out
+    }
+}
+
+impl Generator for PlantedConfig {
+    fn generate(&self) -> Dataset {
+        let dims = self.dims();
+        assert!(dims > 0, "planted dataset needs at least one column");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = DatasetBuilder::with_capacity(dims, self.rows);
+        let mut row = Vec::with_capacity(dims);
+        for _ in 0..self.rows {
+            row.clear();
+            for g in &self.groups {
+                let (xlo, xhi) = g.x_range;
+                let x = rng.gen_range(xlo..xhi);
+                row.push(x);
+                let is_outlier = rng.gen::<f64>() < g.outlier_fraction;
+                for dep in &g.dependents {
+                    let mut y = dep.slope * x + dep.intercept
+                        + sample_normal(&mut rng, 0.0, dep.noise_sigma);
+                    if is_outlier {
+                        let side = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                        let extra = rng.gen_range(1.0..4.0);
+                        y += side * g.outlier_offset_sigmas * dep.noise_sigma * extra;
+                    }
+                    row.push(y);
+                }
+            }
+            for &(lo, hi) in &self.independent {
+                row.push(if hi > lo { rng.gen_range(lo..=hi) } else { lo });
+            }
+            b.push_row(&row).expect("generated row is finite");
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{pearson, std_dev};
+
+    #[test]
+    fn uniform_respects_ranges() {
+        let ds = UniformConfig {
+            rows: 500,
+            ranges: vec![(0.0, 1.0), (-5.0, 5.0), (7.0, 7.0)],
+            seed: 3,
+        }
+        .generate();
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.len(), 500);
+        let (lo0, hi0) = ds.min_max(0).unwrap();
+        assert!(lo0 >= 0.0 && hi0 <= 1.0);
+        let (lo2, hi2) = ds.min_max(2).unwrap();
+        assert_eq!((lo2, hi2), (7.0, 7.0));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = UniformConfig::cube(2, 100, 9).generate();
+        let b = UniformConfig::cube(2, 100, 9).generate();
+        let c = UniformConfig::cube(2, 100, 10).generate();
+        assert_eq!(a.column(0), b.column(0));
+        assert_ne!(a.column(0), c.column(0));
+    }
+
+    #[test]
+    fn clusters_stay_in_box_and_are_skewed() {
+        let ds = GaussianClustersConfig::map(4000, 11).generate();
+        for d in 0..2 {
+            let (lo, hi) = ds.min_max(d).unwrap();
+            assert!(lo >= 0.0 && hi <= 1.0);
+        }
+        // Clustered data is far from uniform: KL divergence well above 0.
+        let kl = crate::stats::kl_divergence_from_uniform(ds.column(0), 20);
+        assert!(kl > 0.1, "clustered marginal should be skewed, got KL={kl}");
+    }
+
+    #[test]
+    fn linear_pair_plants_strong_correlation() {
+        let cfg = LinearPairConfig { outlier_fraction: 0.0, ..Default::default() };
+        let ds = cfg.generate();
+        let r = pearson(ds.column(0), ds.column(1));
+        assert!(r > 0.99, "planted dependency should be near-perfect, r={r}");
+    }
+
+    #[test]
+    fn linear_pair_outliers_leave_the_margin() {
+        let cfg = LinearPairConfig {
+            rows: 20_000,
+            outlier_fraction: 0.1,
+            ..Default::default()
+        };
+        let ds = cfg.generate();
+        // Count rows beyond 10 sigma of the planted line: should be ≈ 10 %.
+        let far = ds
+            .column(0)
+            .iter()
+            .zip(ds.column(1))
+            .filter(|&(&x, &y)| {
+                (y - (cfg.slope * x + cfg.intercept)).abs() > 10.0 * cfg.noise_sigma
+            })
+            .count();
+        let frac = far as f64 / ds.len() as f64;
+        assert!(
+            (frac - 0.1).abs() < 0.02,
+            "outlier fraction should be ~0.1, got {frac}"
+        );
+    }
+
+    #[test]
+    fn planted_layout_and_structure() {
+        let cfg = PlantedConfig {
+            rows: 5000,
+            groups: vec![
+                PlantedGroup {
+                    x_range: (0.0, 100.0),
+                    dependents: vec![
+                        PlantedDependent { slope: 2.0, intercept: 0.0, noise_sigma: 1.0 },
+                        PlantedDependent { slope: -1.0, intercept: 50.0, noise_sigma: 0.5 },
+                    ],
+                    outlier_fraction: 0.0,
+                    outlier_offset_sigmas: 20.0,
+                },
+                PlantedGroup {
+                    x_range: (1000.0, 2000.0),
+                    dependents: vec![PlantedDependent {
+                        slope: 0.5,
+                        intercept: -10.0,
+                        noise_sigma: 2.0,
+                    }],
+                    outlier_fraction: 0.0,
+                    outlier_offset_sigmas: 20.0,
+                },
+            ],
+            independent: vec![(0.0, 1.0)],
+            seed: 5,
+        };
+        assert_eq!(cfg.dims(), 6);
+        assert_eq!(cfg.predictor_columns(), vec![0, 3]);
+        let ds = cfg.generate();
+        assert_eq!(ds.dims(), 6);
+        // In-group correlations are strong…
+        assert!(pearson(ds.column(0), ds.column(1)).abs() > 0.99);
+        assert!(pearson(ds.column(0), ds.column(2)).abs() > 0.99);
+        assert!(pearson(ds.column(3), ds.column(4)).abs() > 0.99);
+        // …cross-group and independent correlations are weak.
+        assert!(pearson(ds.column(0), ds.column(3)).abs() < 0.05);
+        assert!(pearson(ds.column(0), ds.column(5)).abs() < 0.05);
+        // Group-1 dependent has the planted noise level around its line.
+        let resid: Vec<f64> = ds
+            .column(3)
+            .iter()
+            .zip(ds.column(4))
+            .map(|(&x, &y)| y - (0.5 * x - 10.0))
+            .collect();
+        let s = std_dev(&resid);
+        assert!((s - 2.0).abs() < 0.2, "residual sigma should be ~2, got {s}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Query workload generation.
+//!
+//! The paper's procedure (§8.1.2): *"We generate the queries by picking a
+//! random record from the data. Then, we find the K nearest records and
+//! take the minimum and maximum values corresponding to each dimension."*
+//! `K` is the selectivity knob for Fig. 7 (average query selectivity in
+//! points). Point queries are range queries whose bounds coincide (§8.2.1).
+
+use crate::stats::sample_indices;
+use crate::{Dataset, RangeQuery, RowId, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generates `count` KNN-rectangle range queries with target selectivity
+/// `k` (the bounding box of the `k` nearest records of a random seed
+/// record; the true selectivity is ≥ `k` because a box is a superset of
+/// the nearest-neighbour ball).
+///
+/// Distances are L2 over range-normalised attributes so that wide
+/// attributes (timestamps) do not drown narrow ones (latitudes).
+///
+/// Returns fewer than `count` queries only when the dataset is empty.
+pub fn knn_rectangle_queries(
+    dataset: &Dataset,
+    count: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<RangeQuery> {
+    if dataset.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    assert!(k > 0, "selectivity target must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dims = dataset.dims();
+    let n = dataset.len();
+
+    // Per-dimension inverse ranges for normalisation.
+    let inv_range: Vec<Value> = (0..dims)
+        .map(|d| {
+            let (lo, hi) = dataset.min_max(d).expect("non-empty");
+            if hi > lo {
+                1.0 / (hi - lo)
+            } else {
+                0.0 // constant column contributes nothing to distance
+            }
+        })
+        .collect();
+
+    let anchors = sample_indices(&mut rng, n, count);
+    let mut dist2 = vec![0.0f64; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut queries = Vec::with_capacity(count);
+
+    for (qi, &anchor) in anchors.iter().cycle().take(count).enumerate() {
+        // `sample_indices` returns at most `n` distinct anchors; when the
+        // caller asks for more queries than rows we cycle. `qi` keeps the
+        // enumeration deterministic without reseeding.
+        let _ = qi;
+        // Column-major accumulation of squared normalised distance.
+        dist2.iter_mut().for_each(|d| *d = 0.0);
+        for (d, &w) in inv_range.iter().enumerate() {
+            let col = dataset.column(d);
+            let centre = col[anchor];
+            for (acc, &v) in dist2.iter_mut().zip(col) {
+                let delta = (v - centre) * w;
+                *acc += delta * delta;
+            }
+        }
+        // k nearest (including the anchor itself, distance 0).
+        order.clear();
+        order.extend(0..n as u32);
+        let kk = k.min(n);
+        if kk < n {
+            order.select_nth_unstable_by(kk - 1, |&a, &b| {
+                dist2[a as usize]
+                    .partial_cmp(&dist2[b as usize])
+                    .expect("distances are finite")
+            });
+        }
+        let nearest = &order[..kk];
+
+        // Bounding rectangle of the k nearest.
+        let mut lo = vec![f64::INFINITY; dims];
+        let mut hi = vec![f64::NEG_INFINITY; dims];
+        for &r in nearest {
+            for d in 0..dims {
+                let v = dataset.value(r, d);
+                if v < lo[d] {
+                    lo[d] = v;
+                }
+                if v > hi[d] {
+                    hi[d] = v;
+                }
+            }
+        }
+        queries.push(RangeQuery::new(lo, hi));
+    }
+    queries
+}
+
+/// Generates `count` *partial* range queries: KNN rectangles with all but
+/// `constrained` randomly chosen dimensions relaxed to `(-∞, +∞)`.
+///
+/// The paper's workloads target every attribute (§8.1.2), but partial
+/// predicates are where correlation-aware translation matters most — a
+/// query touching only dependent attributes gives a conventional index
+/// nothing to navigate by. Used by the ablation benches and examples.
+pub fn partial_queries(
+    dataset: &Dataset,
+    count: usize,
+    k: usize,
+    constrained: usize,
+    seed: u64,
+) -> Vec<RangeQuery> {
+    let full = knn_rectangle_queries(dataset, count, k, seed);
+    if full.is_empty() {
+        return full;
+    }
+    let dims = dataset.dims();
+    let keep = constrained.clamp(1, dims);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a57);
+    full.into_iter()
+        .map(|q| {
+            let chosen = sample_indices(&mut rng, dims, keep);
+            let mut partial = RangeQuery::unbounded(dims);
+            for &d in &chosen {
+                partial.constrain(d, q.lo(d), q.hi(d));
+            }
+            partial
+        })
+        .collect()
+}
+
+/// Generates `count` point queries at randomly drawn existing records
+/// (§8.2.1: lower bound == upper bound).
+pub fn point_queries(dataset: &Dataset, count: usize, seed: u64) -> Vec<RangeQuery> {
+    if dataset.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let picks = sample_indices(&mut rng, dataset.len(), count);
+    let mut row = Vec::with_capacity(dataset.dims());
+    picks
+        .iter()
+        .cycle()
+        .take(count)
+        .map(|&r| {
+            dataset.row_into(r as RowId, &mut row);
+            RangeQuery::point(&row)
+        })
+        .collect()
+}
+
+/// Exact selectivity of `query` on `dataset` (full scan; test/report
+/// helper, not a benchmark subject).
+pub fn selectivity(dataset: &Dataset, query: &RangeQuery) -> usize {
+    dataset.row_ids().filter(|&r| query.matches_row(dataset, r)).count()
+}
+
+/// Mean exact selectivity over a workload.
+pub fn mean_selectivity(dataset: &Dataset, queries: &[RangeQuery]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries.iter().map(|q| selectivity(dataset, q)).sum::<usize>() as f64
+        / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{Generator, UniformConfig};
+
+    fn dataset() -> Dataset {
+        UniformConfig::cube(3, 2000, 77).generate()
+    }
+
+    #[test]
+    fn knn_queries_have_at_least_k_matches() {
+        let ds = dataset();
+        let queries = knn_rectangle_queries(&ds, 10, 25, 1);
+        assert_eq!(queries.len(), 10);
+        for q in &queries {
+            let s = selectivity(&ds, q);
+            assert!(s >= 25, "rectangle of 25-NN must contain ≥ 25 rows, got {s}");
+        }
+    }
+
+    #[test]
+    fn selectivity_scales_with_k() {
+        let ds = dataset();
+        let small = mean_selectivity(&ds, &knn_rectangle_queries(&ds, 8, 10, 2));
+        let large = mean_selectivity(&ds, &knn_rectangle_queries(&ds, 8, 400, 2));
+        assert!(
+            large > 4.0 * small,
+            "k=400 queries ({large}) should match far more than k=10 ({small})"
+        );
+    }
+
+    #[test]
+    fn k_larger_than_dataset_covers_everything() {
+        let ds = dataset();
+        let queries = knn_rectangle_queries(&ds, 2, 10_000, 3);
+        for q in &queries {
+            assert_eq!(selectivity(&ds, q), ds.len());
+        }
+    }
+
+    #[test]
+    fn partial_queries_relax_all_but_k_dims() {
+        let ds = dataset();
+        let queries = partial_queries(&ds, 10, 20, 1, 7);
+        assert_eq!(queries.len(), 10);
+        for q in &queries {
+            let constrained = (0..3).filter(|&d| !q.is_unconstrained(d)).count();
+            assert_eq!(constrained, 1);
+            // Relaxing bounds can only grow the result set.
+            assert!(selectivity(&ds, q) >= 20);
+        }
+        // `constrained` is clamped to the dimensionality.
+        let all = partial_queries(&ds, 3, 20, 99, 8);
+        for q in &all {
+            assert_eq!((0..3).filter(|&d| !q.is_unconstrained(d)).count(), 3);
+        }
+    }
+
+    #[test]
+    fn point_queries_match_their_anchor() {
+        let ds = dataset();
+        let queries = point_queries(&ds, 20, 4);
+        assert_eq!(queries.len(), 20);
+        for q in &queries {
+            assert!(q.is_point());
+            assert!(selectivity(&ds, q) >= 1, "a point query at a record must match it");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_queries() {
+        let ds = Dataset::new(vec![vec![], vec![]]);
+        assert!(knn_rectangle_queries(&ds, 5, 3, 0).is_empty());
+        assert!(point_queries(&ds, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn more_queries_than_rows_cycles_anchors() {
+        let ds = UniformConfig::cube(2, 5, 1).generate();
+        let queries = knn_rectangle_queries(&ds, 12, 2, 5);
+        assert_eq!(queries.len(), 12);
+        let points = point_queries(&ds, 12, 5);
+        assert_eq!(points.len(), 12);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let ds = dataset();
+        let a = knn_rectangle_queries(&ds, 4, 50, 9);
+        let b = knn_rectangle_queries(&ds, 4, 50, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_column_does_not_poison_distances() {
+        let ds = Dataset::new(vec![
+            (0..100).map(|i| i as f64).collect(),
+            vec![42.0; 100],
+        ]);
+        let queries = knn_rectangle_queries(&ds, 3, 5, 6);
+        for q in &queries {
+            assert!(selectivity(&ds, q) >= 5);
+            // Constant dim collapses to a degenerate [42, 42] bound.
+            assert_eq!(q.lo(1), 42.0);
+            assert_eq!(q.hi(1), 42.0);
+        }
+    }
+}

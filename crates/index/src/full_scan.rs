@@ -1,0 +1,124 @@
+//! The full-scan baseline (§8.1.3: "every item in the dataset is checked
+//! against queries").
+
+use crate::traits::{MultidimIndex, ScanStats};
+use coax_data::{Dataset, RangeQuery, RowId, Value};
+
+/// Checks every row against the predicate. Zero directory overhead, O(n)
+/// per query — the floor every real index must beat.
+#[derive(Clone, Debug)]
+pub struct FullScan {
+    /// Column-major copy of the data (the "heap file").
+    columns: Vec<Vec<Value>>,
+}
+
+impl FullScan {
+    /// Copies the dataset into an unindexed heap.
+    pub fn build(dataset: &Dataset) -> Self {
+        let columns = (0..dataset.dims()).map(|d| dataset.column(d).to_vec()).collect();
+        Self { columns }
+    }
+}
+
+impl MultidimIndex for FullScan {
+    fn name(&self) -> &str {
+        "full-scan"
+    }
+
+    fn dims(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn len(&self) -> usize {
+        self.columns[0].len()
+    }
+
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        assert_eq!(query.dims(), self.dims(), "query dimensionality mismatch");
+        let n = self.len();
+        let mut matches = 0;
+        // Column-major predicate evaluation: start from "all rows pass",
+        // prune per dimension. For typical selectivities this touches far
+        // less memory than row-major row materialisation.
+        let mut alive: Vec<u32> = (0..n as u32).collect();
+        for (d, col) in self.columns.iter().enumerate() {
+            if query.is_unconstrained(d) {
+                continue;
+            }
+            let (lo, hi) = (query.lo(d), query.hi(d));
+            alive.retain(|&r| {
+                let v = col[r as usize];
+                lo <= v && v <= hi
+            });
+            if alive.is_empty() {
+                break;
+            }
+        }
+        matches += alive.len();
+        out.extend_from_slice(&alive);
+        ScanStats { cells_visited: 1, rows_examined: n, matches }
+    }
+
+    fn memory_overhead(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::new(vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]])
+    }
+
+    #[test]
+    fn finds_exact_matches() {
+        let ds = dataset();
+        let fs = FullScan::build(&ds);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 2.0, 3.0);
+        q.constrain(1, 0.0, 35.0);
+        let mut hits = fs.range_query(&q);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn stats_report_full_examination() {
+        let ds = dataset();
+        let fs = FullScan::build(&ds);
+        let mut out = Vec::new();
+        let stats = fs.range_query_stats(&RangeQuery::unbounded(2), &mut out);
+        assert_eq!(stats.rows_examined, 4);
+        assert_eq!(stats.matches, 4);
+        assert_eq!(stats.cells_visited, 1);
+        assert_eq!(fs.memory_overhead(), 0);
+    }
+
+    #[test]
+    fn point_query() {
+        let ds = dataset();
+        let fs = FullScan::build(&ds);
+        assert_eq!(fs.range_query(&RangeQuery::point(&[3.0, 30.0])), vec![2]);
+        assert!(fs.range_query(&RangeQuery::point(&[3.0, 31.0])).is_empty());
+    }
+
+    #[test]
+    fn empty_query_rectangle() {
+        let ds = dataset();
+        let fs = FullScan::build(&ds);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 5.0, 1.0);
+        assert!(fs.range_query(&q).is_empty());
+    }
+
+    #[test]
+    fn appends_without_clearing() {
+        let ds = dataset();
+        let fs = FullScan::build(&ds);
+        let mut out = vec![99];
+        fs.range_query_stats(&RangeQuery::point(&[1.0, 10.0]), &mut out);
+        assert_eq!(out, vec![99, 0]);
+    }
+}

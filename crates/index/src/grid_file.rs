@@ -1,0 +1,471 @@
+//! The paper's modified grid file (§6).
+//!
+//! Differences from the classic grid file of Nievergelt et al. that the
+//! paper calls out, all implemented here:
+//!
+//! * cell boundaries are chosen **by quantiles** along each dimension
+//!   (equi-depth, driven by the data's CDF) instead of by splitting;
+//! * the **same number of grid lines** is used for every gridded attribute;
+//! * cell addresses are laid out in **row-major order of the original
+//!   attribute ordering**;
+//! * each cell stores its rows in a **contiguous row-store block**;
+//! * optionally, rows inside every cell are **sorted by one attribute**
+//!   that then needs no grid lines — lookups on it use two bounding binary
+//!   searches (the Flood trick). A dataset with `n` dims and `m` predicted
+//!   attributes therefore needs only an `n − m − 1`-dimensional directory.
+//!
+//! The same type serves as the COAX primary index (gridding only the
+//! indexed attributes), the COAX outlier index (gridding everything), and
+//! — through [`crate::ColumnFiles`] — the strongest baseline.
+
+use crate::pages::PageStore;
+use crate::traits::{MultidimIndex, ScanStats};
+use coax_data::stats::equi_depth_boundaries;
+use coax_data::{Dataset, RangeQuery, RowId, Value};
+
+/// Hard cap on directory size to catch runaway configurations early
+/// (`cells_per_dim ^ grid_dims`): 2²⁸ cells ≈ 1 GiB of offsets.
+const MAX_CELLS: usize = 1 << 28;
+
+/// Build-time configuration of a [`GridFile`].
+#[derive(Clone, Debug)]
+pub struct GridFileConfig {
+    /// Attributes that receive grid lines, in original order.
+    pub grid_dims: Vec<usize>,
+    /// Attribute sorted inside each cell (must not be in `grid_dims`).
+    pub sort_dim: Option<usize>,
+    /// Number of cells per gridded attribute (the paper uses the same
+    /// count for every attribute).
+    pub cells_per_dim: usize,
+}
+
+impl GridFileConfig {
+    /// Grid lines on every attribute, no sorted dimension — the layout the
+    /// outlier index uses by default.
+    pub fn all_dims(dims: usize, cells_per_dim: usize) -> Self {
+        Self { grid_dims: (0..dims).collect(), sort_dim: None, cells_per_dim }
+    }
+
+    /// Grid lines on every attribute except `sort_dim`, which is sorted
+    /// inside cells — the column-files / COAX-primary layout.
+    pub fn with_sort(dims: usize, sort_dim: usize, cells_per_dim: usize) -> Self {
+        assert!(sort_dim < dims, "sort dimension out of range");
+        Self {
+            grid_dims: (0..dims).filter(|&d| d != sort_dim).collect(),
+            sort_dim: Some(sort_dim),
+            cells_per_dim,
+        }
+    }
+
+    /// Grid lines on a chosen subset, sorted dimension optional — the COAX
+    /// primary layout (grid only the indexed attributes).
+    pub fn subset(grid_dims: Vec<usize>, sort_dim: Option<usize>, cells_per_dim: usize) -> Self {
+        Self { grid_dims, sort_dim, cells_per_dim }
+    }
+}
+
+/// A quantile-boundary grid file with contiguous row-store cells.
+#[derive(Clone, Debug)]
+pub struct GridFile {
+    dims: usize,
+    grid_dims: Vec<usize>,
+    /// Per gridded attribute: `cells_per_dim + 1` ascending boundaries.
+    boundaries: Vec<Vec<Value>>,
+    /// Per gridded attribute: row-major stride inside the directory.
+    strides: Vec<usize>,
+    cells_per_dim: usize,
+    pages: PageStore,
+}
+
+impl GridFile {
+    /// Builds the grid file over `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration: out-of-range dims, duplicate or
+    /// unsorted `grid_dims`, `sort_dim` also gridded, zero cells, or a
+    /// directory larger than the 2²⁸-cell safety cap.
+    pub fn build(dataset: &Dataset, config: &GridFileConfig) -> Self {
+        let dims = dataset.dims();
+        let k = config.cells_per_dim;
+        assert!(k > 0, "cells_per_dim must be positive");
+        assert!(
+            config.grid_dims.windows(2).all(|w| w[0] < w[1]),
+            "grid_dims must be strictly ascending (original attribute order)"
+        );
+        assert!(
+            config.grid_dims.iter().all(|&d| d < dims),
+            "grid dimension out of range"
+        );
+        if let Some(sd) = config.sort_dim {
+            assert!(sd < dims, "sort dimension out of range");
+            assert!(
+                !config.grid_dims.contains(&sd),
+                "sort dimension must not also be gridded"
+            );
+        }
+        let n_cells = k
+            .checked_pow(config.grid_dims.len() as u32)
+            .filter(|&c| c <= MAX_CELLS)
+            .expect("grid directory too large; reduce cells_per_dim or grid_dims");
+
+        let boundaries: Vec<Vec<Value>> = config
+            .grid_dims
+            .iter()
+            .map(|&d| equi_depth_boundaries(dataset.column(d), k))
+            .collect();
+
+        // Row-major strides in original attribute order: the last gridded
+        // attribute varies fastest.
+        let g = config.grid_dims.len();
+        let mut strides = vec![1usize; g];
+        for i in (0..g.saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * k;
+        }
+
+        let cell_of = |r: RowId| -> usize {
+            let mut addr = 0;
+            for (i, &d) in config.grid_dims.iter().enumerate() {
+                addr += cell_index(&boundaries[i], dataset.value(r, d)) * strides[i];
+            }
+            addr
+        };
+        let pages = PageStore::build(dataset, n_cells, config.sort_dim, cell_of);
+
+        Self {
+            dims,
+            grid_dims: config.grid_dims.clone(),
+            boundaries,
+            strides,
+            cells_per_dim: k,
+            pages,
+        }
+    }
+
+    /// Attributes carrying grid lines.
+    pub fn grid_dims(&self) -> &[usize] {
+        &self.grid_dims
+    }
+
+    /// The in-cell sorted attribute, if configured.
+    pub fn sort_dim(&self) -> Option<usize> {
+        self.pages.sort_dim()
+    }
+
+    /// Total number of directory cells.
+    pub fn n_cells(&self) -> usize {
+        self.pages.n_cells()
+    }
+
+    /// Row count of every cell — Fig. 4a plots this distribution.
+    pub fn cell_lengths(&self) -> Vec<usize> {
+        self.pages.cell_lengths()
+    }
+
+    /// Iterates every stored `(row_id, packed_row)` pair in cell order
+    /// (used by COAX's rebuild path to reconstruct its dataset).
+    pub fn entries(&self) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
+        (0..self.pages.n_cells()).flat_map(move |c| self.pages.cell_entries(c))
+    }
+
+    /// Range query with separate *navigation* and *filter* predicates.
+    ///
+    /// Directory ranges and the in-cell binary search use `nav`; row
+    /// acceptance uses `filter`. COAX navigates with its translated query
+    /// while filtering with the user's original one. `nav` must not
+    /// exclude any `filter`-matching row stored in this index — COAX
+    /// guarantees that through the soft-FD margin invariant.
+    pub fn range_query_filtered(
+        &self,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> ScanStats {
+        assert_eq!(nav.dims(), self.dims, "nav query dimensionality mismatch");
+        assert_eq!(filter.dims(), self.dims, "filter query dimensionality mismatch");
+        let mut stats = ScanStats::default();
+        if self.pages.is_empty() || nav.is_empty() {
+            return stats;
+        }
+
+        // Per gridded attribute: the inclusive cell range intersecting nav.
+        let mut ranges = Vec::with_capacity(self.grid_dims.len());
+        for (i, &d) in self.grid_dims.iter().enumerate() {
+            let b = &self.boundaries[i];
+            let (lo, hi) = (nav.lo(d), nav.hi(d));
+            // Early out: the query misses this attribute's data range.
+            if hi < b[0] || lo > b[b.len() - 1] {
+                return stats;
+            }
+            let c_lo = if lo == f64::NEG_INFINITY { 0 } else { cell_index(b, lo) };
+            let c_hi = if hi == f64::INFINITY {
+                self.cells_per_dim - 1
+            } else {
+                cell_index(b, hi)
+            };
+            ranges.push((c_lo, c_hi));
+        }
+
+        for_each_address(&ranges, &self.strides, |addr| {
+            stats.cells_visited += 1;
+            let (examined, matched) = self.pages.scan_cell_narrowed(addr, nav, filter, out);
+            stats.rows_examined += examined;
+            stats.matches += matched;
+        });
+        stats
+    }
+}
+
+impl MultidimIndex for GridFile {
+    fn name(&self) -> &str {
+        "grid-file"
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        self.range_query_filtered(query, query, out)
+    }
+
+    fn memory_overhead(&self) -> usize {
+        let boundary_bytes: usize = self
+            .boundaries
+            .iter()
+            .map(|b| b.len() * std::mem::size_of::<Value>())
+            .sum();
+        boundary_bytes + self.pages.offsets_bytes()
+    }
+}
+
+/// Cell index of value `v` given ascending boundaries `b` of length `k+1`:
+/// cell `i` covers `[b[i], b[i+1])`, the last cell is closed, and
+/// out-of-range values clamp into the edge cells (needed for queries whose
+/// bounds exceed the data range and for future inserts).
+fn cell_index(b: &[Value], v: Value) -> usize {
+    let k = b.len() - 1;
+    if k <= 1 {
+        return 0;
+    }
+    // Interior boundaries are b[1..k]; count how many are <= v.
+    let interior = &b[1..k];
+    interior.partition_point(|&x| x <= v)
+}
+
+/// Invokes `f` with the linear address of every cell in the Cartesian
+/// product of inclusive `ranges` (odometer iteration). With no gridded
+/// dimensions there is exactly one cell: address 0.
+fn for_each_address(ranges: &[(usize, usize)], strides: &[usize], mut f: impl FnMut(usize)) {
+    debug_assert_eq!(ranges.len(), strides.len());
+    if ranges.is_empty() {
+        f(0);
+        return;
+    }
+    let mut idx: Vec<usize> = ranges.iter().map(|r| r.0).collect();
+    'outer: loop {
+        let addr = idx.iter().zip(strides).map(|(i, s)| i * s).sum();
+        f(addr);
+        let mut d = ranges.len() - 1;
+        loop {
+            idx[d] += 1;
+            if idx[d] <= ranges[d].1 {
+                continue 'outer;
+            }
+            idx[d] = ranges[d].0;
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full_scan::FullScan;
+    use coax_data::synth::{Generator, UniformConfig};
+
+    fn grid_matches_fullscan(ds: &Dataset, config: &GridFileConfig, queries: &[RangeQuery]) {
+        let grid = GridFile::build(ds, config);
+        let fs = FullScan::build(ds);
+        for q in queries {
+            let mut expected = fs.range_query(q);
+            let mut got = grid.range_query(q);
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn cell_index_basics() {
+        let b = vec![0.0, 10.0, 20.0, 30.0];
+        assert_eq!(cell_index(&b, -5.0), 0);
+        assert_eq!(cell_index(&b, 0.0), 0);
+        assert_eq!(cell_index(&b, 9.99), 0);
+        assert_eq!(cell_index(&b, 10.0), 1);
+        assert_eq!(cell_index(&b, 29.9), 2);
+        assert_eq!(cell_index(&b, 30.0), 2);
+        assert_eq!(cell_index(&b, 99.0), 2);
+    }
+
+    #[test]
+    fn cell_index_with_duplicate_boundaries() {
+        // Heavy repetition collapses boundaries: [1,1,1,9].
+        let b = vec![1.0, 1.0, 1.0, 9.0];
+        assert_eq!(cell_index(&b, 0.5), 0);
+        assert_eq!(cell_index(&b, 1.0), 2); // lands after both duplicate interior bounds
+        assert_eq!(cell_index(&b, 5.0), 2);
+    }
+
+    #[test]
+    fn for_each_address_covers_product() {
+        let mut seen = Vec::new();
+        for_each_address(&[(0, 1), (1, 2)], &[3, 1], |a| seen.push(a));
+        assert_eq!(seen, vec![1, 2, 4, 5]);
+        // No gridded dims → single cell 0.
+        let mut single = Vec::new();
+        for_each_address(&[], &[], |a| single.push(a));
+        assert_eq!(single, vec![0]);
+    }
+
+    #[test]
+    fn equivalence_with_fullscan_uniform_data() {
+        let ds = UniformConfig::cube(3, 1500, 21).generate();
+        let queries: Vec<RangeQuery> =
+            coax_data::workload::knn_rectangle_queries(&ds, 12, 30, 1);
+        grid_matches_fullscan(&ds, &GridFileConfig::all_dims(3, 4), &queries);
+        grid_matches_fullscan(&ds, &GridFileConfig::with_sort(3, 1, 5), &queries);
+        grid_matches_fullscan(
+            &ds,
+            &GridFileConfig::subset(vec![0], Some(2), 6),
+            &queries,
+        );
+    }
+
+    #[test]
+    fn point_queries_hit() {
+        let ds = UniformConfig::cube(2, 400, 3).generate();
+        let grid = GridFile::build(&ds, &GridFileConfig::with_sort(2, 1, 8));
+        for r in [0u32, 17, 399] {
+            let q = RangeQuery::point(&ds.row(r));
+            let hits = grid.range_query(&q);
+            assert!(hits.contains(&r), "point query must find its own row");
+        }
+    }
+
+    #[test]
+    fn miss_outside_data_range_visits_no_cells() {
+        let ds = UniformConfig::cube(2, 100, 4).generate();
+        let grid = GridFile::build(&ds, &GridFileConfig::all_dims(2, 4));
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 5.0, 6.0); // data is in [0, 1]
+        let mut out = Vec::new();
+        let stats = grid.range_query_stats(&q, &mut out);
+        assert_eq!(stats.cells_visited, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_rectangle_returns_nothing() {
+        let ds = UniformConfig::cube(2, 100, 5).generate();
+        let grid = GridFile::build(&ds, &GridFileConfig::all_dims(2, 3));
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 0.9, 0.1);
+        assert!(grid.range_query(&q).is_empty());
+    }
+
+    #[test]
+    fn quantile_boundaries_balance_cells_on_skewed_data() {
+        // Exponential-ish skew on dim 0.
+        let xs: Vec<f64> = (0..2000).map(|i| (i as f64 / 100.0).exp()).collect();
+        let ys: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let ds = Dataset::new(vec![xs, ys]);
+        let grid = GridFile::build(&ds, &GridFileConfig::subset(vec![0], None, 10));
+        let lengths = grid.cell_lengths();
+        let (min, max) = (
+            *lengths.iter().min().unwrap(),
+            *lengths.iter().max().unwrap(),
+        );
+        assert!(
+            max <= min + 2,
+            "equi-depth cells should be balanced, got min={min} max={max}"
+        );
+    }
+
+    #[test]
+    fn sorted_dim_reduces_rows_examined() {
+        let ds = UniformConfig::cube(2, 5000, 6).generate();
+        // One big cell on dim 0, sort on dim 1.
+        let sorted = GridFile::build(&ds, &GridFileConfig::subset(vec![0], Some(1), 1));
+        let flat = GridFile::build(&ds, &GridFileConfig::subset(vec![0], None, 1));
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 0.4, 0.41);
+        let mut out = Vec::new();
+        let s_sorted = sorted.range_query_stats(&q, &mut out);
+        out.clear();
+        let s_flat = flat.range_query_stats(&q, &mut out);
+        assert_eq!(s_sorted.matches, s_flat.matches);
+        assert!(
+            s_sorted.rows_examined * 10 < s_flat.rows_examined,
+            "binary search should skip most rows: {} vs {}",
+            s_sorted.rows_examined,
+            s_flat.rows_examined
+        );
+    }
+
+    #[test]
+    fn nav_filter_split_navigates_with_tighter_bounds() {
+        let ds = UniformConfig::cube(2, 2000, 7).generate();
+        let grid = GridFile::build(&ds, &GridFileConfig::with_sort(2, 1, 8));
+        let filter = RangeQuery::unbounded(2);
+        let mut nav = RangeQuery::unbounded(2);
+        nav.constrain(0, 0.0, 0.25);
+        let mut out = Vec::new();
+        let stats = grid.range_query_filtered(&nav, &filter, &mut out);
+        // Navigation restricted to ~1/4 of the directory; the unbounded
+        // filter accepts every row scanned there.
+        assert!(stats.cells_visited <= grid.n_cells() / 2);
+        assert_eq!(stats.matches, out.len());
+        assert!(out.len() < ds.len());
+    }
+
+    #[test]
+    fn memory_overhead_counts_directory_only() {
+        let ds = UniformConfig::cube(2, 500, 8).generate();
+        let grid = GridFile::build(&ds, &GridFileConfig::all_dims(2, 4));
+        // 2 dims × 5 boundaries × 8 bytes + (16+1) offsets × 4 bytes.
+        assert_eq!(grid.memory_overhead(), 2 * 5 * 8 + 17 * 4);
+    }
+
+    #[test]
+    fn empty_dataset_builds_and_queries() {
+        let ds = Dataset::new(vec![vec![], vec![]]);
+        let grid = GridFile::build(&ds, &GridFileConfig::all_dims(2, 3));
+        assert!(grid.is_empty());
+        assert!(grid.range_query(&RangeQuery::unbounded(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not also be gridded")]
+    fn sort_dim_cannot_be_gridded() {
+        let ds = UniformConfig::cube(2, 10, 9).generate();
+        GridFile::build(
+            &ds,
+            &GridFileConfig::subset(vec![0, 1], Some(1), 2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn grid_dims_must_be_sorted() {
+        let ds = UniformConfig::cube(3, 10, 9).generate();
+        GridFile::build(&ds, &GridFileConfig::subset(vec![2, 0], None, 2));
+    }
+}

@@ -1,0 +1,353 @@
+//! Contiguous row-store cell pages shared by the grid-family indexes.
+//!
+//! Paper §6: *"each cell stores records in a contiguous block of virtual
+//! memory in a row store format"*, and rows inside a page may be *"sorted
+//! based on a given function similar to the approach proposed in Flood"*,
+//! which lets one grid dimension be replaced by binary search.
+//!
+//! A [`PageStore`] is a CSR-style layout: one flat `data` array of packed
+//! rows grouped by cell, one flat `ids` array mapping each packed row back
+//! to its dataset row id, and an `offsets` table with one entry per cell
+//! boundary.
+
+use coax_data::{Dataset, RangeQuery, RowId, Value};
+
+/// Packed rows grouped into `n_cells` contiguous pages.
+#[derive(Clone, Debug)]
+pub struct PageStore {
+    dims: usize,
+    /// `offsets[c]..offsets[c+1]` is the row range of cell `c`.
+    offsets: Vec<u32>,
+    /// Original dataset row id of each packed row.
+    ids: Vec<RowId>,
+    /// Row-major packed values, `dims` per row, rows in cell order.
+    data: Vec<Value>,
+    /// Attribute by which rows inside every cell are sorted, if any.
+    sort_dim: Option<usize>,
+}
+
+impl PageStore {
+    /// Builds a page store by distributing every row of `dataset` into the
+    /// cell returned by `cell_of`, optionally sorting rows inside each cell
+    /// by attribute `sort_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_of` returns an out-of-range cell or `sort_dim` is
+    /// out of range.
+    pub fn build(
+        dataset: &Dataset,
+        n_cells: usize,
+        sort_dim: Option<usize>,
+        mut cell_of: impl FnMut(RowId) -> usize,
+    ) -> Self {
+        let dims = dataset.dims();
+        if let Some(sd) = sort_dim {
+            assert!(sd < dims, "sort dimension out of range");
+        }
+        let n = dataset.len();
+
+        // Counting sort of rows by cell.
+        let mut counts = vec![0u32; n_cells + 1];
+        let mut cell_ids = Vec::with_capacity(n);
+        for r in dataset.row_ids() {
+            let c = cell_of(r);
+            assert!(c < n_cells, "cell_of returned {c} >= {n_cells}");
+            counts[c + 1] += 1;
+            cell_ids.push(c as u32);
+        }
+        for i in 0..n_cells {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+
+        let mut ids = vec![0 as RowId; n];
+        let mut cursor = counts;
+        for r in dataset.row_ids() {
+            let c = cell_ids[r as usize] as usize;
+            ids[cursor[c] as usize] = r;
+            cursor[c] += 1;
+        }
+
+        // Sort inside each cell by the sort dimension, if requested.
+        if let Some(sd) = sort_dim {
+            let col = dataset.column(sd);
+            for c in 0..n_cells {
+                let (s, e) = (offsets[c] as usize, offsets[c + 1] as usize);
+                ids[s..e].sort_unstable_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .expect("dataset values are finite")
+                });
+            }
+        }
+
+        // Pack row data in final order.
+        let mut data = Vec::with_capacity(n * dims);
+        for &id in &ids {
+            for d in 0..dims {
+                data.push(dataset.value(id, d));
+            }
+        }
+
+        Self { dims, offsets, ids, data, sort_dim }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn n_cells(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total rows stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if no rows are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Row dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The attribute rows are sorted by inside each cell, if any.
+    #[inline]
+    pub fn sort_dim(&self) -> Option<usize> {
+        self.sort_dim
+    }
+
+    /// Number of rows in cell `c`.
+    #[inline]
+    pub fn cell_len(&self, c: usize) -> usize {
+        (self.offsets[c + 1] - self.offsets[c]) as usize
+    }
+
+    /// Lengths of every cell (Fig. 4a plots this distribution).
+    pub fn cell_lengths(&self) -> Vec<usize> {
+        (0..self.n_cells()).map(|c| self.cell_len(c)).collect()
+    }
+
+    /// Scans cell `c`, appending ids of rows matching `filter` to `out`.
+    /// Returns `(rows_examined, matches)`.
+    ///
+    /// When the store has a sort dimension and `filter` constrains it, the
+    /// scan narrows to the `[lo, hi]` run found by two binary searches
+    /// (paper §6: "a scan between two bounding binary searches").
+    pub fn scan_cell(
+        &self,
+        c: usize,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> (usize, usize) {
+        self.scan_cell_narrowed(c, filter, filter, out)
+    }
+
+    /// Like [`PageStore::scan_cell`] but with separate *navigation* and
+    /// *filter* predicates: the binary-search narrowing on the sort
+    /// dimension uses `nav` while row acceptance uses `filter`.
+    ///
+    /// COAX passes its translated (tighter) query as `nav` and the user's
+    /// original query as `filter`; plain indexes pass the same query twice.
+    /// `nav` must be a sub-rectangle of `filter` on the sort dimension or
+    /// results may be silently dropped — callers uphold this.
+    pub fn scan_cell_narrowed(
+        &self,
+        c: usize,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> (usize, usize) {
+        let (mut s, mut e) = (self.offsets[c] as usize, self.offsets[c + 1] as usize);
+        if s == e {
+            return (0, 0);
+        }
+        if let Some(sd) = self.sort_dim {
+            let lo = nav.lo(sd);
+            let hi = nav.hi(sd);
+            if lo > f64::NEG_INFINITY {
+                s += self.partition_rows(s, e, |v| v < lo, sd);
+            }
+            if hi < f64::INFINITY {
+                let len = e - s;
+                let keep = self.partition_rows(s, e, |v| v <= hi, sd);
+                e = s + keep.min(len);
+            }
+        }
+        let mut examined = 0;
+        let mut matched = 0;
+        for i in s..e {
+            examined += 1;
+            let row = &self.data[i * self.dims..(i + 1) * self.dims];
+            if filter.matches(row) {
+                out.push(self.ids[i]);
+                matched += 1;
+            }
+        }
+        (examined, matched)
+    }
+
+    /// `partition_point` over packed rows `[s, e)` keyed by dimension `sd`.
+    fn partition_rows(&self, s: usize, e: usize, mut pred: impl FnMut(Value) -> bool, sd: usize) -> usize {
+        let mut lo = 0usize;
+        let mut hi = e - s;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let v = self.data[(s + mid) * self.dims + sd];
+            if pred(v) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Directory overhead contributed by the offsets table, in bytes.
+    pub fn offsets_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Bytes of stored row payloads + id map (data, not directory).
+    pub fn data_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Value>()
+            + self.ids.len() * std::mem::size_of::<RowId>()
+    }
+
+    /// Iterates `(dataset_row_id, packed_row)` pairs of cell `c`.
+    pub fn cell_entries(&self, c: usize) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
+        let (s, e) = (self.offsets[c] as usize, self.offsets[c + 1] as usize);
+        (s..e).map(move |i| (self.ids[i], &self.data[i * self.dims..(i + 1) * self.dims]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        // 6 rows, 2 dims; cell = floor(x) so cells 0,1,2.
+        Dataset::new(vec![
+            vec![0.5, 1.5, 0.1, 2.9, 1.1, 0.9],
+            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+        ])
+    }
+
+    fn by_floor(ds: &Dataset) -> PageStore {
+        PageStore::build(ds, 3, None, |r| ds.value(r, 0) as usize)
+    }
+
+    #[test]
+    fn build_distributes_rows() {
+        let ds = dataset();
+        let ps = by_floor(&ds);
+        assert_eq!(ps.n_cells(), 3);
+        assert_eq!(ps.len(), 6);
+        assert_eq!(ps.cell_len(0), 3); // rows 0, 2, 5
+        assert_eq!(ps.cell_len(1), 2); // rows 1, 4
+        assert_eq!(ps.cell_len(2), 1); // row 3
+        assert_eq!(ps.cell_lengths(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn cell_entries_round_trip() {
+        let ds = dataset();
+        let ps = by_floor(&ds);
+        let mut ids: Vec<RowId> = ps.cell_entries(0).map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2, 5]);
+        for (id, row) in ps.cell_entries(1) {
+            assert_eq!(row, ds.row(id).as_slice());
+        }
+    }
+
+    #[test]
+    fn scan_cell_filters_exactly() {
+        let ds = dataset();
+        let ps = by_floor(&ds);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 25.0, 65.0);
+        let mut out = Vec::new();
+        let (examined, matched) = ps.scan_cell(0, &q, &mut out);
+        assert_eq!(examined, 3);
+        assert_eq!(matched, 2); // rows 2 (y=30) and 5 (y=60)
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 5]);
+    }
+
+    #[test]
+    fn sorted_cells_narrow_the_scan() {
+        let ds = dataset();
+        let ps = PageStore::build(&ds, 1, Some(1), |_| 0);
+        // All six rows in one cell, sorted by y = 10..60.
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 25.0, 45.0);
+        let mut out = Vec::new();
+        let (examined, matched) = ps.scan_cell(0, &q, &mut out);
+        assert_eq!(examined, 2, "binary search should narrow scan to [30, 40]");
+        assert_eq!(matched, 2);
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn sorted_scan_handles_open_bounds() {
+        let ds = dataset();
+        let ps = PageStore::build(&ds, 1, Some(1), |_| 0);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, f64::NEG_INFINITY, 15.0);
+        let mut out = Vec::new();
+        let (examined, matched) = ps.scan_cell(0, &q, &mut out);
+        assert_eq!((examined, matched), (1, 1));
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn sorted_scan_empty_range() {
+        let ds = dataset();
+        let ps = PageStore::build(&ds, 1, Some(1), |_| 0);
+        let mut q = RangeQuery::unbounded(2);
+        // (40, 50) exclusive of both stored neighbours: nothing qualifies
+        // and the two binary searches collapse the scan to zero rows.
+        q.constrain(1, 41.0, 49.0);
+        let mut out = Vec::new();
+        let (examined, matched) = ps.scan_cell(0, &q, &mut out);
+        assert_eq!((examined, matched), (0, 0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_store() {
+        let ds = Dataset::new(vec![vec![], vec![]]);
+        let ps = PageStore::build(&ds, 4, Some(0), |_| 0);
+        assert!(ps.is_empty());
+        assert_eq!(ps.n_cells(), 4);
+        let mut out = Vec::new();
+        assert_eq!(ps.scan_cell(2, &RangeQuery::unbounded(2), &mut out), (0, 0));
+    }
+
+    #[test]
+    fn duplicate_sort_keys_are_all_found() {
+        let ds = Dataset::new(vec![vec![1.0; 5], vec![7.0, 7.0, 7.0, 1.0, 9.0]]);
+        let ps = PageStore::build(&ds, 1, Some(1), |_| 0);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 7.0, 7.0);
+        let mut out = Vec::new();
+        let (_, matched) = ps.scan_cell(0, &q, &mut out);
+        assert_eq!(matched, 3);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let ds = dataset();
+        let ps = by_floor(&ds);
+        assert_eq!(ps.offsets_bytes(), 4 * 4);
+        assert_eq!(ps.data_bytes(), 6 * 2 * 8 + 6 * 4);
+    }
+}

@@ -1,0 +1,103 @@
+//! The common index interface and scan accounting.
+
+use coax_data::{RangeQuery, RowId};
+
+/// Counters describing the work one query performed.
+///
+/// `rows_examined / matches` is the empirical inverse of the paper's
+/// *effectiveness* measure (Eq. 5): a perfectly effective index examines
+/// exactly the result set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Directory units inspected: grid cells for grid-family indexes,
+    /// nodes for the R-tree, 1 for a full scan.
+    pub cells_visited: usize,
+    /// Rows whose values were compared against the predicate.
+    pub rows_examined: usize,
+    /// Rows that satisfied the predicate.
+    pub matches: usize,
+}
+
+impl ScanStats {
+    /// Component-wise sum (merging primary + outlier statistics).
+    pub fn merge(self, other: ScanStats) -> ScanStats {
+        ScanStats {
+            cells_visited: self.cells_visited + other.cells_visited,
+            rows_examined: self.rows_examined + other.rows_examined,
+            matches: self.matches + other.matches,
+        }
+    }
+
+    /// Fraction of examined rows that matched (1.0 when nothing was
+    /// examined — an empty scan wastes no work).
+    pub fn precision(&self) -> f64 {
+        if self.rows_examined == 0 {
+            1.0
+        } else {
+            self.matches as f64 / self.rows_examined as f64
+        }
+    }
+}
+
+/// An exact multidimensional range/point index over a fixed dataset.
+///
+/// Implementations own every byte they need (candidate pages, directory);
+/// they never hold references into the source dataset, so they can outlive
+/// it and be composed freely (COAX owns one primary and one outlier index).
+pub trait MultidimIndex {
+    /// Short human-readable name for reports ("full-grid", "r-tree", …).
+    fn name(&self) -> &str;
+
+    /// Dimensionality of the indexed rows.
+    fn dims(&self) -> usize;
+
+    /// Number of rows indexed.
+    fn len(&self) -> usize;
+
+    /// `true` if the index holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends the row ids matching `query` to `out` (without clearing it)
+    /// and reports scan counters.
+    ///
+    /// Results are exact: every id appended satisfies the predicate and no
+    /// matching id is missed. Order is unspecified.
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats;
+
+    /// Convenience wrapper returning a fresh result vector.
+    fn range_query(&self, query: &RangeQuery) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.range_query_stats(query, &mut out);
+        out
+    }
+
+    /// Bytes of *directory* overhead: everything the structure adds on top
+    /// of the stored rows (boundary tables, cell offsets, tree nodes).
+    /// This is the quantity Fig. 8 plots on its x-axis. Row payloads and
+    /// row-id arrays are data, not overhead.
+    fn memory_overhead(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = ScanStats { cells_visited: 1, rows_examined: 10, matches: 3 };
+        let b = ScanStats { cells_visited: 2, rows_examined: 5, matches: 2 };
+        assert_eq!(
+            a.merge(b),
+            ScanStats { cells_visited: 3, rows_examined: 15, matches: 5 }
+        );
+    }
+
+    #[test]
+    fn precision_handles_empty_scan() {
+        assert_eq!(ScanStats::default().precision(), 1.0);
+        let s = ScanStats { cells_visited: 1, rows_examined: 8, matches: 2 };
+        assert!((s.precision() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests: every index structure returns exactly the full-scan
+//! result set on randomized datasets and queries.
+//!
+//! This is the repository's core invariant (DESIGN.md §6): directories may
+//! prune differently, but results are always exact.
+
+use coax_data::{Dataset, RangeQuery};
+use coax_index::{
+    ColumnFiles, FullScan, GridFile, GridFileConfig, MultidimIndex, RTree, RTreeConfig,
+    UniformGrid,
+};
+use proptest::prelude::*;
+
+/// A random dataset: 1–4 dims, 0–300 rows, values in a modest range with
+/// duplicates likely (integers scaled down).
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..=4, 0usize..=300).prop_flat_map(|(dims, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-50i32..50, rows).prop_map(|col| {
+                col.into_iter().map(|v| v as f64 / 2.0).collect::<Vec<f64>>()
+            }),
+            dims,
+        )
+        .prop_map(Dataset::new)
+    })
+}
+
+/// A random query over `dims` dimensions mixing bounded, half-open,
+/// unconstrained, inverted (empty) and point-like constraints.
+fn query_strategy(dims: usize) -> impl Strategy<Value = RangeQuery> {
+    proptest::collection::vec((-60i32..60, -60i32..60, 0u8..5), dims).prop_map(|specs| {
+        let mut lo = Vec::with_capacity(specs.len());
+        let mut hi = Vec::with_capacity(specs.len());
+        for (a, b, kind) in specs {
+            let (a, b) = (a as f64 / 2.0, b as f64 / 2.0);
+            match kind {
+                0 => {
+                    // normalised bounded range
+                    lo.push(a.min(b));
+                    hi.push(a.max(b));
+                }
+                1 => {
+                    // as-given (possibly inverted → empty query)
+                    lo.push(a);
+                    hi.push(b);
+                }
+                2 => {
+                    lo.push(f64::NEG_INFINITY);
+                    hi.push(b);
+                }
+                3 => {
+                    lo.push(a);
+                    hi.push(f64::INFINITY);
+                }
+                _ => {
+                    lo.push(a);
+                    hi.push(a); // point constraint
+                }
+            }
+        }
+        RangeQuery::new(lo, hi)
+    })
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+fn check_index(index: &dyn MultidimIndex, expected: &[u32], q: &RangeQuery) {
+    let got = sorted(index.range_query(q));
+    assert_eq!(got, expected, "{} diverged on {q:?}", index.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_indexes_match_full_scan(
+        (ds, q) in dataset_strategy().prop_flat_map(|ds| {
+            let dims = ds.dims();
+            (Just(ds), query_strategy(dims))
+        }),
+        cells in 1usize..6,
+        capacity in 2usize..16,
+    ) {
+        let expected = sorted(FullScan::build(&ds).range_query(&q));
+
+        check_index(&UniformGrid::build(&ds, cells), &expected, &q);
+        check_index(
+            &GridFile::build(&ds, &GridFileConfig::all_dims(ds.dims(), cells)),
+            &expected,
+            &q,
+        );
+        // Grid file with a sorted dimension (when there is more than one).
+        if ds.dims() > 1 {
+            check_index(
+                &GridFile::build(&ds, &GridFileConfig::with_sort(ds.dims(), 0, cells)),
+                &expected,
+                &q,
+            );
+            check_index(&ColumnFiles::build(&ds, ds.dims() - 1, cells), &expected, &q);
+        }
+        check_index(&RTree::build(&ds, RTreeConfig::uniform(capacity)), &expected, &q);
+    }
+
+    #[test]
+    fn scan_stats_are_consistent(
+        (ds, q) in dataset_strategy().prop_flat_map(|ds| {
+            let dims = ds.dims();
+            (Just(ds), query_strategy(dims))
+        }),
+        cells in 1usize..6,
+    ) {
+        let grid = GridFile::build(&ds, &GridFileConfig::all_dims(ds.dims(), cells));
+        let mut out = Vec::new();
+        let stats = grid.range_query_stats(&q, &mut out);
+        // matches == appended results, and you can't match more than you examine.
+        prop_assert_eq!(stats.matches, out.len());
+        prop_assert!(stats.matches <= stats.rows_examined);
+        prop_assert!(stats.rows_examined <= ds.len());
+    }
+
+    #[test]
+    fn point_queries_on_existing_rows_always_hit(
+        ds in dataset_strategy(),
+        row_sel in 0usize..300,
+        capacity in 2usize..16,
+    ) {
+        prop_assume!(!ds.is_empty());
+        let r = (row_sel % ds.len()) as u32;
+        let q = RangeQuery::point(&ds.row(r));
+        let rt = RTree::build(&ds, RTreeConfig::uniform(capacity));
+        prop_assert!(rt.range_query(&q).contains(&r));
+        let ug = UniformGrid::build(&ds, 4);
+        prop_assert!(ug.range_query(&q).contains(&r));
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's motivating workload: interactive analytics over flight
+//! records, where "flight distance and flight time" correlate (§1).
+//!
+//! Compares COAX against an R-tree and a full scan on three analyst
+//! queries, showing per-query work and the memory footprint gap.
+//!
+//! Run with: `cargo run --release --example airline_analytics`
+
+use coax::core::{CoaxConfig, CoaxIndex};
+use coax::data::synth::airline::{columns, AirlineConfig};
+use coax::data::synth::Generator;
+use coax::data::RangeQuery;
+use coax::index::{FullScan, MultidimIndex, RTree, RTreeConfig};
+use std::time::Instant;
+
+fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    println!("  [{label}: {:.1} ms]", start.elapsed().as_secs_f64() * 1e3);
+    out
+}
+
+fn main() {
+    let dataset = AirlineConfig::small(300_000, 99).generate();
+    println!("airline dataset: {} rows x {} dims", dataset.len(), dataset.dims());
+
+    let coax = timed("build coax", || CoaxIndex::build(&dataset, &CoaxConfig::default()));
+    let rtree = timed("build r-tree", || RTree::build(&dataset, RTreeConfig::default()));
+    let scan = FullScan::build(&dataset);
+
+    println!(
+        "directory overhead: coax {} B vs r-tree {} B ({}x)",
+        coax.memory_overhead(),
+        rtree.memory_overhead(),
+        rtree.memory_overhead() / coax.memory_overhead().max(1)
+    );
+
+    // --- Analyst queries -------------------------------------------------
+    let dims = dataset.dims();
+
+    // Q1: medium-haul flights by distance AND air time (correlated pair).
+    let mut q1 = RangeQuery::unbounded(dims);
+    q1.constrain(columns::DISTANCE, 500.0, 800.0);
+    q1.constrain(columns::AIR_TIME, 60.0, 120.0);
+
+    // Q2: red-eye detector — late departures, early *scheduled* arrivals.
+    let mut q2 = RangeQuery::unbounded(dims);
+    q2.constrain(columns::DEP_TIME, 1200.0, 1380.0);
+    q2.constrain(columns::SCHED_ARR_TIME, 1320.0, 1440.0);
+
+    // Q3: all attributes constrained (the paper's workload shape).
+    let mut q3 = RangeQuery::unbounded(dims);
+    q3.constrain(columns::DISTANCE, 200.0, 1200.0);
+    q3.constrain(columns::TIME_ELAPSED, 50.0, 220.0);
+    q3.constrain(columns::AIR_TIME, 20.0, 190.0);
+    q3.constrain(columns::DEP_TIME, 420.0, 1080.0);
+    q3.constrain(columns::ARR_TIME, 500.0, 1260.0);
+    q3.constrain(columns::SCHED_ARR_TIME, 480.0, 1270.0);
+    q3.constrain(columns::DAY_OF_WEEK, 1.0, 5.0);
+    q3.constrain(columns::CARRIER, 0.0, 4.0);
+
+    for (name, q) in [("Q1 medium-haul", &q1), ("Q2 red-eye", &q2), ("Q3 full rectangle", &q3)] {
+        println!("\n{name}:");
+        let mut out = Vec::new();
+        let start = Instant::now();
+        let stats = coax.query_detailed(q, &mut out);
+        let coax_ms = start.elapsed().as_secs_f64() * 1e3;
+        let coax_hits = out.len();
+
+        out.clear();
+        let start = Instant::now();
+        rtree.range_query_stats(q, &mut out);
+        let rtree_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.len(), coax_hits, "indexes must agree");
+
+        out.clear();
+        let start = Instant::now();
+        scan.range_query_stats(q, &mut out);
+        let scan_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "  {} matches | coax {:.3} ms (examined {} rows) | r-tree {:.3} ms | scan {:.3} ms",
+            coax_hits,
+            coax_ms,
+            stats.primary.rows_examined + stats.outliers.rows_examined,
+            rtree_ms,
+            scan_ms
+        );
+    }
+}

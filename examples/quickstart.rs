@@ -1,0 +1,95 @@
+//! Quickstart: build a COAX index on correlated data, watch it discover
+//! the soft functional dependencies, query it, and update it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use coax::core::{CoaxConfig, CoaxIndex};
+use coax::data::synth::{AirlineConfig, Generator};
+use coax::data::RangeQuery;
+use coax::index::MultidimIndex;
+
+fn main() {
+    // 1. A dataset with hidden structure: flight records where air time
+    //    follows distance, and arrival follows departure.
+    let dataset = AirlineConfig::small(100_000, 7).generate();
+    println!(
+        "dataset: {} rows x {} attributes ({})",
+        dataset.len(),
+        dataset.dims(),
+        dataset.names().join(", ")
+    );
+
+    // 2. Build COAX. Soft-FD discovery is automatic.
+    let index = CoaxIndex::build(&dataset, &CoaxConfig::default());
+    println!("\ndiscovered correlation groups:");
+    for group in index.groups() {
+        println!("  predictor: {}", dataset.name(group.predictor));
+        for model in &group.models {
+            match model.as_linear() {
+                Some(lin) => println!(
+                    "    -> {}: y = {:.3}x + {:.1}  (margins -{:.1}/+{:.1})",
+                    dataset.name(lin.dependent),
+                    lin.params.slope,
+                    lin.params.intercept,
+                    lin.eps_lb,
+                    lin.eps_ub
+                ),
+                None => {
+                    let sp = model.as_spline().expect("linear or spline");
+                    println!(
+                        "    -> {}: spline with {} segments (margin ±{:.1})",
+                        dataset.name(model.dependent()),
+                        sp.n_segments(),
+                        sp.eps
+                    )
+                }
+            }
+        }
+    }
+    println!(
+        "indexed dims: {:?} of {} | primary ratio: {:.1}% | directory: {} B",
+        index.indexed_dims(),
+        dataset.dims(),
+        100.0 * index.primary_ratio(),
+        index.memory_overhead()
+    );
+
+    // 3. Query on a *dependent* attribute — COAX never indexed it, yet
+    //    the translated query runs against its predictor.
+    let model = index.groups()[0].models[0].clone();
+    let (dep, pred) = (model.dependent(), model.predictor());
+    let centre = model.predict(dataset.column(pred)[0]);
+    let (q_lo, q_hi) = (centre - 40.0, centre + 40.0);
+    let mut query = RangeQuery::unbounded(dataset.dims());
+    query.constrain(dep, q_lo, q_hi);
+    let nav = index.translate_query(&query);
+    println!(
+        "\nquery {} in [{q_lo:.0}, {q_hi:.0}] -> translated {} in [{:.0}, {:.0}]",
+        dataset.name(dep),
+        dataset.name(pred),
+        nav.lo(pred),
+        nav.hi(pred)
+    );
+    let mut out = Vec::new();
+    let stats = index.query_detailed(&query, &mut out);
+    println!(
+        "matches: {} | rows examined: primary {} + outliers {} (of {} total rows)",
+        out.len(),
+        stats.primary.rows_examined,
+        stats.outliers.rows_examined,
+        dataset.len()
+    );
+
+    // 4. Inserts route by the margin check; rebuild folds them in.
+    let mut index = index;
+    let id = index
+        .insert(&[800.0, 135.0, 107.0, 600.0, 755.0, 750.0, 3.0, 2.0])
+        .expect("well-formed row");
+    println!("\ninserted row id {id}; pending = {}", index.pending_len());
+    let index = index.rebuild();
+    println!(
+        "after rebuild: {} rows indexed, pending = {}",
+        index.len(),
+        index.pending_len()
+    );
+}

@@ -1,0 +1,76 @@
+//! Margin (ε) tuning: the trade-off the paper's Figs. 3 and 5 describe.
+//!
+//! Wider margins keep more rows in the primary index (fewer outliers to
+//! maintain) but scan a wider band per query — Eq. 5's effectiveness
+//! `q_y / (2ε + q_y)` drops. This example sweeps the ε policy on a noisy
+//! correlated dataset and prints both sides of the trade-off.
+//!
+//! Run with: `cargo run --release --example tuning_margin`
+
+use coax::core::theory::effectiveness;
+use coax::core::{CoaxConfig, CoaxIndex, EpsilonPolicy};
+use coax::data::synth::{Generator, LinearPairConfig};
+use coax::data::RangeQuery;
+
+fn main() {
+    let config = LinearPairConfig {
+        rows: 200_000,
+        slope: 2.0,
+        intercept: 0.0,
+        noise_sigma: 8.0,
+        outlier_fraction: 0.15,
+        seed: 21,
+        ..Default::default()
+    };
+    let dataset = config.generate();
+    println!(
+        "dataset: y = 2x + N(0, 8) with 15% gross outliers ({} rows)",
+        dataset.len()
+    );
+    println!(
+        "\n{:>8} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "eps(k·σ)", "margin", "primary ratio", "eff (pred)", "eff (meas)", "outlier rows"
+    );
+
+    let q_y = 160.0; // dependent-range width used for the effectiveness probe
+    for k_sigma in [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0] {
+        let mut cfg = CoaxConfig::default();
+        cfg.discovery.learn.epsilon = EpsilonPolicy::RobustSigmas(k_sigma);
+        let index = CoaxIndex::build(&dataset, &cfg);
+        if index.groups().is_empty() {
+            println!("{k_sigma:>8} (no dependency accepted at this margin)");
+            continue;
+        }
+        let model = index.groups()[0].models[0].clone();
+        let eps = model.margin_width() / 2.0;
+
+        // Measure effectiveness: matches / rows_examined in the primary
+        // index for dependent-only queries.
+        let mut ratios = Vec::new();
+        for i in 0..30 {
+            let y0 = 150.0 + 55.0 * i as f64;
+            let mut q = RangeQuery::unbounded(2);
+            q.constrain(1, y0, y0 + q_y);
+            let mut out = Vec::new();
+            let stats = index.query_primary(&q, &mut out);
+            if stats.rows_examined > 0 {
+                ratios.push(stats.matches as f64 / stats.rows_examined as f64);
+            }
+        }
+        let measured: f64 = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+
+        println!(
+            "{k_sigma:>8} {:>12.1} {:>13.1}% {:>12.3} {:>12.3} {:>12}",
+            model.margin_width(),
+            100.0 * index.primary_ratio(),
+            effectiveness(q_y, eps),
+            measured,
+            index.outlier_len()
+        );
+    }
+    println!(
+        "\nreading: tighten ε and scans approach the ideal (effectiveness → 1) \
+         but more rows fall out of the margins and burden the outlier index; \
+         the paper operates where the inlier band ends (~4σ)."
+    );
+}

@@ -1,0 +1,49 @@
+//! # COAX — Correlation-Aware Indexing
+//!
+//! A from-scratch Rust reproduction of *COAX: Correlation-Aware Indexing on
+//! Multidimensional Data with Soft Functional Dependencies* (Hadian,
+//! Ghaffari, Wang, Heinis).
+//!
+//! COAX builds a multidimensional **primary index** over only the attributes
+//! that cannot be predicted from others, plus a small **outlier index** for
+//! the rows that violate the learned soft functional dependencies. Query
+//! constraints on a dependent attribute are *translated* through the learned
+//! model into constraints on its predictor, so the dropped dimensions never
+//! need to be indexed at all.
+//!
+//! This facade crate re-exports the three library layers:
+//!
+//! * [`data`] — dataset storage, synthetic dataset generators (airline/OSM
+//!   analogues), query workloads, and statistics ([`coax_data`]).
+//! * [`index`] — conventional multidimensional index substrates: grid file,
+//!   uniform grid, column files, R-tree, and full scan ([`coax_index`]).
+//! * [`core`] — the paper's contribution: soft-FD discovery, query
+//!   translation, the [`core::CoaxIndex`], and the theoretical model
+//!   ([`coax_core`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use coax::core::{CoaxConfig, CoaxIndex};
+//! use coax::data::synth::{AirlineConfig, Generator};
+//! use coax::data::RangeQuery;
+//! use coax::index::MultidimIndex;
+//!
+//! // A miniature airline-like dataset with two correlated attribute groups.
+//! let dataset = AirlineConfig::small(20_000, 42).generate();
+//!
+//! // Build COAX: soft FDs are discovered automatically.
+//! let index = CoaxIndex::build(&dataset, &CoaxConfig::default());
+//!
+//! // A rectangle query over all attributes (here: unconstrained except dim 0).
+//! let mut query = RangeQuery::unbounded(dataset.dims());
+//! query.constrain(0, 200.0, 600.0);
+//! let hits = index.range_query(&query);
+//! assert!(!hits.is_empty());
+//! ```
+pub use coax_core as core;
+pub use coax_data as data;
+pub use coax_index as index;
+
+/// Crate version of the facade, matching the workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,177 @@
+//! Failure injection and adversarial inputs, end to end: datasets and
+//! queries designed to break boundary handling, quantile collapse,
+//! discovery gating, and translation.
+
+use coax::core::{CoaxConfig, CoaxIndex, DiscoveryConfig, EpsilonPolicy};
+use coax::data::synth::{Generator, UniformConfig};
+use coax::data::workload::knn_rectangle_queries;
+use coax::data::{Dataset, RangeQuery};
+use coax::index::{ColumnFiles, FullScan, MultidimIndex, RTree, RTreeConfig, UniformGrid};
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+fn check_all(ds: &Dataset, queries: &[RangeQuery]) {
+    let fs = FullScan::build(ds);
+    let coax = CoaxIndex::build(ds, &CoaxConfig::default());
+    let rtree = RTree::build(ds, RTreeConfig::default());
+    let grid = UniformGrid::build(ds, 4);
+    let cf = ColumnFiles::build_auto(ds, 4);
+    for q in queries {
+        let expected = sorted(fs.range_query(q));
+        for index in [&coax as &dyn MultidimIndex, &rtree, &grid, &cf] {
+            assert_eq!(
+                sorted(index.range_query(q)),
+                expected,
+                "{} diverged on {q:?}",
+                index.name()
+            );
+        }
+    }
+}
+
+/// Massive duplication: quantile boundaries collapse, grids get empty and
+/// jumbo cells, sorted runs contain long equal-key stretches.
+#[test]
+fn heavy_duplication() {
+    let n = 5000;
+    let ds = Dataset::new(vec![
+        (0..n).map(|i| (i % 3) as f64).collect(),
+        (0..n).map(|i| (i % 2) as f64 * 100.0).collect(),
+        (0..n).map(|i| if i < n - 5 { 7.0 } else { i as f64 }).collect(),
+    ]);
+    let mut queries = vec![
+        RangeQuery::point(&[0.0, 0.0, 7.0]),
+        RangeQuery::point(&[2.0, 100.0, 7.0]),
+    ];
+    let mut q = RangeQuery::unbounded(3);
+    q.constrain(2, 4000.0, 6000.0); // only the 5 tail rows
+    queries.push(q);
+    queries.extend(knn_rectangle_queries(&ds, 5, 30, 1));
+    check_all(&ds, &queries);
+}
+
+/// Extreme magnitudes: values spanning ±1e12 alongside tiny deltas.
+#[test]
+fn extreme_magnitudes() {
+    let n = 3000;
+    let ds = Dataset::new(vec![
+        (0..n).map(|i| i as f64 * 1e9 - 1.5e12).collect(),
+        (0..n).map(|i| 1e-6 * (i % 100) as f64).collect(),
+    ]);
+    let mut queries = knn_rectangle_queries(&ds, 6, 40, 2);
+    let mut q = RangeQuery::unbounded(2);
+    q.constrain(0, -2e12, -1e12);
+    q.constrain(1, 0.0, 5e-5);
+    queries.push(q);
+    check_all(&ds, &queries);
+}
+
+/// A perfect (noise-free) functional dependency: margins shrink towards
+/// zero; the index must not reject its own rows at the band boundary.
+#[test]
+fn exact_functional_dependency() {
+    let n = 4000;
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+    let ds = Dataset::new(vec![xs, ys]);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    // With zero noise everything must stay in the primary partition.
+    assert_eq!(index.outlier_len(), 0, "exact FD has no outliers");
+    let queries = knn_rectangle_queries(&ds, 6, 25, 3);
+    let fs = FullScan::build(&ds);
+    for q in &queries {
+        assert_eq!(sorted(index.range_query(q)), sorted(fs.range_query(q)));
+    }
+}
+
+/// Anti-correlated attributes (negative slope) end to end.
+#[test]
+fn negative_slope_dependency() {
+    let n = 10_000;
+    let mut cfg = UniformConfig::cube(1, n, 4);
+    cfg.ranges = vec![(0.0, 1000.0)];
+    let base = cfg.generate();
+    let xs = base.column(0).to_vec();
+    let ys: Vec<f64> = xs.iter().map(|x| 500.0 - 0.5 * x).collect();
+    let ds = Dataset::new(vec![xs, ys]);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    assert!(!index.groups().is_empty(), "negative slope must be discovered");
+    let model = index.groups()[0].models[0].clone();
+    // Translation with a negative slope keeps bounds ordered.
+    let mut q = RangeQuery::unbounded(2);
+    q.constrain(model.dependent(), 100.0, 200.0);
+    let nav = index.translate_query(&q);
+    assert!(nav.lo(model.predictor()) <= nav.hi(model.predictor()));
+    let fs = FullScan::build(&ds);
+    assert_eq!(sorted(index.range_query(&q)), sorted(fs.range_query(&q)));
+}
+
+/// Discovery gates under a hostile configuration: zero coverage margins.
+#[test]
+fn zero_margin_policy_sends_everything_to_outliers() {
+    let n = 3000;
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + ((x * 0.37).sin())).collect();
+    let ds = Dataset::new(vec![xs, ys]);
+    let mut discovery = DiscoveryConfig { min_support: 0.0, ..Default::default() };
+    discovery.learn.epsilon = EpsilonPolicy::Fixed { lb: 0.0, ub: 0.0 };
+    let config = CoaxConfig { discovery, ..Default::default() };
+    let index = CoaxIndex::build(&ds, &config);
+    // Either discovery rejected the zero-width model or (min_support 0)
+    // accepted it and every noisy row became an outlier; both must answer
+    // exactly.
+    let fs = FullScan::build(&ds);
+    for q in knn_rectangle_queries(&ds, 5, 20, 5) {
+        assert_eq!(sorted(index.range_query(&q)), sorted(fs.range_query(&q)));
+    }
+}
+
+/// Queries whose rectangles sit entirely outside the data range, touch
+/// exactly one corner, or degenerate to the data's min/max points.
+#[test]
+fn boundary_rectangles() {
+    let ds = UniformConfig::cube(3, 2000, 6).generate();
+    let fs = FullScan::build(&ds);
+    let coax = CoaxIndex::build(&ds, &CoaxConfig::default());
+    let (lo0, hi0) = ds.min_max(0).unwrap();
+
+    let mut outside = RangeQuery::unbounded(3);
+    outside.constrain(0, hi0 + 1.0, hi0 + 2.0);
+    let mut corner = RangeQuery::unbounded(3);
+    corner.constrain(0, lo0, lo0);
+    let mut hull = RangeQuery::unbounded(3);
+    for d in 0..3 {
+        let (lo, hi) = ds.min_max(d).unwrap();
+        hull.constrain(d, lo, hi);
+    }
+    for q in [&outside, &corner, &hull] {
+        assert_eq!(sorted(coax.range_query(q)), sorted(fs.range_query(q)));
+    }
+    assert_eq!(coax.range_query(&hull).len(), ds.len(), "hull covers everything");
+}
+
+/// A dataset where *every* attribute pair correlates (one global group):
+/// the primary directory collapses to zero gridded dimensions (pure
+/// sorted scan) and must still answer exactly.
+#[test]
+fn fully_correlated_dataset_single_group() {
+    let n = 8000;
+    let base = UniformConfig { rows: n, ranges: vec![(0.0, 1000.0)], seed: 7 }.generate();
+    let xs = base.column(0).to_vec();
+    let ds = Dataset::new(vec![
+        xs.clone(),
+        xs.iter().map(|x| 2.0 * x + 1.0).collect(),
+        xs.iter().map(|x| -x + 3000.0).collect(),
+        xs.iter().map(|x| 0.25 * x - 9.0).collect(),
+    ]);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    assert_eq!(index.groups().len(), 1, "one global group");
+    assert_eq!(index.indexed_dims().len(), 1, "only the predictor survives");
+    let fs = FullScan::build(&ds);
+    for q in knn_rectangle_queries(&ds, 8, 30, 8) {
+        assert_eq!(sorted(index.range_query(&q)), sorted(fs.range_query(&q)));
+    }
+}

@@ -1,0 +1,67 @@
+//! Thread-safety: every index is `Send + Sync` and answers queries
+//! correctly from concurrent readers.
+//!
+//! The paper benchmarks single-threaded (§8.1.1), but a production index
+//! must at minimum support shared read access; all structures here are
+//! immutable after build, so this is a compile-time guarantee plus a
+//! smoke test that actually exercises it.
+
+use coax::core::{CoaxConfig, CoaxIndex};
+use coax::data::synth::{AirlineConfig, Generator};
+use coax::data::workload::knn_rectangle_queries;
+use coax::index::{
+    ColumnFiles, FullScan, GridFile, MultidimIndex, RTree, UniformGrid,
+};
+use std::sync::Arc;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn all_indexes_are_send_and_sync() {
+    assert_send_sync::<CoaxIndex>();
+    assert_send_sync::<GridFile>();
+    assert_send_sync::<UniformGrid>();
+    assert_send_sync::<ColumnFiles>();
+    assert_send_sync::<RTree>();
+    assert_send_sync::<FullScan>();
+    assert_send_sync::<coax::data::Dataset>();
+}
+
+#[test]
+fn concurrent_readers_agree_with_serial_execution() {
+    let dataset = AirlineConfig::small(20_000, 55).generate();
+    let index = Arc::new(CoaxIndex::build(&dataset, &CoaxConfig::default()));
+    let queries = Arc::new(knn_rectangle_queries(&dataset, 32, 50, 56));
+
+    // Serial reference results.
+    let expected: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| {
+            let mut v = index.range_query(q);
+            v.sort_unstable();
+            v
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let index = Arc::clone(&index);
+        let queries = Arc::clone(&queries);
+        handles.push(std::thread::spawn(move || {
+            // Each thread walks the workload from a different offset.
+            (0..queries.len())
+                .map(|i| {
+                    let q = &queries[(i + t * 7) % queries.len()];
+                    let mut v = index.range_query(q);
+                    v.sort_unstable();
+                    ((i + t * 7) % queries.len(), v)
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    for handle in handles {
+        for (qi, got) in handle.join().expect("no reader panics") {
+            assert_eq!(got, expected[qi], "thread diverged on query {qi}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration tests for the update path (§5's Bayesian update story +
+//! §9 future work): insert → pending queries → rebuild → model refresh.
+
+use coax::core::{CoaxConfig, CoaxIndex};
+use coax::data::synth::{Generator, LinearPairConfig};
+use coax::data::RangeQuery;
+use coax::index::{FullScan, MultidimIndex};
+
+fn planted(rows: usize, seed: u64) -> coax::data::Dataset {
+    LinearPairConfig {
+        rows,
+        slope: 2.0,
+        intercept: 10.0,
+        noise_sigma: 4.0,
+        outlier_fraction: 0.05,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn inserted_rows_are_visible_before_and_after_rebuild() {
+    let ds = planted(10_000, 1);
+    let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    assert!(!index.groups().is_empty());
+
+    let rows: Vec<Vec<f64>> = (0..50)
+        .map(|i| {
+            let x = 13.0 * i as f64 % 1000.0;
+            vec![x, 2.0 * x + 10.0]
+        })
+        .collect();
+    let mut ids = Vec::new();
+    for row in &rows {
+        ids.push(index.insert(row).unwrap());
+    }
+    assert_eq!(index.pending_len(), 50);
+    assert_eq!(index.pending_in_margins(), 50, "on-line rows route to primary");
+
+    for (row, id) in rows.iter().zip(&ids) {
+        assert!(index.range_query(&RangeQuery::point(row)).contains(id));
+    }
+
+    let rebuilt = index.rebuild();
+    assert_eq!(rebuilt.pending_len(), 0);
+    for (row, id) in rows.iter().zip(&ids) {
+        assert!(rebuilt.range_query(&RangeQuery::point(row)).contains(id));
+    }
+    // The folded-in rows landed in the primary partition.
+    assert_eq!(rebuilt.primary_len() + rebuilt.outlier_len(), ds.len() + 50);
+}
+
+#[test]
+fn outlier_inserts_route_to_outlier_partition() {
+    let ds = planted(10_000, 2);
+    let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    let before_outliers = index.outlier_len();
+    for i in 0..20 {
+        let x = 50.0 * i as f64 % 1000.0;
+        index.insert(&[x, 2.0 * x + 10.0 + 5000.0]).unwrap(); // far off the band
+    }
+    assert_eq!(index.pending_in_margins(), 0);
+    let rebuilt = index.rebuild();
+    assert!(
+        rebuilt.outlier_len() >= before_outliers + 20,
+        "gross outliers must land in the outlier index"
+    );
+}
+
+#[test]
+fn posterior_update_tracks_a_drifting_stream() {
+    // Build on data with slope 2, then stream in many rows with slope
+    // 2.2; after rebuild the refreshed model should sit between the two,
+    // pulled towards the new evidence.
+    let ds = planted(5_000, 3);
+    let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    let slope_before =
+        index.groups()[0].models[0].as_linear().expect("linear model").params.slope.abs();
+    for i in 0..5_000 {
+        let x = (i as f64 * 7.7) % 1000.0;
+        // Keep drifted rows inside the current margins so the posterior
+        // actually sees them.
+        let model = index.groups()[0].models[0].clone();
+        let drift = (0.2 * x).min(model.margin_width() * 0.45);
+        let y = model.predict(x) + drift;
+        let _ = index.insert(&[x, y]).unwrap();
+    }
+    let rebuilt = index.rebuild();
+    let slope_after =
+        rebuilt.groups()[0].models[0].as_linear().expect("linear model").params.slope.abs();
+    assert!(
+        slope_after != slope_before,
+        "posterior refresh must move the model"
+    );
+    // And the rebuilt index still answers exactly.
+    let fs_rows = rebuilt.len();
+    let all = rebuilt.range_query(&RangeQuery::unbounded(2));
+    assert_eq!(all.len(), fs_rows);
+}
+
+#[test]
+fn rebuild_after_mixed_inserts_is_exact() {
+    let ds = planted(8_000, 4);
+    let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    // A mix of in-band, off-band, and boundary rows.
+    let mut all_rows: Vec<Vec<f64>> = Vec::new();
+    for r in 0..ds.len() as u32 {
+        all_rows.push(ds.row(r));
+    }
+    for i in 0..200 {
+        let x = (i as f64 * 31.0) % 1000.0;
+        let y = match i % 3 {
+            0 => 2.0 * x + 10.0,
+            1 => 2.0 * x + 10.0 + 1000.0,
+            _ => 2.0 * x + 10.0 - 300.0,
+        };
+        index.insert(&[x, y]).unwrap();
+        all_rows.push(vec![x, y]);
+    }
+    let rebuilt = index.rebuild();
+
+    // Compare against a full scan over the same logical table.
+    let columns = (0..2)
+        .map(|d| all_rows.iter().map(|r| r[d]).collect::<Vec<f64>>())
+        .collect::<Vec<_>>();
+    let logical = coax::data::Dataset::new(columns);
+    let fs = FullScan::build(&logical);
+    for i in 0..12 {
+        let x0 = i as f64 * 80.0;
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, x0, x0 + 60.0);
+        q.constrain(1, 2.0 * x0 - 200.0, 2.0 * x0 + 400.0);
+        assert_eq!(sorted(rebuilt.range_query(&q)), sorted(fs.range_query(&q)));
+    }
+}

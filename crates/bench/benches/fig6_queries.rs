@@ -41,7 +41,11 @@ fn setups() -> Vec<Setup> {
     ]
 }
 
-fn run_workload(out: &mut Vec<u32>, index: &dyn MultidimIndex, queries: &[RangeQuery]) -> usize {
+fn run_workload(
+    out: &mut Vec<u32>,
+    index: &dyn MultidimIndex,
+    queries: &[RangeQuery],
+) -> usize {
     let mut total = 0;
     for q in queries {
         out.clear();

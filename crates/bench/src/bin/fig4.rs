@@ -21,11 +21,8 @@ fn length_stats(label: &str, lengths: &[usize]) -> ReportRow {
     let empty = lengths.iter().filter(|&&l| l == 0).count();
     let max = lengths.iter().copied().max().unwrap_or(0);
     let mean = n as f64 / cells.max(1) as f64;
-    let var = lengths
-        .iter()
-        .map(|&l| (l as f64 - mean).powi(2))
-        .sum::<f64>()
-        / cells.max(1) as f64;
+    let var =
+        lengths.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / cells.max(1) as f64;
     ReportRow {
         label: label.to_string(),
         values: vec![
@@ -62,10 +59,8 @@ fn main() {
     let quantile = GridFile::build(&geo, &GridFileConfig::all_dims(2, k2));
     // The "learned 1-D grid" (Fig. 4c): one dimension predicted away, the
     // remaining predictor gets the whole budget of k2² grid lines.
-    let one_d = GridFile::build(
-        &geo,
-        &GridFileConfig::subset(vec![0], Some(1), (k2 * k2).min(4096)),
-    );
+    let one_d =
+        GridFile::build(&geo, &GridFileConfig::subset(vec![0], Some(1), (k2 * k2).min(4096)));
 
     let table = vec![
         length_stats(&format!("uniform 2-D (k={k2})"), &uniform.cell_lengths()),
@@ -74,11 +69,7 @@ fn main() {
     ];
     print_table("Fig. 4b/4c — layout comparison (same directory order)", &table);
 
-    print_histogram(
-        "Fig. 4a analogue (uniform 2-D layout)",
-        &uniform.cell_lengths(),
-        20,
-    );
+    print_histogram("Fig. 4a analogue (uniform 2-D layout)", &uniform.cell_lengths(), 20);
     print_histogram("quantile 2-D layout", &quantile.cell_lengths(), 20);
     print_histogram("learned 1-D grid", &one_d.cell_lengths(), 20);
 

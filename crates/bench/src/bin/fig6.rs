@@ -5,75 +5,99 @@
 //! Paper shape to reproduce (log scale there): COAX beats the R-Tree and
 //! the full grid on both workloads; the outlier index adds a small
 //! constant; full scan is orders of magnitude off.
+//!
+//! All contenders — COAX included — are tuned and timed through
+//! `Box<dyn MultidimIndex>` built from [`IndexSpec`]s; only the paper's
+//! primary/outlier split timing rebuilds the COAX winner concretely.
 
-use coax_bench::harness::{fmt_ms, print_table, time_per_query_ms, ReportRow};
+use coax_bench::harness::{
+    build_contenders, fmt_ms, print_table, time_per_query_ms, workload_stats, ReportRow,
+};
 use coax_bench::{datasets, tuning};
-use coax_core::CoaxConfig;
+use coax_core::{CoaxConfig, IndexSpec};
 use coax_data::{Dataset, RangeQuery};
-use coax_index::{FullScan, MultidimIndex};
+use coax_index::BackendSpec;
 
 fn run_workload(name: &str, dataset: &Dataset, queries: &[RangeQuery], repeats: usize) {
     // --- Tune every contender on (a sample of) the workload. -----------
     let tune_sample: Vec<RangeQuery> =
         queries.iter().take(queries.len().min(25)).cloned().collect();
 
-    let coax_sweep = tuning::sweep_coax(
+    let coax_specs =
+        tuning::coax_specs(dataset, &CoaxConfig::default(), &tuning::grid_ladder());
+    let coax_sweep = tuning::sweep(dataset, &tune_sample, 1, &coax_specs);
+    let coax = tuning::best(&coax_sweep).expect("coax sweep non-empty");
+
+    let grid_sweep = tuning::sweep(
         dataset,
         &tune_sample,
         1,
-        &tuning::grid_ladder(),
-        &CoaxConfig::default(),
+        &tuning::uniform_grid_specs(&tuning::grid_ladder()),
     );
-    let coax = &tuning::best(&coax_sweep).expect("coax sweep non-empty").index;
+    let grid = tuning::best(&grid_sweep).expect("grid sweep non-empty");
 
-    let grid_sweep = tuning::sweep_uniform_grid(dataset, &tune_sample, 1, &tuning::grid_ladder());
-    let grid = &tuning::best(&grid_sweep).expect("grid sweep non-empty").index;
+    let rtree_sweep = tuning::sweep(
+        dataset,
+        &tune_sample,
+        1,
+        &tuning::rtree_specs(&tuning::capacity_ladder()),
+    );
+    let rtree = tuning::best(&rtree_sweep).expect("rtree sweep non-empty");
 
-    let rtree_sweep = tuning::sweep_rtree(dataset, &tune_sample, 1, &tuning::capacity_ladder());
-    let rtree = &tuning::best(&rtree_sweep).expect("rtree sweep non-empty").index;
+    let scan = build_contenders(
+        dataset,
+        &[("Full Scan".to_string(), IndexSpec::from(BackendSpec::FullScan))],
+    )
+    .remove(0);
 
-    let full = FullScan::build(dataset);
+    // --- Timed comparison: one uniform loop over boxed contenders. -----
+    let contenders: Vec<(&str, &dyn coax_index::MultidimIndex)> = vec![
+        ("COAX (total)", coax.index.as_ref()),
+        ("R-Tree", rtree.index.as_ref()),
+        ("Full Grid", grid.index.as_ref()),
+        ("Full Scan", scan.index.as_ref()),
+    ];
+    let timed: Vec<(&str, f64, f64)> = contenders
+        .iter()
+        .map(|(label, index)| {
+            let ms = time_per_query_ms(queries, repeats, |q, out| {
+                index.range_query_stats(q, out);
+            });
+            let eff = workload_stats(*index, queries).effectiveness();
+            (*label, ms, eff)
+        })
+        .collect();
+    let scan_ms = timed.last().expect("full scan timed").1;
 
-    // --- Timed comparison (paper plots primary/outliers separately). ---
+    // --- The paper's primary/outlier split for the COAX winner. --------
+    let coax_concrete = coax.spec.build_coax(dataset).expect("coax winner is a coax spec");
     let coax_primary = time_per_query_ms(queries, repeats, |q, out| {
-        coax.query_primary(q, out);
+        coax_concrete.query_primary(q, out);
     });
     let coax_outliers = time_per_query_ms(queries, repeats, |q, out| {
-        coax.query_outliers(q, out);
-    });
-    let rtree_ms = time_per_query_ms(queries, repeats, |q, out| {
-        rtree.range_query_stats(q, out);
-    });
-    let grid_ms = time_per_query_ms(queries, repeats, |q, out| {
-        grid.range_query_stats(q, out);
-    });
-    let scan_ms = time_per_query_ms(queries, repeats, |q, out| {
-        full.range_query_stats(q, out);
+        coax_concrete.query_outliers(q, out);
     });
 
-    let row = |label: &str, ms: f64| ReportRow {
+    let row = |label: &str, ms: f64, eff: Option<f64>| ReportRow {
         label: label.to_string(),
         values: vec![
             ("runtime".into(), fmt_ms(ms)),
             ("vs full scan".into(), format!("{:.0}x", scan_ms / ms.max(1e-9))),
+            ("effectiveness".into(), eff.map_or_else(|| "-".into(), |e| format!("{e:.3}"))),
         ],
     };
-    print_table(
-        name,
-        &[
-            row("COAX (primary)", coax_primary),
-            row("COAX (outliers)", coax_outliers),
-            row("COAX (total)", coax_primary + coax_outliers),
-            row("R-Tree", rtree_ms),
-            row("Full Grid", grid_ms),
-            row("Full Scan", scan_ms),
-        ],
-    );
-    let best_baseline = rtree_ms.min(grid_ms);
+    let mut rows = vec![
+        row("COAX (primary)", coax_primary, None),
+        row("COAX (outliers)", coax_outliers, None),
+    ];
+    rows.extend(timed.iter().map(|(label, ms, eff)| row(label, *ms, Some(*eff))));
+    print_table(name, &rows);
+
+    let best_baseline = timed[1].1.min(timed[2].1);
     println!(
         "COAX total vs best baseline: {:.2}x faster ({} vs {})",
-        best_baseline / (coax_primary + coax_outliers),
-        fmt_ms(coax_primary + coax_outliers),
+        best_baseline / timed[0].1,
+        fmt_ms(timed[0].1),
         fmt_ms(best_baseline),
     );
 }
@@ -107,16 +131,6 @@ fn main() {
     drop(airline);
 
     let osm = datasets::osm(rows);
-    run_workload(
-        "OSM (range)",
-        &osm,
-        &datasets::range_workload(&osm, n_queries, k),
-        repeats,
-    );
-    run_workload(
-        "OSM (point)",
-        &osm,
-        &datasets::point_workload(&osm, n_queries),
-        repeats,
-    );
+    run_workload("OSM (range)", &osm, &datasets::range_workload(&osm, n_queries, k), repeats);
+    run_workload("OSM (point)", &osm, &datasets::point_workload(&osm, n_queries), repeats);
 }

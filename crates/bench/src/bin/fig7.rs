@@ -7,11 +7,14 @@
 //! shape: COAX stays flat-ish and below both baselines; the R-Tree
 //! degrades fastest as selectivity grows; larger queries invoke the
 //! outlier index more.
+//!
+//! Contenders are tuned through the spec-driven sweep; the timing loop
+//! drives the baselines through `Box<dyn MultidimIndex>` and only the
+//! COAX primary/outlier split rebuilds the winner concretely.
 
 use coax_bench::harness::{fmt_ms, print_table, time_per_query_ms, ReportRow};
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
-use coax_index::MultidimIndex;
 
 fn main() {
     let rows = datasets::bench_rows();
@@ -29,17 +32,27 @@ fn main() {
     // tunes per-experiment; a shared mid-point keeps this binary fast —
     // use `tuning` to see the full per-level sweeps).
     let tune_queries = datasets::range_workload(&dataset, 20, ladder[1].1);
-    let coax_sweep = tuning::sweep_coax(
+    let coax_sweep = tuning::sweep(
         &dataset,
         &tune_queries,
         1,
-        &tuning::grid_ladder(),
-        &CoaxConfig::default(),
+        &tuning::coax_specs(&dataset, &CoaxConfig::default(), &tuning::grid_ladder()),
     );
-    let coax = &tuning::best(&coax_sweep).expect("coax sweep").index;
-    let rtree_sweep = tuning::sweep_rtree(&dataset, &tune_queries, 1, &tuning::capacity_ladder());
+    let coax_point = tuning::best(&coax_sweep).expect("coax sweep");
+    let coax = coax_point.spec.build_coax(&dataset).expect("coax spec");
+    let rtree_sweep = tuning::sweep(
+        &dataset,
+        &tune_queries,
+        1,
+        &tuning::rtree_specs(&tuning::capacity_ladder()),
+    );
     let rtree = &tuning::best(&rtree_sweep).expect("rtree sweep").index;
-    let cf_sweep = tuning::sweep_column_files(&dataset, &tune_queries, 1, &tuning::grid_ladder());
+    let cf_sweep = tuning::sweep(
+        &dataset,
+        &tune_queries,
+        1,
+        &tuning::column_files_specs(&tuning::grid_ladder()),
+    );
     let cf = &tuning::best(&cf_sweep).expect("column-files sweep").index;
 
     let mut rows_out = Vec::new();

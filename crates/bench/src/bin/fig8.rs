@@ -8,11 +8,23 @@
 //! magnitude to the *left* (smaller directories for the same runtime)
 //! because the directory covers fewer dimensions — the headline
 //! "four orders of magnitude" memory claim lives here.
+//!
+//! Baseline sweeps run through the spec-driven generic path; the COAX
+//! ladder builds each point concretely (once) via `build_coax`, because
+//! the paper's primary/outlier split series needs the concrete type.
 
 use coax_bench::harness::{fmt_bytes, fmt_ms, print_table, time_per_query_ms, ReportRow};
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
 use coax_data::Dataset;
+use coax_index::MultidimIndex;
+
+/// One COAX sweep point with the paper's part-split measurements.
+struct CoaxPoint {
+    label: String,
+    primary_overhead: usize,
+    total_ms: f64,
+}
 
 fn run_dataset(name: &str, dataset: &Dataset) {
     let n_queries = datasets::bench_queries().min(60);
@@ -20,69 +32,86 @@ fn run_dataset(name: &str, dataset: &Dataset) {
     let k = (dataset.len() / 2000).max(8);
     let queries = datasets::range_workload(dataset, n_queries, k);
 
-    let coax_sweep = tuning::sweep_coax(
-        dataset,
-        &queries,
-        repeats,
-        &tuning::grid_ladder(),
-        &CoaxConfig::default(),
-    );
+    // The COAX ladder needs the concrete type for the primary/outlier
+    // split series, so build each point exactly once via `build_coax`
+    // (the specs still come from the shared-discovery factory path).
+    let coax_specs =
+        tuning::coax_specs(dataset, &CoaxConfig::default(), &tuning::grid_ladder());
+    let cap = dataset.data_bytes();
+    let mut coax_sweep = Vec::new();
     let mut rows = Vec::new();
-    for p in &coax_sweep {
-        // Split the timing so the figure's three COAX series all appear.
+    for spec in &coax_specs {
+        if !spec.fits(dataset) {
+            continue;
+        }
+        let coax = spec.build_coax(dataset).expect("coax spec");
+        if coax.memory_overhead() > cap {
+            continue;
+        }
         let primary_ms = time_per_query_ms(&queries, repeats, |q, out| {
-            p.index.query_primary(q, out);
+            coax.query_primary(q, out);
         });
         let outlier_ms = time_per_query_ms(&queries, repeats, |q, out| {
-            p.index.query_outliers(q, out);
+            coax.query_outliers(q, out);
         });
         rows.push(ReportRow {
-            label: format!("COAX {}", p.label),
+            label: format!("COAX {}", spec.label()),
             values: vec![
-                ("primary mem".into(), fmt_bytes(p.index.primary_overhead())),
-                ("outlier mem".into(), fmt_bytes(p.index.outlier_overhead())),
-                ("total mem".into(), fmt_bytes(p.memory_overhead)),
+                ("primary mem".into(), fmt_bytes(coax.primary_overhead())),
+                ("outlier mem".into(), fmt_bytes(coax.outlier_overhead())),
+                ("total mem".into(), fmt_bytes(coax.memory_overhead())),
                 ("primary time".into(), fmt_ms(primary_ms)),
                 ("outlier time".into(), fmt_ms(outlier_ms)),
                 ("total time".into(), fmt_ms(primary_ms + outlier_ms)),
             ],
         });
+        coax_sweep.push(CoaxPoint {
+            label: spec.label(),
+            primary_overhead: coax.primary_overhead(),
+            total_ms: primary_ms + outlier_ms,
+        });
     }
     print_table(&format!("{name} — COAX sweep"), &rows);
 
-    let cf_sweep = tuning::sweep_column_files(dataset, &queries, repeats, &tuning::grid_ladder());
-    let rt_sweep = tuning::sweep_rtree(dataset, &queries, repeats, &tuning::capacity_ladder());
+    let cf_sweep = tuning::sweep(
+        dataset,
+        &queries,
+        repeats,
+        &tuning::column_files_specs(&tuning::grid_ladder()),
+    );
+    let rt_sweep = tuning::sweep(
+        dataset,
+        &queries,
+        repeats,
+        &tuning::rtree_specs(&tuning::capacity_ladder()),
+    );
     let mut rows = Vec::new();
-    for p in &cf_sweep {
-        rows.push(ReportRow {
-            label: format!("ColumnFiles {}", p.label),
-            values: vec![
-                ("mem".into(), fmt_bytes(p.memory_overhead)),
-                ("time".into(), fmt_ms(p.mean_query_ms)),
-            ],
-        });
-    }
-    for p in &rt_sweep {
-        rows.push(ReportRow {
-            label: format!("R-Tree {}", p.label),
-            values: vec![
-                ("mem".into(), fmt_bytes(p.memory_overhead)),
-                ("time".into(), fmt_ms(p.mean_query_ms)),
-            ],
-        });
+    for (kind, sweep) in [("ColumnFiles", &cf_sweep), ("R-Tree", &rt_sweep)] {
+        for p in sweep {
+            rows.push(ReportRow {
+                label: format!("{kind} {}", p.label),
+                values: vec![
+                    ("mem".into(), fmt_bytes(p.memory_overhead)),
+                    ("time".into(), fmt_ms(p.mean_query_ms)),
+                ],
+            });
+        }
     }
     print_table(&format!("{name} — baselines sweep"), &rows);
 
     // Headline: memory ratio at comparable runtime.
-    if let (Some(coax_best), Some(cf_best)) = (tuning::best(&coax_sweep), tuning::best(&cf_sweep))
-    {
+    let coax_best = coax_sweep
+        .iter()
+        .min_by(|a, b| a.total_ms.partial_cmp(&b.total_ms).expect("finite timings"));
+    if let (Some(coax_best), Some(cf_best)) = (coax_best, tuning::best(&cf_sweep)) {
         println!(
-            "{name}: best COAX directory {} vs best Column Files {} — {:.0}x smaller \
+            "{name}: best COAX ({}) directory {} vs best Column Files {} — {:.0}x smaller \
              at {} vs {} per query",
-            fmt_bytes(coax_best.index.primary_overhead()),
+            coax_best.label,
+            fmt_bytes(coax_best.primary_overhead),
             fmt_bytes(cf_best.memory_overhead),
-            cf_best.memory_overhead as f64 / coax_best.index.primary_overhead().max(1) as f64,
-            fmt_ms(coax_best.mean_query_ms),
+            cf_best.memory_overhead as f64 / coax_best.primary_overhead.max(1) as f64,
+            fmt_ms(coax_best.total_ms),
             fmt_ms(cf_best.mean_query_ms),
         );
     }

@@ -14,11 +14,8 @@ use coax_data::Dataset;
 
 fn characterise(name: &str, dataset: &Dataset) -> ReportRow {
     let index = CoaxIndex::build(dataset, &CoaxConfig::default());
-    let group_sizes: Vec<String> = index
-        .groups()
-        .iter()
-        .map(|g| (g.models.len() + 1).to_string())
-        .collect();
+    let group_sizes: Vec<String> =
+        index.groups().iter().map(|g| (g.models.len() + 1).to_string()).collect();
     let correlated = if group_sizes.is_empty() {
         "-".to_string()
     } else {
@@ -35,10 +32,7 @@ fn characterise(name: &str, dataset: &Dataset) -> ReportRow {
             ("Correlated Dims".into(), correlated),
             ("Indexed Dims (Soft-FD)".into(), indexed.to_string()),
             ("Grid Directory Dims".into(), grid_dims.to_string()),
-            (
-                "Primary Index Ratio".into(),
-                format!("{:.1}%", 100.0 * index.primary_ratio()),
-            ),
+            ("Primary Index Ratio".into(), format!("{:.1}%", 100.0 * index.primary_ratio())),
         ],
     }
 }
@@ -51,9 +45,6 @@ fn main() {
 
     let airline = datasets::airline(rows);
     let osm = datasets::osm(rows);
-    let table = vec![
-        characterise("Airline", &airline),
-        characterise("OSM", &osm),
-    ];
+    let table = vec![characterise("Airline", &airline), characterise("OSM", &osm)];
     print_table("Table 1", &table);
 }

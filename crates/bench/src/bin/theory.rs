@@ -37,8 +37,7 @@ fn effectiveness_experiment() {
     let mut rows = Vec::new();
     for k_sigma in [1.0, 2.0, 4.0, 8.0, 16.0] {
         let mut config = CoaxConfig::default();
-        config.discovery.learn.epsilon =
-            coax_core::EpsilonPolicy::Sigmas(k_sigma);
+        config.discovery.learn.epsilon = coax_core::EpsilonPolicy::Sigmas(k_sigma);
         config.cells_per_dim = 1; // pure sorted-scan primary: isolates Eq. 5
         let index = CoaxIndex::build(&ds, &config);
         if index.groups().is_empty() {
@@ -60,8 +59,7 @@ fn effectiveness_experiment() {
                 measured_eff.push(stats.matches as f64 / stats.rows_examined as f64);
             }
         }
-        let measured =
-            measured_eff.iter().sum::<f64>() / measured_eff.len().max(1) as f64;
+        let measured = measured_eff.iter().sum::<f64>() / measured_eff.len().max(1) as f64;
         let predicted = theory::effectiveness(q_y, eps);
         rows.push(ReportRow {
             label: format!("eps = {k_sigma} sigma"),

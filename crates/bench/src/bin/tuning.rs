@@ -3,10 +3,26 @@
 //! index", including the paper's finding that the best R-tree node
 //! capacity lies between 8 and 12, and the memory-cap rule (directory ≤
 //! data bytes).
+//!
+//! Every sweep runs through the same spec-driven generic path — the
+//! binary only decides which ladders to print.
 
 use coax_bench::harness::{fmt_bytes, fmt_ms, print_table, ReportRow};
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
+
+fn sweep_rows(sweep: &[tuning::SweepPoint]) -> Vec<ReportRow> {
+    sweep
+        .iter()
+        .map(|p| ReportRow {
+            label: p.label.clone(),
+            values: vec![
+                ("mem".into(), fmt_bytes(p.memory_overhead)),
+                ("mean query".into(), fmt_ms(p.mean_query_ms)),
+            ],
+        })
+        .collect()
+}
 
 fn main() {
     let rows = datasets::bench_rows();
@@ -18,60 +34,39 @@ fn main() {
     let k = (rows / 2000).max(8);
     let queries = datasets::range_workload(&dataset, n_queries, k);
 
-    let rt = tuning::sweep_rtree(&dataset, &queries, repeats, &tuning::capacity_ladder());
-    let rt_rows: Vec<ReportRow> = rt
-        .iter()
-        .map(|p| ReportRow {
-            label: p.label.clone(),
-            values: vec![
-                ("mem".into(), fmt_bytes(p.memory_overhead)),
-                ("mean query".into(), fmt_ms(p.mean_query_ms)),
-            ],
-        })
-        .collect();
-    print_table("R-Tree node capacity sweep (paper: best in 8..12)", &rt_rows);
+    let rt = tuning::sweep(
+        &dataset,
+        &queries,
+        repeats,
+        &tuning::rtree_specs(&tuning::capacity_ladder()),
+    );
+    print_table("R-Tree node capacity sweep (paper: best in 8..12)", &sweep_rows(&rt));
     if let Some(b) = tuning::best(&rt) {
         println!("best: {}", b.label);
     }
 
-    let ug = tuning::sweep_uniform_grid(&dataset, &queries, repeats, &tuning::grid_ladder());
-    let ug_rows: Vec<ReportRow> = ug
-        .iter()
-        .map(|p| ReportRow {
-            label: p.label.clone(),
-            values: vec![
-                ("mem".into(), fmt_bytes(p.memory_overhead)),
-                ("mean query".into(), fmt_ms(p.mean_query_ms)),
-            ],
-        })
-        .collect();
+    let ug = tuning::sweep(
+        &dataset,
+        &queries,
+        repeats,
+        &tuning::uniform_grid_specs(&tuning::grid_ladder()),
+    );
     print_table(
         "Full-grid resolution sweep (directory capped at data bytes)",
-        &ug_rows,
+        &sweep_rows(&ug),
     );
     println!(
         "data bytes = {}; configurations above the cap were skipped",
         fmt_bytes(dataset.data_bytes())
     );
 
-    let cx = tuning::sweep_coax(
+    let cx = tuning::sweep(
         &dataset,
         &queries,
         repeats,
-        &tuning::grid_ladder(),
-        &CoaxConfig::default(),
+        &tuning::coax_specs(&dataset, &CoaxConfig::default(), &tuning::grid_ladder()),
     );
-    let cx_rows: Vec<ReportRow> = cx
-        .iter()
-        .map(|p| ReportRow {
-            label: p.label.clone(),
-            values: vec![
-                ("mem".into(), fmt_bytes(p.memory_overhead)),
-                ("mean query".into(), fmt_ms(p.mean_query_ms)),
-            ],
-        })
-        .collect();
-    print_table("COAX primary-grid resolution sweep", &cx_rows);
+    print_table("COAX primary-grid resolution sweep", &sweep_rows(&cx));
     if let Some(b) = tuning::best(&cx) {
         println!("best: {}", b.label);
     }

@@ -6,10 +6,7 @@ use coax_data::{Dataset, RangeQuery};
 
 /// Reads a `usize` env knob with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Rows per benchmark dataset (`COAX_BENCH_ROWS`, default 200 000).

@@ -1,7 +1,46 @@
 //! Timing and reporting utilities shared by the figure binaries.
+//!
+//! The comparison path is fully generic: figure binaries describe their
+//! contenders as [`IndexSpec`]s, [`build_contenders`] constructs them
+//! through the backend factory into `Box<dyn MultidimIndex>`, and
+//! [`workload_stats`]/[`time_per_query_ms`] drive them through the
+//! trait. There is deliberately no `match` on concrete index types
+//! anywhere in this file — adding a backend to a figure is a one-line
+//! spec addition.
 
-use coax_data::{RangeQuery, RowId};
+use coax_core::IndexSpec;
+use coax_data::{Dataset, RangeQuery, RowId};
+use coax_index::{MultidimIndex, ScanStats};
 use std::time::Instant;
+
+/// A labelled, factory-built index ready to be timed through the trait.
+pub struct Contender {
+    /// Display label for report tables.
+    pub label: String,
+    /// The built index.
+    pub index: Box<dyn MultidimIndex>,
+}
+
+/// Builds one contender per `(label, spec)` pair over `dataset`, all
+/// through the backend factory.
+pub fn build_contenders(dataset: &Dataset, specs: &[(String, IndexSpec)]) -> Vec<Contender> {
+    specs
+        .iter()
+        .map(|(label, spec)| Contender { label: label.clone(), index: spec.build(dataset) })
+        .collect()
+}
+
+/// Runs `queries` once through `index`, summing the scan counters — the
+/// source of the effectiveness (Eq. 5) column in the figure reports.
+pub fn workload_stats(index: &dyn MultidimIndex, queries: &[RangeQuery]) -> ScanStats {
+    let mut out = Vec::new();
+    let mut total = ScanStats::default();
+    for q in queries {
+        out.clear();
+        total = total.merge(index.range_query_stats(q, &mut out));
+    }
+    total
+}
 
 /// Mean wall-clock milliseconds per query of `f` over `queries`, with one
 /// untimed warm-up pass and `repeats` timed passes.
@@ -47,12 +86,8 @@ pub fn print_table(title: &str, rows: &[ReportRow]) {
     }
     let columns: Vec<&String> = rows[0].values.iter().map(|(c, _)| c).collect();
     let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
-    let label_width = rows
-        .iter()
-        .map(|r| r.label.len())
-        .chain(std::iter::once(4))
-        .max()
-        .unwrap();
+    let label_width =
+        rows.iter().map(|r| r.label.len()).chain(std::iter::once(4)).max().unwrap();
     for row in rows {
         for (i, (_, v)) in row.values.iter().enumerate() {
             widths[i] = widths[i].max(v.len());

@@ -1,38 +1,45 @@
-//! Per-index tuning sweeps (§8.2.1).
+//! Per-index tuning sweeps (§8.2.1), driven entirely through the
+//! backend factory.
 //!
 //! The paper: *"We use the configuration that performs best for each
 //! index … Due to memory constraints, we limit any index that would
 //! require more memory overhead for its index directory than memory
-//! occupied by the underlying data itself."* Each sweep honours that cap,
-//! measures mean query time on the given workload, and keeps the built
-//! index so Fig. 8 can plot the whole (memory, runtime) trade-off curve
-//! and Figs. 6/7 can pick the best point.
+//! occupied by the underlying data itself."*
+//!
+//! One generic [`sweep`] covers every index kind: it takes
+//! [`IndexSpec`]s, builds each through `Box<dyn MultidimIndex>`, honours
+//! the memory cap, measures mean query time, and keeps the built index
+//! so Fig. 8 can plot the whole (memory, runtime) trade-off curve and
+//! Figs. 6/7 can pick the best point. The `*_specs` helpers turn the
+//! paper's resolution ladders into spec lists — adding a backend to the
+//! sweeps means writing one new ladder, nothing else.
 
 use crate::harness::time_per_query_ms;
-use coax_core::{CoaxConfig, CoaxIndex};
+use coax_core::{CoaxConfig, IndexSpec};
 use coax_data::{Dataset, RangeQuery};
-use coax_index::{ColumnFiles, MultidimIndex, RTree, RTreeConfig, UniformGrid};
+use coax_index::{BackendSpec, MultidimIndex};
 
 /// One point of a tuning sweep: a built index plus its measurements.
 #[derive(Debug)]
-pub struct SweepPoint<I> {
+pub struct SweepPoint {
     /// Human-readable configuration ("k=8", "cap=12", …).
     pub label: String,
+    /// The spec the index was built from (lets callers rebuild the
+    /// winner, e.g. concretely for COAX's part-split reporting).
+    pub spec: IndexSpec,
     /// Directory overhead in bytes.
     pub memory_overhead: usize,
     /// Mean query time over the tuning workload.
     pub mean_query_ms: f64,
     /// The built index.
-    pub index: I,
+    pub index: Box<dyn MultidimIndex>,
 }
 
 /// The sweep point with the lowest mean query time.
-pub fn best<I>(sweep: &[SweepPoint<I>]) -> Option<&SweepPoint<I>> {
-    sweep.iter().min_by(|a, b| {
-        a.mean_query_ms
-            .partial_cmp(&b.mean_query_ms)
-            .expect("finite timings")
-    })
+pub fn best(sweep: &[SweepPoint]) -> Option<&SweepPoint> {
+    sweep
+        .iter()
+        .min_by(|a, b| a.mean_query_ms.partial_cmp(&b.mean_query_ms).expect("finite timings"))
 }
 
 /// Default grid-resolution ladder for sweeps.
@@ -45,29 +52,22 @@ pub fn capacity_ladder() -> Vec<usize> {
     vec![2, 4, 8, 10, 12, 16, 24, 32]
 }
 
-fn within_cell_cap(cells_per_dim: usize, grid_dims: usize) -> bool {
-    // Mirror of the builders' MAX_CELLS guard, checked up front so sweeps
-    // skip instead of panicking.
-    const MAX_CELLS: usize = 1 << 28;
-    cells_per_dim
-        .checked_pow(grid_dims as u32)
-        .is_some_and(|c| c <= MAX_CELLS)
-}
-
-/// Sweeps the uniform ("full") grid over `cells_per_dim` values.
-pub fn sweep_uniform_grid(
+/// Sweeps any list of specs: build (skipping configurations that cannot
+/// fit), cap by directory ≤ data bytes, measure. No per-type code — the
+/// factory does the construction, the trait does the measuring.
+pub fn sweep(
     dataset: &Dataset,
     workload: &[RangeQuery],
     repeats: usize,
-    ladder: &[usize],
-) -> Vec<SweepPoint<UniformGrid>> {
+    specs: &[IndexSpec],
+) -> Vec<SweepPoint> {
     let cap = dataset.data_bytes();
     let mut out = Vec::new();
-    for &k in ladder {
-        if !within_cell_cap(k, dataset.dims()) {
+    for spec in specs {
+        if !spec.fits(dataset) {
             continue;
         }
-        let index = UniformGrid::build(dataset, k);
+        let index = spec.build(dataset);
         if index.memory_overhead() > cap {
             continue;
         }
@@ -75,7 +75,8 @@ pub fn sweep_uniform_grid(
             index.range_query_stats(q, buf);
         });
         out.push(SweepPoint {
-            label: format!("k={k}"),
+            label: spec.label(),
+            spec: spec.clone(),
             memory_overhead: index.memory_overhead(),
             mean_query_ms: mean,
             index,
@@ -84,100 +85,42 @@ pub fn sweep_uniform_grid(
     out
 }
 
-/// Sweeps column files (auto-selected sort dimension) over grid sizes.
-pub fn sweep_column_files(
-    dataset: &Dataset,
-    workload: &[RangeQuery],
-    repeats: usize,
-    ladder: &[usize],
-) -> Vec<SweepPoint<ColumnFiles>> {
-    let cap = dataset.data_bytes();
-    let mut out = Vec::new();
-    for &k in ladder {
-        if !within_cell_cap(k, dataset.dims().saturating_sub(1)) {
-            continue;
-        }
-        let index = ColumnFiles::build_auto(dataset, k);
-        if index.memory_overhead() > cap {
-            continue;
-        }
-        let mean = time_per_query_ms(workload, repeats, |q, buf| {
-            index.range_query_stats(q, buf);
-        });
-        out.push(SweepPoint {
-            label: format!("k={k}"),
-            memory_overhead: index.memory_overhead(),
-            mean_query_ms: mean,
-            index,
-        });
-    }
-    out
+/// Uniform ("full") grid specs over a resolution ladder.
+pub fn uniform_grid_specs(ladder: &[usize]) -> Vec<IndexSpec> {
+    ladder.iter().map(|&k| BackendSpec::UniformGrid { cells_per_dim: k }.into()).collect()
 }
 
-/// Sweeps the R-tree over node capacities.
-pub fn sweep_rtree(
-    dataset: &Dataset,
-    workload: &[RangeQuery],
-    repeats: usize,
-    capacities: &[usize],
-) -> Vec<SweepPoint<RTree>> {
-    let cap = dataset.data_bytes();
-    let mut out = Vec::new();
-    for &c in capacities {
-        if c < 2 {
-            continue;
-        }
-        let index = RTree::build(dataset, RTreeConfig::uniform(c));
-        if index.memory_overhead() > cap {
-            continue;
-        }
-        let mean = time_per_query_ms(workload, repeats, |q, buf| {
-            index.range_query_stats(q, buf);
-        });
-        out.push(SweepPoint {
-            label: format!("cap={c}"),
-            memory_overhead: index.memory_overhead(),
-            mean_query_ms: mean,
-            index,
-        });
-    }
-    out
+/// Column-files specs (auto-selected sort dimension) over a ladder.
+pub fn column_files_specs(ladder: &[usize]) -> Vec<IndexSpec> {
+    ladder
+        .iter()
+        .map(|&k| BackendSpec::ColumnFiles { cells_per_dim: k, sort_dim: None }.into())
+        .collect()
 }
 
-/// Sweeps COAX over the primary grid resolution. Soft-FD discovery runs
-/// once and is shared across all builds (the directory size does not
-/// change what correlates).
-pub fn sweep_coax(
-    dataset: &Dataset,
-    workload: &[RangeQuery],
-    repeats: usize,
-    ladder: &[usize],
-    base: &CoaxConfig,
-) -> Vec<SweepPoint<CoaxIndex>> {
-    let cap = dataset.data_bytes();
-    let discovery = coax_core::discovery::discover(dataset, &base.discovery, base.seed);
-    let grid_dims = discovery.indexed_dims().len().saturating_sub(1);
-    let mut out = Vec::new();
-    for &k in ladder {
-        if !within_cell_cap(k, grid_dims) {
-            continue;
-        }
-        let config = CoaxConfig { cells_per_dim: k, ..*base };
-        let index = CoaxIndex::build_with_discovery(dataset, discovery.clone(), &config);
-        if index.memory_overhead() > cap {
-            continue;
-        }
-        let mean = time_per_query_ms(workload, repeats, |q, buf| {
-            index.range_query_stats(q, buf);
-        });
-        out.push(SweepPoint {
-            label: format!("k={k}"),
-            memory_overhead: index.memory_overhead(),
-            mean_query_ms: mean,
-            index,
-        });
-    }
-    out
+/// R-tree specs over a node-capacity ladder.
+pub fn rtree_specs(capacities: &[usize]) -> Vec<IndexSpec> {
+    capacities
+        .iter()
+        .filter(|&&c| c >= 2)
+        .map(|&c| BackendSpec::RTree { capacity: c }.into())
+        .collect()
+}
+
+/// COAX specs over the primary grid resolution. Soft-FD discovery runs
+/// once here and is shared across all points (the directory size does
+/// not change what correlates).
+pub fn coax_specs(dataset: &Dataset, base: &CoaxConfig, ladder: &[usize]) -> Vec<IndexSpec> {
+    let discovery = IndexSpec::discover_for(base, dataset);
+    ladder
+        .iter()
+        .map(|&k| {
+            IndexSpec::coax_with_discovery(
+                CoaxConfig { cells_per_dim: k, ..*base },
+                discovery.clone(),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -191,15 +134,15 @@ mod tests {
         let workload = datasets::range_workload(&ds, 8, 40);
         let cap = ds.data_bytes();
 
-        let grids = sweep_uniform_grid(&ds, &workload, 1, &[2, 4, 8, 16]);
+        let grids = sweep(&ds, &workload, 1, &uniform_grid_specs(&[2, 4, 8, 16]));
         assert!(!grids.is_empty());
         assert!(grids.iter().all(|p| p.memory_overhead <= cap));
         assert!(best(&grids).is_some());
 
-        let cfs = sweep_column_files(&ds, &workload, 1, &[2, 4, 8]);
+        let cfs = sweep(&ds, &workload, 1, &column_files_specs(&[2, 4, 8]));
         assert!(!cfs.is_empty());
 
-        let rtrees = sweep_rtree(&ds, &workload, 1, &[4, 10, 32]);
+        let rtrees = sweep(&ds, &workload, 1, &rtree_specs(&[4, 10, 32]));
         assert_eq!(rtrees.len(), 3);
         let b = best(&rtrees).unwrap();
         assert!(rtrees.iter().all(|p| p.mean_query_ms >= b.mean_query_ms));
@@ -211,10 +154,15 @@ mod tests {
         let workload = datasets::range_workload(&ds, 6, 40);
         let mut base = CoaxConfig::default();
         base.discovery.learn.sample_count = 1024;
-        let sweep = sweep_coax(&ds, &workload, 1, &[4, 8], &base);
-        assert_eq!(sweep.len(), 2);
-        // Same discovery → same partition sizes across the sweep.
-        assert_eq!(sweep[0].index.primary_len(), sweep[1].index.primary_len());
+        let specs = coax_specs(&ds, &base, &[4, 8]);
+        let points = sweep(&ds, &workload, 1, &specs);
+        assert_eq!(points.len(), 2);
+        // Same discovery → same partition sizes across the sweep; the
+        // winner can be rebuilt concretely for part-split reporting.
+        let coax_a = points[0].spec.build_coax(&ds).expect("coax spec");
+        let coax_b = points[1].spec.build_coax(&ds).expect("coax spec");
+        assert_eq!(coax_a.primary_len(), coax_b.primary_len());
+        assert_eq!(coax_a.len(), points[0].index.len());
     }
 
     #[test]
@@ -222,7 +170,23 @@ mod tests {
         let ds = datasets::airline(200); // tiny data → tiny cap
         let workload = datasets::range_workload(&ds, 3, 10);
         // k=128 on 8 dims exceeds the cell cap by far; must be skipped.
-        let grids = sweep_uniform_grid(&ds, &workload, 1, &[128]);
+        let grids = sweep(&ds, &workload, 1, &uniform_grid_specs(&[128]));
         assert!(grids.is_empty());
+    }
+
+    #[test]
+    fn mixed_kind_sweep_is_uniform() {
+        // One sweep can rank different index kinds against each other —
+        // there is no per-type plumbing anywhere in the path.
+        let ds = datasets::osm(3000);
+        let workload = datasets::range_workload(&ds, 5, 30);
+        let mut specs = rtree_specs(&[8]);
+        specs.extend(uniform_grid_specs(&[4]));
+        specs.push(IndexSpec::coax(CoaxConfig::default()));
+        specs.push(BackendSpec::FullScan.into());
+        let points = sweep(&ds, &workload, 1, &specs);
+        assert_eq!(points.len(), 4);
+        let names: Vec<&str> = points.iter().map(|p| p.index.name()).collect();
+        assert_eq!(names, vec!["r-tree", "full-grid", "coax", "full-scan"]);
     }
 }

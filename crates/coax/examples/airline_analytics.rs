@@ -59,7 +59,8 @@ fn main() {
     q3.constrain(columns::DAY_OF_WEEK, 1.0, 5.0);
     q3.constrain(columns::CARRIER, 0.0, 4.0);
 
-    for (name, q) in [("Q1 medium-haul", &q1), ("Q2 red-eye", &q2), ("Q3 full rectangle", &q3)] {
+    for (name, q) in [("Q1 medium-haul", &q1), ("Q2 red-eye", &q2), ("Q3 full rectangle", &q3)]
+    {
         println!("\n{name}:");
         let mut out = Vec::new();
         let start = Instant::now();

@@ -74,10 +74,8 @@ fn main() {
     );
 
     // Verify exactness against a direct scan.
-    let brute: Vec<u32> = dataset
-        .row_ids()
-        .filter(|&r| query.matches_row(&dataset, r))
-        .collect();
+    let brute: Vec<u32> =
+        dataset.row_ids().filter(|&r| query.matches_row(&dataset, r)).collect();
     let mut got = out.clone();
     got.sort_unstable();
     assert_eq!(got, brute, "spline COAX must stay exact");

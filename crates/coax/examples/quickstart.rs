@@ -87,9 +87,5 @@ fn main() {
         .expect("well-formed row");
     println!("\ninserted row id {id}; pending = {}", index.pending_len());
     let index = index.rebuild();
-    println!(
-        "after rebuild: {} rows indexed, pending = {}",
-        index.len(),
-        index.pending_len()
-    );
+    println!("after rebuild: {} rows indexed, pending = {}", index.len(), index.pending_len());
 }

@@ -23,10 +23,7 @@ fn main() {
         ..Default::default()
     };
     let dataset = config.generate();
-    println!(
-        "dataset: y = 2x + N(0, 8) with 15% gross outliers ({} rows)",
-        dataset.len()
-    );
+    println!("dataset: y = 2x + N(0, 8) with 15% gross outliers ({} rows)", dataset.len());
     println!(
         "\n{:>8} {:>12} {:>14} {:>12} {:>12} {:>12}",
         "eps(k·σ)", "margin", "primary ratio", "eff (pred)", "eff (meas)", "outlier rows"

@@ -1,0 +1,92 @@
+//! # COAX — Correlation-Aware Indexing
+//!
+//! A from-scratch Rust reproduction of *COAX: Correlation-Aware Indexing on
+//! Multidimensional Data with Soft Functional Dependencies* (Hadian,
+//! Ghaffari, Wang, Heinis).
+//!
+//! COAX builds a multidimensional **primary index** over only the attributes
+//! that cannot be predicted from others, plus a small **outlier index** for
+//! the rows that violate the learned soft functional dependencies. Query
+//! constraints on a dependent attribute are *translated* through the learned
+//! model into constraints on its predictor, so the dropped dimensions never
+//! need to be indexed at all.
+//!
+//! ## Architecture
+//!
+//! Three library layers, stacked strictly bottom-up (see `ARCHITECTURE.md`
+//! for the full tour):
+//!
+//! * [`data`] ([`coax_data`]) — dataset storage, synthetic dataset
+//!   generators (airline/OSM analogues), query workloads, and statistics.
+//!   Knows nothing about indexing.
+//! * [`index`] ([`coax_index`]) — the substrate layer: grid file, uniform
+//!   grid, column files, R-tree, and full scan, all behind **one
+//!   object-safe trait**, [`index::MultidimIndex`] (range, point, and
+//!   batch queries, entry iteration, memory accounting), plus the
+//!   **backend factory** [`index::BackendSpec`] that builds any substrate
+//!   from a config value as a `Box<dyn MultidimIndex>`.
+//! * [`core`] ([`coax_core`]) — the paper's contribution: soft-FD
+//!   discovery, query translation, the shared execution layer
+//!   ([`core::exec`]: translate once into a [`core::QueryPlan`], then
+//!   probe primary → probe outliers → merge), and [`core::CoaxIndex`]
+//!   itself — which **implements `MultidimIndex` too**, holds its outlier
+//!   partition as a factory-built `Box<dyn MultidimIndex>`, and therefore
+//!   composes like any other backend. [`core::IndexSpec`] extends the
+//!   factory to cover COAX, so callers build *every* index in the
+//!   workspace the same way.
+//!
+//! The bench harness (`coax-bench`), the integration tests, and the
+//! examples never name concrete index types in their comparison paths:
+//! they hold `Vec<Box<dyn MultidimIndex>>` built from specs. Adding a
+//! backend is one new [`index::BackendSpec`] variant.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use coax::core::{CoaxConfig, CoaxIndex};
+//! use coax::data::synth::{AirlineConfig, Generator};
+//! use coax::data::RangeQuery;
+//! use coax::index::MultidimIndex;
+//!
+//! // A miniature airline-like dataset with two correlated attribute groups.
+//! let dataset = AirlineConfig::small(20_000, 42).generate();
+//!
+//! // Build COAX: soft FDs are discovered automatically.
+//! let index = CoaxIndex::build(&dataset, &CoaxConfig::default());
+//!
+//! // A rectangle query over all attributes (here: unconstrained except dim 0).
+//! let mut query = RangeQuery::unbounded(dataset.dims());
+//! query.constrain(0, 200.0, 600.0);
+//! let hits = index.range_query(&query);
+//! assert!(!hits.is_empty());
+//! ```
+//!
+//! Or, treating COAX as just one backend among many via the factory:
+//!
+//! ```
+//! use coax::core::{CoaxConfig, IndexSpec};
+//! use coax::data::synth::{AirlineConfig, Generator};
+//! use coax::data::RangeQuery;
+//! use coax::index::{BackendSpec, MultidimIndex};
+//!
+//! let dataset = AirlineConfig::small(5_000, 42).generate();
+//! let mut query = RangeQuery::unbounded(dataset.dims());
+//! query.constrain(0, 200.0, 600.0);
+//!
+//! let backends: Vec<Box<dyn MultidimIndex>> = vec![
+//!     BackendSpec::RTree { capacity: 10 }.into(),
+//!     IndexSpec::coax(CoaxConfig::default()),
+//! ]
+//! .iter()
+//! .map(|spec: &IndexSpec| spec.build(&dataset))
+//! .collect();
+//!
+//! let reference = backends[0].range_query(&query).len();
+//! assert!(backends.iter().all(|b| b.range_query(&query).len() == reference));
+//! ```
+pub use coax_core as core;
+pub use coax_data as data;
+pub use coax_index as index;
+
+/// Crate version of the facade, matching the workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

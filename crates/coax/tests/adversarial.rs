@@ -42,10 +42,8 @@ fn heavy_duplication() {
         (0..n).map(|i| (i % 2) as f64 * 100.0).collect(),
         (0..n).map(|i| if i < n - 5 { 7.0 } else { i as f64 }).collect(),
     ]);
-    let mut queries = vec![
-        RangeQuery::point(&[0.0, 0.0, 7.0]),
-        RangeQuery::point(&[2.0, 100.0, 7.0]),
-    ];
+    let mut queries =
+        vec![RangeQuery::point(&[0.0, 0.0, 7.0]), RangeQuery::point(&[2.0, 100.0, 7.0])];
     let mut q = RangeQuery::unbounded(3);
     q.constrain(2, 4000.0, 6000.0); // only the 5 tail rows
     queries.push(q);

@@ -1,0 +1,115 @@
+//! Workspace-level equivalence: a random workload runs through **every**
+//! index — the five conventional substrates *and* `CoaxIndex` — built
+//! solely through the backend factory and driven solely as
+//! `Box<dyn MultidimIndex>`, and each one returns exactly the full-scan
+//! result set.
+//!
+//! This is the tentpole invariant of the unified-index refactor: COAX is
+//! just another backend, distinguishable from the substrates only by its
+//! name string.
+
+use coax::core::{CoaxConfig, IndexSpec, OutlierBackend};
+use coax::data::synth::{AirlineConfig, Generator, OsmConfig};
+use coax::data::workload::{knn_rectangle_queries, partial_queries, point_queries};
+use coax::data::{Dataset, RangeQuery};
+use coax::index::{BackendSpec, FullScan, MultidimIndex};
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+fn random_workload(ds: &Dataset, seed: u64) -> Vec<RangeQuery> {
+    let mut queries = knn_rectangle_queries(ds, 8, 50, seed);
+    queries.extend(point_queries(ds, 6, seed + 1));
+    queries.extend(partial_queries(ds, 6, 30, 2, seed + 2));
+    queries.push(RangeQuery::unbounded(ds.dims()));
+    let mut empty = RangeQuery::unbounded(ds.dims());
+    empty.constrain(0, 1.0, 0.0);
+    queries.push(empty);
+    queries
+}
+
+/// Every backend the factory can produce, including COAX configured with
+/// each outlier-backend flavour.
+fn all_specs() -> Vec<IndexSpec> {
+    let mut specs = IndexSpec::all_kinds(4, 10);
+    specs.push(IndexSpec::coax(CoaxConfig {
+        outlier_backend: OutlierBackend::RTree { capacity: 8 },
+        ..Default::default()
+    }));
+    specs.push(IndexSpec::coax(CoaxConfig {
+        outlier_backend: OutlierBackend::Custom(BackendSpec::FullScan),
+        ..Default::default()
+    }));
+    specs
+}
+
+#[test]
+fn every_boxed_backend_matches_full_scan() {
+    for (name, dataset) in [
+        ("airline", AirlineConfig::small(6_000, 17).generate()),
+        ("osm", OsmConfig::small(6_000, 18).generate()),
+    ] {
+        let queries = random_workload(&dataset, 0xB0);
+        let fs = FullScan::build(&dataset);
+        let backends: Vec<Box<dyn MultidimIndex>> =
+            all_specs().iter().map(|spec| spec.build(&dataset)).collect();
+        assert!(
+            backends.iter().any(|b| b.name() == "coax"),
+            "CoaxIndex must be among the factory-built backends"
+        );
+
+        for q in &queries {
+            let expected = sorted(fs.range_query(q));
+            for backend in &backends {
+                assert_eq!(
+                    sorted(backend.range_query(q)),
+                    expected,
+                    "{name}: {} diverged on {q:?}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn boxed_batch_and_point_surfaces_agree() {
+    let dataset = OsmConfig::small(4_000, 19).generate();
+    let queries = random_workload(&dataset, 0xB1);
+    for spec in all_specs() {
+        let backend = spec.build(&dataset);
+        // Batch path == sequential path, through the box.
+        for (q, result) in queries.iter().zip(backend.batch_query(&queries)) {
+            let mut ids = Vec::new();
+            let stats = backend.range_query_stats(q, &mut ids);
+            assert_eq!(result.stats, stats, "{}: stats diverged", backend.name());
+            assert_eq!(sorted(result.ids), sorted(ids), "{}", backend.name());
+        }
+        // Point path == point-rectangle path, through the box.
+        let row = dataset.row(123);
+        assert_eq!(
+            sorted(backend.point_query(&row)),
+            sorted(backend.range_query(&RangeQuery::point(&row))),
+            "{}",
+            backend.name()
+        );
+        assert!(backend.point_query(&row).contains(&123), "{}", backend.name());
+    }
+}
+
+#[test]
+fn boxed_entry_iteration_covers_every_backend() {
+    let dataset = AirlineConfig::small(2_000, 20).generate();
+    for spec in all_specs() {
+        let backend = spec.build(&dataset);
+        let mut seen = vec![false; dataset.len()];
+        backend.for_each_entry(&mut |id, row| {
+            assert_eq!(row, dataset.row(id).as_slice(), "{} entry {id}", backend.name());
+            assert!(!seen[id as usize], "{} repeated {id}", backend.name());
+            seen[id as usize] = true;
+        });
+        assert!(seen.iter().all(|&s| s), "{} must yield every row", backend.name());
+    }
+}

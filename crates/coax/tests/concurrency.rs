@@ -9,9 +9,7 @@
 use coax::core::{CoaxConfig, CoaxIndex};
 use coax::data::synth::{AirlineConfig, Generator};
 use coax::data::workload::knn_rectangle_queries;
-use coax::index::{
-    ColumnFiles, FullScan, GridFile, MultidimIndex, RTree, UniformGrid,
-};
+use coax::index::{ColumnFiles, FullScan, GridFile, MultidimIndex, RTree, UniformGrid};
 use std::sync::Arc;
 
 fn assert_send_sync<T: Send + Sync>() {}

@@ -94,10 +94,7 @@ fn posterior_update_tracks_a_drifting_stream() {
     let rebuilt = index.rebuild();
     let slope_after =
         rebuilt.groups()[0].models[0].as_linear().expect("linear model").params.slope.abs();
-    assert!(
-        slope_after != slope_before,
-        "posterior refresh must move the model"
-    );
+    assert!(slope_after != slope_before, "posterior refresh must move the model");
     // And the rebuilt index still answers exactly.
     let fs_rows = rebuilt.len();
     let all = rebuilt.range_query(&RangeQuery::unbounded(2));
@@ -126,9 +123,8 @@ fn rebuild_after_mixed_inserts_is_exact() {
     let rebuilt = index.rebuild();
 
     // Compare against a full scan over the same logical table.
-    let columns = (0..2)
-        .map(|d| all_rows.iter().map(|r| r[d]).collect::<Vec<f64>>())
-        .collect::<Vec<_>>();
+    let columns =
+        (0..2).map(|d| all_rows.iter().map(|r| r[d]).collect::<Vec<f64>>()).collect::<Vec<_>>();
     let logical = coax::data::Dataset::new(columns);
     let fs = FullScan::build(&logical);
     for i in 0..12 {

@@ -159,9 +159,7 @@ pub fn discover(dataset: &Dataset, config: &DiscoveryConfig, seed: u64) -> Disco
             .max_by(|&&a, &&b| {
                 let ka = edge_evidence(&accepted, a);
                 let kb = edge_evidence(&accepted, b);
-                ka.partial_cmp(&kb)
-                    .expect("finite evidence")
-                    .then(b.cmp(&a)) // prefer the lower index on ties
+                ka.partial_cmp(&kb).expect("finite evidence").then(b.cmp(&a)) // prefer the lower index on ties
             })
             .expect("non-empty component");
 
@@ -170,12 +168,11 @@ pub fn discover(dataset: &Dataset, config: &DiscoveryConfig, seed: u64) -> Disco
         // joined the component through a different edge).
         let mut models = Vec::new();
         for &dep in members.iter().filter(|&&d| d != predictor) {
-            let existing = accepted
-                .iter()
-                .find(|f| f.x_dim == predictor && f.y_dim == dep)
-                .cloned();
+            let existing =
+                accepted.iter().find(|f| f.x_dim == predictor && f.y_dim == dep).cloned();
             let fit = existing.or_else(|| {
-                let s = seed ^ ((predictor as u64) << 32 | dep as u64).wrapping_mul(0x517c_c1b7);
+                let s =
+                    seed ^ ((predictor as u64) << 32 | dep as u64).wrapping_mul(0x517c_c1b7);
                 fit_any(dataset, predictor, dep, config, s)
             });
             if let Some(f) = fit {

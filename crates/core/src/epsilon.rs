@@ -79,10 +79,7 @@ impl EpsilonPolicy {
                 (k * sigma, k * sigma)
             }
             EpsilonPolicy::Quantile { coverage } => {
-                assert!(
-                    coverage > 0.0 && coverage <= 1.0,
-                    "coverage must be in (0, 1]"
-                );
+                assert!(coverage > 0.0 && coverage <= 1.0, "coverage must be in (0, 1]");
                 if residuals.is_empty() {
                     return (0.0, 0.0);
                 }

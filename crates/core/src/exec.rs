@@ -1,0 +1,159 @@
+//! The shared query-execution layer.
+//!
+//! Every COAX query — single, batched, via the trait, or via the
+//! part-level reporting methods — runs the same four-step sequence:
+//!
+//! 1. **translate** the user query into a [`QueryPlan`]: disjoint
+//!    navigation rectangles for the primary index (Eq. 2, multi-interval
+//!    for non-monotone splines) plus the original query as the exact
+//!    filter;
+//! 2. **probe the primary** index with each navigation rectangle,
+//!    filtering rows against the original query;
+//! 3. **probe the outlier** index with the original query (margins mean
+//!    nothing to outliers);
+//! 4. **merge**: map local row ids back to dataset ids, linearly scan the
+//!    pending-insert buffer, and sum the per-part counters.
+//!
+//! Keeping this sequence in one place is what lets
+//! [`CoaxIndex`](crate::CoaxIndex) be *just another backend* behind
+//! [`MultidimIndex`]: the trait methods, the batch path, and the
+//! figure-generating part-level timings all execute identical code, so
+//! their results are identical by construction (asserted by the
+//! `exec_batch` integration tests).
+
+use crate::discovery::CorrelationGroup;
+use crate::index::{CoaxIndex, CoaxQueryStats};
+use crate::translate::translate_all;
+use coax_data::{RangeQuery, RowId};
+use coax_index::{QueryResult, ScanStats};
+
+/// Upper bound on how many disjoint navigation rectangles one query may
+/// fan out into (non-monotone spline inversions); beyond it, translation
+/// falls back to the bounding interval (sound, just less tight).
+pub const NAV_FAN_OUT_CAP: usize = 8;
+
+/// A translated, ready-to-execute COAX query.
+///
+/// Produced once per query by [`CoaxIndex::plan`]; executing it any
+/// number of times performs no further translation work — the batch path
+/// plans every query up front and then executes the plans.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Disjoint navigation rectangles for the primary index. Empty means
+    /// translation proved no in-margin row can match.
+    navs: Vec<RangeQuery>,
+    /// The original query: the exact filter for every partition.
+    filter: RangeQuery,
+}
+
+impl QueryPlan {
+    /// Translates `query` against the discovered correlation groups.
+    pub fn new(query: &RangeQuery, groups: &[CorrelationGroup]) -> Self {
+        Self { navs: translate_all(query, groups, NAV_FAN_OUT_CAP), filter: query.clone() }
+    }
+
+    /// The navigation rectangles the primary probe will use.
+    pub fn navs(&self) -> &[RangeQuery] {
+        &self.navs
+    }
+
+    /// The original query (exact filter for all partitions).
+    pub fn filter(&self) -> &RangeQuery {
+        &self.filter
+    }
+
+    /// `true` if translation proved the primary partition holds no match
+    /// (the primary probe will be skipped entirely).
+    pub fn primary_pruned(&self) -> bool {
+        self.navs.iter().all(RangeQuery::is_empty)
+    }
+}
+
+/// Step 2: probes the primary index with every navigation rectangle and
+/// maps local ids back to dataset row ids.
+pub(crate) fn probe_primary(
+    index: &CoaxIndex,
+    plan: &QueryPlan,
+    out: &mut Vec<RowId>,
+) -> ScanStats {
+    let from = out.len();
+    let mut stats = ScanStats::default();
+    for nav in &plan.navs {
+        if nav.is_empty() {
+            continue;
+        }
+        stats = stats.merge(index.primary.range_query_filtered(nav, &plan.filter, out));
+    }
+    for id in &mut out[from..] {
+        *id = index.primary_ids[*id as usize];
+    }
+    stats
+}
+
+/// Step 3: probes the outlier backend with the original query and maps
+/// local ids back to dataset row ids.
+pub(crate) fn probe_outliers(
+    index: &CoaxIndex,
+    filter: &RangeQuery,
+    out: &mut Vec<RowId>,
+) -> ScanStats {
+    let from = out.len();
+    let stats = index.outliers.range_query_stats(filter, out);
+    for id in &mut out[from..] {
+        *id = index.outlier_ids[*id as usize];
+    }
+    stats
+}
+
+/// Step 4 (pending part): linearly scans the buffered inserts.
+/// Returns `(examined, matched)`.
+pub(crate) fn scan_pending(
+    index: &CoaxIndex,
+    filter: &RangeQuery,
+    out: &mut Vec<RowId>,
+) -> (usize, usize) {
+    let mut examined = 0;
+    let mut matched = 0;
+    for p in &index.pending {
+        examined += 1;
+        if filter.matches(&p.values) {
+            out.push(p.id);
+            matched += 1;
+        }
+    }
+    (examined, matched)
+}
+
+/// Runs a full plan: primary probe, outlier probe, pending scan, merged
+/// per-part counters.
+pub(crate) fn execute(
+    index: &CoaxIndex,
+    plan: &QueryPlan,
+    out: &mut Vec<RowId>,
+) -> CoaxQueryStats {
+    let mut stats = CoaxQueryStats {
+        primary: probe_primary(index, plan, out),
+        outliers: probe_outliers(index, plan.filter(), out),
+        ..Default::default()
+    };
+    let (examined, matched) = scan_pending(index, plan.filter(), out);
+    stats.pending_examined = examined;
+    stats.pending_matches = matched;
+    stats
+}
+
+/// Batch execution: translates each query exactly once into a plan, then
+/// executes the plans sequentially. Per-query results and counters are
+/// identical to one-at-a-time [`CoaxIndex::range_query_stats`] calls
+/// because both run through [`execute`].
+pub(crate) fn execute_batch(index: &CoaxIndex, queries: &[RangeQuery]) -> Vec<QueryResult> {
+    let plans: Vec<QueryPlan> = queries.iter().map(|q| index.plan(q)).collect();
+    plans
+        .iter()
+        .map(|plan| {
+            let mut ids = Vec::new();
+            let stats = execute(index, plan, &mut ids).flatten();
+            QueryResult { ids, stats }
+        })
+        .collect()
+}

@@ -16,18 +16,26 @@
 
 use crate::discovery::{discover, CorrelationGroup, Discovery, DiscoveryConfig};
 use crate::epsilon::EpsilonPolicy;
+use crate::exec::{self, QueryPlan};
 use crate::learn::split_rows;
 use crate::model::{FdModel, SoftFdModel};
 use crate::regression::BayesianLinReg;
-use crate::translate::{translate, translate_all};
+use crate::translate::translate;
 use coax_data::{Dataset, RangeQuery, RowId, Value};
-use coax_index::{GridFile, GridFileConfig, MultidimIndex, RTree, RTreeConfig, ScanStats};
+use coax_index::{
+    BackendSpec, GridFile, GridFileConfig, MultidimIndex, QueryResult, ScanStats,
+};
 
 /// Which conventional structure holds the outlier partition.
 ///
 /// The paper describes the outlier index as "a typical multidimensional
 /// index structure" and stresses that COAX "works with any
-/// multidimensional index structure" — this enum is that pluggability.
+/// multidimensional index structure" — this spec is that pluggability.
+/// The two named variants are tuned conveniences (the grid file adapts
+/// its resolution to the partition size and inherits the primary's
+/// sorted attribute); [`OutlierBackend::Custom`] accepts *any*
+/// [`BackendSpec`], built through the backend factory into the
+/// `Box<dyn MultidimIndex>` the outlier store actually holds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum OutlierBackend {
     /// Quantile grid file over all dimensions (with the sorted-attribute
@@ -40,6 +48,36 @@ pub enum OutlierBackend {
         /// Leaf and internal node capacity.
         capacity: usize,
     },
+    /// Any substrate, exactly as specified (no adaptive tuning).
+    Custom(BackendSpec),
+}
+
+impl OutlierBackend {
+    /// Resolves the convenience variants into a concrete [`BackendSpec`]
+    /// for an outlier partition of `rows` rows over `dims` attributes.
+    ///
+    /// The grid-file default adapts its resolution to the partition size
+    /// (targeting ~32 rows per cell, capped at `max_cells_per_dim`) and
+    /// reuses the primary index's sorted attribute — a small outlier
+    /// partition never pays for a large directory, which matters because
+    /// Fig. 8 counts the outlier directory against COAX's footprint.
+    pub fn to_spec(
+        self,
+        rows: usize,
+        dims: usize,
+        sort_dim: Option<usize>,
+        max_cells_per_dim: usize,
+    ) -> BackendSpec {
+        match self {
+            OutlierBackend::GridFile => {
+                let grid_dims = dims - usize::from(sort_dim.is_some());
+                let cells_per_dim = adaptive_cells_per_dim(rows, grid_dims, max_cells_per_dim);
+                BackendSpec::GridFile { cells_per_dim, sort_dim }
+            }
+            OutlierBackend::RTree { capacity } => BackendSpec::RTree { capacity },
+            OutlierBackend::Custom(spec) => spec,
+        }
+    }
 }
 
 /// Build-time configuration of [`CoaxIndex`].
@@ -81,68 +119,6 @@ impl Default for CoaxConfig {
     }
 }
 
-/// The outlier partition behind its chosen backend.
-#[derive(Clone, Debug)]
-enum OutlierIndex {
-    Grid(GridFile),
-    RTree(RTree),
-}
-
-impl OutlierIndex {
-    fn build(
-        dataset: &Dataset,
-        backend: OutlierBackend,
-        sort_dim: Option<usize>,
-        max_cells_per_dim: usize,
-    ) -> Self {
-        match backend {
-            OutlierBackend::GridFile => {
-                let dims = dataset.dims();
-                let grid_dims = dims - usize::from(sort_dim.is_some());
-                let k = adaptive_cells_per_dim(dataset.len(), grid_dims, max_cells_per_dim);
-                let config = match sort_dim {
-                    Some(sd) => GridFileConfig::with_sort(dims, sd, k),
-                    None => GridFileConfig::all_dims(dims, k),
-                };
-                OutlierIndex::Grid(GridFile::build(dataset, &config))
-            }
-            OutlierBackend::RTree { capacity } => {
-                OutlierIndex::RTree(RTree::build(dataset, RTreeConfig::uniform(capacity)))
-            }
-        }
-    }
-
-    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
-        match self {
-            OutlierIndex::Grid(g) => g.range_query_stats(query, out),
-            OutlierIndex::RTree(t) => t.range_query_stats(query, out),
-        }
-    }
-
-    fn memory_overhead(&self) -> usize {
-        match self {
-            OutlierIndex::Grid(g) => g.memory_overhead(),
-            OutlierIndex::RTree(t) => t.memory_overhead(),
-        }
-    }
-
-    /// Iterates stored `(local_id, row)` pairs (rebuild path).
-    fn for_each_entry(&self, mut f: impl FnMut(RowId, &[Value])) {
-        match self {
-            OutlierIndex::Grid(g) => {
-                for (id, row) in g.entries() {
-                    f(id, row);
-                }
-            }
-            OutlierIndex::RTree(t) => {
-                for (id, row) in t.entries() {
-                    f(id, row);
-                }
-            }
-        }
-    }
-}
-
 /// Per-part scan counters of one COAX query (Figs. 6–8 report the primary
 /// and outlier costs separately).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -169,9 +145,9 @@ impl CoaxQueryStats {
 
 /// A row inserted after the build, not yet folded into the grids.
 #[derive(Clone, Debug)]
-struct PendingRow {
-    id: RowId,
-    values: Vec<Value>,
+pub(crate) struct PendingRow {
+    pub(crate) id: RowId,
+    pub(crate) values: Vec<Value>,
     /// Whether the row was inside every model's margins at insert time.
     in_margins: bool,
 }
@@ -204,19 +180,26 @@ impl std::fmt::Display for InsertError {
 impl std::error::Error for InsertError {}
 
 /// The correlation-aware index: learned soft-FD primary + outlier index.
-#[derive(Clone, Debug)]
+///
+/// The outlier partition is held as a `Box<dyn MultidimIndex>` built
+/// through the backend factory — any substrate (or even another
+/// `CoaxIndex`) can serve, which is the paper's "works with any
+/// multidimensional index structure" claim made structural. `CoaxIndex`
+/// itself implements [`MultidimIndex`], so the whole composition is
+/// uniform: translation + primary/outlier merge is just another backend.
+#[derive(Debug)]
 pub struct CoaxIndex {
     dims: usize,
     config: CoaxConfig,
-    discovery: Discovery,
+    pub(crate) discovery: Discovery,
     /// Reduced-dimensionality grid over the primary partition.
-    primary: GridFile,
+    pub(crate) primary: GridFile,
     /// Local row id (inside `primary`) → original row id.
-    primary_ids: Vec<RowId>,
-    /// Full-dimensional grid over the outlier partition.
-    outliers: OutlierIndex,
+    pub(crate) primary_ids: Vec<RowId>,
+    /// The outlier partition behind its configured backend.
+    pub(crate) outliers: Box<dyn MultidimIndex>,
     /// Local row id (inside `outliers`) → original row id.
-    outlier_ids: Vec<RowId>,
+    pub(crate) outlier_ids: Vec<RowId>,
     /// Sorted attribute of the primary index.
     sort_dim: Option<usize>,
     /// One posterior accumulator per *linear* model (in discovery model
@@ -224,7 +207,7 @@ pub struct CoaxIndex {
     /// shape is frozen between full rebuilds.
     posteriors: Vec<Option<BayesianLinReg>>,
     /// Buffered inserts, scanned linearly at query time.
-    pending: Vec<PendingRow>,
+    pub(crate) pending: Vec<PendingRow>,
     next_id: RowId,
 }
 
@@ -261,15 +244,14 @@ impl CoaxIndex {
 
         let outlier_ds = dataset.take_rows(&outlier_rows);
         // The outlier index is a conventional structure over *all* dims
-        // behind the configured backend; the grid backend still benefits
-        // from the sorted-attribute trick and adapts its resolution to the
-        // partition size (≈32 rows per cell).
-        let outliers = OutlierIndex::build(
-            &outlier_ds,
-            config.outlier_backend,
-            sort_dim,
-            config.outlier_cells_per_dim,
-        );
+        // behind the configured backend, resolved to a `BackendSpec` and
+        // built through the factory; the default grid backend still
+        // benefits from the sorted-attribute trick and adapts its
+        // resolution to the partition size (≈32 rows per cell).
+        let outliers = config
+            .outlier_backend
+            .to_spec(outlier_ds.len(), dims, sort_dim, config.outlier_cells_per_dim)
+            .build(&outlier_ds);
 
         // Seed one Bayesian posterior per linear model from the primary
         // rows so later inserts refine rather than restart the fit.
@@ -376,6 +358,20 @@ impl CoaxIndex {
         translate(query, &self.discovery.groups)
     }
 
+    /// Translates `query` once into an executable [`QueryPlan`] (step 1
+    /// of the [`crate::exec`] sequence). Plans can be executed repeatedly
+    /// and are what the batch path builds up front.
+    pub fn plan(&self, query: &RangeQuery) -> QueryPlan {
+        QueryPlan::new(query, &self.discovery.groups)
+    }
+
+    /// Executes a prepared plan: primary probe + outlier probe + pending
+    /// scan, with per-part counters. [`CoaxIndex::query_detailed`] is
+    /// `execute_plan(plan(query))`.
+    pub fn execute_plan(&self, plan: &QueryPlan, out: &mut Vec<RowId>) -> CoaxQueryStats {
+        exec::execute(self, plan, out)
+    }
+
     /// Queries only the primary (soft-FD) index. Results are exact w.r.t.
     /// the primary partition; outliers and pending rows are *not*
     /// consulted — pair with [`CoaxIndex::query_outliers`] for full
@@ -386,20 +382,7 @@ impl CoaxIndex {
     /// split the scan into disjoint predictor bands instead of covering
     /// their hull.
     pub fn query_primary(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
-        const NAV_FAN_OUT_CAP: usize = 8;
-        let navs = translate_all(query, &self.discovery.groups, NAV_FAN_OUT_CAP);
-        let from = out.len();
-        let mut stats = ScanStats::default();
-        for nav in &navs {
-            if nav.is_empty() {
-                continue;
-            }
-            stats = stats.merge(self.primary.range_query_filtered(nav, query, out));
-        }
-        for id in &mut out[from..] {
-            *id = self.primary_ids[*id as usize];
-        }
-        stats
+        exec::probe_primary(self, &self.plan(query), out)
     }
 
     /// Ablation hook: queries the primary index with the *original* query
@@ -422,30 +405,13 @@ impl CoaxIndex {
     /// Queries only the outlier index (original, untranslated query — the
     /// margins mean nothing to outliers).
     pub fn query_outliers(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
-        let from = out.len();
-        let stats = self.outliers.range_query_stats(query, out);
-        for id in &mut out[from..] {
-            *id = self.outlier_ids[*id as usize];
-        }
-        stats
+        exec::probe_outliers(self, query, out)
     }
 
     /// Full query: primary + outliers + pending buffer, with per-part
     /// counters.
     pub fn query_detailed(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> CoaxQueryStats {
-        let mut stats = CoaxQueryStats {
-            primary: self.query_primary(query, out),
-            outliers: self.query_outliers(query, out),
-            ..Default::default()
-        };
-        for p in &self.pending {
-            stats.pending_examined += 1;
-            if query.matches(&p.values) {
-                out.push(p.id);
-                stats.pending_matches += 1;
-            }
-        }
-        stats
+        self.execute_plan(&self.plan(query), out)
     }
 
     /// Inserts a row, routing it by the margin check and advancing the
@@ -460,9 +426,8 @@ impl CoaxIndex {
             return Err(InsertError::NonFinite);
         }
         let models: Vec<&FdModel> = self.discovery.all_models().collect();
-        let in_margins = models
-            .iter()
-            .all(|m| m.contains(row[m.predictor()], row[m.dependent()]));
+        let in_margins =
+            models.iter().all(|m| m.contains(row[m.predictor()], row[m.dependent()]));
         if in_margins {
             for (m, reg) in models.iter().zip(&mut self.posteriors) {
                 if let Some(reg) = reg {
@@ -490,34 +455,22 @@ impl CoaxIndex {
             .map(|g| refresh_group(g, &self.discovery, &self.posteriors, &dataset, epsilon))
             .collect();
         let discovery = Discovery { groups, dims: self.dims };
-        let mut rebuilt =
-            CoaxIndex::build_with_discovery(&dataset, discovery, &self.config);
+        let mut rebuilt = CoaxIndex::build_with_discovery(&dataset, discovery, &self.config);
         rebuilt.next_id = self.next_id;
         rebuilt
     }
 
     /// Reconstructs the full logical dataset (built rows in id order, then
-    /// pending rows).
+    /// pending rows), through the trait's entry iteration — the rebuild
+    /// path works for any primary/outlier backend combination.
     fn to_dataset(&self) -> Dataset {
         let n = self.next_id as usize;
         let mut columns = vec![vec![0.0; n]; self.dims];
-        for (local, row) in self.primary.entries() {
-            let orig = self.primary_ids[local as usize] as usize;
+        self.for_each_entry(&mut |id, row| {
             for (d, col) in columns.iter_mut().enumerate() {
-                col[orig] = row[d];
-            }
-        }
-        self.outliers.for_each_entry(|local, row| {
-            let orig = self.outlier_ids[local as usize] as usize;
-            for (d, col) in columns.iter_mut().enumerate() {
-                col[orig] = row[d];
+                col[id as usize] = row[d];
             }
         });
-        for p in &self.pending {
-            for (d, col) in columns.iter_mut().enumerate() {
-                col[p.id as usize] = p.values[d];
-            }
-        }
         Dataset::new(columns)
     }
 }
@@ -537,6 +490,26 @@ impl MultidimIndex for CoaxIndex {
 
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
         self.query_detailed(query, out).flatten()
+    }
+
+    /// Batch override: each query is translated into a [`QueryPlan`]
+    /// exactly once up front, then the plans execute through the same
+    /// [`crate::exec`] sequence as single queries — per-query results and
+    /// stats are identical to sequential `range_query_stats` calls.
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        exec::execute_batch(self, queries)
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        for (local, row) in self.primary.entries() {
+            f(self.primary_ids[local as usize], row);
+        }
+        self.outliers.for_each_entry(&mut |local, row| {
+            f(self.outlier_ids[local as usize], row);
+        });
+        for p in &self.pending {
+            f(p.id, &p.values);
+        }
     }
 
     fn memory_overhead(&self) -> usize {
@@ -570,11 +543,7 @@ fn resolve_sort_dim(
         );
         return Some(sd);
     }
-    discovery
-        .groups
-        .first()
-        .map(|g| g.predictor)
-        .or_else(|| indexed.first().copied())
+    discovery.groups.first().map(|g| g.predictor).or_else(|| indexed.first().copied())
 }
 
 /// Rebuild-time model refresh: linear models take their line from the
@@ -598,14 +567,10 @@ fn refresh_group(
             };
             let idx = order
                 .iter()
-                .position(|o| {
-                    o.predictor() == lin.predictor && o.dependent() == lin.dependent
-                })
+                .position(|o| o.predictor() == lin.predictor && o.dependent() == lin.dependent)
                 .expect("model present in discovery");
-            let params = posteriors[idx]
-                .as_ref()
-                .and_then(BayesianLinReg::params)
-                .unwrap_or(lin.params);
+            let params =
+                posteriors[idx].as_ref().and_then(BayesianLinReg::params).unwrap_or(lin.params);
             let residuals: Vec<Value> = dataset
                 .column(lin.predictor)
                 .iter()
@@ -780,10 +745,7 @@ mod tests {
     fn insert_validation() {
         let ds = planted_dataset(1000, 13);
         let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
-        assert_eq!(
-            index.insert(&[1.0]),
-            Err(InsertError::WrongArity { expected: 3, got: 1 })
-        );
+        assert_eq!(index.insert(&[1.0]), Err(InsertError::WrongArity { expected: 3, got: 1 }));
         assert_eq!(index.insert(&[1.0, f64::NAN, 2.0]), Err(InsertError::NonFinite));
     }
 
@@ -932,6 +894,41 @@ mod tests {
             .range_query(&RangeQuery::point(&[1.0, 27.0, 3.0]))
             .iter()
             .any(|&id| id as usize == ds.len()));
+    }
+
+    #[test]
+    fn custom_outlier_backends_are_exact_and_rebuildable() {
+        use coax_index::BackendSpec;
+        let ds = planted_dataset(6000, 33);
+        let queries = {
+            let mut qs = knn_rectangle_queries(&ds, 8, 40, 34);
+            qs.extend(point_queries(&ds, 8, 35));
+            qs
+        };
+        // Any substrate can hold the outlier partition via the factory —
+        // including ones the convenience variants never pick.
+        for spec in [
+            BackendSpec::FullScan,
+            BackendSpec::UniformGrid { cells_per_dim: 4 },
+            BackendSpec::ColumnFiles { cells_per_dim: 3, sort_dim: None },
+        ] {
+            let cfg = CoaxConfig {
+                outlier_backend: OutlierBackend::Custom(spec),
+                ..Default::default()
+            };
+            let mut index = CoaxIndex::build(&ds, &cfg);
+            assert!(index.outlier_len() > 0, "planted outliers expected");
+            assert_exact(&index, &ds, &queries);
+            // Rebuild must work through the trait's entry iteration for
+            // whatever structure backs the outliers.
+            index.insert(&[2.0, 29.0, 4.0]).unwrap();
+            let rebuilt = index.rebuild();
+            assert_eq!(rebuilt.len(), ds.len() + 1);
+            assert!(rebuilt
+                .range_query(&RangeQuery::point(&[2.0, 29.0, 4.0]))
+                .iter()
+                .any(|&id| id as usize == ds.len()));
+        }
     }
 
     #[test]

@@ -72,8 +72,7 @@ impl LearnConfig {
     pub fn effective_cell_threshold(&self) -> usize {
         let density =
             self.sample_count as Value / (self.bucket_chunks * self.bucket_chunks) as Value;
-        self.cell_threshold
-            .max((self.cell_threshold_factor * density).ceil() as usize)
+        self.cell_threshold.max((self.cell_threshold_factor * density).ceil() as usize)
     }
 }
 
@@ -284,8 +283,7 @@ pub fn fit_pair_spline(
             c0 + (c1 - c0) * (x - x0) / (x1 - x0)
         }
     };
-    let residuals: Vec<Value> =
-        xs.iter().zip(&ys).map(|(&x, &y)| y - polyline(x)).collect();
+    let residuals: Vec<Value> = xs.iter().zip(&ys).map(|(&x, &y)| y - polyline(x)).collect();
     let (eps_lb, eps_ub) = config.epsilon.compute(&residuals);
     let eps = 0.5 * (eps_lb + eps_ub);
     if eps <= 0.0 {
@@ -422,10 +420,7 @@ mod tests {
         let tight = fit_pair(&ds_tight, 0, 1, &lc, 1).unwrap();
         let wide = fit_pair(&ds_wide, 0, 1, &lc, 1).unwrap();
         let ratio = wide.model.margin_width() / tight.model.margin_width();
-        assert!(
-            (3.0..8.0).contains(&ratio),
-            "5x noise should widen margins ~5x, got {ratio}"
-        );
+        assert!((3.0..8.0).contains(&ratio), "5x noise should widen margins ~5x, got {ratio}");
     }
 
     #[test]
@@ -525,11 +520,7 @@ mod tests {
         let spline = fit_pair_spline(&ds, 0, 1, &lc, 5).expect("spline fits a parabola");
         assert!(spline.r_squared > 0.95, "r2 = {}", spline.r_squared);
         assert!(spline.support > 0.95, "support = {}", spline.support);
-        assert!(
-            spline.relative_margin < 0.15,
-            "relative margin = {}",
-            spline.relative_margin
-        );
+        assert!(spline.relative_margin < 0.15, "relative margin = {}", spline.relative_margin);
         let model = spline.model.as_spline().unwrap();
         assert!(model.n_segments() >= 3, "a parabola needs several pieces");
         // Predictions track the curve.

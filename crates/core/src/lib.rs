@@ -17,27 +17,39 @@
 //! 5. [`translate`] — Eq. 2: rewrite constraints on dependent attributes
 //!    into constraints on their predictors, intersected with the direct
 //!    constraints.
-//! 6. [`index`] — [`CoaxIndex`]: a reduced-dimensionality grid-file
-//!    primary index plus a full-dimensional outlier index, with exact
-//!    merged results and an insert path.
-//! 7. [`theory`] — §7 + appendices: effectiveness (Eq. 5), the
+//! 6. [`exec`] — the shared query-execution layer: a query becomes a
+//!    [`exec::QueryPlan`] (translate once), executed uniformly for
+//!    single and batched queries: probe primary → probe outliers →
+//!    scan pending → merge.
+//! 7. [`index`] — [`CoaxIndex`]: a reduced-dimensionality grid-file
+//!    primary index plus a pluggable boxed outlier index, with exact
+//!    merged results and an insert path. Implements
+//!    [`coax_index::MultidimIndex`], so COAX composes like any other
+//!    backend.
+//! 8. [`spec`] — [`IndexSpec`]: the workspace-level factory building any
+//!    index (substrates or COAX) as a `Box<dyn MultidimIndex>`.
+//! 9. [`theory`] — §7 + appendices: effectiveness (Eq. 5), the
 //!    Centre-Sequence Model, and Monte-Carlo validation of Theorems
 //!    7.1–7.4.
 
 pub mod discovery;
 pub mod epsilon;
+pub mod exec;
 pub mod index;
 pub mod learn;
 pub mod model;
 pub mod regression;
+pub mod spec;
 pub mod spline;
 pub mod theory;
 pub mod translate;
 
 pub use discovery::{CorrelationGroup, Discovery, DiscoveryConfig};
 pub use epsilon::EpsilonPolicy;
+pub use exec::QueryPlan;
 pub use index::{CoaxConfig, CoaxIndex, CoaxQueryStats, InsertError, OutlierBackend};
 pub use learn::{LearnConfig, PairFit};
 pub use model::{FdModel, SoftFdModel};
 pub use regression::{ols, BayesianLinReg, LinParams};
+pub use spec::IndexSpec;
 pub use spline::SplineFdModel;

@@ -241,8 +241,7 @@ impl FdModel {
         match self {
             FdModel::Linear(_) => std::mem::size_of::<SoftFdModel>(),
             FdModel::Spline(m) => {
-                std::mem::size_of::<SplineFdModel>()
-                    + std::mem::size_of_val(m.segments())
+                std::mem::size_of::<SplineFdModel>() + std::mem::size_of_val(m.segments())
             }
         }
     }

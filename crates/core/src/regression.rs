@@ -66,15 +66,7 @@ impl BayesianLinReg {
             prior_precision >= 0.0 && prior_precision.is_finite(),
             "prior precision must be finite and non-negative"
         );
-        Self {
-            n: 0.0,
-            mean_x: 0.0,
-            mean_y: 0.0,
-            m2x: 0.0,
-            m2y: 0.0,
-            cxy: 0.0,
-            prior_precision,
-        }
+        Self { n: 0.0, mean_x: 0.0, mean_y: 0.0, m2x: 0.0, m2y: 0.0, cxy: 0.0, prior_precision }
     }
 
     /// Adds one observation with weight 1.
@@ -151,7 +143,8 @@ impl BayesianLinReg {
     /// observed so far; `None` when the line is undetermined.
     pub fn residual_std(&self) -> Option<Value> {
         let params = self.params()?;
-        let ss = self.m2y - 2.0 * params.slope * self.cxy + params.slope * params.slope * self.m2x;
+        let ss =
+            self.m2y - 2.0 * params.slope * self.cxy + params.slope * params.slope * self.m2x;
         Some((ss.max(0.0) / self.n).sqrt())
     }
 
@@ -310,8 +303,10 @@ mod tests {
     fn residual_std_measures_noise() {
         let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
         // Deterministic ±2 square wave around the line: RMS = 2.
-        let ys: Vec<f64> =
-            xs.iter().map(|x| 5.0 * x + if (*x as u64).is_multiple_of(2) { 2.0 } else { -2.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 5.0 * x + if (*x as u64).is_multiple_of(2) { 2.0 } else { -2.0 })
+            .collect();
         let mut reg = BayesianLinReg::new(0.0);
         for (&x, &y) in xs.iter().zip(&ys) {
             reg.observe(x, y);

@@ -1,0 +1,213 @@
+//! The workspace-level index factory: one config value that can build
+//! *any* index — the five conventional substrates **or** COAX itself —
+//! as a `Box<dyn MultidimIndex>`.
+//!
+//! [`coax_index::BackendSpec`] covers the substrates; [`IndexSpec`] adds
+//! the [`CoaxIndex`] on top, optionally carrying a pre-computed
+//! [`Discovery`] so configuration sweeps share one soft-FD discovery run
+//! across many builds (the directory resolution does not change what
+//! correlates). The bench harness, the equivalence tests, and the
+//! examples construct every contender through this type and drive them
+//! uniformly through the trait — adding a backend never touches them.
+
+use crate::discovery::{discover, Discovery};
+use crate::index::{CoaxConfig, CoaxIndex};
+use coax_data::Dataset;
+use coax_index::{BackendSpec, MultidimIndex};
+
+/// A buildable description of any index in the workspace.
+#[derive(Clone, Debug)]
+pub enum IndexSpec {
+    /// One of the conventional substrates (built via [`BackendSpec`]).
+    Backend(BackendSpec),
+    /// The COAX index.
+    Coax {
+        /// Build configuration.
+        config: CoaxConfig,
+        /// Optional pre-computed discovery; `None` runs discovery at
+        /// build time. Sweeps pass `Some` to share one run.
+        discovery: Option<Discovery>,
+    },
+}
+
+impl From<BackendSpec> for IndexSpec {
+    fn from(spec: BackendSpec) -> Self {
+        IndexSpec::Backend(spec)
+    }
+}
+
+impl IndexSpec {
+    /// A COAX spec that discovers soft FDs at build time.
+    pub fn coax(config: CoaxConfig) -> Self {
+        IndexSpec::Coax { config, discovery: None }
+    }
+
+    /// A COAX spec reusing an existing discovery result.
+    pub fn coax_with_discovery(config: CoaxConfig, discovery: Discovery) -> Self {
+        IndexSpec::Coax { config, discovery: Some(discovery) }
+    }
+
+    /// Builds the described index over `dataset`, boxed behind the trait.
+    pub fn build(&self, dataset: &Dataset) -> Box<dyn MultidimIndex> {
+        match self {
+            IndexSpec::Backend(spec) => spec.build(dataset),
+            IndexSpec::Coax { config, discovery } => match discovery {
+                Some(d) => {
+                    Box::new(CoaxIndex::build_with_discovery(dataset, d.clone(), config))
+                }
+                None => Box::new(CoaxIndex::build(dataset, config)),
+            },
+        }
+    }
+
+    /// Builds a *concrete* [`CoaxIndex`] if this spec describes one.
+    ///
+    /// The figure binaries need the concrete type for the paper's
+    /// primary/outlier split reporting (`query_primary`,
+    /// `primary_overhead`, …) after tuning the contender through the
+    /// boxed path; everything else should use [`IndexSpec::build`].
+    pub fn build_coax(&self, dataset: &Dataset) -> Option<CoaxIndex> {
+        match self {
+            IndexSpec::Backend(_) => None,
+            IndexSpec::Coax { config, discovery } => Some(match discovery {
+                Some(d) => CoaxIndex::build_with_discovery(dataset, d.clone(), config),
+                None => CoaxIndex::build(dataset, config),
+            }),
+        }
+    }
+
+    /// Whether building over `dataset` stays inside every builder
+    /// precondition (directory caps, node capacities). Sweeps call this
+    /// up front to skip configurations instead of panicking.
+    pub fn fits(&self, dataset: &Dataset) -> bool {
+        match self {
+            IndexSpec::Backend(spec) => spec.fits(dataset.dims()),
+            IndexSpec::Coax { config, discovery } => {
+                // The primary directory grids the indexed attributes minus
+                // the sorted one; without a discovery in hand, bound it by
+                // the dataset dimensionality.
+                let grid_dims = match discovery {
+                    Some(d) => d.indexed_dims().len().saturating_sub(1),
+                    None => dataset.dims().saturating_sub(1),
+                };
+                let primary_ok = BackendSpec::GridFile {
+                    cells_per_dim: config.cells_per_dim,
+                    sort_dim: None,
+                }
+                .fits(grid_dims);
+                // The outlier backend builds over all dims; resolve it as
+                // if every row were an outlier (worst case) so its builder
+                // preconditions are covered too.
+                let outlier_ok = config
+                    .outlier_backend
+                    .to_spec(dataset.len(), dataset.dims(), None, config.outlier_cells_per_dim)
+                    .fits(dataset.dims());
+                primary_ok && outlier_ok
+            }
+        }
+    }
+
+    /// The [`MultidimIndex::name`] the built index will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexSpec::Backend(spec) => spec.name(),
+            IndexSpec::Coax { .. } => "coax",
+        }
+    }
+
+    /// Short configuration label for sweep tables ("k=8", "cap=12", …).
+    pub fn label(&self) -> String {
+        match self {
+            IndexSpec::Backend(spec) => spec.label(),
+            IndexSpec::Coax { config, .. } => format!("k={}", config.cells_per_dim),
+        }
+    }
+
+    /// One spec of every index kind in the workspace — the five
+    /// substrates plus COAX — at modest default resolutions. The list the
+    /// equivalence tests and the `backend_zoo` example iterate.
+    pub fn all_kinds(cells_per_dim: usize, capacity: usize) -> Vec<IndexSpec> {
+        let mut specs: Vec<IndexSpec> = BackendSpec::all_kinds(cells_per_dim, capacity)
+            .into_iter()
+            .map(IndexSpec::from)
+            .collect();
+        specs.push(IndexSpec::coax(CoaxConfig::default()));
+        specs
+    }
+
+    /// Runs soft-FD discovery for `dataset` under `config` — the result
+    /// plugs into [`IndexSpec::coax_with_discovery`] for shared-discovery
+    /// sweeps.
+    pub fn discover_for(config: &CoaxConfig, dataset: &Dataset) -> Discovery {
+        discover(dataset, &config.discovery, config.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coax_data::synth::{Generator, UniformConfig};
+    use coax_data::RangeQuery;
+
+    #[test]
+    fn factory_builds_every_kind_including_coax() {
+        let ds = UniformConfig::cube(3, 400, 77).generate();
+        let specs = IndexSpec::all_kinds(4, 8);
+        assert_eq!(specs.len(), 6, "five substrates + coax");
+        for spec in &specs {
+            assert!(spec.fits(&ds), "{spec:?}");
+            let index = spec.build(&ds);
+            assert_eq!(index.name(), spec.name());
+            assert_eq!(index.len(), 400);
+            let hits = index.range_query(&RangeQuery::unbounded(3));
+            assert_eq!(hits.len(), 400, "{spec:?} must return every row");
+        }
+    }
+
+    #[test]
+    fn coax_spec_shares_discovery() {
+        let ds = UniformConfig::cube(2, 500, 78).generate();
+        let config = CoaxConfig::default();
+        let discovery = IndexSpec::discover_for(&config, &ds);
+        let spec = IndexSpec::coax_with_discovery(config, discovery);
+        let boxed = spec.build(&ds);
+        let concrete = spec.build_coax(&ds).expect("coax spec");
+        assert_eq!(boxed.len(), concrete.len());
+        assert!(IndexSpec::from(BackendSpec::FullScan).build_coax(&ds).is_none());
+    }
+
+    #[test]
+    fn fits_guards_coax_directory() {
+        let ds = UniformConfig::cube(6, 100, 79).generate();
+        let big = IndexSpec::coax(CoaxConfig { cells_per_dim: 4096, ..Default::default() });
+        assert!(!big.fits(&ds), "4096^5 cells must be rejected");
+        assert!(IndexSpec::coax(CoaxConfig::default()).fits(&ds));
+    }
+
+    #[test]
+    fn fits_guards_coax_outlier_backend() {
+        use crate::OutlierBackend;
+        let ds = UniformConfig::cube(6, 100, 80).generate();
+        // A custom outlier spec whose directory (64^6 cells) blows the cap
+        // must be rejected up front, not panic inside the builder.
+        let bad_outliers = IndexSpec::coax(CoaxConfig {
+            outlier_backend: OutlierBackend::Custom(BackendSpec::UniformGrid {
+                cells_per_dim: 64,
+            }),
+            ..Default::default()
+        });
+        assert!(!bad_outliers.fits(&ds));
+        // Same for an unbuildable R-tree capacity.
+        let bad_rtree = IndexSpec::coax(CoaxConfig {
+            outlier_backend: OutlierBackend::RTree { capacity: 1 },
+            ..Default::default()
+        });
+        assert!(!bad_rtree.fits(&ds));
+        // Sane custom backends still pass.
+        let ok = IndexSpec::coax(CoaxConfig {
+            outlier_backend: OutlierBackend::Custom(BackendSpec::RTree { capacity: 8 }),
+            ..Default::default()
+        });
+        assert!(ok.fits(&ds));
+    }
+}

@@ -62,9 +62,7 @@ impl SplineFdModel {
             return None;
         }
         let mut order: Vec<usize> = (0..xs.len()).collect();
-        order.sort_unstable_by(|&a, &b| {
-            xs[a].partial_cmp(&xs[b]).expect("finite values")
-        });
+        order.sort_unstable_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
 
         let mut segments = Vec::new();
         let (mut ax, mut ay) = (xs[order[0]], ys[order[0]]);
@@ -176,10 +174,7 @@ impl SplineFdModel {
 
     /// Maximum absolute error over a point set (test/verification helper).
     pub fn max_error(&self, xs: &[Value], ys: &[Value]) -> Value {
-        xs.iter()
-            .zip(ys)
-            .map(|(&x, &y)| (y - self.predict(x)).abs())
-            .fold(0.0, Value::max)
+        xs.iter().zip(ys).map(|(&x, &y)| (y - self.predict(x)).abs()).fold(0.0, Value::max)
     }
 
     /// Maps `y ∈ [y_lo, y_hi]` to a single predictor interval containing
@@ -206,10 +201,7 @@ impl SplineFdModel {
         for (i, seg) in self.segments.iter().enumerate() {
             // Piece domain: [x_start, next x_start) — unbounded for edges.
             let dom_lo = if i == 0 { f64::NEG_INFINITY } else { seg.x_start };
-            let dom_hi = self
-                .segments
-                .get(i + 1)
-                .map_or(f64::INFINITY, |next| next.x_start);
+            let dom_hi = self.segments.get(i + 1).map_or(f64::INFINITY, |next| next.x_start);
             let m = seg.params.slope;
             let b = seg.params.intercept;
             let (mut x_lo, mut x_hi) = if m == 0.0 || !m.is_normal() {
@@ -298,10 +290,7 @@ mod tests {
     fn tighter_eps_needs_more_segments() {
         let mut rng = StdRng::seed_from_u64(4);
         let xs: Vec<f64> = (0..4000).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|x| x + sample_normal(&mut rng, 0.0, 2.0))
-            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + sample_normal(&mut rng, 0.0, 2.0)).collect();
         let coarse = SplineFdModel::fit(0, 1, &xs, &ys, 20.0).unwrap();
         let fine = SplineFdModel::fit(0, 1, &xs, &ys, 5.0).unwrap();
         assert!(
@@ -397,10 +386,7 @@ mod tests {
         assert!(spline.n_segments() > 3);
         let ranges = spline.invert_ranges(200.0, 400.0);
         // The wiggle may open at most a couple of gaps, never one per piece.
-        assert!(
-            ranges.len() <= 3,
-            "near-monotone data should merge: {ranges:?}"
-        );
+        assert!(ranges.len() <= 3, "near-monotone data should merge: {ranges:?}");
     }
 
     #[test]

@@ -158,8 +158,7 @@ mod tests {
     fn multiple_dependents_all_tighten_the_same_predictor() {
         // Two models off predictor 0: y1 = x (ε 1), y2 = −x + 100 (ε 2).
         let m1 = SoftFdModel::new(0, 1, LinParams { slope: 1.0, intercept: 0.0 }, 1.0, 1.0);
-        let m2 =
-            SoftFdModel::new(0, 2, LinParams { slope: -1.0, intercept: 100.0 }, 2.0, 2.0);
+        let m2 = SoftFdModel::new(0, 2, LinParams { slope: -1.0, intercept: 100.0 }, 2.0, 2.0);
         let g = CorrelationGroup { predictor: 0, models: vec![m1.into(), m2.into()] };
         let mut q = RangeQuery::unbounded(3);
         q.constrain(1, 40.0, 60.0); // infers x ∈ [39, 61]

@@ -1,4 +1,4 @@
-//! Property tests for the COAX core invariants:
+//! Randomized property tests for the COAX core invariants:
 //!
 //! 1. **Exactness** — COAX returns the full-scan result set for any query
 //!    on any planted dataset, whatever the discovered structure.
@@ -7,64 +7,72 @@
 //! 3. **Partition soundness** — primary ∪ outliers is a disjoint cover.
 //! 4. **Spline guarantee** — fitted splines respect their ε on every
 //!    training point, for any input.
+//!
+//! The workspace builds offline, so instead of `proptest` these run
+//! seeded randomized rounds over the same input space the original
+//! strategies covered.
 
 use coax_core::learn::split_rows;
 use coax_core::{CoaxConfig, CoaxIndex, SplineFdModel};
 use coax_data::synth::{Generator, PlantedConfig, PlantedDependent, PlantedGroup};
 use coax_data::{Dataset, RangeQuery};
 use coax_index::{FullScan, MultidimIndex};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A planted dataset with 1 group (1 predictor + 1–2 dependents), 0–1
 /// independent dims, randomized noise and outlier rate.
-fn planted_strategy() -> impl Strategy<Value = Dataset> {
-    (
-        200usize..1200,
-        1usize..=2,
-        0usize..=1,
-        1u8..=20,       // noise sigma (scaled)
-        0u8..=30,       // outlier percent
-        any::<u64>(),
-    )
-        .prop_map(|(rows, n_dep, n_ind, noise, outlier_pct, seed)| {
-            let dependents = (0..n_dep)
-                .map(|i| PlantedDependent {
-                    slope: if i % 2 == 0 { 2.0 } else { -1.5 },
-                    intercept: 10.0 * i as f64,
-                    noise_sigma: noise as f64,
-                    })
-                .collect();
-            PlantedConfig {
-                rows,
-                groups: vec![PlantedGroup {
-                    x_range: (0.0, 1000.0),
-                    dependents,
-                    outlier_fraction: outlier_pct as f64 / 100.0,
-                    outlier_offset_sigmas: 30.0,
-                }],
-                independent: vec![(0.0, 50.0); n_ind],
-                seed,
-            }
-            .generate()
+fn random_planted(rng: &mut StdRng) -> Dataset {
+    let rows = rng.gen_range(200usize..1200);
+    let n_dep = rng.gen_range(1usize..=2);
+    let n_ind = rng.gen_range(0usize..=1);
+    let noise = rng.gen_range(1u8..=20);
+    let outlier_pct = rng.gen_range(0u8..=30);
+    let seed: u64 = rng.gen();
+    let dependents = (0..n_dep)
+        .map(|i| PlantedDependent {
+            slope: if i % 2 == 0 { 2.0 } else { -1.5 },
+            intercept: 10.0 * i as f64,
+            noise_sigma: noise as f64,
         })
+        .collect();
+    PlantedConfig {
+        rows,
+        groups: vec![PlantedGroup {
+            x_range: (0.0, 1000.0),
+            dependents,
+            outlier_fraction: outlier_pct as f64 / 100.0,
+            outlier_offset_sigmas: 30.0,
+        }],
+        independent: vec![(0.0, 50.0); n_ind],
+        seed,
+    }
+    .generate()
 }
 
-fn query_strategy(dims: usize) -> impl Strategy<Value = RangeQuery> {
-    proptest::collection::vec((-100.0f64..2200.0, 0.0f64..800.0, proptest::bool::ANY), dims)
-        .prop_map(|specs| {
-            let mut lo = Vec::new();
-            let mut hi = Vec::new();
-            for (a, w, constrained) in specs {
-                if constrained {
-                    lo.push(a);
-                    hi.push(a + w);
-                } else {
-                    lo.push(f64::NEG_INFINITY);
-                    hi.push(f64::INFINITY);
-                }
-            }
-            RangeQuery::new(lo, hi)
-        })
+/// A random query mixing constrained and unconstrained dimensions.
+fn random_query(rng: &mut StdRng, dims: usize) -> RangeQuery {
+    let mut lo = Vec::with_capacity(dims);
+    let mut hi = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let a = rng.gen_range(-100.0f64..2200.0);
+        let w = rng.gen_range(0.0f64..800.0);
+        if rng.gen::<bool>() {
+            lo.push(a);
+            hi.push(a + w);
+        } else {
+            lo.push(f64::NEG_INFINITY);
+            hi.push(f64::INFINITY);
+        }
+    }
+    RangeQuery::new(lo, hi)
+}
+
+fn small_config(rng_hint: usize) -> CoaxConfig {
+    // Small sample budget keeps discovery fast on tiny datasets.
+    let mut config = CoaxConfig::default();
+    config.discovery.learn.sample_count = rng_hint;
+    config
 }
 
 fn sorted(mut v: Vec<u32>) -> Vec<u32> {
@@ -72,44 +80,36 @@ fn sorted(mut v: Vec<u32>) -> Vec<u32> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn coax_matches_full_scan(
-        (ds, queries) in planted_strategy().prop_flat_map(|ds| {
-            let dims = ds.dims();
-            (Just(ds), proptest::collection::vec(query_strategy(dims), 3))
-        }),
-    ) {
-        // Small sample budget keeps discovery fast on tiny datasets.
-        let mut config = CoaxConfig::default();
-        config.discovery.learn.sample_count = 2048;
+#[test]
+fn coax_matches_full_scan() {
+    let mut rng = StdRng::seed_from_u64(0xC0_01);
+    for round in 0..24 {
+        let ds = random_planted(&mut rng);
+        let mut config = small_config(2048);
         config.cells_per_dim = 6;
         config.outlier_cells_per_dim = 3;
         let index = CoaxIndex::build(&ds, &config);
         let fs = FullScan::build(&ds);
-        for q in &queries {
-            prop_assert_eq!(
-                sorted(index.range_query(q)),
-                sorted(fs.range_query(q)),
-                "query {:?} structure {:?}",
+        for _ in 0..3 {
+            let q = random_query(&mut rng, ds.dims());
+            assert_eq!(
+                sorted(index.range_query(&q)),
+                sorted(fs.range_query(&q)),
+                "round {round}: query {:?} structure {:?}",
                 q,
                 index.groups()
             );
         }
     }
+}
 
-    #[test]
-    fn translation_never_loses_primary_matches(
-        (ds, q) in planted_strategy().prop_flat_map(|ds| {
-            let dims = ds.dims();
-            (Just(ds), query_strategy(dims))
-        }),
-    ) {
-        let mut config = CoaxConfig::default();
-        config.discovery.learn.sample_count = 2048;
-        let index = CoaxIndex::build(&ds, &config);
+#[test]
+fn translation_never_loses_primary_matches() {
+    let mut rng = StdRng::seed_from_u64(0xC0_02);
+    for round in 0..24 {
+        let ds = random_planted(&mut rng);
+        let q = random_query(&mut rng, ds.dims());
+        let index = CoaxIndex::build(&ds, &small_config(2048));
         let nav = index.translate_query(&q);
         // Every row that (a) matches the query and (b) sits inside all
         // margins must also match the navigation query.
@@ -119,35 +119,38 @@ proptest! {
         for &r in &primary {
             ds.row_into(r, &mut row);
             if q.matches(&row) {
-                prop_assert!(
+                assert!(
                     nav.matches(&row),
-                    "primary row {} escaped navigation: {:?} nav {:?}",
-                    r, row, nav
+                    "round {round}: primary row {r} escaped navigation: {row:?} nav {nav:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn partition_is_a_disjoint_cover(ds in planted_strategy()) {
-        let mut config = CoaxConfig::default();
-        config.discovery.learn.sample_count = 2048;
-        let index = CoaxIndex::build(&ds, &config);
-        prop_assert_eq!(index.primary_len() + index.outlier_len(), ds.len());
+#[test]
+fn partition_is_a_disjoint_cover() {
+    let mut rng = StdRng::seed_from_u64(0xC0_03);
+    for _ in 0..24 {
+        let ds = random_planted(&mut rng);
+        let index = CoaxIndex::build(&ds, &small_config(2048));
+        assert_eq!(index.primary_len() + index.outlier_len(), ds.len());
         // Querying everything returns each row exactly once.
         let all = index.range_query(&RangeQuery::unbounded(ds.dims()));
         let mut ids = sorted(all);
         ids.dedup();
-        prop_assert_eq!(ids.len(), ds.len());
+        assert_eq!(ids.len(), ds.len());
     }
+}
 
-    #[test]
-    fn spline_fit_respects_epsilon(
-        points in proptest::collection::vec((-1000.0f64..1000.0, -1000.0f64..1000.0), 1..300),
-        eps in 0.1f64..50.0,
-    ) {
-        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
-        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+#[test]
+fn spline_fit_respects_epsilon() {
+    let mut rng = StdRng::seed_from_u64(0xC0_04);
+    for _ in 0..24 {
+        let n = rng.gen_range(1usize..300);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0f64..1000.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0f64..1000.0)).collect();
+        let eps = rng.gen_range(0.1f64..50.0);
         let spline = SplineFdModel::fit(0, 1, &xs, &ys, eps).unwrap();
         // The anchored construction guarantees ±ε on every covered point,
         // except duplicate-x clusters wider than 2ε which are impossible
@@ -158,27 +161,30 @@ proptest! {
         }
         for (&x, &y) in xs.iter().zip(&ys) {
             if seen[&x.to_bits()] == 1 {
-                prop_assert!(
+                assert!(
                     (y - spline.predict(x)).abs() <= eps + 1e-9,
                     "unique-x point ({x}, {y}) violates eps {eps}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn multi_interval_navigation_matches_bounding_hull(
-        points in proptest::collection::vec((0.0f64..200.0, -50.0f64..450.0), 50..400),
-        (y_lo, y_w) in (-100.0f64..500.0, 0.0f64..200.0),
-        eps in 1.0f64..20.0,
-    ) {
+#[test]
+fn multi_interval_navigation_matches_bounding_hull() {
+    use coax_core::translate::{translate, translate_all};
+    use coax_core::CorrelationGroup;
+    let mut rng = StdRng::seed_from_u64(0xC0_05);
+    for _ in 0..24 {
         // Build a spline over a parabola-ish curve, attach it to a group,
         // and check that splitting the navigation into disjoint intervals
         // returns exactly the rows the single bounding rectangle returns.
-        use coax_core::translate::{translate, translate_all};
-        use coax_core::CorrelationGroup;
-        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let n = rng.gen_range(50usize..400);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..200.0)).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (x - 100.0) * (x - 100.0) / 25.0).collect();
+        let eps = rng.gen_range(1.0f64..20.0);
+        let y_lo = rng.gen_range(-100.0f64..500.0);
+        let y_w = rng.gen_range(0.0f64..200.0);
         let spline = SplineFdModel::fit(0, 1, &xs, &ys, eps).unwrap();
         let group = CorrelationGroup { predictor: 0, models: vec![spline.into()] };
 
@@ -194,64 +200,64 @@ proptest! {
             let in_hull = !hull.is_empty() && hull.matches(&row);
             let in_navs = navs.iter().any(|n| n.matches(&row));
             // navs ⊆ hull always; equality required for rows on the band.
-            prop_assert!(!in_navs || in_hull);
+            assert!(!in_navs || in_hull);
             if q.matches(&row) {
-                prop_assert_eq!(
+                assert_eq!(
                     in_navs, in_hull,
-                    "query-matching point ({}, {}) differs: hull {:?} navs {:?}",
-                    x, y, hull, navs
+                    "query-matching point ({x}, {y}) differs: hull {hull:?} navs {navs:?}"
                 );
             }
         }
         // Disjointness on the predictor dimension.
         for i in 0..navs.len() {
             for j in (i + 1)..navs.len() {
-                prop_assert!(
+                assert!(
                     navs[i].hi(0) < navs[j].lo(0) || navs[j].hi(0) < navs[i].lo(0),
                     "overlapping navigation rectangles {:?} and {:?}",
-                    navs[i], navs[j]
+                    navs[i],
+                    navs[j]
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn partial_queries_stay_exact(
-        ds in planted_strategy(),
-        constrained in 1usize..3,
-    ) {
-        let mut config = CoaxConfig::default();
-        config.discovery.learn.sample_count = 1024;
-        let index = CoaxIndex::build(&ds, &config);
+#[test]
+fn partial_queries_stay_exact() {
+    let mut rng = StdRng::seed_from_u64(0xC0_06);
+    for _ in 0..12 {
+        let ds = random_planted(&mut rng);
+        let constrained = rng.gen_range(1usize..3);
+        let index = CoaxIndex::build(&ds, &small_config(1024));
         let fs = FullScan::build(&ds);
         let queries = coax_data::workload::partial_queries(&ds, 4, 25, constrained, 3);
         for q in &queries {
-            prop_assert_eq!(sorted(index.range_query(q)), sorted(fs.range_query(q)));
+            assert_eq!(sorted(index.range_query(q)), sorted(fs.range_query(q)));
         }
     }
+}
 
-    #[test]
-    fn insert_then_query_round_trip(
-        ds in planted_strategy(),
-        extra in proptest::collection::vec(
-            proptest::collection::vec(-500.0f64..1500.0, 0..8), 0..20
-        ),
-    ) {
-        let mut config = CoaxConfig::default();
-        config.discovery.learn.sample_count = 1024;
-        let mut index = CoaxIndex::build(&ds, &config);
+#[test]
+fn insert_then_query_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xC0_07);
+    for _ in 0..12 {
+        let ds = random_planted(&mut rng);
+        let mut index = CoaxIndex::build(&ds, &small_config(1024));
         let mut inserted = Vec::new();
-        for candidate in &extra {
+        for _ in 0..rng.gen_range(0usize..20) {
+            let len = rng.gen_range(0usize..8);
+            let candidate: Vec<f64> =
+                (0..len).map(|_| rng.gen_range(-500.0f64..1500.0)).collect();
             if candidate.len() == ds.dims() {
-                let id = index.insert(candidate).unwrap();
-                inserted.push((id, candidate.clone()));
+                let id = index.insert(&candidate).unwrap();
+                inserted.push((id, candidate));
             } else {
-                prop_assert!(index.insert(candidate).is_err());
+                assert!(index.insert(&candidate).is_err());
             }
         }
         for (id, row) in &inserted {
             let hits = index.range_query(&RangeQuery::point(row));
-            prop_assert!(hits.contains(id));
+            assert!(hits.contains(id));
         }
     }
 }

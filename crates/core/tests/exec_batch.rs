@@ -1,0 +1,143 @@
+//! The batch-execution contract: `CoaxIndex::batch_query` translates
+//! each query exactly once into a [`QueryPlan`] and returns per-query
+//! results and `ScanStats` identical to sequential `range_query_stats`
+//! calls — the acceptance bar for the shared exec layer.
+
+use coax_core::{CoaxConfig, CoaxIndex, OutlierBackend};
+use coax_data::synth::{Generator, PlantedConfig, PlantedDependent, PlantedGroup};
+use coax_data::workload::{knn_rectangle_queries, point_queries};
+use coax_data::{Dataset, RangeQuery};
+use coax_index::MultidimIndex;
+
+fn planted(rows: usize, seed: u64) -> Dataset {
+    PlantedConfig {
+        rows,
+        groups: vec![PlantedGroup {
+            x_range: (0.0, 1000.0),
+            dependents: vec![PlantedDependent {
+                slope: 2.0,
+                intercept: 25.0,
+                noise_sigma: 4.0,
+            }],
+            outlier_fraction: 0.08,
+            outlier_offset_sigmas: 25.0,
+        }],
+        independent: vec![(0.0, 100.0)],
+        seed,
+    }
+    .generate()
+}
+
+fn mixed_workload(ds: &Dataset) -> Vec<RangeQuery> {
+    let mut queries = knn_rectangle_queries(ds, 12, 40, 901);
+    queries.extend(point_queries(ds, 8, 902));
+    // Dependent-only constraint: translation is the only navigation.
+    let mut dep_only = RangeQuery::unbounded(ds.dims());
+    dep_only.constrain(1, 400.0, 520.0);
+    queries.push(dep_only);
+    // Contradictory query: translation prunes the primary entirely.
+    let mut contradiction = RangeQuery::unbounded(ds.dims());
+    contradiction.constrain(0, 800.0, 900.0);
+    contradiction.constrain(1, 0.0, 10.0);
+    queries.push(contradiction);
+    // Empty rectangle.
+    let mut empty = RangeQuery::unbounded(ds.dims());
+    empty.constrain(2, 9.0, 1.0);
+    queries.push(empty);
+    queries
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn coax_batch_matches_sequential_exactly() {
+    let ds = planted(12_000, 91);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    let queries = mixed_workload(&ds);
+
+    let batched = index.batch_query(&queries);
+    assert_eq!(batched.len(), queries.len());
+    for (q, result) in queries.iter().zip(&batched) {
+        let mut ids = Vec::new();
+        let stats = index.range_query_stats(q, &mut ids);
+        assert_eq!(result.stats, stats, "stats diverged on {q:?}");
+        assert_eq!(sorted(result.ids.clone()), sorted(ids), "results diverged on {q:?}");
+    }
+}
+
+#[test]
+fn coax_batch_through_boxed_trait_object() {
+    // The override must be reachable through dynamic dispatch — the
+    // harness only ever sees `Box<dyn MultidimIndex>`.
+    let ds = planted(6_000, 92);
+    let boxed: Box<dyn MultidimIndex> = Box::new(CoaxIndex::build(&ds, &CoaxConfig::default()));
+    let queries = mixed_workload(&ds);
+    let batched = boxed.batch_query(&queries);
+    for (q, result) in queries.iter().zip(&batched) {
+        let mut ids = Vec::new();
+        let stats = boxed.range_query_stats(q, &mut ids);
+        assert_eq!(result.stats, stats, "stats diverged on {q:?}");
+        assert_eq!(sorted(result.ids.clone()), sorted(ids));
+        assert_eq!(result.stats.matches, result.ids.len());
+    }
+}
+
+#[test]
+fn batch_covers_pending_inserts_and_custom_outliers() {
+    let ds = planted(5_000, 93);
+    let config = CoaxConfig {
+        outlier_backend: OutlierBackend::RTree { capacity: 8 },
+        ..Default::default()
+    };
+    let mut index = CoaxIndex::build(&ds, &config);
+    let model = index.groups()[0].models[0].clone();
+    let x = 333.0;
+    index.insert(&[x, model.predict(x), 7.0]).unwrap();
+    index.insert(&[x, model.predict(x) + 80.0 * model.margin_width(), 7.0]).unwrap();
+
+    let queries = mixed_workload(&ds);
+    let batched = index.batch_query(&queries);
+    for (q, result) in queries.iter().zip(&batched) {
+        let mut ids = Vec::new();
+        let stats = index.range_query_stats(q, &mut ids);
+        assert_eq!(result.stats, stats, "stats diverged on {q:?}");
+        assert_eq!(sorted(result.ids.clone()), sorted(ids));
+    }
+}
+
+#[test]
+fn plans_are_reusable_and_report_pruning() {
+    let ds = planted(8_000, 94);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+
+    // A dependent-only query: the plan's navigation must bound the
+    // predictor even though the query does not.
+    let mut q = RangeQuery::unbounded(3);
+    q.constrain(1, 500.0, 560.0);
+    let plan = index.plan(&q);
+    assert!(!plan.primary_pruned());
+    assert!(plan.navs().iter().all(|nav| nav.lo(0) > f64::NEG_INFINITY));
+    assert_eq!(plan.filter(), &q);
+
+    // Executing the same plan twice yields identical answers.
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let sa = index.execute_plan(&plan, &mut a);
+    let sb = index.execute_plan(&plan, &mut b);
+    assert_eq!(sa, sb);
+    assert_eq!(a, b);
+    assert_eq!(sa.flatten().matches, a.len());
+
+    // A contradictory query prunes the primary probe entirely.
+    let mut contradiction = RangeQuery::unbounded(3);
+    contradiction.constrain(0, 800.0, 900.0);
+    contradiction.constrain(1, 0.0, 10.0);
+    let pruned = index.plan(&contradiction);
+    assert!(pruned.primary_pruned());
+    let mut out = Vec::new();
+    let stats = index.execute_plan(&pruned, &mut out);
+    assert_eq!(stats.primary.rows_examined, 0, "pruned plan must skip the primary");
+}

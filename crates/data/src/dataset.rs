@@ -53,10 +53,7 @@ impl Dataset {
                 "column {d} contains a non-finite value"
             );
         }
-        assert!(
-            n_rows <= RowId::MAX as usize,
-            "row count exceeds RowId::MAX"
-        );
+        assert!(n_rows <= RowId::MAX as usize, "row count exceeds RowId::MAX");
         Self { columns, names, n_rows }
     }
 
@@ -372,10 +369,7 @@ mod tests {
     #[test]
     fn builder_rejects_bad_rows() {
         let mut b = DatasetBuilder::new(2);
-        assert_eq!(
-            b.push_row(&[1.0]),
-            Err(RowError::WrongArity { expected: 2, got: 1 })
-        );
+        assert_eq!(b.push_row(&[1.0]), Err(RowError::WrongArity { expected: 2, got: 1 }));
         assert_eq!(b.push_row(&[1.0, f64::INFINITY]), Err(RowError::NonFinite));
         assert!(b.is_empty());
     }

@@ -114,7 +114,9 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
     };
 
     let mut builder: Option<DatasetBuilder> = None;
-    let push = |fields: &[String], line: usize, builder: &mut Option<DatasetBuilder>|
+    let push = |fields: &[String],
+                line: usize,
+                builder: &mut Option<DatasetBuilder>|
      -> Result<(), CsvError> {
         let b = builder.get_or_insert_with(|| DatasetBuilder::new(fields.len()));
         let mut row = Vec::with_capacity(fields.len());
@@ -130,11 +132,9 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
             crate::dataset::RowError::WrongArity { expected, got } => {
                 CsvError::Ragged { line, expected, got }
             }
-            crate::dataset::RowError::NonFinite => CsvError::BadNumber {
-                line,
-                column: 0,
-                field: String::new(),
-            },
+            crate::dataset::RowError::NonFinite => {
+                CsvError::BadNumber { line, column: 0, field: String::new() }
+            }
         })
     };
 
@@ -164,10 +164,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
                     got: ds.dims(),
                 });
             }
-            Dataset::with_names(
-                (0..ds.dims()).map(|d| ds.column(d).to_vec()).collect(),
-                names,
-            )
+            Dataset::with_names((0..ds.dims()).map(|d| ds.column(d).to_vec()).collect(), names)
         }
         None => builder.finish(),
     };
@@ -239,10 +236,7 @@ mod tests {
 
     #[test]
     fn infinities_rejected() {
-        assert!(matches!(
-            read_csv("a\ninf\n".as_bytes()),
-            Err(CsvError::BadNumber { .. })
-        ));
+        assert!(matches!(read_csv("a\ninf\n".as_bytes()), Err(CsvError::BadNumber { .. })));
     }
 
     #[test]
@@ -254,10 +248,7 @@ mod tests {
 
     #[test]
     fn header_arity_mismatch_rejected() {
-        assert!(matches!(
-            read_csv("a,b,c\n1,2\n".as_bytes()),
-            Err(CsvError::Ragged { .. })
-        ));
+        assert!(matches!(read_csv("a,b,c\n1,2\n".as_bytes()), Err(CsvError::Ragged { .. })));
     }
 
     #[test]

@@ -99,11 +99,7 @@ impl RangeQuery {
     #[inline]
     pub fn matches(&self, row: &[Value]) -> bool {
         debug_assert_eq!(row.len(), self.dims());
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .zip(row)
-            .all(|((l, h), v)| *l <= *v && *v <= *h)
+        self.lo.iter().zip(&self.hi).zip(row).all(|((l, h), v)| *l <= *v && *v <= *h)
     }
 
     /// Whether row `row` of `dataset` satisfies every bound, without

@@ -128,9 +128,7 @@ pub fn equi_depth_boundaries(xs: &[Value], k: usize) -> Vec<Value> {
     }
     let mut sorted = xs.to_vec();
     sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    (0..=k)
-        .map(|i| quantile_sorted(&sorted, i as Value / k as Value))
-        .collect()
+    (0..=k).map(|i| quantile_sorted(&sorted, i as Value / k as Value)).collect()
 }
 
 /// A fixed-width histogram over `[min, max]`.
@@ -159,9 +157,9 @@ impl Histogram {
 
     /// Builds a histogram spanning the observed range of `xs`.
     pub fn from_values(xs: &[Value], bins: usize) -> Self {
-        let (lo, hi) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-            (lo.min(x), hi.max(x))
-        });
+        let (lo, hi) = xs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
         let (lo, hi) = if xs.is_empty() { (0.0, 1.0) } else { (lo, hi) };
         let mut h = Self::new(lo, hi, bins);
         for &x in xs {
@@ -299,7 +297,11 @@ mod tests {
         let xs: Vec<f64> = (0..5000)
             .map(|i| {
                 if i % 10 == 0 {
-                    if i % 20 == 0 { 1000.0 } else { -1000.0 }
+                    if i % 20 == 0 {
+                        1000.0
+                    } else {
+                        -1000.0
+                    }
                 } else {
                     sample_standard_normal(&mut rng)
                 }

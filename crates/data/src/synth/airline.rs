@@ -127,11 +127,10 @@ impl Generator for AirlineConfig {
             // Short-haul-heavy distance distribution in [80, 2900] miles.
             let u: f64 = rng.gen();
             let distance = 80.0 + 2820.0 * u * u;
-            let mut air_time = distance / ground_truth::CRUISE_SPEED
-                + sample_normal(&mut rng, 0.0, 4.0);
-            let mut elapsed = air_time
-                + ground_truth::TAXI_OVERHEAD
-                + sample_normal(&mut rng, 0.0, 6.0);
+            let mut air_time =
+                distance / ground_truth::CRUISE_SPEED + sample_normal(&mut rng, 0.0, 4.0);
+            let mut elapsed =
+                air_time + ground_truth::TAXI_OVERHEAD + sample_normal(&mut rng, 0.0, 6.0);
             if rng.gen::<f64>() < self.outlier_fraction_flight {
                 // Diversion / holding: both times blow up, far off the line.
                 let extra = rng.gen_range(120.0..480.0);
@@ -246,17 +245,13 @@ mod tests {
                 let air = ds.value(i, columns::AIR_TIME);
                 let dep = ds.value(i, columns::DEP_TIME);
                 let arr = ds.value(i, columns::ARR_TIME);
-                let a_ok =
-                    (air - dist / ground_truth::CRUISE_SPEED).abs() < 40.0;
+                let a_ok = (air - dist / ground_truth::CRUISE_SPEED).abs() < 40.0;
                 let b_ok = (arr - dep - ground_truth::MEAN_BLOCK).abs() < 120.0;
                 a_ok && b_ok
             })
             .count();
         let ratio = ok as f64 / ds.len() as f64;
-        assert!(
-            (0.88..=0.95).contains(&ratio),
-            "primary ratio should be ~0.92, got {ratio}"
-        );
+        assert!((0.88..=0.95).contains(&ratio), "primary ratio should be ~0.92, got {ratio}");
     }
 
     #[test]

@@ -164,7 +164,8 @@ impl Generator for LinearPairConfig {
         let mut ys = Vec::with_capacity(self.rows);
         for _ in 0..self.rows {
             let x = rng.gen_range(xlo..xhi);
-            let mut y = self.slope * x + self.intercept
+            let mut y = self.slope * x
+                + self.intercept
                 + sample_normal(&mut rng, 0.0, self.noise_sigma);
             if rng.gen::<f64>() < self.outlier_fraction {
                 // Displace beyond any plausible margin, on a random side.
@@ -256,7 +257,8 @@ impl Generator for PlantedConfig {
                 row.push(x);
                 let is_outlier = rng.gen::<f64>() < g.outlier_fraction;
                 for dep in &g.dependents {
-                    let mut y = dep.slope * x + dep.intercept
+                    let mut y = dep.slope * x
+                        + dep.intercept
                         + sample_normal(&mut rng, 0.0, dep.noise_sigma);
                     if is_outlier {
                         let side = if rng.gen::<bool>() { 1.0 } else { -1.0 };
@@ -327,11 +329,8 @@ mod tests {
 
     #[test]
     fn linear_pair_outliers_leave_the_margin() {
-        let cfg = LinearPairConfig {
-            rows: 20_000,
-            outlier_fraction: 0.1,
-            ..Default::default()
-        };
+        let cfg =
+            LinearPairConfig { rows: 20_000, outlier_fraction: 0.1, ..Default::default() };
         let ds = cfg.generate();
         // Count rows beyond 10 sigma of the planted line: should be ≈ 10 %.
         let far = ds
@@ -343,10 +342,7 @@ mod tests {
             })
             .count();
         let frac = far as f64 / ds.len() as f64;
-        assert!(
-            (frac - 0.1).abs() < 0.02,
-            "outlier fraction should be ~0.1, got {frac}"
-        );
+        assert!((frac - 0.1).abs() < 0.02, "outlier fraction should be ~0.1, got {frac}");
     }
 
     #[test]

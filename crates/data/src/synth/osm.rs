@@ -171,10 +171,7 @@ mod tests {
             })
             .count();
         let ratio = within as f64 / ds.len() as f64;
-        assert!(
-            (0.69..=0.78).contains(&ratio),
-            "primary ratio should be ~0.73, got {ratio}"
-        );
+        assert!((0.69..=0.78).contains(&ratio), "primary ratio should be ~0.73, got {ratio}");
     }
 
     #[test]

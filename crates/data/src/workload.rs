@@ -72,9 +72,7 @@ pub fn knn_rectangle_queries(
         let kk = k.min(n);
         if kk < n {
             order.select_nth_unstable_by(kk - 1, |&a, &b| {
-                dist2[a as usize]
-                    .partial_cmp(&dist2[b as usize])
-                    .expect("distances are finite")
+                dist2[a as usize].partial_cmp(&dist2[b as usize]).expect("distances are finite")
             });
         }
         let nearest = &order[..kk];
@@ -162,8 +160,7 @@ pub fn mean_selectivity(dataset: &Dataset, queries: &[RangeQuery]) -> f64 {
     if queries.is_empty() {
         return 0.0;
     }
-    queries.iter().map(|q| selectivity(dataset, q)).sum::<usize>() as f64
-        / queries.len() as f64
+    queries.iter().map(|q| selectivity(dataset, q)).sum::<usize>() as f64 / queries.len() as f64
 }
 
 #[cfg(test)]
@@ -261,10 +258,7 @@ mod tests {
 
     #[test]
     fn constant_column_does_not_poison_distances() {
-        let ds = Dataset::new(vec![
-            (0..100).map(|i| i as f64).collect(),
-            vec![42.0; 100],
-        ]);
+        let ds = Dataset::new(vec![(0..100).map(|i| i as f64).collect(), vec![42.0; 100]]);
         let queries = knn_rectangle_queries(&ds, 3, 5, 6);
         for q in &queries {
             assert!(selectivity(&ds, q) >= 5);

@@ -13,7 +13,7 @@
 
 use crate::grid_file::{GridFile, GridFileConfig};
 use crate::traits::{MultidimIndex, ScanStats};
-use coax_data::{Dataset, RangeQuery, RowId};
+use coax_data::{Dataset, RangeQuery, RowId, Value};
 
 /// CDF-aligned grid over `d − 1` attributes with the last attribute sorted
 /// inside each cell.
@@ -61,10 +61,7 @@ fn pick_sort_dim(dataset: &Dataset) -> usize {
     let n = dataset.len().min(SAMPLE);
     let mut best = (0usize, 0usize);
     for d in 0..dataset.dims() {
-        let mut vals: Vec<u64> = dataset.column(d)[..n]
-            .iter()
-            .map(|v| v.to_bits())
-            .collect();
+        let mut vals: Vec<u64> = dataset.column(d)[..n].iter().map(|v| v.to_bits()).collect();
         vals.sort_unstable();
         vals.dedup();
         if vals.len() > best.1 {
@@ -89,6 +86,10 @@ impl MultidimIndex for ColumnFiles {
 
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
         self.inner.range_query_stats(query, out)
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        self.inner.for_each_entry(f)
     }
 
     fn memory_overhead(&self) -> usize {

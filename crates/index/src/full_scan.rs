@@ -33,6 +33,16 @@ impl MultidimIndex for FullScan {
         self.columns[0].len()
     }
 
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        let mut row = vec![0.0; self.dims()];
+        for r in 0..self.len() {
+            for (d, col) in self.columns.iter().enumerate() {
+                row[d] = col[r];
+            }
+            f(r as RowId, &row);
+        }
+    }
+
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
         assert_eq!(query.dims(), self.dims(), "query dimensionality mismatch");
         let n = self.len();

@@ -18,14 +18,10 @@
 //! indexed attributes), the COAX outlier index (gridding everything), and
 //! — through [`crate::ColumnFiles`] — the strongest baseline.
 
-use crate::pages::PageStore;
+use crate::pages::{PageStore, MAX_CELLS};
 use crate::traits::{MultidimIndex, ScanStats};
 use coax_data::stats::equi_depth_boundaries;
 use coax_data::{Dataset, RangeQuery, RowId, Value};
-
-/// Hard cap on directory size to catch runaway configurations early
-/// (`cells_per_dim ^ grid_dims`): 2²⁸ cells ≈ 1 GiB of offsets.
-const MAX_CELLS: usize = 1 << 28;
 
 /// Build-time configuration of a [`GridFile`].
 #[derive(Clone, Debug)]
@@ -59,7 +55,11 @@ impl GridFileConfig {
 
     /// Grid lines on a chosen subset, sorted dimension optional — the COAX
     /// primary layout (grid only the indexed attributes).
-    pub fn subset(grid_dims: Vec<usize>, sort_dim: Option<usize>, cells_per_dim: usize) -> Self {
+    pub fn subset(
+        grid_dims: Vec<usize>,
+        sort_dim: Option<usize>,
+        cells_per_dim: usize,
+    ) -> Self {
         Self { grid_dims, sort_dim, cells_per_dim }
     }
 }
@@ -93,16 +93,10 @@ impl GridFile {
             config.grid_dims.windows(2).all(|w| w[0] < w[1]),
             "grid_dims must be strictly ascending (original attribute order)"
         );
-        assert!(
-            config.grid_dims.iter().all(|&d| d < dims),
-            "grid dimension out of range"
-        );
+        assert!(config.grid_dims.iter().all(|&d| d < dims), "grid dimension out of range");
         if let Some(sd) = config.sort_dim {
             assert!(sd < dims, "sort dimension out of range");
-            assert!(
-                !config.grid_dims.contains(&sd),
-                "sort dimension must not also be gridded"
-            );
+            assert!(!config.grid_dims.contains(&sd), "sort dimension must not also be gridded");
         }
         let n_cells = k
             .checked_pow(config.grid_dims.len() as u32)
@@ -198,11 +192,8 @@ impl GridFile {
                 return stats;
             }
             let c_lo = if lo == f64::NEG_INFINITY { 0 } else { cell_index(b, lo) };
-            let c_hi = if hi == f64::INFINITY {
-                self.cells_per_dim - 1
-            } else {
-                cell_index(b, hi)
-            };
+            let c_hi =
+                if hi == f64::INFINITY { self.cells_per_dim - 1 } else { cell_index(b, hi) };
             ranges.push((c_lo, c_hi));
         }
 
@@ -233,12 +224,15 @@ impl MultidimIndex for GridFile {
         self.range_query_filtered(query, query, out)
     }
 
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        for (id, row) in self.entries() {
+            f(id, row);
+        }
+    }
+
     fn memory_overhead(&self) -> usize {
-        let boundary_bytes: usize = self
-            .boundaries
-            .iter()
-            .map(|b| b.len() * std::mem::size_of::<Value>())
-            .sum();
+        let boundary_bytes: usize =
+            self.boundaries.iter().map(|b| b.len() * std::mem::size_of::<Value>()).sum();
         boundary_bytes + self.pages.offsets_bytes()
     }
 }
@@ -342,11 +336,7 @@ mod tests {
             coax_data::workload::knn_rectangle_queries(&ds, 12, 30, 1);
         grid_matches_fullscan(&ds, &GridFileConfig::all_dims(3, 4), &queries);
         grid_matches_fullscan(&ds, &GridFileConfig::with_sort(3, 1, 5), &queries);
-        grid_matches_fullscan(
-            &ds,
-            &GridFileConfig::subset(vec![0], Some(2), 6),
-            &queries,
-        );
+        grid_matches_fullscan(&ds, &GridFileConfig::subset(vec![0], Some(2), 6), &queries);
     }
 
     #[test]
@@ -389,14 +379,8 @@ mod tests {
         let ds = Dataset::new(vec![xs, ys]);
         let grid = GridFile::build(&ds, &GridFileConfig::subset(vec![0], None, 10));
         let lengths = grid.cell_lengths();
-        let (min, max) = (
-            *lengths.iter().min().unwrap(),
-            *lengths.iter().max().unwrap(),
-        );
-        assert!(
-            max <= min + 2,
-            "equi-depth cells should be balanced, got min={min} max={max}"
-        );
+        let (min, max) = (*lengths.iter().min().unwrap(), *lengths.iter().max().unwrap());
+        assert!(max <= min + 2, "equi-depth cells should be balanced, got min={min} max={max}");
     }
 
     #[test]
@@ -456,10 +440,7 @@ mod tests {
     #[should_panic(expected = "must not also be gridded")]
     fn sort_dim_cannot_be_gridded() {
         let ds = UniformConfig::cube(2, 10, 9).generate();
-        GridFile::build(
-            &ds,
-            &GridFileConfig::subset(vec![0, 1], Some(1), 2),
-        );
+        GridFile::build(&ds, &GridFileConfig::subset(vec![0, 1], Some(1), 2));
     }
 
     #[test]

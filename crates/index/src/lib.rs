@@ -19,7 +19,14 @@
 //!
 //! All indexes answer *exact* rectangle queries: candidates fetched from
 //! the directory are re-checked against the full predicate.
+//!
+//! Callers normally do not name these types at all: [`BackendSpec`]
+//! describes any of them as a plain config value and
+//! [`BackendSpec::build`] returns the built structure as a
+//! `Box<dyn MultidimIndex>` — the factory seam the COAX outlier store,
+//! the bench harness, and the equivalence tests are written against.
 
+pub mod backend;
 pub mod column_files;
 pub mod full_scan;
 pub mod grid_file;
@@ -28,9 +35,10 @@ pub mod rtree;
 pub mod traits;
 pub mod uniform_grid;
 
+pub use backend::BackendSpec;
 pub use column_files::ColumnFiles;
 pub use full_scan::FullScan;
 pub use grid_file::{GridFile, GridFileConfig};
 pub use rtree::{RTree, RTreeConfig};
-pub use traits::{MultidimIndex, ScanStats};
+pub use traits::{MultidimIndex, QueryResult, ScanStats};
 pub use uniform_grid::UniformGrid;

@@ -12,6 +12,11 @@
 
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 
+/// Hard cap on any grid-family directory, shared by every builder and by
+/// [`crate::BackendSpec::fits`] so the skip-check and the panic-check can
+/// never drift apart: 2²⁸ cells ≈ 1 GiB of offsets.
+pub(crate) const MAX_CELLS: usize = 1 << 28;
+
 /// Packed rows grouped into `n_cells` contiguous pages.
 #[derive(Clone, Debug)]
 pub struct PageStore {
@@ -194,7 +199,13 @@ impl PageStore {
     }
 
     /// `partition_point` over packed rows `[s, e)` keyed by dimension `sd`.
-    fn partition_rows(&self, s: usize, e: usize, mut pred: impl FnMut(Value) -> bool, sd: usize) -> usize {
+    fn partition_rows(
+        &self,
+        s: usize,
+        e: usize,
+        mut pred: impl FnMut(Value) -> bool,
+        sd: usize,
+    ) -> usize {
         let mut lo = 0usize;
         let mut hi = e - s;
         while lo < hi {

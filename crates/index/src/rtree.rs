@@ -42,8 +42,13 @@ impl RTreeConfig {
 #[derive(Clone, Debug)]
 enum NodeKind {
     /// Entry range `[start, end)` into the flat `ids`/`coords` arrays.
-    Leaf { start: u32, end: u32 },
-    Internal { children: Vec<u32> },
+    Leaf {
+        start: u32,
+        end: u32,
+    },
+    Internal {
+        children: Vec<u32>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -91,9 +96,7 @@ impl RTree {
 
         // --- Leaf level: STR over the raw points. ---------------------
         let rows: Vec<u32> = (0..n as u32).collect();
-        let groups = str_group(rows, dims, config.leaf_capacity, &|r, d| {
-            dataset.value(r, d)
-        });
+        let groups = str_group(rows, dims, config.leaf_capacity, &|r, d| dataset.value(r, d));
         let mut level: Vec<u32> = Vec::with_capacity(groups.len());
         for group in groups {
             let start = tree.ids.len() as u32;
@@ -113,7 +116,11 @@ impl RTree {
                 }
             }
             let end = tree.ids.len() as u32;
-            tree.nodes.push(Node { mbr_lo: lo, mbr_hi: hi, kind: NodeKind::Leaf { start, end } });
+            tree.nodes.push(Node {
+                mbr_lo: lo,
+                mbr_hi: hi,
+                kind: NodeKind::Leaf { start, end },
+            });
             level.push(tree.nodes.len() as u32 - 1);
         }
 
@@ -241,6 +248,12 @@ impl MultidimIndex for RTree {
         stats
     }
 
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        for (id, row) in self.entries() {
+            f(id, row);
+        }
+    }
+
     fn memory_overhead(&self) -> usize {
         // MBRs + child pointer tables + leaf entry ranges. Entry payloads
         // (coords, ids) are the stored data, not directory overhead.
@@ -284,9 +297,8 @@ fn str_rec(
         out.push(items.to_vec());
         return;
     }
-    items.sort_unstable_by(|&a, &b| {
-        key(a, dim).partial_cmp(&key(b, dim)).expect("finite keys")
-    });
+    items
+        .sort_unstable_by(|&a, &b| key(a, dim).partial_cmp(&key(b, dim)).expect("finite keys"));
     let remaining_dims = dims - dim;
     if remaining_dims <= 1 {
         for chunk in items.chunks(capacity) {

@@ -1,12 +1,12 @@
 //! The common index interface and scan accounting.
 
-use coax_data::{RangeQuery, RowId};
+use coax_data::{RangeQuery, RowId, Value};
 
 /// Counters describing the work one query performed.
 ///
 /// `rows_examined / matches` is the empirical inverse of the paper's
 /// *effectiveness* measure (Eq. 5): a perfectly effective index examines
-/// exactly the result set.
+/// exactly the result set. See [`ScanStats::effectiveness`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScanStats {
     /// Directory units inspected: grid cells for grid-family indexes,
@@ -37,14 +37,44 @@ impl ScanStats {
             self.matches as f64 / self.rows_examined as f64
         }
     }
+
+    /// The paper's *effectiveness* measure (Eq. 5): results per examined
+    /// row, in `[0, 1]` — 1.0 means the scan touched exactly the result
+    /// set, lower means wasted work.
+    ///
+    /// Identical to [`ScanStats::precision`] on non-empty scans; the two
+    /// exist because "precision" is this crate's accounting name while
+    /// "effectiveness" is the paper's term, and bench reports quote the
+    /// paper. An empty scan (zero rows examined) is perfectly effective:
+    /// no work was wasted, so this returns 1.0 — the edge case is pinned
+    /// by a unit test below.
+    pub fn effectiveness(&self) -> f64 {
+        self.precision()
+    }
+}
+
+/// One query's result ids plus its scan counters, as returned by
+/// [`MultidimIndex::batch_query`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    /// Ids of the matching rows (order unspecified).
+    pub ids: Vec<RowId>,
+    /// Work the query performed.
+    pub stats: ScanStats,
 }
 
 /// An exact multidimensional range/point index over a fixed dataset.
 ///
 /// Implementations own every byte they need (candidate pages, directory);
 /// they never hold references into the source dataset, so they can outlive
-/// it and be composed freely (COAX owns one primary and one outlier index).
-pub trait MultidimIndex {
+/// it and be composed freely — COAX owns one primary and one boxed outlier
+/// index, both driven through this trait.
+///
+/// The trait is **object safe**: the whole bench harness, the COAX outlier
+/// store, and the backend factory ([`crate::BackendSpec`]) work in terms
+/// of `Box<dyn MultidimIndex>`. It also requires `Debug + Send + Sync` so
+/// boxed indexes can be logged and shared across reader threads.
+pub trait MultidimIndex: std::fmt::Debug + Send + Sync {
     /// Short human-readable name for reports ("full-grid", "r-tree", …).
     fn name(&self) -> &str;
 
@@ -73,6 +103,48 @@ pub trait MultidimIndex {
         out
     }
 
+    /// Point lookup: appends the ids of rows equal to `point` (paper
+    /// §8.2.1: "a range query where the lower bound and upper bound …
+    /// are equal"). Backends with a cheaper exact-match path may
+    /// override; the default degenerates to a rectangle query.
+    fn point_query_stats(&self, point: &[Value], out: &mut Vec<RowId>) -> ScanStats {
+        self.range_query_stats(&RangeQuery::point(point), out)
+    }
+
+    /// Convenience wrapper for [`MultidimIndex::point_query_stats`].
+    fn point_query(&self, point: &[Value]) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.point_query_stats(point, &mut out);
+        out
+    }
+
+    /// Answers a batch of queries, returning per-query results and
+    /// counters.
+    ///
+    /// The default loops over [`MultidimIndex::range_query_stats`];
+    /// backends with per-query setup cost they can amortize (COAX
+    /// translates each query into a plan first) override this, but must
+    /// keep the per-query results and stats identical to sequential
+    /// execution.
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut ids = Vec::new();
+                let stats = self.range_query_stats(q, &mut ids);
+                QueryResult { ids, stats }
+            })
+            .collect()
+    }
+
+    /// Invokes `f` with every stored `(row_id, row_values)` pair, in an
+    /// unspecified order.
+    ///
+    /// This opens the store for composition: COAX reconstructs its
+    /// logical dataset from its primary and outlier backends through this
+    /// method when rebuilding, whichever structures back them.
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value]));
+
     /// Bytes of *directory* overhead: everything the structure adds on top
     /// of the stored rows (boundary tables, cell offsets, tree nodes).
     /// This is the quantity Fig. 8 plots on its x-axis. Row payloads and
@@ -88,10 +160,7 @@ mod tests {
     fn merge_adds_componentwise() {
         let a = ScanStats { cells_visited: 1, rows_examined: 10, matches: 3 };
         let b = ScanStats { cells_visited: 2, rows_examined: 5, matches: 2 };
-        assert_eq!(
-            a.merge(b),
-            ScanStats { cells_visited: 3, rows_examined: 15, matches: 5 }
-        );
+        assert_eq!(a.merge(b), ScanStats { cells_visited: 3, rows_examined: 15, matches: 5 });
     }
 
     #[test]
@@ -99,5 +168,29 @@ mod tests {
         assert_eq!(ScanStats::default().precision(), 1.0);
         let s = ScanStats { cells_visited: 1, rows_examined: 8, matches: 2 };
         assert!((s.precision() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effectiveness_matches_eq5() {
+        // Eq. 5 on a real scan: matches per examined row.
+        let s = ScanStats { cells_visited: 3, rows_examined: 50, matches: 10 };
+        assert!((s.effectiveness() - 0.2).abs() < 1e-12);
+        // Zero-examined edge case: an empty scan wastes no work and is
+        // defined as perfectly effective, *not* NaN or a division panic.
+        let empty = ScanStats { cells_visited: 2, rows_examined: 0, matches: 0 };
+        assert_eq!(empty.effectiveness(), 1.0);
+        assert_eq!(ScanStats::default().effectiveness(), 1.0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        // Compile-time check: `dyn MultidimIndex` must be a valid type,
+        // including the default-implemented batch/point surface.
+        fn _takes_dyn(index: &dyn MultidimIndex) -> usize {
+            index.len()
+        }
+        fn _takes_boxed(index: Box<dyn MultidimIndex>) -> usize {
+            index.dims()
+        }
     }
 }

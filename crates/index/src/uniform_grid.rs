@@ -10,12 +10,9 @@
 //! paper calls it a hash structure; the price is that skewed data leaves
 //! most cells empty or tiny (Fig. 4) while dense regions overflow.
 
-use crate::pages::PageStore;
+use crate::pages::{PageStore, MAX_CELLS};
 use crate::traits::{MultidimIndex, ScanStats};
 use coax_data::{Dataset, RangeQuery, RowId, Value};
-
-/// Safety cap on directory size (see [`crate::grid_file`]).
-const MAX_CELLS: usize = 1 << 28;
 
 /// Equal-width grid over every attribute.
 #[derive(Clone, Debug)]
@@ -53,11 +50,7 @@ impl UniformGrid {
             let (lo, hi) = dataset.min_max(d).unwrap_or((0.0, 0.0));
             mins.push(lo);
             maxs.push(hi);
-            inv_widths.push(if hi > lo {
-                cells_per_dim as Value / (hi - lo)
-            } else {
-                0.0
-            });
+            inv_widths.push(if hi > lo { cells_per_dim as Value / (hi - lo) } else { 0.0 });
         }
 
         let mut strides = vec![1usize; dims];
@@ -69,9 +62,7 @@ impl UniformGrid {
             (((v - mins[d]) * inv_widths[d]) as usize).min(cells_per_dim - 1)
         };
         let cell_of = |r: RowId| -> usize {
-            (0..dims)
-                .map(|d| coord(dataset.value(r, d), d) * strides[d])
-                .sum()
+            (0..dims).map(|d| coord(dataset.value(r, d), d) * strides[d]).sum()
         };
         let pages = PageStore::build(dataset, n_cells, None, cell_of);
 
@@ -157,6 +148,14 @@ impl MultidimIndex for UniformGrid {
         stats
     }
 
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        for c in 0..self.pages.n_cells() {
+            for (id, row) in self.pages.cell_entries(c) {
+                f(id, row);
+            }
+        }
+    }
+
     fn memory_overhead(&self) -> usize {
         // min + inv_width + max per dimension, plus the offsets table.
         3 * self.dims * std::mem::size_of::<Value>() + self.pages.offsets_bytes()
@@ -223,10 +222,7 @@ mod tests {
 
     #[test]
     fn constant_column_collapses_to_one_slice() {
-        let ds = Dataset::new(vec![
-            (0..50).map(|i| i as f64).collect(),
-            vec![3.0; 50],
-        ]);
+        let ds = Dataset::new(vec![(0..50).map(|i| i as f64).collect(), vec![3.0; 50]]);
         let grid = UniformGrid::build(&ds, 4);
         let q = RangeQuery::point(&[7.0, 3.0]);
         assert_eq!(grid.range_query(&q), vec![7]);

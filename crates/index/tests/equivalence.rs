@@ -1,65 +1,86 @@
-//! Property tests: every index structure returns exactly the full-scan
-//! result set on randomized datasets and queries.
+//! Randomized property tests: every index structure returns exactly the
+//! full-scan result set on randomized datasets and queries.
 //!
-//! This is the repository's core invariant (DESIGN.md §6): directories may
-//! prune differently, but results are always exact.
+//! This is the repository's core invariant (DESIGN.md §6): directories
+//! may prune differently, but results are always exact. The workspace
+//! builds offline, so instead of `proptest` these run seeded randomized
+//! rounds over the same input space the original strategies covered —
+//! every backend is constructed through [`BackendSpec`] and driven as a
+//! `Box<dyn MultidimIndex>`, exercising the factory seam directly.
 
 use coax_data::{Dataset, RangeQuery};
-use coax_index::{
-    ColumnFiles, FullScan, GridFile, GridFileConfig, MultidimIndex, RTree, RTreeConfig,
-    UniformGrid,
-};
-use proptest::prelude::*;
+use coax_index::{BackendSpec, FullScan, MultidimIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of randomized rounds per property (the proptest versions ran
+/// 64 cases; these are cheaper, so run the same order of magnitude).
+const ROUNDS: u64 = 64;
 
 /// A random dataset: 1–4 dims, 0–300 rows, values in a modest range with
 /// duplicates likely (integers scaled down).
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (1usize..=4, 0usize..=300).prop_flat_map(|(dims, rows)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-50i32..50, rows).prop_map(|col| {
-                col.into_iter().map(|v| v as f64 / 2.0).collect::<Vec<f64>>()
-            }),
-            dims,
-        )
-        .prop_map(Dataset::new)
-    })
+fn random_dataset(rng: &mut StdRng) -> Dataset {
+    let dims = rng.gen_range(1usize..=4);
+    let rows = rng.gen_range(0usize..=300);
+    let columns = (0..dims)
+        .map(|_| (0..rows).map(|_| rng.gen_range(-50i32..50) as f64 / 2.0).collect())
+        .collect();
+    Dataset::new(columns)
 }
 
 /// A random query over `dims` dimensions mixing bounded, half-open,
 /// unconstrained, inverted (empty) and point-like constraints.
-fn query_strategy(dims: usize) -> impl Strategy<Value = RangeQuery> {
-    proptest::collection::vec((-60i32..60, -60i32..60, 0u8..5), dims).prop_map(|specs| {
-        let mut lo = Vec::with_capacity(specs.len());
-        let mut hi = Vec::with_capacity(specs.len());
-        for (a, b, kind) in specs {
-            let (a, b) = (a as f64 / 2.0, b as f64 / 2.0);
-            match kind {
-                0 => {
-                    // normalised bounded range
-                    lo.push(a.min(b));
-                    hi.push(a.max(b));
-                }
-                1 => {
-                    // as-given (possibly inverted → empty query)
-                    lo.push(a);
-                    hi.push(b);
-                }
-                2 => {
-                    lo.push(f64::NEG_INFINITY);
-                    hi.push(b);
-                }
-                3 => {
-                    lo.push(a);
-                    hi.push(f64::INFINITY);
-                }
-                _ => {
-                    lo.push(a);
-                    hi.push(a); // point constraint
-                }
+fn random_query(rng: &mut StdRng, dims: usize) -> RangeQuery {
+    let mut lo = Vec::with_capacity(dims);
+    let mut hi = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let a = rng.gen_range(-60i32..60) as f64 / 2.0;
+        let b = rng.gen_range(-60i32..60) as f64 / 2.0;
+        match rng.gen_range(0u8..5) {
+            0 => {
+                // normalised bounded range
+                lo.push(a.min(b));
+                hi.push(a.max(b));
+            }
+            1 => {
+                // as-given (possibly inverted → empty query)
+                lo.push(a);
+                hi.push(b);
+            }
+            2 => {
+                lo.push(f64::NEG_INFINITY);
+                hi.push(b);
+            }
+            3 => {
+                lo.push(a);
+                hi.push(f64::INFINITY);
+            }
+            _ => {
+                lo.push(a);
+                hi.push(a); // point constraint
             }
         }
-        RangeQuery::new(lo, hi)
-    })
+    }
+    RangeQuery::new(lo, hi)
+}
+
+/// Every substrate spec applicable to a `dims`-dimensional dataset, at
+/// randomized resolutions.
+fn random_specs(rng: &mut StdRng, dims: usize) -> Vec<BackendSpec> {
+    let cells = rng.gen_range(1usize..6);
+    let capacity = rng.gen_range(2usize..16);
+    let mut specs = vec![
+        BackendSpec::FullScan,
+        BackendSpec::UniformGrid { cells_per_dim: cells },
+        BackendSpec::GridFile { cells_per_dim: cells, sort_dim: None },
+        BackendSpec::RTree { capacity },
+    ];
+    if dims > 1 {
+        specs.push(BackendSpec::GridFile { cells_per_dim: cells, sort_dim: Some(0) });
+        specs.push(BackendSpec::ColumnFiles { cells_per_dim: cells, sort_dim: Some(dims - 1) });
+        specs.push(BackendSpec::ColumnFiles { cells_per_dim: cells, sort_dim: None });
+    }
+    specs
 }
 
 fn sorted(mut v: Vec<u32>) -> Vec<u32> {
@@ -67,72 +88,108 @@ fn sorted(mut v: Vec<u32>) -> Vec<u32> {
     v
 }
 
-fn check_index(index: &dyn MultidimIndex, expected: &[u32], q: &RangeQuery) {
-    let got = sorted(index.range_query(q));
-    assert_eq!(got, expected, "{} diverged on {q:?}", index.name());
+#[test]
+fn all_backends_match_full_scan_via_boxed_factory() {
+    let mut rng = StdRng::seed_from_u64(0xE0_01);
+    for round in 0..ROUNDS {
+        let ds = random_dataset(&mut rng);
+        let q = random_query(&mut rng, ds.dims());
+        let expected = sorted(FullScan::build(&ds).range_query(&q));
+        for spec in random_specs(&mut rng, ds.dims()) {
+            let index: Box<dyn MultidimIndex> = spec.build(&ds);
+            let got = sorted(index.range_query(&q));
+            assert_eq!(
+                got,
+                expected,
+                "round {round}: {} ({spec:?}) diverged on {q:?}",
+                index.name()
+            );
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_indexes_match_full_scan(
-        (ds, q) in dataset_strategy().prop_flat_map(|ds| {
-            let dims = ds.dims();
-            (Just(ds), query_strategy(dims))
-        }),
-        cells in 1usize..6,
-        capacity in 2usize..16,
-    ) {
-        let expected = sorted(FullScan::build(&ds).range_query(&q));
-
-        check_index(&UniformGrid::build(&ds, cells), &expected, &q);
-        check_index(
-            &GridFile::build(&ds, &GridFileConfig::all_dims(ds.dims(), cells)),
-            &expected,
-            &q,
-        );
-        // Grid file with a sorted dimension (when there is more than one).
-        if ds.dims() > 1 {
-            check_index(
-                &GridFile::build(&ds, &GridFileConfig::with_sort(ds.dims(), 0, cells)),
-                &expected,
-                &q,
-            );
-            check_index(&ColumnFiles::build(&ds, ds.dims() - 1, cells), &expected, &q);
-        }
-        check_index(&RTree::build(&ds, RTreeConfig::uniform(capacity)), &expected, &q);
-    }
-
-    #[test]
-    fn scan_stats_are_consistent(
-        (ds, q) in dataset_strategy().prop_flat_map(|ds| {
-            let dims = ds.dims();
-            (Just(ds), query_strategy(dims))
-        }),
-        cells in 1usize..6,
-    ) {
-        let grid = GridFile::build(&ds, &GridFileConfig::all_dims(ds.dims(), cells));
+#[test]
+fn scan_stats_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xE0_02);
+    for _ in 0..ROUNDS {
+        let ds = random_dataset(&mut rng);
+        let q = random_query(&mut rng, ds.dims());
+        let cells = rng.gen_range(1usize..6);
+        let grid = BackendSpec::GridFile { cells_per_dim: cells, sort_dim: None }.build(&ds);
         let mut out = Vec::new();
         let stats = grid.range_query_stats(&q, &mut out);
-        // matches == appended results, and you can't match more than you examine.
-        prop_assert_eq!(stats.matches, out.len());
-        prop_assert!(stats.matches <= stats.rows_examined);
-        prop_assert!(stats.rows_examined <= ds.len());
+        // matches == appended results, and you can't match more than you
+        // examine.
+        assert_eq!(stats.matches, out.len());
+        assert!(stats.matches <= stats.rows_examined);
+        assert!(stats.rows_examined <= ds.len());
     }
+}
 
-    #[test]
-    fn point_queries_on_existing_rows_always_hit(
-        ds in dataset_strategy(),
-        row_sel in 0usize..300,
-        capacity in 2usize..16,
-    ) {
-        prop_assume!(!ds.is_empty());
-        let r = (row_sel % ds.len()) as u32;
-        let q = RangeQuery::point(&ds.row(r));
-        let rt = RTree::build(&ds, RTreeConfig::uniform(capacity));
-        prop_assert!(rt.range_query(&q).contains(&r));
-        let ug = UniformGrid::build(&ds, 4);
-        prop_assert!(ug.range_query(&q).contains(&r));
+#[test]
+fn point_queries_on_existing_rows_always_hit() {
+    let mut rng = StdRng::seed_from_u64(0xE0_03);
+    for _ in 0..ROUNDS {
+        let ds = random_dataset(&mut rng);
+        if ds.is_empty() {
+            continue;
+        }
+        let r = rng.gen_range(0usize..ds.len()) as u32;
+        let row = ds.row(r);
+        let capacity = rng.gen_range(2usize..16);
+        for spec in
+            [BackendSpec::RTree { capacity }, BackendSpec::UniformGrid { cells_per_dim: 4 }]
+        {
+            let index = spec.build(&ds);
+            // The trait's point-query surface must agree with the
+            // rectangle path.
+            assert!(index.point_query(&row).contains(&r), "{spec:?}");
+            assert_eq!(
+                sorted(index.point_query(&row)),
+                sorted(index.range_query(&RangeQuery::point(&row))),
+                "{spec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_query_default_matches_sequential() {
+    let mut rng = StdRng::seed_from_u64(0xE0_04);
+    for _ in 0..16 {
+        let ds = random_dataset(&mut rng);
+        let queries: Vec<RangeQuery> =
+            (0..8).map(|_| random_query(&mut rng, ds.dims())).collect();
+        for spec in random_specs(&mut rng, ds.dims()) {
+            let index = spec.build(&ds);
+            let batched = index.batch_query(&queries);
+            assert_eq!(batched.len(), queries.len());
+            for (q, result) in queries.iter().zip(&batched) {
+                let mut ids = Vec::new();
+                let stats = index.range_query_stats(q, &mut ids);
+                assert_eq!(result.stats, stats, "{spec:?} on {q:?}");
+                assert_eq!(sorted(result.ids.clone()), sorted(ids), "{spec:?} on {q:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn for_each_entry_round_trips_every_row() {
+    let mut rng = StdRng::seed_from_u64(0xE0_05);
+    for _ in 0..16 {
+        let ds = random_dataset(&mut rng);
+        for spec in random_specs(&mut rng, ds.dims()) {
+            let index = spec.build(&ds);
+            let mut seen = vec![false; ds.len()];
+            let mut count = 0usize;
+            index.for_each_entry(&mut |id, row| {
+                assert_eq!(row, ds.row(id).as_slice(), "{spec:?} entry {id}");
+                assert!(!seen[id as usize], "{spec:?} repeated entry {id}");
+                seen[id as usize] = true;
+                count += 1;
+            });
+            assert_eq!(count, ds.len(), "{spec:?} must yield every row");
+        }
     }
 }

@@ -9,16 +9,27 @@
 //! All contenders — COAX included — are tuned and timed through
 //! `Box<dyn MultidimIndex>` built from [`IndexSpec`]s; only the paper's
 //! primary/outlier split timing rebuilds the COAX winner concretely.
+//!
+//! Pass `--json` for one machine-readable report on stdout (raw
+//! milliseconds/ratios instead of formatted tables).
 
 use coax_bench::harness::{
-    build_contenders, fmt_ms, print_table, time_per_query_ms, workload_stats, ReportRow,
+    build_contenders, fmt_ms, json_mode, print_table, time_per_query_ms,
+    workload_effectiveness, JsonReport, JsonValue, ReportRow,
 };
 use coax_bench::{datasets, tuning};
 use coax_core::{CoaxConfig, IndexSpec};
 use coax_data::{Dataset, RangeQuery};
 use coax_index::BackendSpec;
 
-fn run_workload(name: &str, dataset: &Dataset, queries: &[RangeQuery], repeats: usize) {
+fn run_workload(
+    name: &str,
+    dataset: &Dataset,
+    queries: &[RangeQuery],
+    repeats: usize,
+    report: &mut JsonReport,
+    json: bool,
+) {
     // --- Tune every contender on (a sample of) the workload. -----------
     let tune_sample: Vec<RangeQuery> =
         queries.iter().take(queries.len().min(25)).cloned().collect();
@@ -63,7 +74,9 @@ fn run_workload(name: &str, dataset: &Dataset, queries: &[RangeQuery], repeats: 
             let ms = time_per_query_ms(queries, repeats, |q, out| {
                 index.range_query_stats(q, out);
             });
-            let eff = workload_stats(*index, queries).effectiveness();
+            // Micro-averaged Eq. 5 (Σmatches / Σexamined): per-query
+            // averaging would let fully-pruned queries inflate the mean.
+            let eff = workload_effectiveness(*index, queries);
             (*label, ms, eff)
         })
         .collect();
@@ -78,19 +91,38 @@ fn run_workload(name: &str, dataset: &Dataset, queries: &[RangeQuery], repeats: 
         coax_concrete.query_outliers(q, out);
     });
 
-    let row = |label: &str, ms: f64, eff: Option<f64>| ReportRow {
-        label: label.to_string(),
-        values: vec![
-            ("runtime".into(), fmt_ms(ms)),
-            ("vs full scan".into(), format!("{:.0}x", scan_ms / ms.max(1e-9))),
-            ("effectiveness".into(), eff.map_or_else(|| "-".into(), |e| format!("{e:.3}"))),
-        ],
-    };
-    let mut rows = vec![
-        row("COAX (primary)", coax_primary, None),
-        row("COAX (outliers)", coax_outliers, None),
-    ];
-    rows.extend(timed.iter().map(|(label, ms, eff)| row(label, *ms, Some(*eff))));
+    // One row list feeds both emitters — the JSON report (raw numbers)
+    // and the text table (formatted) can never drift apart.
+    let mut all_rows: Vec<(&str, f64, Option<f64>)> =
+        vec![("COAX (primary)", coax_primary, None), ("COAX (outliers)", coax_outliers, None)];
+    all_rows.extend(timed.iter().map(|(label, ms, eff)| (*label, *ms, Some(*eff))));
+
+    if json {
+        for (label, ms, eff) in all_rows {
+            report.add_row(
+                name,
+                label,
+                vec![
+                    ("runtime_ms", JsonValue::Num(ms)),
+                    ("speedup_vs_full_scan", JsonValue::Num(scan_ms / ms.max(1e-9))),
+                    ("effectiveness", eff.map_or(JsonValue::Num(f64::NAN), JsonValue::Num)),
+                ],
+            );
+        }
+        return;
+    }
+
+    let rows: Vec<ReportRow> = all_rows
+        .iter()
+        .map(|(label, ms, eff)| ReportRow {
+            label: label.to_string(),
+            values: vec![
+                ("runtime".into(), fmt_ms(*ms)),
+                ("vs full scan".into(), format!("{:.0}x", scan_ms / ms.max(1e-9))),
+                ("effectiveness".into(), eff.map_or_else(|| "-".into(), |e| format!("{e:.3}"))),
+            ],
+        })
+        .collect();
     print_table(name, &rows);
 
     let best_baseline = timed[1].1.min(timed[2].1);
@@ -103,6 +135,7 @@ fn run_workload(name: &str, dataset: &Dataset, queries: &[RangeQuery], repeats: 
 }
 
 fn main() {
+    let json = json_mode();
     let rows = datasets::bench_rows();
     let n_queries = datasets::bench_queries();
     let repeats = datasets::bench_repeats();
@@ -110,10 +143,13 @@ fn main() {
     // the result set is ~0.05 % of the data.
     let k = (rows / 2000).max(8);
 
-    println!(
-        "Figure 6 reproduction — query runtime ({rows} rows, {n_queries} queries, \
-         range K={k}); paper shape: COAX < R-Tree < Full Grid << Full Scan"
-    );
+    if !json {
+        println!(
+            "Figure 6 reproduction — query runtime ({rows} rows, {n_queries} queries, \
+             range K={k}); paper shape: COAX < R-Tree < Full Grid << Full Scan"
+        );
+    }
+    let mut report = JsonReport::new("fig6");
 
     let airline = datasets::airline(rows);
     run_workload(
@@ -121,16 +157,38 @@ fn main() {
         &airline,
         &datasets::range_workload(&airline, n_queries, k),
         repeats,
+        &mut report,
+        json,
     );
     run_workload(
         "Airline (point)",
         &airline,
         &datasets::point_workload(&airline, n_queries),
         repeats,
+        &mut report,
+        json,
     );
     drop(airline);
 
     let osm = datasets::osm(rows);
-    run_workload("OSM (range)", &osm, &datasets::range_workload(&osm, n_queries, k), repeats);
-    run_workload("OSM (point)", &osm, &datasets::point_workload(&osm, n_queries), repeats);
+    run_workload(
+        "OSM (range)",
+        &osm,
+        &datasets::range_workload(&osm, n_queries, k),
+        repeats,
+        &mut report,
+        json,
+    );
+    run_workload(
+        "OSM (point)",
+        &osm,
+        &datasets::point_workload(&osm, n_queries),
+        repeats,
+        &mut report,
+        json,
+    );
+
+    if json {
+        report.print();
+    }
 }

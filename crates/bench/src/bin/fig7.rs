@@ -11,19 +11,26 @@
 //! Contenders are tuned through the spec-driven sweep; the timing loop
 //! drives the baselines through `Box<dyn MultidimIndex>` and only the
 //! COAX primary/outlier split rebuilds the winner concretely.
+//!
+//! Pass `--json` for one machine-readable report on stdout.
 
-use coax_bench::harness::{fmt_ms, print_table, time_per_query_ms, ReportRow};
+use coax_bench::harness::{
+    fmt_ms, json_mode, print_table, time_per_query_ms, JsonReport, JsonValue, ReportRow,
+};
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
 
 fn main() {
+    let json = json_mode();
     let rows = datasets::bench_rows();
     let n_queries = datasets::bench_queries();
     let repeats = datasets::bench_repeats();
-    println!(
-        "Figure 7 reproduction — runtime vs selectivity on airline-2008 \
-         ({rows} rows, {n_queries} queries/level)"
-    );
+    if !json {
+        println!(
+            "Figure 7 reproduction — runtime vs selectivity on airline-2008 \
+             ({rows} rows, {n_queries} queries/level)"
+        );
+    }
 
     let dataset = datasets::airline_2008(rows);
     let ladder = datasets::fig7_selectivities(rows);
@@ -55,6 +62,7 @@ fn main() {
     );
     let cf = &tuning::best(&cf_sweep).expect("column-files sweep").index;
 
+    let mut report = JsonReport::new("fig7");
     let mut rows_out = Vec::new();
     for (label, k) in &ladder {
         let queries = datasets::range_workload(&dataset, n_queries, *k);
@@ -70,6 +78,18 @@ fn main() {
         let cf_ms = time_per_query_ms(&queries, repeats, |q, out| {
             cf.range_query_stats(q, out);
         });
+        report.add_row(
+            "runtime vs selectivity",
+            label,
+            vec![
+                ("selectivity_k", JsonValue::Int(*k as u64)),
+                ("coax_primary_ms", JsonValue::Num(coax_primary)),
+                ("coax_outliers_ms", JsonValue::Num(coax_outliers)),
+                ("coax_total_ms", JsonValue::Num(coax_primary + coax_outliers)),
+                ("rtree_ms", JsonValue::Num(rtree_ms)),
+                ("column_files_ms", JsonValue::Num(cf_ms)),
+            ],
+        );
         rows_out.push(ReportRow {
             label: label.clone(),
             values: vec![
@@ -81,5 +101,9 @@ fn main() {
             ],
         });
     }
-    print_table("Fig. 7 — runtime vs average query selectivity", &rows_out);
+    if json {
+        report.print();
+    } else {
+        print_table("Fig. 7 — runtime vs average query selectivity", &rows_out);
+    }
 }

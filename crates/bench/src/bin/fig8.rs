@@ -12,11 +12,20 @@
 //! Baseline sweeps run through the spec-driven generic path; the COAX
 //! ladder builds each point concretely (once) via `build_coax`, because
 //! the paper's primary/outlier split series needs the concrete type.
+//! A third sweep holds the resolution fixed and swaps the **primary
+//! backend** — the paper's "any structure" claim, measured: substrates
+//! that grid every dimension pay the directory cost the
+//! reduced-dimensionality default avoids.
+//!
+//! Pass `--json` for one machine-readable report on stdout.
 
-use coax_bench::harness::{fmt_bytes, fmt_ms, print_table, time_per_query_ms, ReportRow};
+use coax_bench::harness::{
+    fmt_bytes, fmt_ms, json_mode, print_table, time_per_query_ms, JsonReport, JsonValue,
+    ReportRow,
+};
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
-use coax_data::Dataset;
+use coax_data::{Dataset, RangeQuery};
 use coax_index::MultidimIndex;
 
 /// One COAX sweep point with the paper's part-split measurements.
@@ -26,21 +35,20 @@ struct CoaxPoint {
     total_ms: f64,
 }
 
-fn run_dataset(name: &str, dataset: &Dataset) {
-    let n_queries = datasets::bench_queries().min(60);
-    let repeats = datasets::bench_repeats();
-    let k = (dataset.len() / 2000).max(8);
-    let queries = datasets::range_workload(dataset, n_queries, k);
-
-    // The COAX ladder needs the concrete type for the primary/outlier
-    // split series, so build each point exactly once via `build_coax`
-    // (the specs still come from the shared-discovery factory path).
-    let coax_specs =
-        tuning::coax_specs(dataset, &CoaxConfig::default(), &tuning::grid_ladder());
+/// Builds each COAX spec concretely and measures the paper's part-split
+/// series (primary/outlier memory and time), as table rows + JSON rows.
+fn coax_split_sweep(
+    dataset: &Dataset,
+    queries: &[RangeQuery],
+    repeats: usize,
+    specs: &[coax_core::IndexSpec],
+    section: &str,
+    report: &mut JsonReport,
+    rows: &mut Vec<ReportRow>,
+) -> Vec<CoaxPoint> {
     let cap = dataset.data_bytes();
-    let mut coax_sweep = Vec::new();
-    let mut rows = Vec::new();
-    for spec in &coax_specs {
+    let mut sweep = Vec::new();
+    for spec in specs {
         if !spec.fits(dataset) {
             continue;
         }
@@ -48,12 +56,25 @@ fn run_dataset(name: &str, dataset: &Dataset) {
         if coax.memory_overhead() > cap {
             continue;
         }
-        let primary_ms = time_per_query_ms(&queries, repeats, |q, out| {
+        let primary_ms = time_per_query_ms(queries, repeats, |q, out| {
             coax.query_primary(q, out);
         });
-        let outlier_ms = time_per_query_ms(&queries, repeats, |q, out| {
+        let outlier_ms = time_per_query_ms(queries, repeats, |q, out| {
             coax.query_outliers(q, out);
         });
+        report.add_row(
+            section,
+            &format!("COAX {}", spec.label()),
+            vec![
+                ("primary_backend", coax.primary_index().name().into()),
+                ("primary_mem_bytes", coax.primary_overhead().into()),
+                ("outlier_mem_bytes", coax.outlier_overhead().into()),
+                ("total_mem_bytes", coax.memory_overhead().into()),
+                ("primary_ms", JsonValue::Num(primary_ms)),
+                ("outlier_ms", JsonValue::Num(outlier_ms)),
+                ("total_ms", JsonValue::Num(primary_ms + outlier_ms)),
+            ],
+        );
         rows.push(ReportRow {
             label: format!("COAX {}", spec.label()),
             values: vec![
@@ -65,13 +86,60 @@ fn run_dataset(name: &str, dataset: &Dataset) {
                 ("total time".into(), fmt_ms(primary_ms + outlier_ms)),
             ],
         });
-        coax_sweep.push(CoaxPoint {
+        sweep.push(CoaxPoint {
             label: spec.label(),
             primary_overhead: coax.primary_overhead(),
             total_ms: primary_ms + outlier_ms,
         });
     }
-    print_table(&format!("{name} — COAX sweep"), &rows);
+    sweep
+}
+
+fn run_dataset(name: &str, dataset: &Dataset, report: &mut JsonReport, json: bool) {
+    let n_queries = datasets::bench_queries().min(60);
+    let repeats = datasets::bench_repeats();
+    let k = (dataset.len() / 2000).max(8);
+    let queries = datasets::range_workload(dataset, n_queries, k);
+
+    // The COAX ladder needs the concrete type for the primary/outlier
+    // split series, so build each point exactly once via `build_coax`
+    // (the specs still come from the shared-discovery factory path).
+    let coax_specs =
+        tuning::coax_specs(dataset, &CoaxConfig::default(), &tuning::grid_ladder());
+    let mut rows = Vec::new();
+    let coax_sweep = coax_split_sweep(
+        dataset,
+        &queries,
+        repeats,
+        &coax_specs,
+        &format!("{name} — COAX sweep"),
+        report,
+        &mut rows,
+    );
+    if !json {
+        print_table(&format!("{name} — COAX sweep"), &rows);
+    }
+
+    // Fixed resolution, swept primary substrate: the symmetric-seam
+    // ladder. Labels carry the substrate ("k=16 primary=r-tree").
+    let primary_specs = tuning::coax_primary_specs(
+        dataset,
+        &CoaxConfig::default(),
+        &tuning::primary_backend_ladder(),
+    );
+    let mut rows = Vec::new();
+    coax_split_sweep(
+        dataset,
+        &queries,
+        repeats,
+        &primary_specs,
+        &format!("{name} — primary-backend ladder"),
+        report,
+        &mut rows,
+    );
+    if !json {
+        print_table(&format!("{name} — primary-backend ladder"), &rows);
+    }
 
     let cf_sweep = tuning::sweep(
         dataset,
@@ -88,6 +156,14 @@ fn run_dataset(name: &str, dataset: &Dataset) {
     let mut rows = Vec::new();
     for (kind, sweep) in [("ColumnFiles", &cf_sweep), ("R-Tree", &rt_sweep)] {
         for p in sweep {
+            report.add_row(
+                &format!("{name} — baselines sweep"),
+                &format!("{kind} {}", p.label),
+                vec![
+                    ("mem_bytes", p.memory_overhead.into()),
+                    ("time_ms", JsonValue::Num(p.mean_query_ms)),
+                ],
+            );
             rows.push(ReportRow {
                 label: format!("{kind} {}", p.label),
                 values: vec![
@@ -96,6 +172,9 @@ fn run_dataset(name: &str, dataset: &Dataset) {
                 ],
             });
         }
+    }
+    if json {
+        return;
     }
     print_table(&format!("{name} — baselines sweep"), &rows);
 
@@ -118,14 +197,21 @@ fn run_dataset(name: &str, dataset: &Dataset) {
 }
 
 fn main() {
+    let json = json_mode();
     let rows = datasets::bench_rows();
-    println!(
-        "Figure 8 reproduction — runtime vs memory overhead ({rows} rows/dataset); \
-         paper shape: sweet spots for every grid, COAX far left"
-    );
+    if !json {
+        println!(
+            "Figure 8 reproduction — runtime vs memory overhead ({rows} rows/dataset); \
+             paper shape: sweet spots for every grid, COAX far left"
+        );
+    }
+    let mut report = JsonReport::new("fig8");
     let airline = datasets::airline_2008(rows);
-    run_dataset("Airlines", &airline);
+    run_dataset("Airlines", &airline, &mut report, json);
     drop(airline);
     let osm = datasets::osm(rows);
-    run_dataset("OSM", &osm);
+    run_dataset("OSM", &osm, &mut report, json);
+    if json {
+        report.print();
+    }
 }

@@ -46,20 +46,21 @@ fn effectiveness_experiment() {
         let model = index.groups()[0].models[0].clone();
         let eps = model.margin_width() / 2.0;
 
-        // Query on the dependent attribute only, q_y swept.
+        // Query on the dependent attribute only, q_y swept. Aggregate as
+        // a micro-average (Σmatches / Σexamined): averaging per-query
+        // ratios would weight cheap fringe queries equally with dense
+        // ones and let fully-pruned queries (defined as 1.0) inflate the
+        // mean — see `ScanStats::effectiveness`.
         let q_y = 200.0;
-        let mut measured_eff = Vec::new();
+        let mut total = coax_index::ScanStats::default();
         for i in 0..40 {
             let y0 = 100.0 + i as f64 * 40.0;
             let mut q = RangeQuery::unbounded(2);
             q.constrain(1, y0, y0 + q_y);
             let mut out = Vec::new();
-            let stats = index.query_primary(&q, &mut out);
-            if stats.rows_examined > 0 {
-                measured_eff.push(stats.matches as f64 / stats.rows_examined as f64);
-            }
+            total = total.merge(index.query_primary(&q, &mut out));
         }
-        let measured = measured_eff.iter().sum::<f64>() / measured_eff.len().max(1) as f64;
+        let measured = total.effectiveness();
         let predicted = theory::effectiveness(q_y, eps);
         rows.push(ReportRow {
             label: format!("eps = {k_sigma} sigma"),

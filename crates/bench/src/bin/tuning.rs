@@ -2,12 +2,17 @@
 //! sweeps behind "we use the configuration that performs best for each
 //! index", including the paper's finding that the best R-tree node
 //! capacity lies between 8 and 12, and the memory-cap rule (directory ≤
-//! data bytes).
+//! data bytes) — plus the primary-backend sweep the symmetric
+//! primary/outlier seam makes possible.
 //!
 //! Every sweep runs through the same spec-driven generic path — the
 //! binary only decides which ladders to print.
+//!
+//! Pass `--json` for one machine-readable report on stdout.
 
-use coax_bench::harness::{fmt_bytes, fmt_ms, print_table, ReportRow};
+use coax_bench::harness::{
+    fmt_bytes, fmt_ms, json_mode, print_table, JsonReport, JsonValue, ReportRow,
+};
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
 
@@ -24,11 +29,28 @@ fn sweep_rows(sweep: &[tuning::SweepPoint]) -> Vec<ReportRow> {
         .collect()
 }
 
+fn report_sweep(report: &mut JsonReport, section: &str, sweep: &[tuning::SweepPoint]) {
+    for p in sweep {
+        report.add_row(
+            section,
+            &p.label,
+            vec![
+                ("mem_bytes", p.memory_overhead.into()),
+                ("mean_query_ms", JsonValue::Num(p.mean_query_ms)),
+            ],
+        );
+    }
+}
+
 fn main() {
+    let json = json_mode();
     let rows = datasets::bench_rows();
     let n_queries = datasets::bench_queries().min(40);
     let repeats = datasets::bench_repeats();
-    println!("Tuning sweeps (§8.2.1) — {rows} rows, {n_queries} range queries");
+    if !json {
+        println!("Tuning sweeps (§8.2.1) — {rows} rows, {n_queries} range queries");
+    }
+    let mut report = JsonReport::new("tuning");
 
     let dataset = datasets::airline(rows);
     let k = (rows / 2000).max(8);
@@ -40,9 +62,12 @@ fn main() {
         repeats,
         &tuning::rtree_specs(&tuning::capacity_ladder()),
     );
-    print_table("R-Tree node capacity sweep (paper: best in 8..12)", &sweep_rows(&rt));
-    if let Some(b) = tuning::best(&rt) {
-        println!("best: {}", b.label);
+    report_sweep(&mut report, "r-tree capacity", &rt);
+    if !json {
+        print_table("R-Tree node capacity sweep (paper: best in 8..12)", &sweep_rows(&rt));
+        if let Some(b) = tuning::best(&rt) {
+            println!("best: {}", b.label);
+        }
     }
 
     let ug = tuning::sweep(
@@ -51,14 +76,17 @@ fn main() {
         repeats,
         &tuning::uniform_grid_specs(&tuning::grid_ladder()),
     );
-    print_table(
-        "Full-grid resolution sweep (directory capped at data bytes)",
-        &sweep_rows(&ug),
-    );
-    println!(
-        "data bytes = {}; configurations above the cap were skipped",
-        fmt_bytes(dataset.data_bytes())
-    );
+    report_sweep(&mut report, "full-grid resolution", &ug);
+    if !json {
+        print_table(
+            "Full-grid resolution sweep (directory capped at data bytes)",
+            &sweep_rows(&ug),
+        );
+        println!(
+            "data bytes = {}; configurations above the cap were skipped",
+            fmt_bytes(dataset.data_bytes())
+        );
+    }
 
     let cx = tuning::sweep(
         &dataset,
@@ -66,8 +94,40 @@ fn main() {
         repeats,
         &tuning::coax_specs(&dataset, &CoaxConfig::default(), &tuning::grid_ladder()),
     );
-    print_table("COAX primary-grid resolution sweep", &sweep_rows(&cx));
-    if let Some(b) = tuning::best(&cx) {
-        println!("best: {}", b.label);
+    report_sweep(&mut report, "coax primary-grid resolution", &cx);
+    if !json {
+        print_table("COAX primary-grid resolution sweep", &sweep_rows(&cx));
+        if let Some(b) = tuning::best(&cx) {
+            println!("best: {}", b.label);
+        }
+    }
+
+    // The symmetric-seam sweep: fixed resolution, swapped primary
+    // substrate. The reduced-dimensionality grid-file default should win
+    // on memory; the others quantify what the "any structure" freedom
+    // costs or buys on this workload.
+    let pb = tuning::sweep(
+        &dataset,
+        &queries,
+        repeats,
+        &tuning::coax_primary_specs(
+            &dataset,
+            &CoaxConfig::default(),
+            &tuning::primary_backend_ladder(),
+        ),
+    );
+    report_sweep(&mut report, "coax primary backend", &pb);
+    if !json {
+        print_table(
+            "COAX primary-backend sweep (fixed k, swapped substrate)",
+            &sweep_rows(&pb),
+        );
+        if let Some(b) = tuning::best(&pb) {
+            println!("best: {}", b.label);
+        }
+    }
+
+    if json {
+        report.print();
     }
 }

@@ -42,6 +42,20 @@ pub fn workload_stats(index: &dyn MultidimIndex, queries: &[RangeQuery]) -> Scan
     total
 }
 
+/// Micro-averaged effectiveness of a workload: total matches over total
+/// rows examined across all queries.
+///
+/// This is the only sound way to aggregate Eq. 5 over a workload:
+/// averaging *per-query* ratios would let fully-pruned queries (zero
+/// rows examined, defined as effectiveness 1.0 — see
+/// [`ScanStats::effectiveness`]) inflate the mean, overstating an index
+/// exactly when translation prunes most aggressively. Merging the
+/// counters first weights every examined row equally; an all-pruned
+/// workload still reports 1.0 (no work was wasted).
+pub fn workload_effectiveness(index: &dyn MultidimIndex, queries: &[RangeQuery]) -> f64 {
+    workload_stats(index, queries).effectiveness()
+}
+
 /// Mean wall-clock milliseconds per query of `f` over `queries`, with one
 /// untimed warm-up pass and `repeats` timed passes.
 pub fn time_per_query_ms<F>(queries: &[RangeQuery], repeats: usize, mut f: F) -> f64
@@ -107,6 +121,166 @@ pub fn print_table(title: &str, rows: &[ReportRow]) {
     }
 }
 
+/// `true` when the binary was invoked with `--json`: figure binaries
+/// then suppress their text tables and emit one machine-readable
+/// [`JsonReport`] on stdout instead (the ROADMAP's plotting hook; CI
+/// validates the output parses).
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// One machine-readable field value of a [`JsonReport`] row.
+#[derive(Clone, Debug)]
+pub enum JsonValue {
+    /// A float, emitted as a JSON number (non-finite becomes `null`).
+    Num(f64),
+    /// An unsigned integer (byte counts, row counts).
+    Int(u64),
+    /// A string label.
+    Str(String),
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as u64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl JsonValue {
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Int(v) => out.push_str(&format!("{v}")),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape_json(s));
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A machine-readable figure report: named sections of labelled rows,
+/// each row carrying raw (unformatted) values. Rendered as one JSON
+/// object:
+///
+/// ```json
+/// {"figure": "fig6", "sections": [
+///   {"title": "Airline (range)", "rows": [
+///     {"label": "COAX (total)", "runtime_ms": 0.123, "effectiveness": 0.91}]}]}
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    figure: String,
+    sections: Vec<JsonSection>,
+}
+
+/// One titled group of rows inside a [`JsonReport`].
+#[derive(Debug)]
+struct JsonSection {
+    title: String,
+    rows: Vec<JsonRow>,
+}
+
+/// One labelled row of raw field values.
+#[derive(Debug)]
+struct JsonRow {
+    label: String,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonReport {
+    /// A report for the named figure ("fig6", "tuning", …).
+    pub fn new(figure: &str) -> Self {
+        Self { figure: figure.to_string(), sections: Vec::new() }
+    }
+
+    /// Appends a row to `section`, creating the section on first use.
+    /// Field names must not be `"label"` (reserved for the row label).
+    pub fn add_row(&mut self, section: &str, label: &str, fields: Vec<(&str, JsonValue)>) {
+        debug_assert!(fields.iter().all(|(name, _)| *name != "label"));
+        let section = match self.sections.iter_mut().find(|s| s.title == section) {
+            Some(section) => section,
+            None => {
+                self.sections
+                    .push(JsonSection { title: section.to_string(), rows: Vec::new() });
+                self.sections.last_mut().expect("just pushed")
+            }
+        };
+        section.rows.push(JsonRow {
+            label: label.to_string(),
+            fields: fields.into_iter().map(|(name, v)| (name.to_string(), v)).collect(),
+        });
+    }
+
+    /// Renders the report as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"figure\": \"{}\", \"sections\": [",
+            escape_json(&self.figure)
+        ));
+        for (si, section) in self.sections.iter().enumerate() {
+            if si > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"title\": \"{}\", \"rows\": [",
+                escape_json(&section.title)
+            ));
+            for (ri, row) in section.rows.iter().enumerate() {
+                if ri > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"label\": \"{}\"", escape_json(&row.label)));
+                for (name, value) in &row.fields {
+                    out.push_str(&format!(", \"{}\": ", escape_json(name)));
+                    value.write(&mut out);
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prints the report to stdout (the `--json` output path).
+    pub fn print(&self) {
+        println!("{}", self.to_json());
+    }
+}
+
 /// Formats milliseconds with sub-microsecond resolution intact.
 pub fn fmt_ms(ms: f64) -> String {
     if ms >= 1.0 {
@@ -164,6 +338,55 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512 B");
         assert_eq!(fmt_bytes(2048), "2.0 KiB");
         assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_escaped() {
+        let mut report = JsonReport::new("fig6");
+        report.add_row(
+            "Airline \"range\"",
+            "COAX (total)",
+            vec![
+                ("runtime_ms", JsonValue::Num(0.125)),
+                ("mem_bytes", JsonValue::Int(2048)),
+                ("note", JsonValue::Str("line\nbreak".into())),
+                ("bad", JsonValue::Num(f64::NAN)),
+            ],
+        );
+        report.add_row("Airline \"range\"", "Full Scan", vec![("runtime_ms", 3.5.into())]);
+        report.add_row("OSM", "COAX (total)", vec![("mem_bytes", 17usize.into())]);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"figure\": \"fig6\""));
+        assert!(json.contains("\"title\": \"Airline \\\"range\\\"\""));
+        assert!(json.contains("\"runtime_ms\": 0.125"));
+        assert!(json.contains("\"mem_bytes\": 2048"));
+        assert!(json.contains("\"note\": \"line\\nbreak\""));
+        assert!(json.contains("\"bad\": null"));
+        // Two sections, first holds two rows.
+        assert_eq!(json.matches("\"title\"").count(), 2);
+        // Structural sanity: balanced braces/brackets, no raw control
+        // chars (all content is escaped, so counting is sound).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn workload_effectiveness_micro_averages() {
+        use coax_index::BackendSpec;
+        let ds = coax_data::Dataset::new(vec![(0..100).map(f64::from).collect()]);
+        let index = BackendSpec::FullScan.build(&ds);
+        // One selective query (10/100) and one fully-missing query
+        // (0 matches over 100 examined): micro-average = 10/200, far
+        // from the macro mean of (0.1 + 0.0) / 2.
+        let mut selective = RangeQuery::unbounded(1);
+        selective.constrain(0, 0.0, 9.0);
+        let mut missing = RangeQuery::unbounded(1);
+        missing.constrain(0, 1000.0, 2000.0);
+        let eff = workload_effectiveness(index.as_ref(), &[selective, missing]);
+        assert!((eff - 0.05).abs() < 1e-12);
+        // Empty workload: nothing examined → the 1.0 convention.
+        assert_eq!(workload_effectiveness(index.as_ref(), &[]), 1.0);
     }
 
     #[test]

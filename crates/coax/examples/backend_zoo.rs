@@ -6,12 +6,13 @@
 //! means pushing one more [`IndexSpec`] into the list. This is the
 //! composition seam behind the paper's "works with any multidimensional
 //! index structure" claim — COAX shows up as just another row of the
-//! table, and even its *outlier partition* is picked through the same
-//! factory (here: an R-tree).
+//! table, and *both its partitions* are picked through the same factory:
+//! the outlier store on an R-tree, the primary on any substrate, even on
+//! another COAX (correlation nesting).
 //!
 //! Run with: `cargo run --release --example backend_zoo`
 
-use coax::core::{CoaxConfig, IndexSpec, OutlierBackend};
+use coax::core::{CoaxConfig, IndexSpec, OutlierBackend, PrimaryBackend};
 use coax::data::synth::{AirlineConfig, Generator};
 use coax::data::workload::knn_rectangle_queries;
 use coax::index::{BackendSpec, MultidimIndex, ScanStats};
@@ -42,13 +43,25 @@ fn main() {
             outlier_backend: OutlierBackend::Custom(BackendSpec::RTree { capacity: 10 }),
             ..Default::default()
         }),
+        // The primary partition goes through the factory too: here held
+        // by an R-tree instead of the reduced-dimensionality grid file.
+        IndexSpec::coax(CoaxConfig {
+            primary_backend: PrimaryBackend::RTree { capacity: 10 },
+            ..Default::default()
+        }),
+        // Correlation nesting: a COAX primary inside a COAX index.
+        IndexSpec::coax(CoaxConfig {
+            primary_backend: PrimaryBackend::Coax(Box::default()),
+            ..Default::default()
+        }),
     ];
 
     println!(
-        "{:<14} {:>10} {:>12} {:>14} {:>14} {:>8}",
+        "{:<14} {:>10} {:>12} {:>14} {:>14} {:>8}  config",
         "index", "build", "mem", "per query", "rows/query", "eff"
     );
     for spec in specs.drain(..) {
+        let label = spec.label();
         let start = Instant::now();
         let index: Box<dyn MultidimIndex> = spec.build(&dataset);
         let build = start.elapsed();
@@ -63,7 +76,7 @@ fn main() {
         let per_query = start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
 
         println!(
-            "{:<14} {:>8.1}ms {:>10}B {:>11.1}us {:>14} {:>8.3}",
+            "{:<14} {:>8.1}ms {:>10}B {:>11.1}us {:>14} {:>8.3}  {label}",
             index.name(),
             build.as_secs_f64() * 1e3,
             index.memory_overhead(),

@@ -8,7 +8,7 @@
 //! just another backend, distinguishable from the substrates only by its
 //! name string.
 
-use coax::core::{CoaxConfig, IndexSpec, OutlierBackend};
+use coax::core::{CoaxConfig, IndexSpec, OutlierBackend, PrimaryBackend};
 use coax::data::synth::{AirlineConfig, Generator, OsmConfig};
 use coax::data::workload::{knn_rectangle_queries, partial_queries, point_queries};
 use coax::data::{Dataset, RangeQuery};
@@ -31,7 +31,7 @@ fn random_workload(ds: &Dataset, seed: u64) -> Vec<RangeQuery> {
 }
 
 /// Every backend the factory can produce, including COAX configured with
-/// each outlier-backend flavour.
+/// each primary- and outlier-backend flavour — and COAX-over-COAX.
 fn all_specs() -> Vec<IndexSpec> {
     let mut specs = IndexSpec::all_kinds(4, 10);
     specs.push(IndexSpec::coax(CoaxConfig {
@@ -40,6 +40,21 @@ fn all_specs() -> Vec<IndexSpec> {
     }));
     specs.push(IndexSpec::coax(CoaxConfig {
         outlier_backend: OutlierBackend::Custom(BackendSpec::FullScan),
+        ..Default::default()
+    }));
+    specs.push(IndexSpec::coax(CoaxConfig {
+        primary_backend: PrimaryBackend::RTree { capacity: 8 },
+        ..Default::default()
+    }));
+    specs.push(IndexSpec::coax(CoaxConfig {
+        primary_backend: PrimaryBackend::Custom(BackendSpec::UniformGrid { cells_per_dim: 3 }),
+        ..Default::default()
+    }));
+    // Correlation nesting: a COAX primary inside a COAX index, with a
+    // non-default outlier store on the outside for good measure.
+    specs.push(IndexSpec::coax(CoaxConfig {
+        primary_backend: PrimaryBackend::Coax(Box::default()),
+        outlier_backend: OutlierBackend::RTree { capacity: 10 },
         ..Default::default()
     }));
     specs
@@ -96,6 +111,48 @@ fn boxed_batch_and_point_surfaces_agree() {
             backend.name()
         );
         assert!(backend.point_query(&row).contains(&123), "{}", backend.name());
+    }
+}
+
+/// The acceptance bar of the symmetric-seam refactor: COAX answers
+/// exactly with every primary × outlier substrate combination, all built
+/// through the factory. The GridFile primary exercises the fused
+/// navigate-and-filter override; every other primary exercises the
+/// trait-default probe — both must produce identical result sets.
+#[test]
+fn primary_x_outlier_combinations_match_full_scan() {
+    let dataset = AirlineConfig::small(5_000, 21).generate();
+    let queries = random_workload(&dataset, 0xB2);
+    let fs = FullScan::build(&dataset);
+    let expected: Vec<Vec<u32>> = queries.iter().map(|q| sorted(fs.range_query(q))).collect();
+
+    let primaries = [
+        ("grid-file", PrimaryBackend::GridFile),
+        ("r-tree", PrimaryBackend::RTree { capacity: 8 }),
+        ("full-grid", PrimaryBackend::Custom(BackendSpec::UniformGrid { cells_per_dim: 4 })),
+    ];
+    let outliers = [
+        ("grid-file", OutlierBackend::GridFile),
+        ("r-tree", OutlierBackend::RTree { capacity: 8 }),
+        ("full-scan", OutlierBackend::Custom(BackendSpec::FullScan)),
+    ];
+    for (p_name, primary) in &primaries {
+        for (o_name, outlier) in &outliers {
+            let spec = IndexSpec::coax(CoaxConfig {
+                primary_backend: primary.clone(),
+                outlier_backend: *outlier,
+                ..Default::default()
+            });
+            assert!(spec.fits(&dataset), "primary={p_name} outliers={o_name}");
+            let index = spec.build(&dataset);
+            for (q, expected) in queries.iter().zip(&expected) {
+                assert_eq!(
+                    &sorted(index.range_query(q)),
+                    expected,
+                    "primary={p_name} outliers={o_name} diverged on {q:?}"
+                );
+            }
+        }
     }
 }
 

@@ -69,8 +69,31 @@ impl QueryPlan {
     }
 }
 
-/// Step 2: probes the primary index with every navigation rectangle and
-/// maps local ids back to dataset row ids.
+/// Remaps backend-local row ids (the trait contract: ids in
+/// `0..index.len()`) to dataset row ids through `table`.
+///
+/// The debug assertion pins the [`MultidimIndex`] id contract at the one
+/// place a violation would otherwise corrupt results silently: a custom
+/// backend emitting anything but local ids either trips this assert
+/// (debug builds) or panics on the table lookup (release) — it can never
+/// alias another partition's rows.
+///
+/// [`MultidimIndex`]: coax_index::MultidimIndex
+pub(crate) fn remap_local_ids(ids: &mut [RowId], table: &[RowId], backend: &str) {
+    for id in ids {
+        debug_assert!(
+            (*id as usize) < table.len(),
+            "backend '{backend}' emitted out-of-range local row id {id} (partition holds {} \
+             rows) — MultidimIndex implementations must emit local ids in 0..len()",
+            table.len(),
+        );
+        *id = table[*id as usize];
+    }
+}
+
+/// Step 2: probes the primary backend with every navigation rectangle
+/// (trait-level filtered probe: navigate with `nav`, accept against the
+/// original filter) and maps local ids back to dataset row ids.
 pub(crate) fn probe_primary(
     index: &CoaxIndex,
     plan: &QueryPlan,
@@ -84,9 +107,7 @@ pub(crate) fn probe_primary(
         }
         stats = stats.merge(index.primary.range_query_filtered(nav, &plan.filter, out));
     }
-    for id in &mut out[from..] {
-        *id = index.primary_ids[*id as usize];
-    }
+    remap_local_ids(&mut out[from..], &index.primary_ids, index.primary.name());
     stats
 }
 
@@ -99,9 +120,7 @@ pub(crate) fn probe_outliers(
 ) -> ScanStats {
     let from = out.len();
     let stats = index.outliers.range_query_stats(filter, out);
-    for id in &mut out[from..] {
-        *id = index.outlier_ids[*id as usize];
-    }
+    remap_local_ids(&mut out[from..], &index.outlier_ids, index.outliers.name());
     stats
 }
 
@@ -156,4 +175,72 @@ pub(crate) fn execute_batch(index: &CoaxIndex, queries: &[RangeQuery]) -> Vec<Qu
             QueryResult { ids, stats }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::CoaxConfig;
+    use coax_data::synth::{Generator, PlantedConfig, PlantedDependent, PlantedGroup};
+    use coax_data::Value;
+    use coax_index::MultidimIndex;
+
+    /// A backend that violates the `MultidimIndex` id contract by
+    /// emitting a row id far beyond `0..len()`.
+    #[derive(Debug)]
+    struct RogueBackend {
+        dims: usize,
+    }
+
+    impl MultidimIndex for RogueBackend {
+        fn name(&self) -> &str {
+            "rogue"
+        }
+        fn dims(&self) -> usize {
+            self.dims
+        }
+        fn len(&self) -> usize {
+            1
+        }
+        fn range_query_stats(&self, _query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+            // Out of contract: not a local id of this one-row "index".
+            out.push(1_000_000);
+            ScanStats { cells_visited: 1, rows_examined: 1, matches: 1 }
+        }
+        fn for_each_entry(&self, _f: &mut dyn FnMut(RowId, &[Value])) {}
+        fn memory_overhead(&self) -> usize {
+            0
+        }
+    }
+
+    // Debug builds only: the contract message comes from a debug_assert;
+    // in release the same violation still panics, but on the id-table
+    // bound check with the stock out-of-bounds message.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out-of-range local row id")]
+    fn out_of_contract_backend_ids_are_caught() {
+        let ds = PlantedConfig {
+            rows: 2000,
+            groups: vec![PlantedGroup {
+                x_range: (0.0, 1000.0),
+                dependents: vec![PlantedDependent {
+                    slope: 2.0,
+                    intercept: 25.0,
+                    noise_sigma: 4.0,
+                }],
+                outlier_fraction: 0.08,
+                outlier_offset_sigmas: 25.0,
+            }],
+            independent: vec![(0.0, 100.0)],
+            seed: 77,
+        }
+        .generate();
+        let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        // Swap in a backend that breaks the local-id contract; the exec
+        // layer must refuse to remap its garbage into another partition's
+        // row ids.
+        index.outliers = Box::new(RogueBackend { dims: ds.dims() });
+        index.range_query(&RangeQuery::unbounded(ds.dims()));
+    }
 }

@@ -2,12 +2,16 @@
 //! over the rows that obey the learned soft FDs, plus a full-dimensional
 //! outlier index for the rest, with query translation in front.
 //!
-//! Layout decisions follow §6: the primary index is a quantile grid file
-//! over the *indexed* attributes only (predictors + uncorrelated), with
-//! one of them sorted inside cells instead of gridded — so `n` dims with
-//! `m` predicted attributes need an `n − m − 1`-dimensional directory.
-//! Dependent attributes are *stored* in the pages (queries still filter on
-//! them exactly) but never navigated.
+//! Layout decisions follow §6: by default the primary index is a quantile
+//! grid file over the *indexed* attributes only (predictors +
+//! uncorrelated), with one of them sorted inside cells instead of gridded
+//! — so `n` dims with `m` predicted attributes need an `n − m − 1`-
+//! dimensional directory. Dependent attributes are *stored* in the pages
+//! (queries still filter on them exactly) but never navigated. Both
+//! partitions are pluggable: [`PrimaryBackend`] and [`OutlierBackend`]
+//! resolve to factory-built `Box<dyn MultidimIndex>` values, making the
+//! paper's "works with any multidimensional index structure" claim
+//! structural for the primary too.
 //!
 //! Updates (§5, §9): inserts are margin-checked and buffered; each insert
 //! inside the margins also advances the per-model Bayesian posterior, so
@@ -80,8 +84,83 @@ impl OutlierBackend {
     }
 }
 
+/// Which structure holds the *primary* (in-margin) partition.
+///
+/// Symmetric with [`OutlierBackend`]: the paper claims COAX "can be used
+/// with any multidimensional index" for **both** partitions, and this
+/// spec is that pluggability for the primary. The default is the paper's
+/// layout — the reduced-dimensionality quantile grid file over the
+/// *indexed* attributes only (predictors + uncorrelated), one of them
+/// sorted inside cells. The other variants index the primary partition
+/// over **all** dimensions; query translation still pays off because the
+/// navigation rectangle reaching them is the tightened one (and the
+/// trait-level filtered probe intersects it with the original filter, so
+/// substrates that index the dependent attributes prune on them too).
+#[derive(Clone, Debug, Default)]
+pub enum PrimaryBackend {
+    /// The paper's reduced-dimensionality quantile grid file: grid lines
+    /// on the indexed attributes minus the sorted one, dependent
+    /// attributes stored but never navigated. Keeps the fused
+    /// navigate-and-filter fast path.
+    #[default]
+    GridFile,
+    /// STR-packed R-tree with the given node capacity, over all dims.
+    RTree {
+        /// Leaf and internal node capacity.
+        capacity: usize,
+    },
+    /// Any substrate, exactly as specified, built through the backend
+    /// factory over the primary partition (all dims).
+    Custom(BackendSpec),
+    /// Another COAX index over the primary partition — correlation
+    /// nesting: the inner index runs its own discovery on the in-margin
+    /// rows and splits them again. Finite by construction (the config
+    /// tree is finite).
+    Coax(Box<CoaxConfig>),
+}
+
+impl PrimaryBackend {
+    /// Builds the primary index over the primary partition `primary_ds`
+    /// (a full-dimensionality dataset of the in-margin rows), boxed
+    /// behind the trait.
+    ///
+    /// `grid_dims`/`sort_dim`/`cells_per_dim` describe the paper's
+    /// reduced-dimensionality layout and are only consumed by the
+    /// [`PrimaryBackend::GridFile`] variant; the other variants index
+    /// every dimension of the partition.
+    pub fn build(
+        &self,
+        primary_ds: &Dataset,
+        grid_dims: Vec<usize>,
+        sort_dim: Option<usize>,
+        cells_per_dim: usize,
+    ) -> Box<dyn MultidimIndex> {
+        match self {
+            PrimaryBackend::GridFile => Box::new(GridFile::build(
+                primary_ds,
+                &GridFileConfig::subset(grid_dims, sort_dim, cells_per_dim),
+            )),
+            PrimaryBackend::RTree { capacity } => {
+                BackendSpec::RTree { capacity: *capacity }.build(primary_ds)
+            }
+            PrimaryBackend::Custom(spec) => spec.build(primary_ds),
+            PrimaryBackend::Coax(config) => Box::new(CoaxIndex::build(primary_ds, config)),
+        }
+    }
+
+    /// Short label for sweep tables ("grid-file", "r-tree", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrimaryBackend::GridFile => "grid-file",
+            PrimaryBackend::RTree { .. } => "r-tree",
+            PrimaryBackend::Custom(spec) => spec.name(),
+            PrimaryBackend::Coax(_) => "coax",
+        }
+    }
+}
+
 /// Build-time configuration of [`CoaxIndex`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CoaxConfig {
     /// Soft-FD discovery gates and Algorithm 1 knobs.
     pub discovery: DiscoveryConfig,
@@ -95,6 +174,8 @@ pub struct CoaxConfig {
     /// squander the primary index's savings. Ignored by the R-tree
     /// backend.
     pub outlier_cells_per_dim: usize,
+    /// Structure used for the primary (in-margin) partition.
+    pub primary_backend: PrimaryBackend,
     /// Structure used for the outlier partition.
     pub outlier_backend: OutlierBackend,
     /// Sorted attribute of the primary index. `None` picks the first
@@ -112,6 +193,7 @@ impl Default for CoaxConfig {
             discovery: DiscoveryConfig::default(),
             cells_per_dim: 16,
             outlier_cells_per_dim: 8,
+            primary_backend: PrimaryBackend::default(),
             outlier_backend: OutlierBackend::default(),
             sort_dim: None,
             seed: 0xC0A0,
@@ -181,19 +263,21 @@ impl std::error::Error for InsertError {}
 
 /// The correlation-aware index: learned soft-FD primary + outlier index.
 ///
-/// The outlier partition is held as a `Box<dyn MultidimIndex>` built
-/// through the backend factory — any substrate (or even another
-/// `CoaxIndex`) can serve, which is the paper's "works with any
-/// multidimensional index structure" claim made structural. `CoaxIndex`
-/// itself implements [`MultidimIndex`], so the whole composition is
-/// uniform: translation + primary/outlier merge is just another backend.
+/// **Both** partitions are held as factory-built `Box<dyn MultidimIndex>`
+/// values — any substrate (or even another `CoaxIndex`) can serve either
+/// side, which is the paper's "works with any multidimensional index
+/// structure" claim made structural. `CoaxIndex` itself implements
+/// [`MultidimIndex`], so the whole composition is uniform: translation +
+/// primary/outlier merge is just another backend, and COAX-over-COAX
+/// nesting falls out of the seam.
 #[derive(Debug)]
 pub struct CoaxIndex {
     dims: usize,
     config: CoaxConfig,
     pub(crate) discovery: Discovery,
-    /// Reduced-dimensionality grid over the primary partition.
-    pub(crate) primary: GridFile,
+    /// The primary (in-margin) partition behind its configured backend —
+    /// by default the paper's reduced-dimensionality grid file.
+    pub(crate) primary: Box<dyn MultidimIndex>,
     /// Local row id (inside `primary`) → original row id.
     pub(crate) primary_ids: Vec<RowId>,
     /// The outlier partition behind its configured backend.
@@ -236,10 +320,16 @@ impl CoaxIndex {
         let grid_dims: Vec<usize> =
             indexed.iter().copied().filter(|&d| Some(d) != sort_dim).collect();
 
+        // The primary index is built through the configured backend —
+        // the default is the paper's reduced-dimensionality grid file
+        // (gridding only the indexed attributes, one sorted in-cell);
+        // any other backend indexes the partition over all dims.
         let primary_ds = dataset.take_rows(&primary_rows);
-        let primary = GridFile::build(
+        let primary = config.primary_backend.build(
             &primary_ds,
-            &GridFileConfig::subset(grid_dims, sort_dim, config.cells_per_dim),
+            grid_dims,
+            sort_dim,
+            config.cells_per_dim,
         );
 
         let outlier_ds = dataset.take_rows(&outlier_rows);
@@ -275,7 +365,7 @@ impl CoaxIndex {
         let next_id = dataset.len() as RowId;
         Self {
             dims,
-            config: *config,
+            config: config.clone(),
             discovery,
             primary,
             primary_ids: primary_rows,
@@ -341,9 +431,21 @@ impl CoaxIndex {
     }
 
     /// Directory overhead of the primary index alone (Fig. 8's
-    /// "COAX (primary)" series).
+    /// "COAX (primary)" series), through the trait — whatever backend
+    /// holds the partition.
     pub fn primary_overhead(&self) -> usize {
         self.primary.memory_overhead()
+    }
+
+    /// The primary partition's index, as the trait object it is held as
+    /// (reports and tests inspect the configured substrate's name).
+    pub fn primary_index(&self) -> &dyn MultidimIndex {
+        self.primary.as_ref()
+    }
+
+    /// The outlier partition's index, as the trait object it is held as.
+    pub fn outlier_index(&self) -> &dyn MultidimIndex {
+        self.outliers.as_ref()
     }
 
     /// Directory overhead of the outlier index alone (Fig. 8's
@@ -396,9 +498,7 @@ impl CoaxIndex {
     ) -> ScanStats {
         let from = out.len();
         let stats = self.primary.range_query_filtered(query, query, out);
-        for id in &mut out[from..] {
-            *id = self.primary_ids[*id as usize];
-        }
+        exec::remap_local_ids(&mut out[from..], &self.primary_ids, self.primary.name());
         stats
     }
 
@@ -492,6 +592,23 @@ impl MultidimIndex for CoaxIndex {
         self.query_detailed(query, out).flatten()
     }
 
+    /// Point lookups run the same four-step [`crate::exec`] sequence as
+    /// every other query: the degenerate rectangle is translated through
+    /// [`CoaxIndex::plan`] (navigation tightening applies to points too —
+    /// a point on a dependent attribute becomes a narrow predictor band)
+    /// and executed against primary, outliers, and the pending buffer.
+    ///
+    /// The trait default already degenerates to
+    /// [`MultidimIndex::range_query_stats`] and thus takes this path;
+    /// the override exists to make the routing explicit and keep it —
+    /// a future "cheaper" point path that probed the primary with the
+    /// raw query would skip translation and break the exec invariant. A
+    /// regression test pins `ScanStats` equality with the equivalent
+    /// degenerate-rectangle call.
+    fn point_query_stats(&self, point: &[Value], out: &mut Vec<RowId>) -> ScanStats {
+        self.execute_plan(&self.plan(&RangeQuery::point(point)), out).flatten()
+    }
+
     /// Batch override: each query is translated into a [`QueryPlan`]
     /// exactly once up front, then the plans execute through the same
     /// [`crate::exec`] sequence as single queries — per-query results and
@@ -501,9 +618,9 @@ impl MultidimIndex for CoaxIndex {
     }
 
     fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
-        for (local, row) in self.primary.entries() {
+        self.primary.for_each_entry(&mut |local, row| {
             f(self.primary_ids[local as usize], row);
-        }
+        });
         self.outliers.for_each_entry(&mut |local, row| {
             f(self.outlier_ids[local as usize], row);
         });
@@ -928,6 +1045,116 @@ mod tests {
                 .range_query(&RangeQuery::point(&[2.0, 29.0, 4.0]))
                 .iter()
                 .any(|&id| id as usize == ds.len()));
+        }
+    }
+
+    #[test]
+    fn primary_backends_are_pluggable_and_exact() {
+        use coax_index::BackendSpec;
+        let ds = planted_dataset(8000, 40);
+        let queries = {
+            let mut qs = knn_rectangle_queries(&ds, 8, 40, 41);
+            qs.extend(point_queries(&ds, 8, 42));
+            qs
+        };
+        for (primary, name) in [
+            (PrimaryBackend::RTree { capacity: 10 }, "r-tree"),
+            (
+                PrimaryBackend::Custom(BackendSpec::UniformGrid { cells_per_dim: 4 }),
+                "full-grid",
+            ),
+            (PrimaryBackend::Custom(BackendSpec::FullScan), "full-scan"),
+            (
+                PrimaryBackend::Custom(BackendSpec::ColumnFiles {
+                    cells_per_dim: 4,
+                    sort_dim: None,
+                }),
+                "column-files",
+            ),
+        ] {
+            let cfg = CoaxConfig { primary_backend: primary, ..Default::default() };
+            let mut index = CoaxIndex::build(&ds, &cfg);
+            assert_eq!(index.primary_index().name(), name);
+            assert!(index.primary_len() > 0);
+            assert_exact(&index, &ds, &queries);
+            // Insert + rebuild must work through the trait's entry
+            // iteration for whatever structure backs the primary.
+            index.insert(&[3.0, 31.0, 5.0]).unwrap();
+            let rebuilt = index.rebuild();
+            assert_eq!(rebuilt.len(), ds.len() + 1);
+            assert!(rebuilt
+                .range_query(&RangeQuery::point(&[3.0, 31.0, 5.0]))
+                .iter()
+                .any(|&id| id as usize == ds.len()));
+        }
+    }
+
+    #[test]
+    fn translation_still_prunes_with_custom_primary() {
+        use coax_index::BackendSpec;
+        // A non-grid primary has no fused nav/filter path; the trait
+        // default probes with nav ∩ filter, so a dependent-only query
+        // must still be pruned down to the translated predictor band.
+        let cfg = CoaxConfig {
+            primary_backend: PrimaryBackend::Custom(BackendSpec::UniformGrid {
+                cells_per_dim: 8,
+            }),
+            ..Default::default()
+        };
+        let ds = planted_dataset(20_000, 43);
+        let index = CoaxIndex::build(&ds, &cfg);
+        let mut q = RangeQuery::unbounded(3);
+        q.constrain(1, 500.0, 540.0);
+        let mut out = Vec::new();
+        let stats = index.query_detailed(&q, &mut out);
+        assert!(
+            stats.primary.rows_examined < index.primary_len() / 4,
+            "examined {} of {}",
+            stats.primary.rows_examined,
+            index.primary_len()
+        );
+        assert_eq!(stats.flatten().matches, out.len());
+    }
+
+    #[test]
+    fn coax_over_coax_primary_composes() {
+        let ds = planted_dataset(9000, 44);
+        let cfg = CoaxConfig {
+            primary_backend: PrimaryBackend::Coax(Box::default()),
+            ..Default::default()
+        };
+        let mut index = CoaxIndex::build(&ds, &cfg);
+        assert_eq!(index.primary_index().name(), "coax");
+        let mut queries = knn_rectangle_queries(&ds, 10, 50, 45);
+        queries.extend(point_queries(&ds, 10, 46));
+        assert_exact(&index, &ds, &queries);
+        // The composition survives inserts + rebuild.
+        index.insert(&[4.0, 33.0, 6.0]).unwrap();
+        let rebuilt = index.rebuild();
+        assert_eq!(rebuilt.len(), ds.len() + 1);
+        assert_eq!(rebuilt.primary_index().name(), "coax");
+        assert_exact(&rebuilt, &rebuilt.to_dataset(), &queries);
+    }
+
+    #[test]
+    fn point_query_routes_through_the_plan() {
+        // Regression (exec invariant): point queries must run the same
+        // translate → probe → merge sequence as the equivalent degenerate
+        // rectangle — identical results *and* identical ScanStats.
+        let ds = planted_dataset(10_000, 47);
+        let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+        index.insert(&[5.0, 35.0, 7.0]).unwrap(); // pending rows count too
+        for r in [0u32, 123, 4567, 9999] {
+            let row = ds.row(r);
+            let mut point_out = Vec::new();
+            let point_stats = index.point_query_stats(&row, &mut point_out);
+            let mut rect_out = Vec::new();
+            let rect_stats = index.range_query_stats(&RangeQuery::point(&row), &mut rect_out);
+            assert_eq!(point_stats, rect_stats, "stats diverged on row {r}");
+            point_out.sort_unstable();
+            rect_out.sort_unstable();
+            assert_eq!(point_out, rect_out);
+            assert!(point_out.contains(&r));
         }
     }
 

@@ -21,11 +21,12 @@
 //!    [`exec::QueryPlan`] (translate once), executed uniformly for
 //!    single and batched queries: probe primary → probe outliers →
 //!    scan pending → merge.
-//! 7. [`index`] — [`CoaxIndex`]: a reduced-dimensionality grid-file
-//!    primary index plus a pluggable boxed outlier index, with exact
-//!    merged results and an insert path. Implements
+//! 7. [`index`] — [`CoaxIndex`]: a primary index (default: the paper's
+//!    reduced-dimensionality grid file) plus an outlier index, **both**
+//!    pluggable boxed backends ([`PrimaryBackend`]/[`OutlierBackend`]),
+//!    with exact merged results and an insert path. Implements
 //!    [`coax_index::MultidimIndex`], so COAX composes like any other
-//!    backend.
+//!    backend — including COAX-over-COAX nesting.
 //! 8. [`spec`] — [`IndexSpec`]: the workspace-level factory building any
 //!    index (substrates or COAX) as a `Box<dyn MultidimIndex>`.
 //! 9. [`theory`] — §7 + appendices: effectiveness (Eq. 5), the
@@ -47,7 +48,9 @@ pub mod translate;
 pub use discovery::{CorrelationGroup, Discovery, DiscoveryConfig};
 pub use epsilon::EpsilonPolicy;
 pub use exec::QueryPlan;
-pub use index::{CoaxConfig, CoaxIndex, CoaxQueryStats, InsertError, OutlierBackend};
+pub use index::{
+    CoaxConfig, CoaxIndex, CoaxQueryStats, InsertError, OutlierBackend, PrimaryBackend,
+};
 pub use learn::{LearnConfig, PairFit};
 pub use model::{FdModel, SoftFdModel};
 pub use regression::{ols, BayesianLinReg, LinParams};

@@ -11,7 +11,7 @@
 //! uniformly through the trait — adding a backend never touches them.
 
 use crate::discovery::{discover, Discovery};
-use crate::index::{CoaxConfig, CoaxIndex};
+use crate::index::{CoaxConfig, CoaxIndex, PrimaryBackend};
 use coax_data::Dataset;
 use coax_index::{BackendSpec, MultidimIndex};
 
@@ -20,10 +20,11 @@ use coax_index::{BackendSpec, MultidimIndex};
 pub enum IndexSpec {
     /// One of the conventional substrates (built via [`BackendSpec`]).
     Backend(BackendSpec),
-    /// The COAX index.
+    /// The COAX index. Boxed: a full build configuration dwarfs the
+    /// substrate variants, and specs travel by value through sweeps.
     Coax {
         /// Build configuration.
-        config: CoaxConfig,
+        config: Box<CoaxConfig>,
         /// Optional pre-computed discovery; `None` runs discovery at
         /// build time. Sweeps pass `Some` to share one run.
         discovery: Option<Discovery>,
@@ -39,12 +40,12 @@ impl From<BackendSpec> for IndexSpec {
 impl IndexSpec {
     /// A COAX spec that discovers soft FDs at build time.
     pub fn coax(config: CoaxConfig) -> Self {
-        IndexSpec::Coax { config, discovery: None }
+        IndexSpec::Coax { config: Box::new(config), discovery: None }
     }
 
     /// A COAX spec reusing an existing discovery result.
     pub fn coax_with_discovery(config: CoaxConfig, discovery: Discovery) -> Self {
-        IndexSpec::Coax { config, discovery: Some(discovery) }
+        IndexSpec::Coax { config: Box::new(config), discovery: Some(discovery) }
     }
 
     /// Builds the described index over `dataset`, boxed behind the trait.
@@ -83,26 +84,7 @@ impl IndexSpec {
         match self {
             IndexSpec::Backend(spec) => spec.fits(dataset.dims()),
             IndexSpec::Coax { config, discovery } => {
-                // The primary directory grids the indexed attributes minus
-                // the sorted one; without a discovery in hand, bound it by
-                // the dataset dimensionality.
-                let grid_dims = match discovery {
-                    Some(d) => d.indexed_dims().len().saturating_sub(1),
-                    None => dataset.dims().saturating_sub(1),
-                };
-                let primary_ok = BackendSpec::GridFile {
-                    cells_per_dim: config.cells_per_dim,
-                    sort_dim: None,
-                }
-                .fits(grid_dims);
-                // The outlier backend builds over all dims; resolve it as
-                // if every row were an outlier (worst case) so its builder
-                // preconditions are covered too.
-                let outlier_ok = config
-                    .outlier_backend
-                    .to_spec(dataset.len(), dataset.dims(), None, config.outlier_cells_per_dim)
-                    .fits(dataset.dims());
-                primary_ok && outlier_ok
+                coax_fits(config, dataset, discovery.as_ref())
             }
         }
     }
@@ -115,11 +97,15 @@ impl IndexSpec {
         }
     }
 
-    /// Short configuration label for sweep tables ("k=8", "cap=12", …).
+    /// Short configuration label for sweep tables ("k=8", "cap=12",
+    /// "k=16 primary=r-tree", …).
     pub fn label(&self) -> String {
         match self {
             IndexSpec::Backend(spec) => spec.label(),
-            IndexSpec::Coax { config, .. } => format!("k={}", config.cells_per_dim),
+            IndexSpec::Coax { config, .. } => match &config.primary_backend {
+                PrimaryBackend::GridFile => format!("k={}", config.cells_per_dim),
+                pb => format!("k={} primary={}", config.cells_per_dim, pb.label()),
+            },
         }
     }
 
@@ -141,6 +127,40 @@ impl IndexSpec {
     pub fn discover_for(config: &CoaxConfig, dataset: &Dataset) -> Discovery {
         discover(dataset, &config.discovery, config.seed)
     }
+}
+
+/// Builder-precondition check for one COAX configuration, covering both
+/// partitions' backends. Recursive because [`PrimaryBackend::Coax`] nests
+/// a whole configuration; the nested check conservatively assumes the
+/// inner index sees the full dataset (partitions can only shrink it).
+fn coax_fits(config: &CoaxConfig, dataset: &Dataset, discovery: Option<&Discovery>) -> bool {
+    let primary_ok = match &config.primary_backend {
+        PrimaryBackend::GridFile => {
+            // The primary directory grids the indexed attributes minus
+            // the sorted one; without a discovery in hand, bound it by
+            // the dataset dimensionality.
+            let grid_dims = match discovery {
+                Some(d) => d.indexed_dims().len().saturating_sub(1),
+                None => dataset.dims().saturating_sub(1),
+            };
+            BackendSpec::GridFile { cells_per_dim: config.cells_per_dim, sort_dim: None }
+                .fits(grid_dims)
+        }
+        // Non-default primaries index the partition over all dims.
+        PrimaryBackend::RTree { capacity } => {
+            BackendSpec::RTree { capacity: *capacity }.fits(dataset.dims())
+        }
+        PrimaryBackend::Custom(spec) => spec.fits(dataset.dims()),
+        PrimaryBackend::Coax(nested) => coax_fits(nested, dataset, None),
+    };
+    // The outlier backend builds over all dims; resolve it as if every
+    // row were an outlier (worst case) so its builder preconditions are
+    // covered too.
+    let outlier_ok = config
+        .outlier_backend
+        .to_spec(dataset.len(), dataset.dims(), None, config.outlier_cells_per_dim)
+        .fits(dataset.dims());
+    primary_ok && outlier_ok
 }
 
 #[cfg(test)]

@@ -3,10 +3,11 @@
 //! results and `ScanStats` identical to sequential `range_query_stats`
 //! calls — the acceptance bar for the shared exec layer.
 
-use coax_core::{CoaxConfig, CoaxIndex, OutlierBackend};
+use coax_core::{CoaxConfig, CoaxIndex, OutlierBackend, PrimaryBackend};
 use coax_data::synth::{Generator, PlantedConfig, PlantedDependent, PlantedGroup};
 use coax_data::workload::{knn_rectangle_queries, point_queries};
 use coax_data::{Dataset, RangeQuery};
+use coax_index::BackendSpec;
 use coax_index::MultidimIndex;
 
 fn planted(rows: usize, seed: u64) -> Dataset {
@@ -105,6 +106,48 @@ fn batch_covers_pending_inserts_and_custom_outliers() {
         let stats = index.range_query_stats(q, &mut ids);
         assert_eq!(result.stats, stats, "stats diverged on {q:?}");
         assert_eq!(sorted(result.ids.clone()), sorted(ids));
+    }
+}
+
+/// The batch == sequential contract must hold for every primary ×
+/// outlier backend combination: the exec layer drives both partitions
+/// purely through the trait, so swapping substrates (fused GridFile
+/// probe vs trait-default filtered probe included) must not perturb
+/// results or stats.
+#[test]
+fn batch_contract_holds_across_primary_and_outlier_backends() {
+    let ds = planted(6_000, 95);
+    let queries = mixed_workload(&ds);
+    let combos = [
+        (PrimaryBackend::GridFile, OutlierBackend::RTree { capacity: 8 }),
+        (PrimaryBackend::RTree { capacity: 8 }, OutlierBackend::GridFile),
+        (
+            PrimaryBackend::Custom(BackendSpec::UniformGrid { cells_per_dim: 4 }),
+            OutlierBackend::Custom(BackendSpec::FullScan),
+        ),
+        (PrimaryBackend::Coax(Box::default()), OutlierBackend::GridFile),
+    ];
+    let mut result_sets: Vec<Vec<Vec<u32>>> = Vec::new();
+    for (primary, outlier) in combos {
+        let config = CoaxConfig {
+            primary_backend: primary,
+            outlier_backend: outlier,
+            ..Default::default()
+        };
+        let index = CoaxIndex::build(&ds, &config);
+        let batched = index.batch_query(&queries);
+        for (q, result) in queries.iter().zip(&batched) {
+            let mut ids = Vec::new();
+            let stats = index.range_query_stats(q, &mut ids);
+            assert_eq!(result.stats, stats, "stats diverged on {q:?}");
+            assert_eq!(sorted(result.ids.clone()), sorted(ids), "results diverged on {q:?}");
+        }
+        result_sets.push(batched.into_iter().map(|r| sorted(r.ids)).collect());
+    }
+    // All combinations agree with each other query-by-query — the fused
+    // GridFile probe and the trait-default probe return the same rows.
+    for later in &result_sets[1..] {
+        assert_eq!(later, &result_sets[0], "backend combinations disagree");
     }
 }
 

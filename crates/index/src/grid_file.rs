@@ -221,7 +221,20 @@ impl MultidimIndex for GridFile {
     }
 
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
-        self.range_query_filtered(query, query, out)
+        GridFile::range_query_filtered(self, query, query, out)
+    }
+
+    /// Fused override of the trait's probe-then-filter default: the
+    /// directory ranges and the in-cell binary search are narrowed by
+    /// `nav` while rows are accepted against `filter`, in one pass — the
+    /// COAX primary's hot path loses nothing to the trait seam.
+    fn range_query_filtered(
+        &self,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> ScanStats {
+        GridFile::range_query_filtered(self, nav, filter, out)
     }
 
     fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {

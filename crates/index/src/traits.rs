@@ -45,9 +45,17 @@ impl ScanStats {
     /// Identical to [`ScanStats::precision`] on non-empty scans; the two
     /// exist because "precision" is this crate's accounting name while
     /// "effectiveness" is the paper's term, and bench reports quote the
-    /// paper. An empty scan (zero rows examined) is perfectly effective:
-    /// no work was wasted, so this returns 1.0 — the edge case is pinned
-    /// by a unit test below.
+    /// paper.
+    ///
+    /// **Empty-scan convention:** a scan that examined zero rows wasted
+    /// no work and is defined as perfectly effective — this returns 1.0,
+    /// never NaN (pinned by a unit test below). The convention has an
+    /// aggregation consequence: averaging *per-query* effectiveness over
+    /// a workload lets fully-pruned queries (0 examined → 1.0) inflate
+    /// the mean. Workload reports must therefore **micro-average**:
+    /// [`ScanStats::merge`] the per-query counters first and take the
+    /// effectiveness of the total, i.e. Σmatches / Σrows_examined. The
+    /// bench harness's `workload_effectiveness` does exactly that.
     pub fn effectiveness(&self) -> f64 {
         self.precision()
     }
@@ -94,7 +102,49 @@ pub trait MultidimIndex: std::fmt::Debug + Send + Sync {
     ///
     /// Results are exact: every id appended satisfies the predicate and no
     /// matching id is missed. Order is unspecified.
+    ///
+    /// **Id contract:** every appended id is a *local* row id of this
+    /// index, i.e. in `0..self.len()` — the id the row had in the dataset
+    /// the index was built over. Composing callers (COAX holds one boxed
+    /// primary and one boxed outlier index over partition-local datasets)
+    /// rely on this to remap results through an id table; an
+    /// implementation emitting anything else is out of contract and will
+    /// corrupt composed results (COAX's exec layer debug-asserts the
+    /// range).
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats;
+
+    /// Range query with separate *navigation* and *filter* predicates:
+    /// directory pruning may use `nav`, but every appended row satisfies
+    /// `filter`.
+    ///
+    /// The caller guarantees that `nav` does not exclude any
+    /// `filter`-matching row stored in this index (COAX guarantees it for
+    /// its primary partition through the soft-FD margin invariant; Eq. 2's
+    /// translated rectangle always covers the in-margin matches). Under
+    /// that precondition the result set is exactly the `filter`-matching
+    /// rows, whatever the backend.
+    ///
+    /// The default implementation probes with the **intersection**
+    /// `nav ∩ filter` — a single rectangle, sound and exact under the
+    /// precondition for any backend, and it lets substrates that index
+    /// the filtered attributes (an R-tree over all dims, say) prune on
+    /// them directly. Backends with a cheaper fused path override it:
+    /// [`crate::GridFile`] navigates its directory and in-cell binary
+    /// search with `nav` while accepting rows against `filter`, which is
+    /// the COAX primary's hot path.
+    fn range_query_filtered(
+        &self,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> ScanStats {
+        let mut probe = nav.clone();
+        probe.intersect(filter);
+        if probe.is_empty() {
+            return ScanStats::default();
+        }
+        self.range_query_stats(&probe, out)
+    }
 
     /// Convenience wrapper returning a fresh result vector.
     fn range_query(&self, query: &RangeQuery) -> Vec<RowId> {
@@ -180,6 +230,44 @@ mod tests {
         let empty = ScanStats { cells_visited: 2, rows_examined: 0, matches: 0 };
         assert_eq!(empty.effectiveness(), 1.0);
         assert_eq!(ScanStats::default().effectiveness(), 1.0);
+    }
+
+    #[test]
+    fn micro_average_is_not_inflated_by_pruned_queries() {
+        // One real scan at 0.25 effectiveness plus three fully-pruned
+        // queries. Macro-averaging the per-query ratios would report
+        // (0.25 + 1 + 1 + 1) / 4 ≈ 0.81; merging first keeps 0.25.
+        let real = ScanStats { cells_visited: 4, rows_examined: 100, matches: 25 };
+        let pruned = ScanStats::default();
+        let total = real.merge(pruned).merge(pruned).merge(pruned);
+        assert!((total.effectiveness() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_filtered_probe_intersects_nav_and_filter() {
+        use crate::FullScan;
+        use coax_data::Dataset;
+        let ds = Dataset::new(vec![(0..100).map(f64::from).collect()]);
+        let fs = FullScan::build(&ds);
+        // nav covers [10, 60], filter covers [40, 90]; every filter match
+        // stored in [40, 60] also matches nav, so the precondition holds
+        // and the default must return exactly the filter ∩ nav rows.
+        let mut nav = RangeQuery::unbounded(1);
+        nav.constrain(0, 10.0, 60.0);
+        let mut filter = RangeQuery::unbounded(1);
+        filter.constrain(0, 40.0, 60.0);
+        let mut out = Vec::new();
+        let stats = fs.range_query_filtered(&nav, &filter, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, (40..=60).collect::<Vec<_>>());
+        assert_eq!(stats.matches, 21);
+        // Disjoint nav/filter → empty intersection, no scan at all.
+        let mut disjoint = RangeQuery::unbounded(1);
+        disjoint.constrain(0, 90.0, 95.0);
+        let mut out = Vec::new();
+        let stats = fs.range_query_filtered(&nav, &disjoint, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(stats, ScanStats::default());
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! every backend is constructed through [`BackendSpec`] and driven as a
 //! `Box<dyn MultidimIndex>`, exercising the factory seam directly.
 
-use coax_data::{Dataset, RangeQuery};
-use coax_index::{BackendSpec, FullScan, MultidimIndex};
+use coax_data::{Dataset, RangeQuery, RowId, Value};
+use coax_index::{BackendSpec, FullScan, GridFile, GridFileConfig, MultidimIndex, ScanStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -171,6 +171,72 @@ fn batch_query_default_matches_sequential() {
                 assert_eq!(sorted(result.ids.clone()), sorted(ids), "{spec:?} on {q:?}");
             }
         }
+    }
+}
+
+/// Delegates everything to the wrapped index *except*
+/// `range_query_filtered`, which falls back to the trait default — so the
+/// same structure can be probed through both the fused override and the
+/// default probe-then-filter path.
+#[derive(Debug)]
+struct DefaultFilteredProbe<T: MultidimIndex>(T);
+
+impl<T: MultidimIndex> MultidimIndex for DefaultFilteredProbe<T> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn dims(&self) -> usize {
+        self.0.dims()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        self.0.range_query_stats(query, out)
+    }
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        self.0.for_each_entry(f)
+    }
+    fn memory_overhead(&self) -> usize {
+        self.0.memory_overhead()
+    }
+}
+
+/// The trait-default filtered probe (nav ∩ filter) and GridFile's fused
+/// override (navigate with nav, accept against filter) must return the
+/// same result set whenever the caller upholds the precondition that nav
+/// covers every stored filter-matching row — here trivially, by making
+/// nav enclose filter.
+#[test]
+fn default_filtered_probe_matches_fused_override() {
+    let mut rng = StdRng::seed_from_u64(0xE0_06);
+    for round in 0..ROUNDS {
+        let ds = random_dataset(&mut rng);
+        let dims = ds.dims();
+        let grid =
+            GridFile::build(&ds, &GridFileConfig::with_sort(dims, 0, rng.gen_range(1usize..5)));
+        let unfused = DefaultFilteredProbe(grid.clone());
+
+        let filter = random_query(&mut rng, dims);
+        // Loosen every bound by a non-negative slack: nav ⊇ filter.
+        let mut nav = filter.clone();
+        for d in 0..dims {
+            let slack = rng.gen_range(0i32..20) as f64 / 2.0;
+            nav.constrain(d, filter.lo(d) - slack, filter.hi(d) + slack);
+        }
+
+        let mut fused_out = Vec::new();
+        let fused_stats =
+            MultidimIndex::range_query_filtered(&grid, &nav, &filter, &mut fused_out);
+        let mut default_out = Vec::new();
+        let default_stats = unfused.range_query_filtered(&nav, &filter, &mut default_out);
+
+        assert_eq!(
+            sorted(fused_out),
+            sorted(default_out),
+            "round {round}: fused and default probes diverged (nav {nav:?}, filter {filter:?})"
+        );
+        assert_eq!(fused_stats.matches, default_stats.matches, "round {round}");
     }
 }
 

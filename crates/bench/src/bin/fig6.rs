@@ -14,7 +14,7 @@
 //! milliseconds/ratios instead of formatted tables).
 
 use coax_bench::harness::{
-    build_contenders, fmt_ms, json_mode, print_table, time_per_query_ms,
+    build_contenders, fmt_ms, json_mode, maybe_write_csv, print_table, time_per_query_ms,
     workload_effectiveness, JsonReport, JsonValue, ReportRow,
 };
 use coax_bench::{datasets, tuning};
@@ -97,18 +97,20 @@ fn run_workload(
         vec![("COAX (primary)", coax_primary, None), ("COAX (outliers)", coax_outliers, None)];
     all_rows.extend(timed.iter().map(|(label, ms, eff)| (*label, *ms, Some(*eff))));
 
+    // Rows are recorded unconditionally so `--csv` works with or without
+    // `--json`.
+    for (label, ms, eff) in &all_rows {
+        report.add_row(
+            name,
+            label,
+            vec![
+                ("runtime_ms", JsonValue::Num(*ms)),
+                ("speedup_vs_full_scan", JsonValue::Num(scan_ms / ms.max(1e-9))),
+                ("effectiveness", eff.map_or(JsonValue::Num(f64::NAN), JsonValue::Num)),
+            ],
+        );
+    }
     if json {
-        for (label, ms, eff) in all_rows {
-            report.add_row(
-                name,
-                label,
-                vec![
-                    ("runtime_ms", JsonValue::Num(ms)),
-                    ("speedup_vs_full_scan", JsonValue::Num(scan_ms / ms.max(1e-9))),
-                    ("effectiveness", eff.map_or(JsonValue::Num(f64::NAN), JsonValue::Num)),
-                ],
-            );
-        }
         return;
     }
 
@@ -191,4 +193,5 @@ fn main() {
     if json {
         report.print();
     }
+    maybe_write_csv(&report);
 }

@@ -15,7 +15,8 @@
 //! Pass `--json` for one machine-readable report on stdout.
 
 use coax_bench::harness::{
-    fmt_ms, json_mode, print_table, time_per_query_ms, JsonReport, JsonValue, ReportRow,
+    fmt_ms, json_mode, maybe_write_csv, print_table, time_per_query_ms, JsonReport, JsonValue,
+    ReportRow,
 };
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
@@ -106,4 +107,5 @@ fn main() {
     } else {
         print_table("Fig. 7 — runtime vs average query selectivity", &rows_out);
     }
+    maybe_write_csv(&report);
 }

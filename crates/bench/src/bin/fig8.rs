@@ -20,8 +20,8 @@
 //! Pass `--json` for one machine-readable report on stdout.
 
 use coax_bench::harness::{
-    fmt_bytes, fmt_ms, json_mode, print_table, time_per_query_ms, JsonReport, JsonValue,
-    ReportRow,
+    fmt_bytes, fmt_ms, json_mode, maybe_write_csv, print_table, time_per_query_ms, JsonReport,
+    JsonValue, ReportRow,
 };
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
@@ -214,4 +214,5 @@ fn main() {
     if json {
         report.print();
     }
+    maybe_write_csv(&report);
 }

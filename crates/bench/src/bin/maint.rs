@@ -1,0 +1,219 @@
+//! Live-maintenance benchmark: what correlation drift costs, and what
+//! the `maint` subsystem buys back.
+//!
+//! The scenario is the ROADMAP's serving story in miniature. Build a
+//! COAX index on a stationary stream prefix behind a live
+//! `IndexHandle`, then keep inserting while the planted dependency's
+//! intercept drifts away from the frozen models. Four phases are
+//! measured with the same dependent-attribute workload:
+//!
+//! * **before** — fresh epoch, empty buffer: the baseline.
+//! * **during** — the whole drifting suffix buffered, models stale:
+//!   queries pay the linear overlay scan (`scanned_pending`) *and* the
+//!   out-of-margin routing, and the drift score has crossed the policy
+//!   threshold.
+//! * **after** — one `Maintainer::tick` (which must choose **refit**):
+//!   models refreshed from the accumulated evidence, buffer folded,
+//!   epoch swapped.
+//! * **fresh** — a from-scratch build over the full data: the upper
+//!   bound the refit is judged against.
+//!
+//! Scaled by `COAX_BENCH_ROWS` / `COAX_BENCH_QUERIES` /
+//! `COAX_BENCH_REPEATS`; pass `--json` for machine-readable output,
+//! `--csv <path>` for a flat CSV.
+
+use coax_bench::datasets;
+use coax_bench::harness::{
+    fmt_ms, json_mode, maybe_write_csv, print_table, time_per_query_ms, JsonReport, JsonValue,
+    ReportRow,
+};
+use coax_core::maint::{IndexHandle, Maintainer};
+use coax_core::{CoaxConfig, CoaxIndex, MaintenancePolicy};
+use coax_data::synth::{DriftingLinearConfig, Generator};
+use coax_data::{Dataset, RangeQuery, RowId};
+use coax_index::{MultidimIndex, ScanStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Band queries on the dependent attribute — the queries translation
+/// exists for, and the first casualties of a drifted model.
+fn dependent_band_queries(dataset: &Dataset, count: usize, width: f64) -> Vec<RangeQuery> {
+    let (lo, hi) = dataset.min_max(1).expect("non-empty dataset");
+    (0..count)
+        .map(|i| {
+            let y0 = lo + (hi - lo - width) * i as f64 / count.max(1) as f64;
+            let mut q = RangeQuery::unbounded(dataset.dims());
+            q.constrain(1, y0, y0 + width);
+            q
+        })
+        .collect()
+}
+
+/// Workload totals for one phase: merged scan counters + mean latency.
+fn measure(
+    index: &dyn MultidimIndex,
+    queries: &[RangeQuery],
+    repeats: usize,
+) -> (f64, ScanStats) {
+    let ms = time_per_query_ms(queries, repeats, |q, out| {
+        index.range_query_stats(q, out);
+    });
+    let mut total = ScanStats::default();
+    let mut out = Vec::new();
+    for q in queries {
+        out.clear();
+        total = total.merge(index.range_query_stats(q, &mut out));
+    }
+    (ms, total)
+}
+
+struct Phase {
+    label: &'static str,
+    ms: f64,
+    stats: ScanStats,
+    pending: usize,
+    drift_score: f64,
+    epoch: u64,
+}
+
+fn phase(
+    label: &'static str,
+    handle: &IndexHandle,
+    queries: &[RangeQuery],
+    repeats: usize,
+) -> Phase {
+    let (ms, stats) = measure(handle, queries, repeats);
+    let report = handle.drift_report();
+    Phase {
+        label,
+        ms,
+        stats,
+        pending: report.pending,
+        drift_score: report.max_drift_score(),
+        epoch: handle.epoch(),
+    }
+}
+
+fn main() {
+    let json = json_mode();
+    let rows = datasets::bench_rows();
+    let n_queries = datasets::bench_queries().min(60);
+    let repeats = datasets::bench_repeats();
+    let build_rows = rows / 2;
+
+    let stream = DriftingLinearConfig {
+        rows,
+        drift_after: build_rows,
+        x_range: (0.0, 1000.0),
+        start: (2.0, 25.0),
+        end: (2.0, 55.0),
+        noise_sigma: 4.0,
+        outlier_fraction: 0.01,
+        outlier_offset_sigmas: 25.0,
+        independent: vec![(0.0, 100.0)],
+        seed: 0x3A1D,
+    };
+    if !json {
+        println!(
+            "Live-maintenance benchmark — {build_rows} build rows + {} drifting inserts, \
+             {n_queries} dependent-band queries per phase",
+            rows - build_rows
+        );
+    }
+    let full = stream.generate();
+    let queries = dependent_band_queries(&full, n_queries, 40.0);
+
+    let config = CoaxConfig {
+        maintenance: MaintenancePolicy { max_pending: usize::MAX, ..Default::default() },
+        ..Default::default()
+    };
+    let prefix: Vec<RowId> = (0..build_rows as RowId).collect();
+    let handle = Arc::new(IndexHandle::build(&full.take_rows(&prefix), &config));
+
+    let mut phases = Vec::new();
+    phases.push(phase("before", &handle, &queries, repeats));
+
+    for i in build_rows..rows {
+        handle.insert(&full.row(i as RowId)).expect("insert");
+    }
+    phases.push(phase("during", &handle, &queries, repeats));
+
+    let start = Instant::now();
+    let outcome = Maintainer::new(Arc::clone(&handle)).tick();
+    let maint_ms = start.elapsed().as_secs_f64() * 1e3;
+    phases.push(phase("after", &handle, &queries, repeats));
+
+    let fresh = CoaxIndex::build(&full, &config);
+    let (fresh_ms, fresh_stats) = measure(&fresh, &queries, repeats);
+    phases.push(Phase {
+        label: "fresh",
+        ms: fresh_ms,
+        stats: fresh_stats,
+        pending: 0,
+        drift_score: 0.0,
+        epoch: 0,
+    });
+
+    let mut report = JsonReport::new("maint");
+    for p in &phases {
+        report.add_row(
+            "phases",
+            p.label,
+            vec![
+                ("runtime_ms", JsonValue::Num(p.ms)),
+                ("effectiveness", JsonValue::Num(p.stats.effectiveness())),
+                ("rows_examined", JsonValue::Int(p.stats.rows_examined as u64)),
+                ("scanned_pending", JsonValue::Int(p.stats.scanned_pending as u64)),
+                ("pending_rows", JsonValue::Int(p.pending as u64)),
+                ("drift_score", JsonValue::Num(p.drift_score)),
+                ("epoch", JsonValue::Int(p.epoch)),
+            ],
+        );
+    }
+    report.add_row(
+        "maintenance",
+        "tick",
+        vec![
+            ("action", format!("{:?}", outcome.action).to_lowercase().as_str().into()),
+            ("duration_ms", JsonValue::Num(maint_ms)),
+            ("drift_score_at_decision", JsonValue::Num(outcome.report.max_drift_score())),
+            ("outlier_rate", JsonValue::Num(outcome.report.outlier_rate)),
+            ("pending_at_decision", JsonValue::Int(outcome.report.pending as u64)),
+        ],
+    );
+
+    if json {
+        report.print();
+    } else {
+        let rows: Vec<ReportRow> = phases
+            .iter()
+            .map(|p| ReportRow {
+                label: p.label.to_string(),
+                values: vec![
+                    ("runtime".into(), fmt_ms(p.ms)),
+                    ("effectiveness".into(), format!("{:.3}", p.stats.effectiveness())),
+                    ("pending scans".into(), p.stats.scanned_pending.to_string()),
+                    ("drift score".into(), format!("{:.2}", p.drift_score)),
+                    ("epoch".into(), p.epoch.to_string()),
+                ],
+            })
+            .collect();
+        print_table("Query cost before/during/after maintenance", &rows);
+        println!(
+            "maintenance: {:?} in {} (drift score {:.2} at decision)",
+            outcome.action,
+            fmt_ms(maint_ms),
+            outcome.report.max_drift_score(),
+        );
+        let during = &phases[1];
+        let after = &phases[2];
+        let fresh = &phases[3];
+        println!(
+            "effectiveness: {:.3} during drift -> {:.3} after refit (fresh build: {:.3})",
+            during.stats.effectiveness(),
+            after.stats.effectiveness(),
+            fresh.stats.effectiveness(),
+        );
+    }
+    maybe_write_csv(&report);
+}

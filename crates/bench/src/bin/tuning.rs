@@ -11,7 +11,8 @@
 //! Pass `--json` for one machine-readable report on stdout.
 
 use coax_bench::harness::{
-    fmt_bytes, fmt_ms, json_mode, print_table, JsonReport, JsonValue, ReportRow,
+    fmt_bytes, fmt_ms, json_mode, maybe_write_csv, print_table, JsonReport, JsonValue,
+    ReportRow,
 };
 use coax_bench::{datasets, tuning};
 use coax_core::CoaxConfig;
@@ -130,4 +131,5 @@ fn main() {
     if json {
         report.print();
     }
+    maybe_write_csv(&report);
 }

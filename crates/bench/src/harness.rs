@@ -129,6 +129,33 @@ pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// The path following a `--csv` flag, if one was given. Orthogonal to
+/// `--json`: the CSV goes to the named file, whatever stdout does.
+///
+/// # Panics
+///
+/// Panics when `--csv` is present without a following path.
+pub fn csv_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            return Some(args.next().expect("--csv requires a file path"));
+        }
+    }
+    None
+}
+
+/// Writes `report` as CSV to the `--csv <path>` target when the flag is
+/// present (no-op otherwise). The confirmation goes to stderr so a
+/// simultaneous `--json` stdout stream stays parseable.
+pub fn maybe_write_csv(report: &JsonReport) {
+    if let Some(path) = csv_path() {
+        std::fs::write(&path, report.to_csv())
+            .unwrap_or_else(|e| panic!("cannot write CSV to {path}: {e}"));
+        eprintln!("wrote CSV report to {path}");
+    }
+}
+
 /// One machine-readable field value of a [`JsonReport`] row.
 #[derive(Clone, Debug)]
 pub enum JsonValue {
@@ -170,6 +197,27 @@ impl JsonValue {
                 out.push('"');
             }
         }
+    }
+
+    /// CSV rendering: raw numbers, an empty cell for non-finite floats,
+    /// quoted-escaped strings.
+    fn write_csv(&self, out: &mut String) {
+        match self {
+            JsonValue::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            JsonValue::Num(_) => {}
+            JsonValue::Int(v) => out.push_str(&format!("{v}")),
+            JsonValue::Str(s) => out.push_str(&escape_csv(s)),
+        }
+    }
+}
+
+/// Escapes one CSV cell (RFC 4180): values containing a comma, quote, or
+/// line break are wrapped in quotes with inner quotes doubled.
+fn escape_csv(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -279,6 +327,47 @@ impl JsonReport {
     pub fn print(&self) {
         println!("{}", self.to_json());
     }
+
+    /// Renders the report as one flat CSV table (the `--csv` output path,
+    /// feeding plotting scripts directly): header
+    /// `figure,section,label,<field…>` where the field columns are the
+    /// union of every row's field names in first-appearance order; rows
+    /// missing a field leave the cell empty.
+    pub fn to_csv(&self) -> String {
+        let mut fields: Vec<&String> = Vec::new();
+        for section in &self.sections {
+            for row in &section.rows {
+                for (name, _) in &row.fields {
+                    if !fields.contains(&name) {
+                        fields.push(name);
+                    }
+                }
+            }
+        }
+        let mut out = String::from("figure,section,label");
+        for f in &fields {
+            out.push(',');
+            out.push_str(&escape_csv(f));
+        }
+        out.push('\n');
+        for section in &self.sections {
+            for row in &section.rows {
+                out.push_str(&escape_csv(&self.figure));
+                out.push(',');
+                out.push_str(&escape_csv(&section.title));
+                out.push(',');
+                out.push_str(&escape_csv(&row.label));
+                for f in &fields {
+                    out.push(',');
+                    if let Some((_, v)) = row.fields.iter().find(|(name, _)| &name == f) {
+                        v.write_csv(&mut out);
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
 }
 
 /// Formats milliseconds with sub-microsecond resolution intact.
@@ -369,6 +458,30 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn csv_report_is_flat_union_and_escaped() {
+        let mut report = JsonReport::new("fig6");
+        report.add_row(
+            "Airline, \"range\"",
+            "COAX (total)",
+            vec![
+                ("runtime_ms", JsonValue::Num(0.125)),
+                ("mem_bytes", JsonValue::Int(2048)),
+                ("bad", JsonValue::Num(f64::NAN)),
+            ],
+        );
+        // A row with a different field set: union header, empty cells.
+        report.add_row("OSM", "Full Scan", vec![("effectiveness", JsonValue::Num(0.5))]);
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two rows: {csv}");
+        assert_eq!(lines[0], "figure,section,label,runtime_ms,mem_bytes,bad,effectiveness");
+        // Section with comma+quote is RFC-4180 escaped; NaN is an empty
+        // cell; the missing trailing field stays empty.
+        assert_eq!(lines[1], "fig6,\"Airline, \"\"range\"\"\",COAX (total),0.125,2048,,");
+        assert_eq!(lines[2], "fig6,OSM,Full Scan,,,,0.5");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Streaming maintenance: readers, a writer, and a maintainer sharing
+//! one live COAX index through an epoch-swapped `IndexHandle`.
+//!
+//! Three threads run concurrently against the same handle:
+//!
+//! * a **writer** streams rows whose planted dependency drifts mid-way,
+//! * a **maintainer** polls the drift monitor and folds/refits when the
+//!   policy says so (publishing each rebuilt index as a new epoch), and
+//! * **readers** keep querying throughout — each query sees a consistent
+//!   snapshot, whatever the other two threads are doing.
+//!
+//! Run with: `cargo run --release --example streaming_maintenance`
+
+use coax::core::maint::{IndexHandle, Maintainer};
+use coax::core::{CoaxConfig, MaintenancePolicy};
+use coax::data::synth::{DriftingLinearConfig, Generator};
+use coax::data::{RangeQuery, RowId};
+use coax::index::MultidimIndex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // A stream that behaves for its first half, then drifts: the
+    // dependent attribute's intercept climbs ~2 margin widths.
+    let stream = DriftingLinearConfig {
+        rows: 60_000,
+        drift_after: 30_000,
+        start: (2.0, 25.0),
+        end: (2.0, 55.0),
+        outlier_fraction: 0.01,
+        seed: 0x5EED,
+        ..Default::default()
+    };
+    let full = stream.generate();
+    let build_rows: Vec<RowId> = (0..stream.drift_after as RowId).collect();
+
+    // Build on the stationary prefix; thresholds tuned so both actions
+    // fire during the demo: folds while the stream behaves, a refit once
+    // it drifts.
+    let config = CoaxConfig {
+        maintenance: MaintenancePolicy { max_pending: 4_000, ..Default::default() },
+        ..Default::default()
+    };
+    let handle = Arc::new(IndexHandle::build(&full.take_rows(&build_rows), &config));
+    println!(
+        "built epoch 0 over {} rows ({} correlation group(s))",
+        handle.len(),
+        handle.snapshot().groups().len()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // --- writer: stream the remaining rows through the handle. --------
+    let writer = {
+        let handle = Arc::clone(&handle);
+        let full = full.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for i in stream.drift_after..stream.rows {
+                handle.insert(&full.row(i as RowId)).expect("insert");
+                if i % 512 == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+
+    // --- maintainer: poll, decide, fold/refit, publish. ---------------
+    let maintainer_thread = {
+        let maintainer = Maintainer::new(Arc::clone(&handle));
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut log = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let outcome = maintainer.tick();
+                if outcome.action != coax::core::MaintenanceAction::None {
+                    log.push((outcome.action, outcome.epoch, outcome.report));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            log
+        })
+    };
+
+    // --- reader: query continuously, verifying snapshot consistency. --
+    let reader = {
+        let handle = Arc::clone(&handle);
+        let stop = Arc::clone(&stop);
+        let dims = full.dims();
+        std::thread::spawn(move || {
+            let everything = RangeQuery::unbounded(dims);
+            let mut snapshots = 0usize;
+            let mut last = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let n = handle.range_query(&everything).len();
+                assert!(n >= last, "a snapshot can never lose rows");
+                last = n;
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    writer.join().expect("writer");
+    let actions = maintainer_thread.join().expect("maintainer");
+    let snapshots = reader.join().expect("reader");
+
+    println!("\nmaintenance log:");
+    for (action, epoch, report) in &actions {
+        println!(
+            "  epoch {epoch}: {action:?} (drift score {:.2}, outlier rate {:.3}, \
+             {} rows pending)",
+            report.max_drift_score(),
+            report.outlier_rate,
+            report.pending
+        );
+    }
+    println!(
+        "\nreader took {snapshots} consistent snapshots while {} maintenance action(s) ran",
+        actions.len()
+    );
+
+    // Settle the tail of the stream, then show the refreshed model.
+    handle.maintain();
+    let final_index = handle.snapshot();
+    println!("final epoch {} holds {} rows ({} pending)", handle.epoch(), handle.len(), {
+        handle.pending_len()
+    });
+    if let Some(lin) = final_index.groups()[0].models[0].as_linear() {
+        println!(
+            "refreshed model: y = {:.3}x + {:.1} (margins -{:.1}/+{:.1})",
+            lin.params.slope, lin.params.intercept, lin.eps_lb, lin.eps_ub
+        );
+    }
+    assert_eq!(handle.len(), stream.rows);
+}

@@ -33,7 +33,11 @@
 //!   partition as a factory-built `Box<dyn MultidimIndex>`, and therefore
 //!   composes like any other backend. [`core::IndexSpec`] extends the
 //!   factory to cover COAX, so callers build *every* index in the
-//!   workspace the same way.
+//!   workspace the same way. The [`core::maint`] lifecycle layer keeps a
+//!   built index true under a live write stream: a drift monitor, a
+//!   fold/refit policy, and the epoch-swapped [`core::maint::IndexHandle`]
+//!   for reads concurrent with writes (see the `streaming_maintenance`
+//!   example).
 //!
 //! The bench harness (`coax-bench`), the integration tests, and the
 //! examples never name concrete index types in their comparison paths:

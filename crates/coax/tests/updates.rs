@@ -1,10 +1,13 @@
 //! Integration tests for the update path (§5's Bayesian update story +
-//! §9 future work): insert → pending queries → rebuild → model refresh.
+//! §9 future work): insert → pending queries → rebuild → model refresh,
+//! plus the maintenance-equivalence property behind `crate::maint`'s
+//! fold/refit split: `rebuild_incremental()` (fold) and `rebuild()`
+//! (refit) must answer every query exactly like the never-rebuilt index.
 
-use coax::core::{CoaxConfig, CoaxIndex};
+use coax::core::{CoaxConfig, CoaxIndex, OutlierBackend, PrimaryBackend};
 use coax::data::synth::{Generator, LinearPairConfig};
 use coax::data::RangeQuery;
-use coax::index::{FullScan, MultidimIndex};
+use coax::index::{BackendSpec, FullScan, MultidimIndex};
 
 fn planted(rows: usize, seed: u64) -> coax::data::Dataset {
     LinearPairConfig {
@@ -99,6 +102,128 @@ fn posterior_update_tracks_a_drifting_stream() {
     let fs_rows = rebuilt.len();
     let all = rebuilt.range_query(&RangeQuery::unbounded(2));
     assert_eq!(all.len(), fs_rows);
+}
+
+/// Property-style seeded sweep: across primary×outlier backend
+/// combinations and seeds, a mixed insert stream followed by (a) nothing,
+/// (b) `rebuild_incremental()` — the maint layer's fold, models frozen —
+/// or (c) the full `rebuild()` — the refit — must answer every query
+/// identically, and identically to a full scan over the logical table.
+#[test]
+fn fold_refit_and_no_rebuild_agree_across_backend_combos() {
+    let combos: Vec<(PrimaryBackend, OutlierBackend)> = vec![
+        (PrimaryBackend::GridFile, OutlierBackend::GridFile),
+        (PrimaryBackend::RTree { capacity: 10 }, OutlierBackend::GridFile),
+        (PrimaryBackend::GridFile, OutlierBackend::RTree { capacity: 8 }),
+        (
+            PrimaryBackend::Custom(BackendSpec::UniformGrid { cells_per_dim: 6 }),
+            OutlierBackend::Custom(BackendSpec::FullScan),
+        ),
+    ];
+    for (combo_i, (primary, outlier)) in combos.into_iter().enumerate() {
+        for seed in [21u64, 22] {
+            let ds = planted(4000, seed);
+            let cfg = CoaxConfig {
+                primary_backend: primary.clone(),
+                outlier_backend: outlier,
+                ..Default::default()
+            };
+            let mut index = CoaxIndex::build(&ds, &cfg);
+            // A seeded mixed stream: in-band, gross-outlier, and
+            // near-margin rows.
+            let mut logical: Vec<Vec<f64>> = (0..ds.len() as u32).map(|r| ds.row(r)).collect();
+            let model = index.groups()[0].models[0].clone();
+            for i in 0..150 {
+                let x = ((seed as f64 + i as f64) * 37.3) % 1000.0;
+                let y = match i % 4 {
+                    0 => model.predict(x),
+                    1 => model.predict(x) + 30.0 * model.margin_width(),
+                    2 => model.predict(x) - 0.45 * model.margin_width(),
+                    _ => model.predict(x) + 0.45 * model.margin_width(),
+                };
+                index.insert(&[x, y]).unwrap();
+                logical.push(vec![x, y]);
+            }
+
+            let folded = index.rebuild_incremental();
+            let refitted = index.rebuild();
+            assert_eq!(folded.pending_len(), 0);
+            assert_eq!(folded.len(), index.len());
+            // The fold must not have touched a model.
+            assert_eq!(
+                folded.groups()[0].models[0],
+                index.groups()[0].models[0],
+                "fold froze no model (combo {combo_i}, seed {seed})"
+            );
+
+            let columns: Vec<Vec<f64>> =
+                (0..2).map(|d| logical.iter().map(|r| r[d]).collect()).collect();
+            let fs = FullScan::build(&coax::data::Dataset::new(columns));
+            let mut queries: Vec<RangeQuery> = (0..8)
+                .map(|i| {
+                    let x0 = (seed as f64 * 11.0 + i as f64 * 113.0) % 900.0;
+                    let mut q = RangeQuery::unbounded(2);
+                    q.constrain(0, x0, x0 + 80.0);
+                    q.constrain(1, 2.0 * x0 - 100.0, 2.0 * x0 + 400.0);
+                    q
+                })
+                .collect();
+            // Dependent-only queries exercise translation through all
+            // three lifecycles (and the refitted margins).
+            let mut dep_only = RangeQuery::unbounded(2);
+            dep_only.constrain(1, 300.0, 420.0);
+            queries.push(dep_only);
+            for q in &queries {
+                let expected = sorted(fs.range_query(q));
+                assert_eq!(
+                    sorted(index.range_query(q)),
+                    expected,
+                    "never-rebuilt diverged (combo {combo_i}, seed {seed}, {q:?})"
+                );
+                assert_eq!(
+                    sorted(folded.range_query(q)),
+                    expected,
+                    "fold diverged (combo {combo_i}, seed {seed}, {q:?})"
+                );
+                assert_eq!(
+                    sorted(refitted.range_query(q)),
+                    expected,
+                    "refit diverged (combo {combo_i}, seed {seed}, {q:?})"
+                );
+            }
+        }
+    }
+}
+
+/// The fold carries the Bayesian posteriors over, so evidence collected
+/// before a fold still shapes a later refit.
+#[test]
+fn fold_preserves_posterior_evidence_for_a_later_refit() {
+    let ds = planted(5_000, 31);
+    let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    let slope_before =
+        index.groups()[0].models[0].as_linear().expect("linear model").params.slope;
+    // Stream biased-but-in-margin rows, fold (models must stay frozen),
+    // then refit: the refreshed line must reflect the pre-fold stream.
+    for i in 0..4_000 {
+        let x = (i as f64 * 7.7) % 1000.0;
+        let model = index.groups()[0].models[0].clone();
+        let y = model.predict(x) + model.margin_width() * 0.45;
+        index.insert(&[x, y]).unwrap();
+    }
+    let folded = index.rebuild_incremental();
+    let slope_folded =
+        folded.groups()[0].models[0].as_linear().expect("linear model").params.slope;
+    assert_eq!(slope_folded, slope_before, "fold must not move the line");
+    let refitted = folded.rebuild();
+    let intercept_before =
+        index.groups()[0].models[0].as_linear().expect("linear model").params.intercept;
+    let intercept_after =
+        refitted.groups()[0].models[0].as_linear().expect("linear model").params.intercept;
+    assert!(
+        intercept_after != intercept_before,
+        "refit after fold must see the folded stream's evidence"
+    );
 }
 
 #[test]

@@ -205,7 +205,7 @@ mod tests {
         fn range_query_stats(&self, _query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
             // Out of contract: not a local id of this one-row "index".
             out.push(1_000_000);
-            ScanStats { cells_visited: 1, rows_examined: 1, matches: 1 }
+            ScanStats { cells_visited: 1, rows_examined: 1, matches: 1, ..Default::default() }
         }
         fn for_each_entry(&self, _f: &mut dyn FnMut(RowId, &[Value])) {}
         fn memory_overhead(&self) -> usize {

@@ -14,14 +14,20 @@
 //! structural for the primary too.
 //!
 //! Updates (§5, §9): inserts are margin-checked and buffered; each insert
-//! inside the margins also advances the per-model Bayesian posterior, so
-//! [`CoaxIndex::rebuild`] can refresh the lines and margins from
-//! everything observed and fold the buffer into fresh grids.
+//! inside the margins also advances the per-model Bayesian posterior.
+//! Folding the buffer back into the structures is the job of the
+//! [`crate::maint`] lifecycle layer: wrap the index in a
+//! [`crate::maint::IndexHandle`] and let its drift monitor and policy
+//! decide between the cheap [`CoaxIndex::rebuild_incremental`] (re-pack
+//! partitions, models frozen) and the full [`CoaxIndex::rebuild`]
+//! (refresh every model, re-split). The two rebuild methods remain
+//! callable directly for synchronous, single-owner use.
 
 use crate::discovery::{discover, CorrelationGroup, Discovery, DiscoveryConfig};
 use crate::epsilon::EpsilonPolicy;
 use crate::exec::{self, QueryPlan};
 use crate::learn::split_rows;
+use crate::maint::MaintenancePolicy;
 use crate::model::{FdModel, SoftFdModel};
 use crate::regression::BayesianLinReg;
 use crate::translate::translate;
@@ -183,6 +189,13 @@ pub struct CoaxConfig {
     /// the in-cell binary search cuts deepest there), falling back to the
     /// first indexed attribute.
     pub sort_dim: Option<usize>,
+    /// Thresholds the [`crate::maint`] layer uses to decide between
+    /// folding the pending buffer and refitting the models. Carried in
+    /// the build config so the factory ([`crate::IndexSpec`]) can hand
+    /// out maintained indexes ([`crate::maint::IndexHandle`]) without a
+    /// second configuration channel; ignored by callers that only ever
+    /// rebuild manually.
+    pub maintenance: MaintenancePolicy,
     /// Seed for the sampling inside discovery.
     pub seed: u64,
 }
@@ -196,6 +209,7 @@ impl Default for CoaxConfig {
             primary_backend: PrimaryBackend::default(),
             outlier_backend: OutlierBackend::default(),
             sort_dim: None,
+            maintenance: MaintenancePolicy::default(),
             seed: 0xC0A0,
         }
     }
@@ -216,10 +230,13 @@ pub struct CoaxQueryStats {
 }
 
 impl CoaxQueryStats {
-    /// Flattens into a single [`ScanStats`] (trait-level reporting).
+    /// Flattens into a single [`ScanStats`] (trait-level reporting). The
+    /// pending-buffer scan lands in [`ScanStats::scanned_pending`], so a
+    /// bloated insert buffer degrades reported effectiveness (Eq. 5)
+    /// instead of hiding — the signal [`crate::maint`] watches.
     pub fn flatten(&self) -> ScanStats {
         let mut s = self.primary.merge(self.outliers);
-        s.rows_examined += self.pending_examined;
+        s.scanned_pending += self.pending_examined;
         s.matches += self.pending_matches;
         s
     }
@@ -231,7 +248,9 @@ pub(crate) struct PendingRow {
     pub(crate) id: RowId,
     pub(crate) values: Vec<Value>,
     /// Whether the row was inside every model's margins at insert time.
-    in_margins: bool,
+    /// Folding trusts this flag: models are frozen between refits, so the
+    /// insert-time verdict stays valid until the models move.
+    pub(crate) in_margins: bool,
 }
 
 /// Error returned by [`CoaxIndex::insert`] for malformed rows.
@@ -273,7 +292,7 @@ impl std::error::Error for InsertError {}
 #[derive(Debug)]
 pub struct CoaxIndex {
     dims: usize,
-    config: CoaxConfig,
+    pub(crate) config: CoaxConfig,
     pub(crate) discovery: Discovery,
     /// The primary (in-margin) partition behind its configured backend —
     /// by default the paper's reduced-dimensionality grid file.
@@ -289,10 +308,10 @@ pub struct CoaxIndex {
     /// One posterior accumulator per *linear* model (in discovery model
     /// order), advanced by inserts. Spline models carry `None`: their
     /// shape is frozen between full rebuilds.
-    posteriors: Vec<Option<BayesianLinReg>>,
+    pub(crate) posteriors: Vec<Option<BayesianLinReg>>,
     /// Buffered inserts, scanned linearly at query time.
     pub(crate) pending: Vec<PendingRow>,
-    next_id: RowId,
+    pub(crate) next_id: RowId,
 }
 
 impl CoaxIndex {
@@ -315,6 +334,57 @@ impl CoaxIndex {
         let models: Vec<FdModel> = discovery.all_models().cloned().collect();
         let (primary_rows, outlier_rows) = split_rows(dataset, &models);
 
+        // Seed one Bayesian posterior per linear model from the primary
+        // rows so later inserts refine rather than restart the fit.
+        let prior = config.discovery.learn.prior_precision;
+        let posteriors = models
+            .iter()
+            .map(|m| {
+                m.as_linear().map(|lin| {
+                    let mut reg = BayesianLinReg::new(prior);
+                    for &r in &primary_rows {
+                        reg.observe(
+                            dataset.value(r, lin.predictor),
+                            dataset.value(r, lin.dependent),
+                        );
+                    }
+                    reg
+                })
+            })
+            .collect();
+
+        let next_id = dataset.len() as RowId;
+        Self::from_parts(
+            dataset,
+            discovery,
+            config.clone(),
+            primary_rows,
+            outlier_rows,
+            posteriors,
+            next_id,
+        )
+    }
+
+    /// Assembles an index from an already-decided row split: builds both
+    /// partition structures over their memberships and takes the model
+    /// state (discovery, posteriors) as given, checking nothing.
+    ///
+    /// This is the structural half of every build path:
+    /// [`CoaxIndex::build_with_discovery`] computes the split and seeds
+    /// the posteriors first; [`CoaxIndex::rebuild_incremental`] and the
+    /// [`crate::maint`] fold path reuse the memberships they already know
+    /// and skip both scans.
+    pub(crate) fn from_parts(
+        dataset: &Dataset,
+        discovery: Discovery,
+        config: CoaxConfig,
+        primary_rows: Vec<RowId>,
+        outlier_rows: Vec<RowId>,
+        posteriors: Vec<Option<BayesianLinReg>>,
+        next_id: RowId,
+    ) -> Self {
+        let dims = dataset.dims();
+        assert_eq!(discovery.dims, dims, "discovery dimensionality mismatch");
         let indexed = discovery.indexed_dims();
         let sort_dim = resolve_sort_dim(config.sort_dim, &discovery, &indexed);
         let grid_dims: Vec<usize> =
@@ -343,29 +413,9 @@ impl CoaxIndex {
             .to_spec(outlier_ds.len(), dims, sort_dim, config.outlier_cells_per_dim)
             .build(&outlier_ds);
 
-        // Seed one Bayesian posterior per linear model from the primary
-        // rows so later inserts refine rather than restart the fit.
-        let prior = config.discovery.learn.prior_precision;
-        let posteriors = models
-            .iter()
-            .map(|m| {
-                m.as_linear().map(|lin| {
-                    let mut reg = BayesianLinReg::new(prior);
-                    for &r in &primary_rows {
-                        reg.observe(
-                            dataset.value(r, lin.predictor),
-                            dataset.value(r, lin.dependent),
-                        );
-                    }
-                    reg
-                })
-            })
-            .collect();
-
-        let next_id = dataset.len() as RowId;
         Self {
             dims,
-            config: config.clone(),
+            config,
             discovery,
             primary,
             primary_ids: primary_rows,
@@ -541,10 +591,20 @@ impl CoaxIndex {
         Ok(id)
     }
 
+    /// The build configuration this index was constructed with.
+    pub fn config(&self) -> &CoaxConfig {
+        &self.config
+    }
+
     /// Rebuilds the grids, folding in the pending buffer and refreshing
     /// every model from its Bayesian posterior (new line) and from the
     /// full residual distribution (new margins). Group structure is kept;
     /// run [`CoaxIndex::build`] again to re-discover from scratch.
+    ///
+    /// This is the expensive **refit** half of the [`crate::maint`]
+    /// fold/refit split: it re-derives margins from every residual and
+    /// re-splits every row. When the models have not drifted, prefer
+    /// [`CoaxIndex::rebuild_incremental`].
     pub fn rebuild(&self) -> CoaxIndex {
         let dataset = self.to_dataset();
         let epsilon = self.config.discovery.learn.epsilon;
@@ -560,10 +620,61 @@ impl CoaxIndex {
         rebuilt
     }
 
+    /// Folds the pending buffer into fresh partition structures **without
+    /// refitting any model** — the cheap **fold** half of the
+    /// [`crate::maint`] fold/refit split.
+    ///
+    /// Models, margins, and group structure are carried over verbatim, so
+    /// no residual is recomputed and no row is re-checked against the
+    /// margins: built rows keep their partition, and each pending row
+    /// goes where its insert-time margin verdict already routed it (valid
+    /// because models only move on refit). The Bayesian posteriors keep
+    /// every observation accumulated so far, so a later
+    /// [`CoaxIndex::rebuild`] still refits from the full evidence.
+    ///
+    /// Query results are identical to never rebuilding (same rows, same
+    /// models) — only the linear pending scan disappears, which is
+    /// exactly what [`ScanStats::scanned_pending`] stops charging.
+    pub fn rebuild_incremental(&self) -> CoaxIndex {
+        let dataset = self.to_dataset();
+        let (primary_rows, outlier_rows) = self.fold_memberships(std::iter::empty());
+        Self::from_parts(
+            &dataset,
+            self.discovery.clone(),
+            self.config.clone(),
+            primary_rows,
+            outlier_rows,
+            self.posteriors.clone(),
+            self.next_id,
+        )
+    }
+
+    /// The partition memberships a fold produces: built rows keep their
+    /// partition, each buffered row goes where its insert-time margin
+    /// verdict routed it, and `extra` appends further `(id, in_margins)`
+    /// buffered rows (the [`crate::maint`] handle's overlay). One
+    /// routing for both fold paths, so they cannot diverge.
+    pub(crate) fn fold_memberships(
+        &self,
+        extra: impl Iterator<Item = (RowId, bool)>,
+    ) -> (Vec<RowId>, Vec<RowId>) {
+        let mut primary_rows = self.primary_ids.clone();
+        let mut outlier_rows = self.outlier_ids.clone();
+        let pending = self.pending.iter().map(|p| (p.id, p.in_margins));
+        for (id, in_margins) in pending.chain(extra) {
+            if in_margins {
+                primary_rows.push(id);
+            } else {
+                outlier_rows.push(id);
+            }
+        }
+        (primary_rows, outlier_rows)
+    }
+
     /// Reconstructs the full logical dataset (built rows in id order, then
     /// pending rows), through the trait's entry iteration — the rebuild
     /// path works for any primary/outlier backend combination.
-    fn to_dataset(&self) -> Dataset {
+    pub(crate) fn to_dataset(&self) -> Dataset {
         let n = self.next_id as usize;
         let mut columns = vec![vec![0.0; n]; self.dims];
         self.for_each_entry(&mut |id, row| {
@@ -665,8 +776,10 @@ fn resolve_sort_dim(
 
 /// Rebuild-time model refresh: linear models take their line from the
 /// posterior and their margins from the full current residuals; spline
-/// models keep their shape (re-discover to re-fit them).
-fn refresh_group(
+/// models keep their shape (re-discover to re-fit them). Shared with the
+/// [`crate::maint`] refit path, which refreshes against the combined
+/// epoch + overlay dataset.
+pub(crate) fn refresh_group(
     group: &CorrelationGroup,
     discovery: &Discovery,
     posteriors: &[Option<BayesianLinReg>],

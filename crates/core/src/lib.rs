@@ -29,15 +29,22 @@
 //!    backend — including COAX-over-COAX nesting.
 //! 8. [`spec`] — [`IndexSpec`]: the workspace-level factory building any
 //!    index (substrates or COAX) as a `Box<dyn MultidimIndex>`.
-//! 9. [`theory`] — §7 + appendices: effectiveness (Eq. 5), the
-//!    Centre-Sequence Model, and Monte-Carlo validation of Theorems
-//!    7.1–7.4.
+//! 9. [`maint`] — the lifecycle layer: [`maint::DriftMonitor`] watches
+//!    the insert stream for correlation drift,
+//!    [`maint::MaintenancePolicy`] decides between a cheap fold
+//!    ([`CoaxIndex::rebuild_incremental`]) and a full refit
+//!    ([`CoaxIndex::rebuild`]), and [`maint::IndexHandle`] epoch-swaps
+//!    the rebuilt index under concurrent readers.
+//! 10. [`theory`] — §7 + appendices: effectiveness (Eq. 5), the
+//!     Centre-Sequence Model, and Monte-Carlo validation of Theorems
+//!     7.1–7.4.
 
 pub mod discovery;
 pub mod epsilon;
 pub mod exec;
 pub mod index;
 pub mod learn;
+pub mod maint;
 pub mod model;
 pub mod regression;
 pub mod spec;
@@ -52,6 +59,9 @@ pub use index::{
     CoaxConfig, CoaxIndex, CoaxQueryStats, InsertError, OutlierBackend, PrimaryBackend,
 };
 pub use learn::{LearnConfig, PairFit};
+pub use maint::{
+    DriftMonitor, DriftReport, IndexHandle, Maintainer, MaintenanceAction, MaintenancePolicy,
+};
 pub use model::{FdModel, SoftFdModel};
 pub use regression::{ols, BayesianLinReg, LinParams};
 pub use spec::IndexSpec;

@@ -1,0 +1,607 @@
+//! The epoch-swapped handle: reads concurrent with writes.
+//!
+//! A bare [`CoaxIndex`] is immutable after build except for `insert`,
+//! which needs `&mut self` — so a shared index cannot absorb writes, and
+//! a writable index cannot be shared. [`IndexHandle`] closes that gap
+//! with an epoch scheme:
+//!
+//! ```text
+//!             readers                         writer thread
+//!        ┌──────────────┐                  ┌───────────────────┐
+//!        │ read-lock,   │   RwLock<Epoch>  │ snapshot epoch +  │
+//!        │ scan overlay,│ ───────────────▶ │ overlay prefix,   │
+//!        │ clone Arc,   │   epoch: u64     │ fold/refit OUTSIDE│
+//!        │ unlock, then │   index: Arc<…>  │ any lock, then    │
+//!        │ probe epoch  │   overlay: Vec<…>│ write-lock & swap │
+//!        └──────────────┘                  └───────────────────┘
+//! ```
+//!
+//! * The **epoch** is a frozen `Arc<CoaxIndex>`. Readers take the read
+//!   lock just long enough to scan the overlay and clone the `Arc`; the
+//!   actual index probe runs with no lock held at all.
+//! * The **overlay** buffers rows inserted since the epoch was built
+//!   (each margin-checked against the epoch's models on the way in, so
+//!   folding needs no second pass). One read guard covers both the
+//!   overlay scan and the `Arc` clone, so every query sees a consistent
+//!   prefix of the insert history — never a torn epoch.
+//! * **Maintenance** (fold or refit) snapshots the epoch and the overlay
+//!   prefix, builds the successor index with **no lock held**, then takes
+//!   the write lock only for the pointer swap and overlay drain. Rows
+//!   inserted while the build ran simply stay in the overlay, re-routed
+//!   against the new epoch's models at publish.
+//!
+//! Deciding *when* to fold or refit is [`super::MaintenancePolicy`]'s
+//! job, fed by the [`super::DriftMonitor`] the handle advances on every
+//! insert; [`super::Maintainer`] runs that loop from a writer thread.
+
+use super::drift::{DriftMonitor, DriftReport};
+use super::policy::{MaintenanceAction, MaintenancePolicy};
+use crate::discovery::Discovery;
+use crate::index::{refresh_group, CoaxConfig, CoaxIndex, InsertError};
+use crate::regression::BayesianLinReg;
+use coax_data::{Dataset, RangeQuery, RowId, Value};
+use coax_index::{MultidimIndex, QueryResult, ScanStats};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One row buffered in the handle since the current epoch was published.
+#[derive(Clone, Debug)]
+struct OverlayRow {
+    id: RowId,
+    values: Vec<Value>,
+    /// Margin verdict against the epoch the row was inserted under,
+    /// re-computed at publish when a refit moves the models.
+    in_margins: bool,
+}
+
+/// The reader-visible state: epoch pointer + insert overlay, guarded
+/// together so the pair can never tear.
+#[derive(Debug)]
+struct EpochState {
+    epoch: u64,
+    index: Arc<CoaxIndex>,
+    overlay: Vec<OverlayRow>,
+}
+
+/// Write-side bookkeeping, touched briefly per insert: id allocation,
+/// Bayesian posteriors, and the drift monitor — all tracking the models
+/// of the *current* epoch (`models` is swapped at publish under this same
+/// lock, so an insert can never check against a stale epoch).
+#[derive(Debug)]
+struct InsertState {
+    models: Arc<CoaxIndex>,
+    next_id: RowId,
+    posteriors: Vec<Option<BayesianLinReg>>,
+    monitor: DriftMonitor,
+}
+
+/// A shared, live-maintained COAX index: concurrent readers, buffered
+/// inserts, and background fold/refit that swaps epochs under readers'
+/// feet without ever tearing a result.
+///
+/// Implements [`MultidimIndex`], so a handle drops into every spec-driven
+/// comparison path (bench harness, equivalence suites) like any frozen
+/// index — queries just also see the insert overlay, charged to
+/// [`ScanStats::scanned_pending`].
+#[derive(Debug)]
+pub struct IndexHandle {
+    config: CoaxConfig,
+    dims: usize,
+    state: RwLock<EpochState>,
+    insert: Mutex<InsertState>,
+    /// Serialises epoch builds (fold/refit); never held by readers or
+    /// inserters.
+    maint: Mutex<()>,
+}
+
+impl IndexHandle {
+    /// Wraps an already-built index. The maintenance policy is taken from
+    /// the index's own [`CoaxConfig::maintenance`].
+    pub fn new(index: CoaxIndex) -> Self {
+        let config = index.config().clone();
+        let dims = index.dims();
+        let monitor = DriftMonitor::new(&index, config.maintenance.ewma_alpha);
+        let posteriors = index.posteriors.clone();
+        let next_id = index.next_id;
+        let index = Arc::new(index);
+        Self {
+            config,
+            dims,
+            state: RwLock::new(EpochState {
+                epoch: 0,
+                index: Arc::clone(&index),
+                overlay: Vec::new(),
+            }),
+            insert: Mutex::new(InsertState { models: index, next_id, posteriors, monitor }),
+            maint: Mutex::new(()),
+        }
+    }
+
+    /// Builds a COAX index over `dataset` and wraps it.
+    pub fn build(dataset: &Dataset, config: &CoaxConfig) -> Self {
+        Self::new(CoaxIndex::build(dataset, config))
+    }
+
+    /// The maintenance policy in force (from the build config).
+    pub fn policy(&self) -> &MaintenancePolicy {
+        &self.config.maintenance
+    }
+
+    /// The current epoch counter (bumped by every fold/refit publish).
+    pub fn epoch(&self) -> u64 {
+        self.state.read().expect("state lock poisoned").epoch
+    }
+
+    /// A consistent snapshot of the current epoch's frozen index. Rows
+    /// still in the overlay are *not* in it — use the query methods for
+    /// full results.
+    pub fn snapshot(&self) -> Arc<CoaxIndex> {
+        Arc::clone(&self.state.read().expect("state lock poisoned").index)
+    }
+
+    /// Rows buffered but not yet folded into index structures: the
+    /// epoch's own pending buffer (usually empty after the first
+    /// maintenance) plus the handle overlay. This is the count the
+    /// policy's fold trigger watches.
+    pub fn pending_len(&self) -> usize {
+        let st = self.state.read().expect("state lock poisoned");
+        st.index.pending_len() + st.overlay.len()
+    }
+
+    /// Inserts a row through the handle: margin-checked against the
+    /// current epoch's models, observed by the drift monitor and the
+    /// Bayesian posteriors, and buffered in the overlay — visible to
+    /// every query issued after this call returns.
+    pub fn insert(&self, row: &[Value]) -> Result<RowId, InsertError> {
+        if row.len() != self.dims {
+            return Err(InsertError::WrongArity { expected: self.dims, got: row.len() });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(InsertError::NonFinite);
+        }
+        let mut guard = self.insert.lock().expect("insert lock poisoned");
+        let ins = &mut *guard;
+        let in_margins = ins.monitor.observe(row);
+        if in_margins {
+            for (m, reg) in ins.models.discovery.all_models().zip(&mut ins.posteriors) {
+                if let Some(reg) = reg {
+                    reg.observe(row[m.predictor()], row[m.dependent()]);
+                }
+            }
+        }
+        let id = ins.next_id;
+        ins.next_id += 1;
+        // Publish to readers while still holding the insert lock: ids
+        // enter the overlay in allocation order, so a reader's snapshot
+        // is always a contiguous prefix of the insert history.
+        self.state.write().expect("state lock poisoned").overlay.push(OverlayRow {
+            id,
+            values: row.to_vec(),
+            in_margins,
+        });
+        Ok(id)
+    }
+
+    /// The drift monitor's current view of the insert stream.
+    pub fn drift_report(&self) -> DriftReport {
+        let ins = self.insert.lock().expect("insert lock poisoned");
+        let pending = {
+            let st = self.state.read().expect("state lock poisoned");
+            st.index.pending_len() + st.overlay.len()
+        };
+        ins.monitor.report(pending)
+    }
+
+    /// Decides via the policy and executes: the ad-hoc equivalent of one
+    /// [`super::Maintainer::tick`]. Returns the action performed.
+    pub fn maintain(&self) -> MaintenanceAction {
+        let action = self.policy().decide(&self.drift_report());
+        match action {
+            MaintenanceAction::None => {}
+            MaintenanceAction::Fold => self.fold(),
+            MaintenanceAction::Refit => self.refit(),
+        }
+        action
+    }
+
+    /// Folds the buffered rows into fresh partition structures, models
+    /// frozen ([`CoaxIndex::rebuild_incremental`] semantics), and
+    /// publishes the result as the next epoch.
+    pub fn fold(&self) {
+        self.run_maintenance(false);
+    }
+
+    /// Refreshes every model from its posterior and the full residuals,
+    /// rebuilds ([`CoaxIndex::rebuild`] semantics over epoch + overlay),
+    /// and publishes the result as the next epoch.
+    pub fn refit(&self) {
+        self.run_maintenance(true);
+    }
+
+    /// The epoch-swap sequence: snapshot under brief locks, build with no
+    /// lock held, publish under the write lock, re-route the overlay rows
+    /// that arrived mid-build.
+    fn run_maintenance(&self, refit: bool) {
+        let _serialise = self.maint.lock().expect("maint lock poisoned");
+
+        // --- 1. snapshot ------------------------------------------------
+        let (base, overlay_snapshot, posteriors) = {
+            let ins = self.insert.lock().expect("insert lock poisoned");
+            let st = self.state.read().expect("state lock poisoned");
+            (Arc::clone(&st.index), st.overlay.clone(), ins.posteriors.clone())
+        };
+        let folded = overlay_snapshot.len();
+
+        // --- 2. build the successor, no lock held -----------------------
+        let dataset = combined_dataset(&base, &overlay_snapshot);
+        let next_id = dataset.len() as RowId;
+        let successor = if refit {
+            let epsilon = self.config.discovery.learn.epsilon;
+            let groups = base
+                .discovery
+                .groups
+                .iter()
+                .map(|g| refresh_group(g, &base.discovery, &posteriors, &dataset, epsilon))
+                .collect();
+            let discovery = Discovery { groups, dims: self.dims };
+            CoaxIndex::build_with_discovery(&dataset, discovery, &self.config)
+        } else {
+            // Same routing as `CoaxIndex::rebuild_incremental`, extended
+            // with the overlay rows (shared helper — the two fold paths
+            // cannot diverge).
+            let (primary_rows, outlier_rows) =
+                base.fold_memberships(overlay_snapshot.iter().map(|r| (r.id, r.in_margins)));
+            CoaxIndex::from_parts(
+                &dataset,
+                base.discovery.clone(),
+                self.config.clone(),
+                primary_rows,
+                outlier_rows,
+                posteriors,
+                next_id,
+            )
+        };
+        let successor = Arc::new(successor);
+
+        // --- 3. publish -------------------------------------------------
+        let mut ins = self.insert.lock().expect("insert lock poisoned");
+        let mut st = self.state.write().expect("state lock poisoned");
+        st.index = Arc::clone(&successor);
+        st.epoch += 1;
+        st.overlay.drain(..folded);
+        ins.models = Arc::clone(&successor);
+        if refit {
+            // The refit moved the models: the surviving overlay rows'
+            // margin verdicts and the posteriors' extra observations were
+            // made against the *old* models, so rebuild the write-side
+            // state from the successor and replay the survivors. The
+            // monitor resets too — drift was just corrected, and the new
+            // models set a new baseline.
+            ins.posteriors = successor.posteriors.clone();
+            ins.monitor = DriftMonitor::new(&successor, self.config.maintenance.ewma_alpha);
+            let ins = &mut *ins;
+            for row in st.overlay.iter_mut() {
+                row.in_margins = ins.monitor.observe(&row.values);
+                if row.in_margins {
+                    for (m, reg) in ins.models.discovery.all_models().zip(&mut ins.posteriors) {
+                        if let Some(reg) = reg {
+                            reg.observe(row.values[m.predictor()], row.values[m.dependent()]);
+                        }
+                    }
+                }
+            }
+        }
+        // After a fold the models are identical, so everything write-side
+        // stays valid as it stands: the surviving overlay verdicts, the
+        // posteriors (which kept accumulating through the build), and —
+        // critically — the drift monitor. Resetting the monitor on fold
+        // would discard the very evidence the refit trigger needs (a
+        // `max_pending` below `min_inserts` could then fold forever while
+        // the models drift unchecked) and would bake routed drift rows
+        // into the outlier-rate baseline.
+    }
+
+    /// One consistent read snapshot: the overlay rows matching `query`
+    /// are appended to `out` under the read guard, and the epoch `Arc`
+    /// comes back for the caller to probe lock-free.
+    fn read_snapshot(
+        &self,
+        query: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> (Arc<CoaxIndex>, usize, usize) {
+        let st = self.state.read().expect("state lock poisoned");
+        let mut matched = 0;
+        for r in &st.overlay {
+            if query.matches(&r.values) {
+                out.push(r.id);
+                matched += 1;
+            }
+        }
+        (Arc::clone(&st.index), st.overlay.len(), matched)
+    }
+}
+
+impl MultidimIndex for IndexHandle {
+    fn name(&self) -> &str {
+        "coax-handle"
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        let st = self.state.read().expect("state lock poisoned");
+        st.index.len() + st.overlay.len()
+    }
+
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        let (index, scanned, matched) = self.read_snapshot(query, out);
+        let mut stats = index.range_query_stats(query, out);
+        stats.scanned_pending += scanned;
+        stats.matches += matched;
+        stats
+    }
+
+    /// One snapshot for the whole batch: every query in the batch sees
+    /// the same epoch and the same overlay prefix.
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        let (index, overlay) = {
+            let st = self.state.read().expect("state lock poisoned");
+            (Arc::clone(&st.index), st.overlay.clone())
+        };
+        queries
+            .iter()
+            .map(|q| {
+                let mut ids = Vec::new();
+                let mut matched = 0;
+                for r in &overlay {
+                    if q.matches(&r.values) {
+                        ids.push(r.id);
+                        matched += 1;
+                    }
+                }
+                let mut stats = index.range_query_stats(q, &mut ids);
+                stats.scanned_pending += overlay.len();
+                stats.matches += matched;
+                QueryResult { ids, stats }
+            })
+            .collect()
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        let (index, overlay) = {
+            let st = self.state.read().expect("state lock poisoned");
+            (Arc::clone(&st.index), st.overlay.clone())
+        };
+        index.for_each_entry(f);
+        for r in &overlay {
+            f(r.id, &r.values);
+        }
+    }
+
+    fn memory_overhead(&self) -> usize {
+        self.snapshot().memory_overhead()
+    }
+}
+
+/// The logical dataset of an epoch plus its overlay, in id order — ids
+/// are dense (`0..next_id` built/pending, then the overlay's allocation
+/// order), so every row lands at its own id and a successor built over
+/// this dataset preserves all external row ids.
+fn combined_dataset(base: &CoaxIndex, overlay: &[OverlayRow]) -> Dataset {
+    let dims = base.dims();
+    let n = base.next_id as usize + overlay.len();
+    let mut columns = vec![vec![0.0; n]; dims];
+    base.for_each_entry(&mut |id, row| {
+        for (d, col) in columns.iter_mut().enumerate() {
+            col[id as usize] = row[d];
+        }
+    });
+    for r in overlay {
+        for (d, col) in columns.iter_mut().enumerate() {
+            col[r.id as usize] = r.values[d];
+        }
+    }
+    Dataset::new(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coax_data::synth::{Generator, LinearPairConfig};
+    use coax_index::FullScan;
+
+    fn planted(rows: usize, seed: u64) -> Dataset {
+        LinearPairConfig {
+            rows,
+            slope: 2.0,
+            intercept: 10.0,
+            noise_sigma: 4.0,
+            outlier_fraction: 0.05,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    fn sorted(mut v: Vec<RowId>) -> Vec<RowId> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn handle_queries_match_bare_index() {
+        let ds = planted(6000, 1);
+        let handle = IndexHandle::build(&ds, &CoaxConfig::default());
+        let bare = CoaxIndex::build(&ds, &CoaxConfig::default());
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(1, 500.0, 700.0);
+        assert_eq!(sorted(handle.range_query(&q)), sorted(bare.range_query(&q)));
+        assert_eq!(handle.len(), bare.len());
+        assert_eq!(handle.epoch(), 0);
+    }
+
+    #[test]
+    fn inserts_are_visible_immediately_and_after_each_maintenance() {
+        let ds = planted(5000, 2);
+        let handle = IndexHandle::build(&ds, &CoaxConfig::default());
+        let row = vec![123.0, 2.0 * 123.0 + 10.0];
+        let id = handle.insert(&row).unwrap();
+        assert_eq!(id as usize, ds.len());
+        let probe = RangeQuery::point(&row);
+        assert!(handle.range_query(&probe).contains(&id), "visible pre-maintenance");
+
+        handle.fold();
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.pending_len(), 0);
+        assert!(handle.range_query(&probe).contains(&id), "visible post-fold");
+
+        handle.refit();
+        assert_eq!(handle.epoch(), 2);
+        assert!(handle.range_query(&probe).contains(&id), "visible post-refit");
+        assert_eq!(handle.len(), ds.len() + 1);
+    }
+
+    #[test]
+    fn fold_and_refit_agree_with_full_scan() {
+        let ds = planted(4000, 3);
+        let handle = IndexHandle::build(&ds, &CoaxConfig::default());
+        let mut rows: Vec<Vec<f64>> = (0..ds.len() as RowId).map(|r| ds.row(r)).collect();
+        for i in 0..300 {
+            let x = (i as f64 * 13.7) % 1000.0;
+            let y = if i % 9 == 0 { 2.0 * x + 900.0 } else { 2.0 * x + 10.0 };
+            handle.insert(&[x, y]).unwrap();
+            rows.push(vec![x, y]);
+        }
+        let logical = Dataset::new(
+            (0..2).map(|d| rows.iter().map(|r| r[d]).collect()).collect::<Vec<_>>(),
+        );
+        let fs = FullScan::build(&logical);
+        let queries: Vec<RangeQuery> = (0..10)
+            .map(|i| {
+                let x0 = i as f64 * 90.0;
+                let mut q = RangeQuery::unbounded(2);
+                q.constrain(0, x0, x0 + 70.0);
+                q
+            })
+            .collect();
+        for (label, action) in
+            [("fold", IndexHandle::fold as fn(&IndexHandle)), ("refit", IndexHandle::refit)]
+        {
+            action(&handle);
+            for q in &queries {
+                assert_eq!(
+                    sorted(handle.range_query(q)),
+                    sorted(fs.range_query(q)),
+                    "{label} diverged on {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_scan_is_charged_to_scanned_pending() {
+        let ds = planted(3000, 4);
+        let handle = IndexHandle::build(&ds, &CoaxConfig::default());
+        for i in 0..50 {
+            let x = i as f64 * 2.0;
+            handle.insert(&[x, 2.0 * x + 10.0]).unwrap();
+        }
+        let mut out = Vec::new();
+        let stats = handle.range_query_stats(&RangeQuery::unbounded(2), &mut out);
+        assert_eq!(stats.scanned_pending, 50);
+        assert_eq!(stats.matches, out.len());
+        // Folding clears the charge.
+        handle.fold();
+        let mut out = Vec::new();
+        let stats = handle.range_query_stats(&RangeQuery::unbounded(2), &mut out);
+        assert_eq!(stats.scanned_pending, 0);
+        assert_eq!(out.len(), 3050);
+    }
+
+    #[test]
+    fn maintain_follows_the_policy_fold_trigger() {
+        let ds = planted(3000, 5);
+        let config = CoaxConfig {
+            maintenance: MaintenancePolicy { max_pending: 32, ..Default::default() },
+            ..Default::default()
+        };
+        let handle = IndexHandle::build(&ds, &config);
+        for i in 0..31 {
+            let x = i as f64;
+            handle.insert(&[x, 2.0 * x + 10.0]).unwrap();
+        }
+        assert_eq!(handle.maintain(), MaintenanceAction::None);
+        handle.insert(&[31.0, 72.0]).unwrap();
+        assert_eq!(handle.maintain(), MaintenanceAction::Fold);
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.pending_len(), 0);
+    }
+
+    #[test]
+    fn folds_do_not_discard_drift_evidence() {
+        // Regression: a fold leaves the models untouched, so it must also
+        // leave the drift monitor's evidence intact. With max_pending <
+        // min_inserts, a monitor reset on every fold would keep
+        // `report.inserts` below the warm-up forever and the refit
+        // trigger could never fire, however hard the stream drifts.
+        let ds = planted(4000, 8);
+        let config = CoaxConfig {
+            maintenance: MaintenancePolicy {
+                max_pending: 64,
+                min_inserts: 256,
+                drift_threshold: 0.5,
+                ewma_alpha: 1.0 / 64.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let handle = IndexHandle::build(&ds, &config);
+        let model = handle.snapshot().groups()[0].models[0].clone();
+        let mut folds = 0;
+        let mut refit_at = None;
+        for i in 0..600 {
+            let x = (i as f64 * 7.3) % 1000.0;
+            // Persistently biased but in-margin: pure drift, no outliers.
+            let y = model.predict(x) + 0.8 * model.margin_width() / 2.0;
+            handle.insert(&[x, y]).unwrap();
+            match handle.maintain() {
+                MaintenanceAction::None => {}
+                MaintenanceAction::Fold => folds += 1,
+                MaintenanceAction::Refit => {
+                    refit_at = Some(i);
+                    break;
+                }
+            }
+        }
+        assert!(folds >= 2, "the small fold trigger must have fired, got {folds}");
+        let refit_at = refit_at.expect("drift must eventually out-rank the folds");
+        // Insert index 255 is the 256th insert — the earliest the warm-up
+        // admits (the drift score crossed 0.5 long before).
+        assert!(
+            (255..400).contains(&refit_at),
+            "refit should fire once warm-up and score are both met, fired at {refit_at}"
+        );
+    }
+
+    #[test]
+    fn insert_validation_matches_bare_index() {
+        let ds = planted(1000, 6);
+        let handle = IndexHandle::build(&ds, &CoaxConfig::default());
+        assert_eq!(handle.insert(&[1.0]), Err(InsertError::WrongArity { expected: 2, got: 1 }));
+        assert_eq!(handle.insert(&[1.0, f64::NAN]), Err(InsertError::NonFinite));
+    }
+
+    #[test]
+    fn batch_query_sees_one_snapshot() {
+        let ds = planted(2000, 7);
+        let handle = IndexHandle::build(&ds, &CoaxConfig::default());
+        handle.insert(&[500.0, 1010.0]).unwrap();
+        let queries = vec![RangeQuery::unbounded(2); 3];
+        let results = handle.batch_query(&queries);
+        for r in &results {
+            assert_eq!(r.ids.len(), 2001);
+            assert_eq!(r.stats.scanned_pending, 1);
+        }
+    }
+}

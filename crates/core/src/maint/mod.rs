@@ -1,0 +1,46 @@
+//! Live maintenance: keep a COAX index true under a write stream.
+//!
+//! The paper's update story (§5, §9) is margin-checked buffered inserts
+//! plus a blocking full rebuild the caller must remember to run. That is
+//! fine for a reproduction and fatal for serving: nothing watches for
+//! correlation drift (the silent killer of Eq. 5 effectiveness), the
+//! rebuild refits every model even when only the buffer grew, and the
+//! rebuild's owner cannot answer queries while it runs. This module is
+//! the missing lifecycle layer, in three cooperating pieces:
+//!
+//! * [`DriftMonitor`] — watches the insert stream: per-model EWMAs of the
+//!   margin-normalised residuals plus an EWMA of the outlier-routing
+//!   rate, summarised as a [`DriftReport`] with a drift score per
+//!   correlation group.
+//! * [`MaintenancePolicy`] + [`Maintainer`] — turn a report into the
+//!   cheapest sufficient [`MaintenanceAction`]: **fold** the buffer into
+//!   fresh structures with every model frozen
+//!   ([`crate::CoaxIndex::rebuild_incremental`]) when the buffer is
+//!   merely long, or **refit** the models from the accumulated evidence
+//!   ([`crate::CoaxIndex::rebuild`] semantics) when the dependency has
+//!   drifted. The policy travels in [`crate::CoaxConfig::maintenance`].
+//! * [`IndexHandle`] — the epoch swap: readers query a consistent
+//!   `Arc<CoaxIndex>` snapshot lock-free while a writer thread builds the
+//!   successor epoch and publishes it with a pointer swap; inserts buffer
+//!   through the handle and are visible immediately.
+//!
+//! ```no_run
+//! use coax_core::maint::{IndexHandle, Maintainer};
+//! use coax_core::CoaxConfig;
+//! use std::sync::Arc;
+//!
+//! # let dataset = coax_data::Dataset::new(vec![vec![], vec![]]);
+//! let handle = Arc::new(IndexHandle::build(&dataset, &CoaxConfig::default()));
+//! handle.insert(&[1.0, 2.0]).unwrap();      // buffered, immediately visible
+//! let report = handle.drift_report();       // what the stream looks like
+//! let action = handle.maintain();           // fold/refit if the policy says so
+//! # let _ = (report, action);
+//! ```
+
+mod drift;
+mod handle;
+mod policy;
+
+pub use drift::{DriftMonitor, DriftReport, GroupDrift, ModelDrift};
+pub use handle::IndexHandle;
+pub use policy::{Maintainer, MaintenanceAction, MaintenanceOutcome, MaintenancePolicy};

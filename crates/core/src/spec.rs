@@ -12,6 +12,7 @@
 
 use crate::discovery::{discover, Discovery};
 use crate::index::{CoaxConfig, CoaxIndex, PrimaryBackend};
+use crate::maint::IndexHandle;
 use coax_data::Dataset;
 use coax_index::{BackendSpec, MultidimIndex};
 
@@ -75,6 +76,14 @@ impl IndexSpec {
                 None => CoaxIndex::build(dataset, config),
             }),
         }
+    }
+
+    /// Builds a live-maintained [`IndexHandle`] if this spec describes a
+    /// COAX index — the factory's entry to the [`crate::maint`] layer,
+    /// using the [`CoaxConfig::maintenance`] policy carried in the spec's
+    /// config. Substrate specs have no insert path and return `None`.
+    pub fn build_handle(&self, dataset: &Dataset) -> Option<IndexHandle> {
+        self.build_coax(dataset).map(IndexHandle::new)
     }
 
     /// Whether building over `dataset` stays inside every builder
@@ -182,6 +191,19 @@ mod tests {
             let hits = index.range_query(&RangeQuery::unbounded(3));
             assert_eq!(hits.len(), 400, "{spec:?} must return every row");
         }
+    }
+
+    #[test]
+    fn factory_builds_maintained_handles_for_coax_only() {
+        use coax_index::MultidimIndex;
+        let ds = UniformConfig::cube(2, 300, 81).generate();
+        let handle = IndexSpec::coax(CoaxConfig::default())
+            .build_handle(&ds)
+            .expect("coax spec yields a handle");
+        assert_eq!(handle.len(), 300);
+        handle.insert(&[0.5, 0.5]).expect("handle accepts inserts");
+        assert_eq!(handle.len(), 301);
+        assert!(IndexSpec::from(BackendSpec::FullScan).build_handle(&ds).is_none());
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Drifting-correlation streams: a planted linear soft FD whose slope and
+//! intercept shift over the course of the stream.
+//!
+//! COAX's margins are frozen at build time (Eq. 1), so a dependency that
+//! drifts after the build silently degrades effectiveness (Eq. 5): rows
+//! that follow the *new* line fall outside the *old* margins and route to
+//! the outlier partition, or — worse — the margins must widen until
+//! translation stops pruning. This generator produces exactly that
+//! scenario deterministically, in **stream order** (row index = arrival
+//! order), so maintenance tests can build on the stationary prefix and
+//! stream the drifting suffix through the insert path.
+
+use super::Generator;
+use crate::stats::sample_normal;
+use crate::{Dataset, DatasetBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-plus-columns stream `y = slope(i)·x + intercept(i) + noise` whose
+/// line parameters interpolate linearly from `start` to `end` over the
+/// drifting part of the stream.
+///
+/// Rows `0..drift_after` follow `start` exactly (the stationary prefix an
+/// index is built on); from `drift_after` to `rows` the parameters ramp
+/// linearly to `end`. Column order: predictor `x`, dependent `y`, then
+/// the independent attributes.
+#[derive(Clone, Debug)]
+pub struct DriftingLinearConfig {
+    /// Total rows in the stream (prefix + drifting suffix).
+    pub rows: usize,
+    /// Rows before any drift begins — the stationary build segment.
+    pub drift_after: usize,
+    /// Predictor range (uniform, stationary throughout).
+    pub x_range: (Value, Value),
+    /// `(slope, intercept)` of the planted line at stream start.
+    pub start: (Value, Value),
+    /// `(slope, intercept)` reached at the end of the stream.
+    pub end: (Value, Value),
+    /// Std-dev of the on-line Gaussian noise (stationary).
+    pub noise_sigma: Value,
+    /// Fraction of rows displaced far off the (current) line.
+    pub outlier_fraction: Value,
+    /// Minimum outlier displacement, in multiples of `noise_sigma`.
+    pub outlier_offset_sigmas: Value,
+    /// Ranges of trailing independent uniform attributes.
+    pub independent: Vec<(Value, Value)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriftingLinearConfig {
+    fn default() -> Self {
+        Self {
+            rows: 20_000,
+            drift_after: 10_000,
+            x_range: (0.0, 1000.0),
+            start: (2.0, 25.0),
+            end: (2.4, 60.0),
+            noise_sigma: 4.0,
+            outlier_fraction: 0.02,
+            outlier_offset_sigmas: 25.0,
+            independent: vec![(0.0, 100.0)],
+            seed: 0xD81F,
+        }
+    }
+}
+
+impl DriftingLinearConfig {
+    /// Total number of output columns (`x`, `y`, independents).
+    pub fn dims(&self) -> usize {
+        2 + self.independent.len()
+    }
+
+    /// The interpolated `(slope, intercept)` in effect at stream position
+    /// `i`: `start` up to `drift_after`, then a linear ramp to `end` at
+    /// the last row.
+    pub fn params_at(&self, i: usize) -> (Value, Value) {
+        let t = self.drift_fraction(i);
+        (
+            self.start.0 + t * (self.end.0 - self.start.0),
+            self.start.1 + t * (self.end.1 - self.start.1),
+        )
+    }
+
+    /// How far through the drift ramp position `i` is, in `[0, 1]`.
+    pub fn drift_fraction(&self, i: usize) -> Value {
+        if i < self.drift_after || self.rows <= self.drift_after + 1 {
+            return if i < self.drift_after { 0.0 } else { 1.0 };
+        }
+        let span = (self.rows - 1 - self.drift_after) as Value;
+        ((i - self.drift_after) as Value / span).min(1.0)
+    }
+}
+
+impl Generator for DriftingLinearConfig {
+    fn generate(&self) -> Dataset {
+        assert!(self.drift_after <= self.rows, "drift_after beyond the stream");
+        let (xlo, xhi) = self.x_range;
+        assert!(xhi > xlo, "inverted x range");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dims = self.dims();
+        let mut b = DatasetBuilder::with_capacity(dims, self.rows);
+        let mut row = Vec::with_capacity(dims);
+        for i in 0..self.rows {
+            row.clear();
+            let (slope, intercept) = self.params_at(i);
+            let x = rng.gen_range(xlo..xhi);
+            let mut y = slope * x + intercept + sample_normal(&mut rng, 0.0, self.noise_sigma);
+            if rng.gen::<f64>() < self.outlier_fraction {
+                let side = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                let extra = rng.gen_range(1.0..4.0);
+                y += side * self.outlier_offset_sigmas * self.noise_sigma * extra;
+            }
+            row.push(x);
+            row.push(y);
+            for &(lo, hi) in &self.independent {
+                row.push(if hi > lo { rng.gen_range(lo..=hi) } else { lo });
+            }
+            b.push_row(&row).expect("generated row is finite");
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::std_dev;
+
+    fn fit_slope(xs: &[Value], ys: &[Value]) -> Value {
+        let n = xs.len() as Value;
+        let mx = xs.iter().sum::<Value>() / n;
+        let my = ys.iter().sum::<Value>() / n;
+        let cov: Value = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+        let var: Value = xs.iter().map(|&x| (x - mx) * (x - mx)).sum();
+        cov / var
+    }
+
+    #[test]
+    fn prefix_is_stationary_and_suffix_reaches_end_params() {
+        let cfg = DriftingLinearConfig {
+            rows: 20_000,
+            drift_after: 10_000,
+            start: (2.0, 25.0),
+            end: (2.5, 25.0),
+            outlier_fraction: 0.0,
+            seed: 7,
+            ..Default::default()
+        };
+        let ds = cfg.generate();
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.len(), 20_000);
+        let xs = ds.column(0);
+        let ys = ds.column(1);
+        // Prefix fits the start slope; the last ~10 % of the stream sits
+        // near the end slope.
+        let s_prefix = fit_slope(&xs[..10_000], &ys[..10_000]);
+        assert!((s_prefix - 2.0).abs() < 0.01, "prefix slope {s_prefix}");
+        let s_tail = fit_slope(&xs[18_000..], &ys[18_000..]);
+        assert!((s_tail - 2.47).abs() < 0.05, "tail slope {s_tail}");
+    }
+
+    #[test]
+    fn params_interpolate_linearly() {
+        let cfg = DriftingLinearConfig {
+            rows: 101,
+            drift_after: 0,
+            start: (1.0, 0.0),
+            end: (3.0, 100.0),
+            ..Default::default()
+        };
+        assert_eq!(cfg.params_at(0), (1.0, 0.0));
+        assert_eq!(cfg.params_at(100), (3.0, 100.0));
+        let (s, b) = cfg.params_at(50);
+        assert!((s - 2.0).abs() < 1e-12 && (b - 50.0).abs() < 1e-12);
+        assert_eq!(cfg.drift_fraction(0), 0.0);
+        assert_eq!(cfg.drift_fraction(100), 1.0);
+    }
+
+    #[test]
+    fn residuals_against_frozen_line_grow_with_drift() {
+        let cfg = DriftingLinearConfig { outlier_fraction: 0.0, seed: 9, ..Default::default() };
+        let ds = cfg.generate();
+        let (slope, intercept) = cfg.start;
+        let resid = |range: std::ops::Range<usize>| {
+            let r: Vec<Value> = ds.column(0)[range.clone()]
+                .iter()
+                .zip(&ds.column(1)[range])
+                .map(|(&x, &y)| y - (slope * x + intercept))
+                .collect();
+            std_dev(&r)
+        };
+        // Against the *frozen* build-time line, the drifting tail's
+        // residual spread dwarfs the stationary prefix's.
+        assert!(resid(18_000..20_000) > 5.0 * resid(0..10_000));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DriftingLinearConfig::default().generate();
+        let b = DriftingLinearConfig::default().generate();
+        let c = DriftingLinearConfig { seed: 1, ..Default::default() }.generate();
+        assert_eq!(a.column(1), b.column(1));
+        assert_ne!(a.column(1), c.column(1));
+    }
+}

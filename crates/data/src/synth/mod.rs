@@ -16,6 +16,7 @@
 //! datasets used by unit, property and theory tests.
 
 pub mod airline;
+pub mod drift;
 pub mod generic;
 pub mod osm;
 
@@ -31,6 +32,7 @@ pub trait Generator {
 }
 
 pub use airline::AirlineConfig;
+pub use drift::DriftingLinearConfig;
 pub use generic::{
     GaussianClustersConfig, LinearPairConfig, PlantedConfig, PlantedDependent, PlantedGroup,
     UniformConfig,

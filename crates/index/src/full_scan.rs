@@ -66,7 +66,7 @@ impl MultidimIndex for FullScan {
         }
         matches += alive.len();
         out.extend_from_slice(&alive);
-        ScanStats { cells_visited: 1, rows_examined: n, matches }
+        ScanStats { cells_visited: 1, rows_examined: n, matches, ..Default::default() }
     }
 
     fn memory_overhead(&self) -> usize {

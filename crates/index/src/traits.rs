@@ -12,8 +12,16 @@ pub struct ScanStats {
     /// Directory units inspected: grid cells for grid-family indexes,
     /// nodes for the R-tree, 1 for a full scan.
     pub cells_visited: usize,
-    /// Rows whose values were compared against the predicate.
+    /// Rows whose values were compared against the predicate through the
+    /// index structure proper.
     pub rows_examined: usize,
+    /// Rows checked linearly in a pending-insert (or epoch-overlay)
+    /// buffer, *outside* any index structure. Counted separately from
+    /// [`ScanStats::rows_examined`] so reports can see a bloated buffer,
+    /// but included in [`ScanStats::effectiveness`] — a pending row
+    /// compared against the predicate is work wasted exactly like an
+    /// in-structure false positive, so hiding it would overstate Eq. 5.
+    pub scanned_pending: usize,
     /// Rows that satisfied the predicate.
     pub matches: usize,
 }
@@ -24,23 +32,35 @@ impl ScanStats {
         ScanStats {
             cells_visited: self.cells_visited + other.cells_visited,
             rows_examined: self.rows_examined + other.rows_examined,
+            scanned_pending: self.scanned_pending + other.scanned_pending,
             matches: self.matches + other.matches,
         }
     }
 
-    /// Fraction of examined rows that matched (1.0 when nothing was
-    /// examined — an empty scan wastes no work).
+    /// Every row the query compared against the predicate: index rows
+    /// plus pending-buffer rows. The denominator of Eq. 5.
+    pub fn total_examined(&self) -> usize {
+        self.rows_examined + self.scanned_pending
+    }
+
+    /// Fraction of examined rows — index rows *and* pending-buffer rows —
+    /// that matched (1.0 when nothing was examined: an empty scan wastes
+    /// no work).
     pub fn precision(&self) -> f64 {
-        if self.rows_examined == 0 {
+        let examined = self.total_examined();
+        if examined == 0 {
             1.0
         } else {
-            self.matches as f64 / self.rows_examined as f64
+            self.matches as f64 / examined as f64
         }
     }
 
     /// The paper's *effectiveness* measure (Eq. 5): results per examined
     /// row, in `[0, 1]` — 1.0 means the scan touched exactly the result
-    /// set, lower means wasted work.
+    /// set, lower means wasted work. The denominator is
+    /// [`ScanStats::total_examined`], so linear scans of a pending-insert
+    /// buffer count as wasted work too — a bloated buffer degrades
+    /// reported effectiveness instead of hiding.
     ///
     /// Identical to [`ScanStats::precision`] on non-empty scans; the two
     /// exist because "precision" is this crate's accounting name while
@@ -206,30 +226,52 @@ pub trait MultidimIndex: std::fmt::Debug + Send + Sync {
 mod tests {
     use super::*;
 
+    fn stats(cells: usize, examined: usize, pending: usize, matches: usize) -> ScanStats {
+        ScanStats {
+            cells_visited: cells,
+            rows_examined: examined,
+            scanned_pending: pending,
+            matches,
+        }
+    }
+
     #[test]
     fn merge_adds_componentwise() {
-        let a = ScanStats { cells_visited: 1, rows_examined: 10, matches: 3 };
-        let b = ScanStats { cells_visited: 2, rows_examined: 5, matches: 2 };
-        assert_eq!(a.merge(b), ScanStats { cells_visited: 3, rows_examined: 15, matches: 5 });
+        let a = stats(1, 10, 4, 3);
+        let b = stats(2, 5, 1, 2);
+        assert_eq!(a.merge(b), stats(3, 15, 5, 5));
     }
 
     #[test]
     fn precision_handles_empty_scan() {
         assert_eq!(ScanStats::default().precision(), 1.0);
-        let s = ScanStats { cells_visited: 1, rows_examined: 8, matches: 2 };
+        let s = stats(1, 8, 0, 2);
         assert!((s.precision() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn effectiveness_matches_eq5() {
         // Eq. 5 on a real scan: matches per examined row.
-        let s = ScanStats { cells_visited: 3, rows_examined: 50, matches: 10 };
+        let s = stats(3, 50, 0, 10);
         assert!((s.effectiveness() - 0.2).abs() < 1e-12);
         // Zero-examined edge case: an empty scan wastes no work and is
         // defined as perfectly effective, *not* NaN or a division panic.
-        let empty = ScanStats { cells_visited: 2, rows_examined: 0, matches: 0 };
+        let empty = stats(2, 0, 0, 0);
         assert_eq!(empty.effectiveness(), 1.0);
         assert_eq!(ScanStats::default().effectiveness(), 1.0);
+    }
+
+    #[test]
+    fn pending_scans_count_against_effectiveness() {
+        // 10 matches over 50 index rows is 0.2 effective; scanning a
+        // 150-row pending buffer on top drags Eq. 5 down to 10/200 = 0.05
+        // instead of hiding the buffer's linear cost.
+        let s = stats(3, 50, 150, 10);
+        assert_eq!(s.total_examined(), 200);
+        assert!((s.effectiveness() - 0.05).abs() < 1e-12);
+        // A buffer-only scan (no index work at all) is still accounted.
+        let buffer_only = stats(0, 0, 40, 8);
+        assert!((buffer_only.effectiveness() - 0.2).abs() < 1e-12);
     }
 
     #[test]
@@ -237,7 +279,7 @@ mod tests {
         // One real scan at 0.25 effectiveness plus three fully-pruned
         // queries. Macro-averaging the per-query ratios would report
         // (0.25 + 1 + 1 + 1) / 4 ≈ 0.81; merging first keeps 0.25.
-        let real = ScanStats { cells_visited: 4, rows_examined: 100, matches: 25 };
+        let real = stats(4, 100, 0, 25);
         let pruned = ScanStats::default();
         let total = real.merge(pruned).merge(pruned).merge(pruned);
         assert!((total.effectiveness() - 0.25).abs() < 1e-12);

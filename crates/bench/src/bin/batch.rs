@@ -1,0 +1,218 @@
+//! Batch-execution benchmark: what the `coax_core::exec` batch engine
+//! buys over the per-query loop, laddered over **batch size × worker
+//! count × backend**.
+//!
+//! For every cell of the ladder the same workload runs three ways:
+//!
+//! * **sequential loop** — one `range_query_stats` call per query, the
+//!   pre-batch-engine baseline;
+//! * **batch t=1 (unshared)** — translate-once batching with probe
+//!   sharing disabled: isolates what planning amortisation alone buys;
+//! * **batch t=N** — the full engine: shared navigation probes, chunks
+//!   fanned out over `N` scoped workers.
+//!
+//! Before timing, every configuration's per-query results and
+//! `ScanStats` are checked **bit-identical** to the sequential loop —
+//! the speedup is never bought with a changed answer (the `exec_batch`
+//! and `batch_parallel` suites assert the same, harder).
+//!
+//! Scaled by `COAX_BENCH_ROWS` / `COAX_BENCH_REPEATS`; ladders by
+//! `COAX_BENCH_BATCH_SIZES` / `COAX_BENCH_BATCH_THREADS` (comma lists).
+//! Pass `--json` for machine-readable output, `--csv <path>` for a flat
+//! CSV.
+
+use coax_bench::datasets;
+use coax_bench::harness::{
+    fmt_ms, json_mode, maybe_write_csv, print_table, JsonReport, JsonValue, ReportRow,
+};
+use coax_core::{CoaxConfig, CoaxIndex, ExecConfig, IndexSpec, PrimaryBackend};
+use coax_data::RangeQuery;
+use coax_index::{MultidimIndex, QueryResult};
+use std::time::Instant;
+
+/// Mean wall-clock milliseconds per whole-batch execution of `f`, with
+/// one untimed warm-up pass.
+fn time_batch_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let repeats = repeats.max(1);
+    f();
+    let start = Instant::now();
+    for _ in 0..repeats {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / repeats as f64
+}
+
+/// The sequential ground truth: one `range_query_stats` call per query.
+fn sequential_loop(index: &CoaxIndex, queries: &[RangeQuery]) -> Vec<QueryResult> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut ids = Vec::new();
+            let stats = index.range_query_stats(q, &mut ids);
+            QueryResult { ids, stats }
+        })
+        .collect()
+}
+
+struct Row {
+    label: String,
+    batch_ms: f64,
+    speedup: f64,
+    threads: usize,
+    shared: bool,
+}
+
+fn main() {
+    let json = json_mode();
+    let rows = datasets::bench_rows();
+    let repeats = datasets::bench_repeats();
+    let sizes = datasets::bench_batch_sizes();
+    let threads_ladder = datasets::bench_batch_threads();
+    let max_batch = sizes.iter().copied().max().unwrap_or(0);
+
+    if !json {
+        println!(
+            "Batch-execution benchmark — airline analogue, {rows} rows; \
+             ladders: batch sizes {sizes:?} × workers {threads_ladder:?} \
+             ({} cores available)",
+            std::thread::available_parallelism().map_or(1, usize::from)
+        );
+    }
+
+    let dataset = datasets::airline(rows);
+    // KNN rectangles at two selectivities: neighbouring queries overlap
+    // in the grid directory, so their merged probes share cells. Half of
+    // each batch re-asks a 16-query hot set — high-throughput serving
+    // batches repeat hot queries (the Coconut/Hermit motivation), and
+    // the engine's probe dedup answers each distinct query once per
+    // chunk where the sequential loop executes every copy.
+    let mut pool = datasets::range_workload(&dataset, max_batch.div_ceil(4), 50);
+    pool.extend(datasets::range_workload(&dataset, max_batch.div_ceil(4), 400));
+    let hot: Vec<RangeQuery> = pool.iter().rev().take(16).cloned().collect();
+    let mut unique = pool.into_iter();
+    let mut workload: Vec<RangeQuery> = Vec::with_capacity(max_batch);
+    for i in 0..max_batch {
+        match if i % 2 == 0 { unique.next() } else { None } {
+            Some(q) => workload.push(q),
+            None => workload.push(hot[i % hot.len()].clone()),
+        }
+    }
+
+    let backends = [
+        ("coax", IndexSpec::coax(CoaxConfig::default())),
+        (
+            "coax primary=r-tree",
+            IndexSpec::coax(CoaxConfig {
+                primary_backend: PrimaryBackend::RTree { capacity: 10 },
+                ..Default::default()
+            }),
+        ),
+    ];
+
+    let mut report = JsonReport::new("batch");
+    for (backend, spec) in &backends {
+        let index = spec.build_coax(&dataset).expect("coax spec");
+        for &size in &sizes {
+            let queries = &workload[..size.min(workload.len())];
+            let section = format!("{backend} batch={}", queries.len());
+
+            let baseline = sequential_loop(&index, queries);
+            let seq_ms = time_batch_ms(repeats, || {
+                std::hint::black_box(sequential_loop(&index, queries));
+            });
+
+            let mut table: Vec<Row> = vec![Row {
+                label: "sequential loop".into(),
+                batch_ms: seq_ms,
+                speedup: 1.0,
+                threads: 1,
+                shared: false,
+            }];
+
+            let mut configs: Vec<(String, ExecConfig)> = vec![(
+                "batch t=1 (unshared)".into(),
+                ExecConfig {
+                    batch_threads: 1,
+                    min_parallel_batch: 2,
+                    shared_probes: false,
+                    chunk_size: 0,
+                },
+            )];
+            for &t in &threads_ladder {
+                configs.push((
+                    format!("batch t={t}"),
+                    ExecConfig {
+                        batch_threads: t,
+                        min_parallel_batch: 2,
+                        shared_probes: true,
+                        chunk_size: 0,
+                    },
+                ));
+            }
+
+            for (label, config) in configs {
+                // The contract check: identical answers, then the clock.
+                let results = index.batch_query_with(queries, &config);
+                assert_eq!(
+                    results, baseline,
+                    "{section} / {label}: batch diverged from the sequential loop"
+                );
+                let batch_ms = time_batch_ms(repeats, || {
+                    std::hint::black_box(index.batch_query_with(queries, &config));
+                });
+                table.push(Row {
+                    label,
+                    batch_ms,
+                    speedup: seq_ms / batch_ms,
+                    threads: config.batch_threads,
+                    shared: config.shared_probes,
+                });
+            }
+
+            for row in &table {
+                let per_query_us = row.batch_ms * 1e3 / queries.len() as f64;
+                report.add_row(
+                    &section,
+                    &row.label,
+                    vec![
+                        ("threads", JsonValue::Int(row.threads as u64)),
+                        ("shared_probes", JsonValue::Str(row.shared.to_string())),
+                        ("batch_ms", JsonValue::Num(row.batch_ms)),
+                        ("per_query_us", JsonValue::Num(per_query_us)),
+                        ("qps", JsonValue::Num(1e3 * queries.len() as f64 / row.batch_ms)),
+                        ("speedup_vs_sequential", JsonValue::Num(row.speedup)),
+                    ],
+                );
+            }
+            if !json {
+                let printable: Vec<ReportRow> = table
+                    .iter()
+                    .map(|row| ReportRow {
+                        label: row.label.clone(),
+                        values: vec![
+                            ("batch time".into(), fmt_ms(row.batch_ms)),
+                            ("per query".into(), fmt_ms(row.batch_ms / queries.len() as f64)),
+                            (
+                                "qps".into(),
+                                format!("{:.0}", 1e3 * queries.len() as f64 / row.batch_ms),
+                            ),
+                            ("speedup".into(), format!("{:.2}x", row.speedup)),
+                        ],
+                    })
+                    .collect();
+                print_table(&section, &printable);
+            }
+        }
+    }
+
+    if json {
+        report.print();
+    } else {
+        println!(
+            "\nReading: 'sequential loop' is the pre-engine baseline; 't=1 (unshared)' \
+             adds translate-once batching only; 't=N' adds shared probes and N workers. \
+             Every row's answers were verified bit-identical to the loop before timing."
+        );
+    }
+    maybe_write_csv(&report);
+}

@@ -8,14 +8,28 @@
 //!
 //! We use the OSM coordinates (the paper's skew source) and compare the
 //! uniform grid, the quantile grid, and the reduced 1-D layout.
+//!
+//! Scaled by `COAX_BENCH_ROWS`; pass `--json` for machine-readable
+//! output, `--csv <path>` for a flat CSV.
 
 use coax_bench::datasets;
-use coax_bench::harness::{print_table, ReportRow};
+use coax_bench::harness::{
+    json_mode, maybe_write_csv, print_table, JsonReport, JsonValue, ReportRow,
+};
 use coax_data::stats::Histogram;
 use coax_data::synth::osm::columns;
 use coax_index::{GridFile, GridFileConfig, UniformGrid};
 
-fn length_stats(label: &str, lengths: &[usize]) -> ReportRow {
+struct LayoutStats {
+    label: String,
+    cells: usize,
+    empty_pct: f64,
+    mean_len: f64,
+    std_len: f64,
+    max_len: usize,
+}
+
+fn length_stats(label: &str, lengths: &[usize]) -> LayoutStats {
     let n: usize = lengths.iter().sum();
     let cells = lengths.len();
     let empty = lengths.iter().filter(|&&l| l == 0).count();
@@ -23,14 +37,25 @@ fn length_stats(label: &str, lengths: &[usize]) -> ReportRow {
     let mean = n as f64 / cells.max(1) as f64;
     let var =
         lengths.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / cells.max(1) as f64;
-    ReportRow {
+    LayoutStats {
         label: label.to_string(),
+        cells,
+        empty_pct: 100.0 * empty as f64 / cells.max(1) as f64,
+        mean_len: mean,
+        std_len: var.sqrt(),
+        max_len: max,
+    }
+}
+
+fn report_row(stats: &LayoutStats) -> ReportRow {
+    ReportRow {
+        label: stats.label.clone(),
         values: vec![
-            ("cells".into(), cells.to_string()),
-            ("empty".into(), format!("{:.1}%", 100.0 * empty as f64 / cells.max(1) as f64)),
-            ("mean len".into(), format!("{mean:.1}")),
-            ("std len".into(), format!("{:.1}", var.sqrt())),
-            ("max len".into(), max.to_string()),
+            ("cells".into(), stats.cells.to_string()),
+            ("empty".into(), format!("{:.1}%", stats.empty_pct)),
+            ("mean len".into(), format!("{:.1}", stats.mean_len)),
+            ("std len".into(), format!("{:.1}", stats.std_len)),
+            ("max len".into(), stats.max_len.to_string()),
         ],
     }
 }
@@ -46,14 +71,31 @@ fn print_histogram(title: &str, lengths: &[usize], bins: usize) {
     }
 }
 
+fn histogram_rows(report: &mut JsonReport, title: &str, lengths: &[usize], bins: usize) {
+    let values: Vec<f64> = lengths.iter().map(|&l| l as f64).collect();
+    let hist = Histogram::from_values(&values, bins);
+    for (i, (edge, count)) in hist.bins().enumerate() {
+        report.add_row(
+            &format!("histogram: {title}"),
+            &format!("bin{i}"),
+            vec![("edge", JsonValue::Num(edge)), ("count", JsonValue::Int(count as u64))],
+        );
+    }
+}
+
 fn main() {
+    let json = json_mode();
     let rows = datasets::bench_rows();
     let osm = datasets::osm(rows);
     // 2-D layouts over the skewed lat/lon plane.
     let geo = osm.project(&[columns::LATITUDE, columns::LONGITUDE]);
     let k2 = (rows as f64).sqrt().sqrt().ceil() as usize * 4; // ~same #cells as 1-D layout below
 
-    println!("Figure 4 reproduction — grid layouts on skewed OSM coordinates ({rows} rows)");
+    if !json {
+        println!(
+            "Figure 4 reproduction — grid layouts on skewed OSM coordinates ({rows} rows)"
+        );
+    }
 
     let uniform = UniformGrid::build(&geo, k2);
     let quantile = GridFile::build(&geo, &GridFileConfig::all_dims(2, k2));
@@ -62,21 +104,44 @@ fn main() {
     let one_d =
         GridFile::build(&geo, &GridFileConfig::subset(vec![0], Some(1), (k2 * k2).min(4096)));
 
-    let table = vec![
-        length_stats(&format!("uniform 2-D (k={k2})"), &uniform.cell_lengths()),
-        length_stats(&format!("quantile 2-D (k={k2})"), &quantile.cell_lengths()),
-        length_stats("learned 1-D grid", &one_d.cell_lengths()),
+    let layouts = [
+        (format!("uniform 2-D (k={k2})"), uniform.cell_lengths()),
+        (format!("quantile 2-D (k={k2})"), quantile.cell_lengths()),
+        ("learned 1-D grid".to_string(), one_d.cell_lengths()),
     ];
-    print_table("Fig. 4b/4c — layout comparison (same directory order)", &table);
 
-    print_histogram("Fig. 4a analogue (uniform 2-D layout)", &uniform.cell_lengths(), 20);
-    print_histogram("quantile 2-D layout", &quantile.cell_lengths(), 20);
-    print_histogram("learned 1-D grid", &one_d.cell_lengths(), 20);
+    let mut report = JsonReport::new("fig4");
+    let mut table = Vec::new();
+    for (label, lengths) in &layouts {
+        let stats = length_stats(label, lengths);
+        report.add_row(
+            "layouts",
+            label,
+            vec![
+                ("cells", JsonValue::Int(stats.cells as u64)),
+                ("empty_pct", JsonValue::Num(stats.empty_pct)),
+                ("mean_len", JsonValue::Num(stats.mean_len)),
+                ("std_len", JsonValue::Num(stats.std_len)),
+                ("max_len", JsonValue::Int(stats.max_len as u64)),
+            ],
+        );
+        histogram_rows(&mut report, label, lengths, 20);
+        table.push(report_row(&stats));
+    }
 
-    println!(
-        "\nReading: the uniform 2-D layout on skewed data has a heavy-tailed \
-         page-size distribution (Fig. 4a); equi-depth boundaries flatten it; \
-         dropping a predicted dimension lets the same budget partition the \
-         remaining attribute far more evenly."
-    );
+    if json {
+        report.print();
+    } else {
+        print_table("Fig. 4b/4c — layout comparison (same directory order)", &table);
+        print_histogram("Fig. 4a analogue (uniform 2-D layout)", &layouts[0].1, 20);
+        print_histogram("quantile 2-D layout", &layouts[1].1, 20);
+        print_histogram("learned 1-D grid", &layouts[2].1, 20);
+        println!(
+            "\nReading: the uniform 2-D layout on skewed data has a heavy-tailed \
+             page-size distribution (Fig. 4a); equi-depth boundaries flatten it; \
+             dropping a predicted dimension lets the same budget partition the \
+             remaining attribute far more evenly."
+        );
+    }
+    maybe_write_csv(&report);
 }

@@ -6,13 +6,28 @@
 //! Paper reference values: Airline — 80 M rows, 8 dims, correlated (3,3),
 //! indexed 2–4, primary ratio 92 %. OSM — 105 M rows, 4 dims, 2
 //! correlated, indexed 3, primary ratio 73 %.
+//!
+//! Scaled by `COAX_BENCH_ROWS`; pass `--json` for machine-readable
+//! output, `--csv <path>` for a flat CSV.
 
 use coax_bench::datasets;
-use coax_bench::harness::{print_table, ReportRow};
+use coax_bench::harness::{
+    json_mode, maybe_write_csv, print_table, JsonReport, JsonValue, ReportRow,
+};
 use coax_core::{CoaxConfig, CoaxIndex};
 use coax_data::Dataset;
 
-fn characterise(name: &str, dataset: &Dataset) -> ReportRow {
+struct Characteristics {
+    name: String,
+    count: usize,
+    dims: usize,
+    correlated: String,
+    indexed: usize,
+    grid_dims: usize,
+    primary_ratio: f64,
+}
+
+fn characterise(name: &str, dataset: &Dataset) -> Characteristics {
     let index = CoaxIndex::build(dataset, &CoaxConfig::default());
     let group_sizes: Vec<String> =
         index.groups().iter().map(|g| (g.models.len() + 1).to_string()).collect();
@@ -22,29 +37,66 @@ fn characterise(name: &str, dataset: &Dataset) -> ReportRow {
         format!("({})", group_sizes.join(", "))
     };
     let indexed = index.indexed_dims().len();
-    let grid_dims = indexed.saturating_sub(1);
-    ReportRow {
-        label: name.to_string(),
-        values: vec![
-            ("Count".into(), dataset.len().to_string()),
-            ("Key Type".into(), "f64".into()),
-            ("Dimensions".into(), dataset.dims().to_string()),
-            ("Correlated Dims".into(), correlated),
-            ("Indexed Dims (Soft-FD)".into(), indexed.to_string()),
-            ("Grid Directory Dims".into(), grid_dims.to_string()),
-            ("Primary Index Ratio".into(), format!("{:.1}%", 100.0 * index.primary_ratio())),
-        ],
+    Characteristics {
+        name: name.to_string(),
+        count: dataset.len(),
+        dims: dataset.dims(),
+        correlated,
+        indexed,
+        grid_dims: indexed.saturating_sub(1),
+        primary_ratio: index.primary_ratio(),
     }
 }
 
 fn main() {
+    let json = json_mode();
     let rows = datasets::bench_rows();
-    println!("Table 1 reproduction — dataset characteristics ({rows} rows/dataset)");
-    println!("paper: Airline 8 dims, correlated (3,3), indexed 2-4, primary 92%");
-    println!("paper: OSM 4 dims, correlated 2, indexed 3, primary 73%");
+    if !json {
+        println!("Table 1 reproduction — dataset characteristics ({rows} rows/dataset)");
+        println!("paper: Airline 8 dims, correlated (3,3), indexed 2-4, primary 92%");
+        println!("paper: OSM 4 dims, correlated 2, indexed 3, primary 73%");
+    }
 
     let airline = datasets::airline(rows);
     let osm = datasets::osm(rows);
-    let table = vec![characterise("Airline", &airline), characterise("OSM", &osm)];
-    print_table("Table 1", &table);
+    let measured = [characterise("Airline", &airline), characterise("OSM", &osm)];
+
+    let mut report = JsonReport::new("table1");
+    for c in &measured {
+        report.add_row(
+            "datasets",
+            &c.name,
+            vec![
+                ("count", JsonValue::Int(c.count as u64)),
+                ("key_type", "f64".into()),
+                ("dims", JsonValue::Int(c.dims as u64)),
+                ("correlated_dims", c.correlated.as_str().into()),
+                ("indexed_dims", JsonValue::Int(c.indexed as u64)),
+                ("grid_directory_dims", JsonValue::Int(c.grid_dims as u64)),
+                ("primary_ratio", JsonValue::Num(c.primary_ratio)),
+            ],
+        );
+    }
+
+    if json {
+        report.print();
+    } else {
+        let table: Vec<ReportRow> = measured
+            .iter()
+            .map(|c| ReportRow {
+                label: c.name.clone(),
+                values: vec![
+                    ("Count".into(), c.count.to_string()),
+                    ("Key Type".into(), "f64".into()),
+                    ("Dimensions".into(), c.dims.to_string()),
+                    ("Correlated Dims".into(), c.correlated.clone()),
+                    ("Indexed Dims (Soft-FD)".into(), c.indexed.to_string()),
+                    ("Grid Directory Dims".into(), c.grid_dims.to_string()),
+                    ("Primary Index Ratio".into(), format!("{:.1}%", 100.0 * c.primary_ratio)),
+                ],
+            })
+            .collect();
+        print_table("Table 1", &table);
+    }
+    maybe_write_csv(&report);
 }

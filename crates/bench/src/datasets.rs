@@ -24,6 +24,31 @@ pub fn bench_repeats() -> usize {
     env_usize("COAX_BENCH_REPEATS", 3)
 }
 
+/// Reads a comma-separated `usize`-list env knob with a default
+/// (malformed entries are dropped; a fully malformed value falls back).
+pub fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var(name)
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
+}
+
+/// Batch sizes the `batch` bench ladders over
+/// (`COAX_BENCH_BATCH_SIZES`, default `256,1024,4096`).
+pub fn bench_batch_sizes() -> Vec<usize> {
+    env_usize_list("COAX_BENCH_BATCH_SIZES", &[256, 1024, 4096])
+}
+
+/// Worker counts the `batch` bench ladders over
+/// (`COAX_BENCH_BATCH_THREADS`, default `1,2,4,8`).
+pub fn bench_batch_threads() -> Vec<usize> {
+    env_usize_list("COAX_BENCH_BATCH_THREADS", &[1, 2, 4, 8])
+}
+
 /// The airline analogue at benchmark scale (paper: 80 M rows; Table 1).
 pub fn airline(rows: usize) -> Dataset {
     AirlineConfig::small(rows, 0x0a1e).generate()
@@ -73,6 +98,17 @@ mod tests {
         assert_eq!(env_usize("COAX_TEST_KNOB_MISSING", 7), 7);
         std::env::set_var("COAX_TEST_KNOB_X", "junk");
         assert_eq!(env_usize("COAX_TEST_KNOB_X", 7), 7);
+    }
+
+    #[test]
+    fn env_list_parses_and_falls_back() {
+        std::env::set_var("COAX_TEST_LIST_X", "1, 4,16");
+        assert_eq!(env_usize_list("COAX_TEST_LIST_X", &[2]), vec![1, 4, 16]);
+        assert_eq!(env_usize_list("COAX_TEST_LIST_MISSING", &[2, 3]), vec![2, 3]);
+        std::env::set_var("COAX_TEST_LIST_X", "junk");
+        assert_eq!(env_usize_list("COAX_TEST_LIST_X", &[5]), vec![5]);
+        std::env::set_var("COAX_TEST_LIST_X", "8,junk,2");
+        assert_eq!(env_usize_list("COAX_TEST_LIST_X", &[5]), vec![8, 2]);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Benchmark harness for the COAX reproduction.
 //!
-//! Every table and figure of the paper's evaluation (§8) has a binary that
-//! regenerates it (see `DESIGN.md` §4 for the full index):
+//! Every table and figure of the paper's evaluation (§8) has a binary
+//! that regenerates it, plus two beyond-the-paper binaries for the
+//! subsystems this repo adds (see `README.md` for the how-to-run tour):
 //!
-//! | target | paper artefact |
+//! | target | artefact |
 //! |---|---|
 //! | `table1` | Table 1 — dataset characteristics |
 //! | `fig4`   | Fig. 4 — page-size distribution of 2-D grid layouts |
@@ -12,6 +13,11 @@
 //! | `fig8`   | Fig. 8 — runtime vs memory-overhead trade-off |
 //! | `theory` | Eq. 5 + Theorems 7.1–7.4, measured vs predicted |
 //! | `tuning` | §8.2.1 — per-index tuning sweeps |
+//! | `maint`  | live-maintenance cost under correlation drift |
+//! | `batch`  | batch-engine throughput ladders vs the sequential loop |
+//!
+//! Every binary accepts `--json` (machine-readable report on stdout)
+//! and `--csv <path>` (flat CSV for plotting scripts).
 //!
 //! Scale knobs (defaults are laptop-scale; the paper's full row counts
 //! work too, they just take longer):
@@ -19,6 +25,9 @@
 //! * `COAX_BENCH_ROWS` — rows per dataset (default 200 000)
 //! * `COAX_BENCH_QUERIES` — queries per workload (default 100)
 //! * `COAX_BENCH_REPEATS` — timed passes over each workload (default 3)
+//! * `COAX_BENCH_BATCH_SIZES` / `COAX_BENCH_BATCH_THREADS` — the
+//!   `batch` binary's ladders (comma lists, defaults `256,1024,4096`
+//!   and `1,2,4,8`)
 
 pub mod datasets;
 pub mod harness;

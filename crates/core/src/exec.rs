@@ -15,17 +15,52 @@
 //!    pending-insert buffer, and sum the per-part counters.
 //!
 //! Keeping this sequence in one place is what lets
-//! [`CoaxIndex`](crate::CoaxIndex) be *just another backend* behind
+//! [`CoaxIndex`] be *just another backend* behind
 //! [`MultidimIndex`]: the trait methods, the batch path, and the
 //! figure-generating part-level timings all execute identical code, so
 //! their results are identical by construction (asserted by the
 //! `exec_batch` integration tests).
+//!
+//! # The batch engine
+//!
+//! Batches go further than a per-query loop ever can, because the
+//! expensive per-query state — the translation and the navigation
+//! probes — is visible for the *whole* batch at once:
+//!
+//! 1. [`BatchPlan::new`] translates every query exactly once (one pass,
+//!    no re-planning at execution time);
+//! 2. execution groups the queries into contiguous **chunks**; inside a
+//!    chunk, all primary navigation probes are flattened into one
+//!    [`FilteredProbe`] list and handed to the backend's fused
+//!    multi-probe ([`MultidimIndex::batch_range_query_filtered`] — the
+//!    grid file sweeps the union of the probes' directory cells once,
+//!    ascending), and the outlier filters run through the backend's
+//!    batched plain path; queries that land in the same cells stop
+//!    re-reading them;
+//! 3. chunks execute on a [`std::thread::scope`] worker pool sized by
+//!    [`ExecConfig`] — no extra dependency, and probing itself is
+//!    lock-free (every [`MultidimIndex`] is `Send + Sync`, workers
+//!    claim chunks off an atomic counter, and a mutex is taken only
+//!    to hand a finished chunk's results back).
+//!
+//! None of this changes a single answer: per-query results and
+//! [`ScanStats`] are **identical** to the sequential loop — probe
+//! sharing recomputes every per-query counter from the same binary
+//! searches and filter checks the sequential scan performs, and
+//! chunking/threading only reorders *which* query executes when
+//! (`crates/core/tests/exec_batch.rs` sweeps thread counts and sharing
+//! on/off against the sequential loop).
+//!
+//! [`MultidimIndex`]: coax_index::MultidimIndex
+//! [`MultidimIndex::batch_range_query_filtered`]: coax_index::MultidimIndex::batch_range_query_filtered
 
 use crate::discovery::CorrelationGroup;
 use crate::index::{CoaxIndex, CoaxQueryStats};
 use crate::translate::translate_all;
 use coax_data::{RangeQuery, RowId};
-use coax_index::{QueryResult, ScanStats};
+use coax_index::{FilteredProbe, QueryResult, ScanStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Upper bound on how many disjoint navigation rectangles one query may
 /// fan out into (non-monotone spline inversions); beyond it, translation
@@ -161,20 +196,266 @@ pub(crate) fn execute(
     stats
 }
 
-/// Batch execution: translates each query exactly once into a plan, then
-/// executes the plans sequentially. Per-query results and counters are
-/// identical to one-at-a-time [`CoaxIndex::range_query_stats`] calls
-/// because both run through [`execute`].
-pub(crate) fn execute_batch(index: &CoaxIndex, queries: &[RangeQuery]) -> Vec<QueryResult> {
-    let plans: Vec<QueryPlan> = queries.iter().map(|q| index.plan(q)).collect();
-    plans
-        .iter()
-        .map(|plan| {
+/// Batch-execution knobs: how many workers a batch may fan out over and
+/// whether overlapping navigation probes are merged.
+///
+/// Carried in [`CoaxConfig::exec`](crate::CoaxConfig) — and therefore in
+/// every [`IndexSpec`](crate::IndexSpec) describing a COAX index — so the
+/// trait-level `batch_query` picks the policy up with no extra plumbing;
+/// [`CoaxIndex::batch_query_with`] overrides it per call (the bench
+/// ladders sweep thread counts over one built index that way).
+///
+/// Whatever the knobs, per-query results and [`ScanStats`] are identical
+/// to the sequential loop; the configuration only decides how much work
+/// is shared and how many cores it runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads for batch execution. `0` means one per available
+    /// core ([`std::thread::available_parallelism`]); `1` (the default)
+    /// keeps the batch on the calling thread.
+    pub batch_threads: usize,
+    /// Batches smaller than this stay on the calling thread even when
+    /// `batch_threads` allows more — thread spawn costs more than a
+    /// handful of queries. Default 32.
+    pub min_parallel_batch: usize,
+    /// Merge and deduplicate the navigation probes of each chunk so
+    /// queries landing in the same grid cells share directory and cell
+    /// work (default `true`). `false` probes query-at-a-time — useful
+    /// only for measuring what sharing buys.
+    pub shared_probes: bool,
+    /// Queries per worker chunk; `0` (the default) sizes chunks
+    /// automatically (whole batch when single-threaded — maximal
+    /// sharing — else ~4 chunks per worker for load balance).
+    pub chunk_size: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { batch_threads: 1, min_parallel_batch: 32, shared_probes: true, chunk_size: 0 }
+    }
+}
+
+impl ExecConfig {
+    /// The parallel preset: one worker per available core, shared
+    /// probes, automatic chunking.
+    pub fn parallel() -> Self {
+        Self { batch_threads: 0, ..Self::default() }
+    }
+
+    /// This configuration with an explicit worker count (`0` = one per
+    /// core).
+    pub fn with_threads(self, batch_threads: usize) -> Self {
+        Self { batch_threads, ..self }
+    }
+
+    /// Workers a batch of `batch_len` queries will actually use.
+    pub fn resolve_threads(&self, batch_len: usize) -> usize {
+        if batch_len < self.min_parallel_batch.max(2) {
+            return 1;
+        }
+        let requested = match self.batch_threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        };
+        requested.clamp(1, batch_len)
+    }
+
+    /// Queries per chunk for a batch of `batch_len` queries on
+    /// `threads` workers.
+    fn resolve_chunk(&self, batch_len: usize, threads: usize) -> usize {
+        if self.chunk_size > 0 {
+            return self.chunk_size;
+        }
+        if threads <= 1 {
+            // One chunk: probes shared across the whole batch.
+            return batch_len.max(1);
+        }
+        // ~4 chunks per worker: enough slack for uneven queries without
+        // shrinking the probe-sharing window to nothing.
+        (batch_len.div_ceil(threads * 4)).max(8)
+    }
+}
+
+/// A whole query batch, translated once and ready to execute any number
+/// of times.
+///
+/// Construction performs **all** per-query planning (step 1 for every
+/// query — the translate-once trick amortised batch-wide); execution
+/// shares navigation probes within each chunk and fans chunks out over
+/// the configured worker pool. Results are in query order and identical
+/// to the sequential loop.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    plans: Vec<QueryPlan>,
+    /// Each query's original filter, contiguous — the outlier batch
+    /// probe consumes per-chunk slices of this, so repeated executions
+    /// of one plan never re-clone a query.
+    filters: Vec<RangeQuery>,
+}
+
+impl BatchPlan {
+    /// Translates every query of the batch against `index`'s discovered
+    /// correlation groups, in one pass.
+    pub fn new(index: &CoaxIndex, queries: &[RangeQuery]) -> Self {
+        Self {
+            plans: queries.iter().map(|q| index.plan(q)).collect(),
+            filters: queries.to_vec(),
+        }
+    }
+
+    /// Number of planned queries.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` if the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The per-query plans, in query order.
+    pub fn plans(&self) -> &[QueryPlan] {
+        &self.plans
+    }
+
+    /// Executes the batch against `index` under `config`, returning one
+    /// [`QueryResult`] per query in query order.
+    ///
+    /// `index` must be the index the batch was planned against (plans
+    /// embed its translation; executing them elsewhere answers the wrong
+    /// question).
+    pub fn execute(&self, index: &CoaxIndex, config: &ExecConfig) -> Vec<QueryResult> {
+        let n = self.plans.len();
+        let threads = config.resolve_threads(n);
+        let chunk = config.resolve_chunk(n, threads).max(1);
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect();
+        if threads <= 1 {
+            let mut results = Vec::with_capacity(n);
+            for r in ranges {
+                self.execute_chunk(index, r, config.shared_probes, &mut results);
+            }
+            return results;
+        }
+
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<Option<Vec<QueryResult>>>> = Mutex::new(vec![None; ranges.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(ranges.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    let mut results = Vec::with_capacity(ranges[i].len());
+                    self.execute_chunk(
+                        index,
+                        ranges[i].clone(),
+                        config.shared_probes,
+                        &mut results,
+                    );
+                    done.lock().expect("chunk result lock poisoned")[i] = Some(results);
+                });
+            }
+        });
+        done.into_inner()
+            .expect("chunk result lock poisoned")
+            .into_iter()
+            .flat_map(|r| r.expect("every chunk executed"))
+            .collect()
+    }
+
+    /// Executes one contiguous chunk of the batch, appending one result
+    /// per query to `results` in query order.
+    ///
+    /// With `shared_probes`, the chunk's primary navigation probes run
+    /// as one fused [`MultidimIndex::batch_range_query_filtered`] call
+    /// (shared directory/cell work) and the outlier filters as one
+    /// [`MultidimIndex::batch_query`] call over the plan's pre-built
+    /// filter slice (no per-execution cloning); each query's counters
+    /// are then reassembled exactly as [`execute`] would have produced
+    /// them. Without it, the chunk is the plain per-plan loop.
+    fn execute_chunk(
+        &self,
+        index: &CoaxIndex,
+        range: std::ops::Range<usize>,
+        shared_probes: bool,
+        results: &mut Vec<QueryResult>,
+    ) {
+        let plans = &self.plans[range.clone()];
+        if !shared_probes {
+            for plan in plans {
+                let mut ids = Vec::new();
+                let stats = execute(index, plan, &mut ids).flatten();
+                results.push(QueryResult { ids, stats });
+            }
+            return;
+        }
+
+        // Flatten every query's non-empty navigation rectangles into one
+        // probe list; remember each query's slice of it.
+        let mut probes: Vec<FilteredProbe<'_>> = Vec::new();
+        let mut probe_ranges: Vec<(usize, usize)> = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let from = probes.len();
+            for nav in plan.navs() {
+                if !nav.is_empty() {
+                    probes.push(FilteredProbe { nav, filter: plan.filter() });
+                }
+            }
+            probe_ranges.push((from, probes.len()));
+        }
+        let primary = index.primary.batch_range_query_filtered(&probes);
+
+        // The outlier index sees each query's original filter, batched.
+        let outliers = index.outliers.batch_query(&self.filters[range]);
+
+        for (qi, plan) in plans.iter().enumerate() {
             let mut ids = Vec::new();
-            let stats = execute(index, plan, &mut ids).flatten();
-            QueryResult { ids, stats }
-        })
-        .collect()
+            // Primary: merge this query's probes in nav order, then
+            // remap — the same accumulation probe_primary performs.
+            let mut primary_stats = ScanStats::default();
+            let (from, to) = probe_ranges[qi];
+            for probe in &primary[from..to] {
+                primary_stats = primary_stats.merge(probe.stats);
+                ids.extend_from_slice(&probe.ids);
+            }
+            remap_local_ids(&mut ids, &index.primary_ids, index.primary.name());
+
+            let outlier = &outliers[qi];
+            let outlier_from = ids.len();
+            ids.extend_from_slice(&outlier.ids);
+            remap_local_ids(
+                &mut ids[outlier_from..],
+                &index.outlier_ids,
+                index.outliers.name(),
+            );
+
+            let (pending_examined, pending_matches) =
+                scan_pending(index, plan.filter(), &mut ids);
+            let stats = CoaxQueryStats {
+                primary: primary_stats,
+                outliers: outlier.stats,
+                pending_examined,
+                pending_matches,
+            }
+            .flatten();
+            results.push(QueryResult { ids, stats });
+        }
+    }
+}
+
+/// Batch execution behind [`CoaxIndex::batch_query_with`] and the trait's
+/// `batch_query`: plan the whole batch once ([`BatchPlan`]), then execute
+/// under `config`. Per-query results and counters are identical to
+/// one-at-a-time [`CoaxIndex::range_query_stats`] calls because every
+/// path reduces to the same probes, binary searches, and filter checks.
+pub(crate) fn execute_batch(
+    index: &CoaxIndex,
+    queries: &[RangeQuery],
+    config: &ExecConfig,
+) -> Vec<QueryResult> {
+    BatchPlan::new(index, queries).execute(index, config)
 }
 
 #[cfg(test)]

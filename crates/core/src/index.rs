@@ -25,7 +25,7 @@
 
 use crate::discovery::{discover, CorrelationGroup, Discovery, DiscoveryConfig};
 use crate::epsilon::EpsilonPolicy;
-use crate::exec::{self, QueryPlan};
+use crate::exec::{self, BatchPlan, ExecConfig, QueryPlan};
 use crate::learn::split_rows;
 use crate::maint::MaintenancePolicy;
 use crate::model::{FdModel, SoftFdModel};
@@ -196,6 +196,14 @@ pub struct CoaxConfig {
     /// second configuration channel; ignored by callers that only ever
     /// rebuild manually.
     pub maintenance: MaintenancePolicy,
+    /// Batch-execution policy: worker count and probe sharing for
+    /// `batch_query` (see [`ExecConfig`]). Defaults to the calling
+    /// thread with probe sharing on; [`ExecConfig::parallel`] fans
+    /// batches out over every core. Like `maintenance`, carried in the
+    /// build config so the factory and the [`crate::maint::IndexHandle`]
+    /// pick it up with no second channel; override per call with
+    /// [`CoaxIndex::batch_query_with`].
+    pub exec: ExecConfig,
     /// Seed for the sampling inside discovery.
     pub seed: u64,
 }
@@ -210,6 +218,7 @@ impl Default for CoaxConfig {
             outlier_backend: OutlierBackend::default(),
             sort_dim: None,
             maintenance: MaintenancePolicy::default(),
+            exec: ExecConfig::default(),
             seed: 0xC0A0,
         }
     }
@@ -524,6 +533,28 @@ impl CoaxIndex {
         exec::execute(self, plan, out)
     }
 
+    /// Translates a whole batch in one pass into a reusable
+    /// [`BatchPlan`] — the batch engine's step 1, exposed for callers
+    /// that execute the same batch repeatedly (the `batch` bench times
+    /// plan-once-execute-many this way).
+    pub fn batch_plan(&self, queries: &[RangeQuery]) -> BatchPlan {
+        BatchPlan::new(self, queries)
+    }
+
+    /// Answers a batch under an explicit [`ExecConfig`], overriding the
+    /// built-in [`CoaxConfig::exec`] policy for this call only — the
+    /// thread-ladder sweeps use this to time one built index at many
+    /// worker counts. Per-query results and stats are identical to
+    /// sequential [`CoaxIndex::range_query_stats`] calls whatever the
+    /// configuration.
+    pub fn batch_query_with(
+        &self,
+        queries: &[RangeQuery],
+        config: &ExecConfig,
+    ) -> Vec<QueryResult> {
+        exec::execute_batch(self, queries, config)
+    }
+
     /// Queries only the primary (soft-FD) index. Results are exact w.r.t.
     /// the primary partition; outliers and pending rows are *not*
     /// consulted — pair with [`CoaxIndex::query_outliers`] for full
@@ -720,12 +751,15 @@ impl MultidimIndex for CoaxIndex {
         self.execute_plan(&self.plan(&RangeQuery::point(point)), out).flatten()
     }
 
-    /// Batch override: each query is translated into a [`QueryPlan`]
-    /// exactly once up front, then the plans execute through the same
-    /// [`crate::exec`] sequence as single queries — per-query results and
-    /// stats are identical to sequential `range_query_stats` calls.
+    /// Batch override — the [`crate::exec`] batch engine: every query is
+    /// translated into a [`QueryPlan`] exactly once up front
+    /// ([`BatchPlan`]), overlapping navigation probes are merged so
+    /// queries landing in the same cells share directory and cell work,
+    /// and chunks of the batch fan out over the worker pool configured
+    /// in [`CoaxConfig::exec`]. Per-query results and stats are
+    /// identical to sequential `range_query_stats` calls.
     fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
-        exec::execute_batch(self, queries)
+        exec::execute_batch(self, queries, &self.config.exec)
     }
 
     fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {

@@ -20,7 +20,12 @@
 //! 6. [`exec`] — the shared query-execution layer: a query becomes a
 //!    [`exec::QueryPlan`] (translate once), executed uniformly for
 //!    single and batched queries: probe primary → probe outliers →
-//!    scan pending → merge.
+//!    scan pending → merge. Batches go through the batch engine — an
+//!    [`exec::BatchPlan`] translates every query in one pass, merges
+//!    overlapping navigation probes so queries in the same cells share
+//!    the scan, and fans chunks out over a scoped worker pool sized by
+//!    [`exec::ExecConfig`] — with per-query results and stats identical
+//!    to the sequential loop.
 //! 7. [`index`] — [`CoaxIndex`]: a primary index (default: the paper's
 //!    reduced-dimensionality grid file) plus an outlier index, **both**
 //!    pluggable boxed backends ([`PrimaryBackend`]/[`OutlierBackend`]),
@@ -54,7 +59,7 @@ pub mod translate;
 
 pub use discovery::{CorrelationGroup, Discovery, DiscoveryConfig};
 pub use epsilon::EpsilonPolicy;
-pub use exec::QueryPlan;
+pub use exec::{BatchPlan, ExecConfig, QueryPlan};
 pub use index::{
     CoaxConfig, CoaxIndex, CoaxQueryStats, InsertError, OutlierBackend, PrimaryBackend,
 };

@@ -343,29 +343,39 @@ impl MultidimIndex for IndexHandle {
     }
 
     /// One snapshot for the whole batch: every query in the batch sees
-    /// the same epoch and the same overlay prefix.
+    /// the same epoch and the same overlay prefix. The epoch probes run
+    /// through the frozen index's batch engine
+    /// ([`CoaxIndex::batch_query`] → `coax_core::exec`), so the whole
+    /// batch is translated once, shares navigation probes, and fans out
+    /// over the worker pool configured in the epoch's
+    /// [`crate::index::CoaxConfig::exec`] — never touching the handle's
+    /// `RwLock` again, because the `Arc` snapshot is immutable (the
+    /// worker pool itself still coordinates chunk hand-off through the
+    /// batch engine's result mutex). Per-query results and stats are
+    /// identical to one-at-a-time handle queries against the same
+    /// snapshot.
     fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
         let (index, overlay) = {
             let st = self.state.read().expect("state lock poisoned");
             (Arc::clone(&st.index), st.overlay.clone())
         };
-        queries
-            .iter()
-            .map(|q| {
-                let mut ids = Vec::new();
-                let mut matched = 0;
-                for r in &overlay {
-                    if q.matches(&r.values) {
-                        ids.push(r.id);
-                        matched += 1;
-                    }
+        let mut results = index.batch_query(queries);
+        for (q, r) in queries.iter().zip(&mut results) {
+            // Overlay rows come first, as in `range_query_stats`.
+            let mut ids: Vec<RowId> = Vec::with_capacity(r.ids.len() + overlay.len());
+            let mut matched = 0;
+            for row in &overlay {
+                if q.matches(&row.values) {
+                    ids.push(row.id);
+                    matched += 1;
                 }
-                let mut stats = index.range_query_stats(q, &mut ids);
-                stats.scanned_pending += overlay.len();
-                stats.matches += matched;
-                QueryResult { ids, stats }
-            })
-            .collect()
+            }
+            ids.append(&mut r.ids);
+            r.ids = ids;
+            r.stats.scanned_pending += overlay.len();
+            r.stats.matches += matched;
+        }
+        results
     }
 
     fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {

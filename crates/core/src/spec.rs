@@ -49,6 +49,18 @@ impl IndexSpec {
         IndexSpec::Coax { config: Box::new(config), discovery: Some(discovery) }
     }
 
+    /// This spec with the given batch-execution policy
+    /// ([`CoaxConfig::exec`]) — the factory-level parallelism knob: the
+    /// built index's `batch_query` fans out accordingly, and so does a
+    /// live handle from [`IndexSpec::build_handle`]. Substrate specs
+    /// have no batch engine and are returned unchanged.
+    pub fn with_exec(mut self, exec: crate::ExecConfig) -> Self {
+        if let IndexSpec::Coax { config, .. } = &mut self {
+            config.exec = exec;
+        }
+        self
+    }
+
     /// Builds the described index over `dataset`, boxed behind the trait.
     pub fn build(&self, dataset: &Dataset) -> Box<dyn MultidimIndex> {
         match self {

@@ -1,9 +1,12 @@
 //! The batch-execution contract: `CoaxIndex::batch_query` translates
-//! each query exactly once into a [`QueryPlan`] and returns per-query
-//! results and `ScanStats` identical to sequential `range_query_stats`
-//! calls — the acceptance bar for the shared exec layer.
+//! each query exactly once into a `BatchPlan`, shares overlapping
+//! navigation probes, and may fan chunks out over a worker pool — and
+//! whatever the `ExecConfig`, returns per-query results and `ScanStats`
+//! identical to sequential `range_query_stats` calls. That equivalence,
+//! swept over thread counts, probe sharing, and backend combinations,
+//! is the acceptance bar for the batch engine.
 
-use coax_core::{CoaxConfig, CoaxIndex, OutlierBackend, PrimaryBackend};
+use coax_core::{CoaxConfig, CoaxIndex, ExecConfig, OutlierBackend, PrimaryBackend};
 use coax_data::synth::{Generator, PlantedConfig, PlantedDependent, PlantedGroup};
 use coax_data::workload::{knn_rectangle_queries, point_queries};
 use coax_data::{Dataset, RangeQuery};
@@ -149,6 +152,147 @@ fn batch_contract_holds_across_primary_and_outlier_backends() {
     for later in &result_sets[1..] {
         assert_eq!(later, &result_sets[0], "backend combinations disagree");
     }
+}
+
+/// The tentpole guarantee: per-query results and `ScanStats` are
+/// **bit-identical** across every execution strategy — the sequential
+/// loop, single-threaded shared probes, unshared probes, and every
+/// thread count — because parallelism and probe sharing reorder work
+/// without changing any per-query computation.
+#[test]
+fn batch_results_identical_across_thread_counts_and_sharing() {
+    let ds = planted(12_000, 96);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    // A workload big enough to clear `min_parallel_batch` and produce
+    // real cell overlap, plus the adversarial queries.
+    let mut queries = mixed_workload(&ds);
+    queries.extend(knn_rectangle_queries(&ds, 80, 60, 903));
+
+    // Ground truth: the one-at-a-time sequential loop.
+    let sequential: Vec<(Vec<u32>, coax_index::ScanStats)> = queries
+        .iter()
+        .map(|q| {
+            let mut ids = Vec::new();
+            let stats = index.range_query_stats(q, &mut ids);
+            (ids, stats)
+        })
+        .collect();
+
+    for shared_probes in [true, false] {
+        for threads in [1usize, 2, 4, 8] {
+            let config = ExecConfig {
+                batch_threads: threads,
+                min_parallel_batch: 2,
+                shared_probes,
+                chunk_size: 0,
+            };
+            let batched = index.batch_query_with(&queries, &config);
+            assert_eq!(batched.len(), queries.len());
+            for (i, (result, (ids, stats))) in batched.iter().zip(&sequential).enumerate() {
+                assert_eq!(
+                    &result.stats, stats,
+                    "stats diverged (threads={threads}, shared={shared_probes}, query {i})"
+                );
+                assert_eq!(
+                    &result.ids, ids,
+                    "ids diverged (threads={threads}, shared={shared_probes}, query {i})"
+                );
+            }
+        }
+    }
+}
+
+/// Odd chunk sizes (including chunks bigger than the batch and size 1,
+/// which kills all sharing) must not perturb anything either.
+#[test]
+fn batch_results_survive_adversarial_chunking() {
+    let ds = planted(6_000, 97);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    let queries = mixed_workload(&ds);
+    let baseline = index.batch_query(&queries);
+    for chunk_size in [1usize, 3, 7, 1000] {
+        for threads in [1usize, 3] {
+            let config = ExecConfig {
+                batch_threads: threads,
+                min_parallel_batch: 2,
+                shared_probes: true,
+                chunk_size,
+            };
+            let batched = index.batch_query_with(&queries, &config);
+            assert_eq!(batched, baseline, "chunk={chunk_size} threads={threads}");
+        }
+    }
+}
+
+/// The parallel contract must hold for every primary × outlier backend
+/// combination — fused grid probes, trait-default probes, and nested
+/// COAX all run under the same worker pool.
+#[test]
+fn parallel_batch_contract_holds_across_backends() {
+    let ds = planted(6_000, 98);
+    let queries = mixed_workload(&ds);
+    let parallel = ExecConfig { min_parallel_batch: 2, ..ExecConfig::parallel() };
+    let combos = [
+        (PrimaryBackend::GridFile, OutlierBackend::RTree { capacity: 8 }),
+        (PrimaryBackend::RTree { capacity: 8 }, OutlierBackend::GridFile),
+        (
+            PrimaryBackend::Custom(BackendSpec::ColumnFiles {
+                cells_per_dim: 4,
+                sort_dim: None,
+            }),
+            OutlierBackend::Custom(BackendSpec::FullScan),
+        ),
+        (PrimaryBackend::Coax(Box::default()), OutlierBackend::GridFile),
+    ];
+    for (primary, outlier) in combos {
+        let config = CoaxConfig {
+            primary_backend: primary,
+            outlier_backend: outlier,
+            ..Default::default()
+        };
+        let index = CoaxIndex::build(&ds, &config);
+        let batched = index.batch_query_with(&queries, &parallel);
+        for (q, result) in queries.iter().zip(&batched) {
+            let mut ids = Vec::new();
+            let stats = index.range_query_stats(q, &mut ids);
+            assert_eq!(result.stats, stats, "stats diverged on {q:?}");
+            assert_eq!(result.ids, ids, "ids diverged on {q:?}");
+        }
+    }
+}
+
+/// A `BatchPlan` is translate-once state: executing it repeatedly, under
+/// different configs, yields identical answers every time.
+#[test]
+fn batch_plan_is_reusable_across_configs() {
+    let ds = planted(5_000, 99);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    let queries = mixed_workload(&ds);
+    let plan = index.batch_plan(&queries);
+    assert_eq!(plan.len(), queries.len());
+    let first = plan.execute(&index, &ExecConfig::default());
+    for config in [
+        ExecConfig::default(),
+        ExecConfig { shared_probes: false, ..ExecConfig::default() },
+        ExecConfig { batch_threads: 4, min_parallel_batch: 2, ..ExecConfig::default() },
+    ] {
+        assert_eq!(plan.execute(&index, &config), first, "{config:?}");
+    }
+}
+
+/// The config carried in `CoaxConfig::exec` (and set through
+/// `IndexSpec::with_exec`) is what the trait-level `batch_query` uses —
+/// a parallel-configured index answers exactly like a sequential one.
+#[test]
+fn exec_config_rides_the_factory_spec() {
+    use coax_core::IndexSpec;
+    let ds = planted(5_000, 100);
+    let queries = mixed_workload(&ds);
+    let sequential = IndexSpec::coax(CoaxConfig::default()).build(&ds);
+    let parallel = IndexSpec::coax(CoaxConfig::default())
+        .with_exec(ExecConfig { min_parallel_batch: 2, ..ExecConfig::parallel() })
+        .build(&ds);
+    assert_eq!(parallel.batch_query(&queries), sequential.batch_query(&queries));
 }
 
 #[test]

@@ -12,7 +12,7 @@
 //! wrapper that also knows how to pick a good sort dimension.
 
 use crate::grid_file::{GridFile, GridFileConfig};
-use crate::traits::{MultidimIndex, ScanStats};
+use crate::traits::{FilteredProbe, MultidimIndex, QueryResult, ScanStats};
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 
 /// CDF-aligned grid over `d − 1` attributes with the last attribute sorted
@@ -86,6 +86,28 @@ impl MultidimIndex for ColumnFiles {
 
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
         self.inner.range_query_stats(query, out)
+    }
+
+    /// Forwarded to [`GridFile`]'s fused navigate-and-filter pass (and
+    /// kept in lockstep with the batched sibling below, so batch ==
+    /// sequential holds for column files too).
+    fn range_query_filtered(
+        &self,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> ScanStats {
+        self.inner.range_query_filtered(nav, filter, out)
+    }
+
+    /// Forwarded to [`GridFile`]'s shared-cell multi-probe.
+    fn batch_range_query_filtered(&self, probes: &[FilteredProbe<'_>]) -> Vec<QueryResult> {
+        MultidimIndex::batch_range_query_filtered(&self.inner, probes)
+    }
+
+    /// Forwarded to [`GridFile`]'s shared-cell batch.
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        MultidimIndex::batch_query(&self.inner, queries)
     }
 
     fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {

@@ -26,6 +26,8 @@
 //! `Box<dyn MultidimIndex>` — the factory seam the COAX outlier store,
 //! the bench harness, and the equivalence tests are written against.
 
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod column_files;
 pub mod full_scan;
@@ -38,7 +40,7 @@ pub mod uniform_grid;
 pub use backend::BackendSpec;
 pub use column_files::ColumnFiles;
 pub use full_scan::FullScan;
-pub use grid_file::{GridFile, GridFileConfig};
+pub use grid_file::{GridFile, GridFileConfig, SharedProbeStats};
 pub use rtree::{RTree, RTreeConfig};
-pub use traits::{MultidimIndex, QueryResult, ScanStats};
+pub use traits::{FilteredProbe, MultidimIndex, QueryResult, ScanStats};
 pub use uniform_grid::UniformGrid;

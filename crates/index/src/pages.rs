@@ -169,9 +169,34 @@ impl PageStore {
         filter: &RangeQuery,
         out: &mut Vec<RowId>,
     ) -> (usize, usize) {
+        let (s, e) = self.narrowed_run(c, nav);
+        let mut examined = 0;
+        let mut matched = 0;
+        for i in s..e {
+            examined += 1;
+            let row = &self.data[i * self.dims..(i + 1) * self.dims];
+            if filter.matches(row) {
+                out.push(self.ids[i]);
+                matched += 1;
+            }
+        }
+        (examined, matched)
+    }
+
+    /// The packed-row range `[s, e)` a [`PageStore::scan_cell_narrowed`]
+    /// call with this `nav` would examine in cell `c`, without scanning
+    /// it: the cell's bounds, tightened by the two bounding binary
+    /// searches when the store has a sort dimension `nav` constrains.
+    ///
+    /// Batched probes use this to compute every probe's exact run up
+    /// front and then sweep each shared cell once
+    /// ([`crate::GridFile::batch_range_query_filtered_shared`]); the per-probe
+    /// `rows_examined` counter is `e − s` by construction, identical to
+    /// the sequential scan.
+    pub fn narrowed_run(&self, c: usize, nav: &RangeQuery) -> (usize, usize) {
         let (mut s, mut e) = (self.offsets[c] as usize, self.offsets[c + 1] as usize);
         if s == e {
-            return (0, 0);
+            return (s, s);
         }
         if let Some(sd) = self.sort_dim {
             let lo = nav.lo(sd);
@@ -185,17 +210,21 @@ impl PageStore {
                 e = s + keep.min(len);
             }
         }
-        let mut examined = 0;
-        let mut matched = 0;
-        for i in s..e {
-            examined += 1;
-            let row = &self.data[i * self.dims..(i + 1) * self.dims];
-            if filter.matches(row) {
-                out.push(self.ids[i]);
-                matched += 1;
-            }
-        }
-        (examined, matched)
+        (s, e)
+    }
+
+    /// The packed values of slot `i` (a global packed-row position as
+    /// returned in a [`PageStore::narrowed_run`] range, *not* a dataset
+    /// row id).
+    #[inline]
+    pub fn packed_row(&self, i: usize) -> &[Value] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// The dataset row id stored in packed slot `i`.
+    #[inline]
+    pub fn packed_id(&self, i: usize) -> RowId {
+        self.ids[i]
     }
 
     /// `partition_point` over packed rows `[s, e)` keyed by dimension `sd`.

@@ -67,28 +67,118 @@ impl ScanStats {
     /// "effectiveness" is the paper's term, and bench reports quote the
     /// paper.
     ///
-    /// **Empty-scan convention:** a scan that examined zero rows wasted
-    /// no work and is defined as perfectly effective — this returns 1.0,
-    /// never NaN (pinned by a unit test below). The convention has an
-    /// aggregation consequence: averaging *per-query* effectiveness over
-    /// a workload lets fully-pruned queries (0 examined → 1.0) inflate
-    /// the mean. Workload reports must therefore **micro-average**:
-    /// [`ScanStats::merge`] the per-query counters first and take the
-    /// effectiveness of the total, i.e. Σmatches / Σrows_examined. The
-    /// bench harness's `workload_effectiveness` does exactly that.
+    /// # Empty-scan convention
+    ///
+    /// A scan that examined zero rows wasted no work and is defined as
+    /// perfectly effective — this returns 1.0, never NaN (pinned by a
+    /// unit test below). Fully-pruned queries are COAX's best case
+    /// (translation proved no row can match before touching the
+    /// structure), so the convention rewards pruning instead of
+    /// poisoning every downstream average with NaN.
+    ///
+    /// # Aggregating over a workload
+    ///
+    /// The convention has a consequence: averaging *per-query*
+    /// effectiveness over a workload lets fully-pruned queries
+    /// (0 examined → 1.0) inflate the mean. Workload reports must
+    /// therefore **micro-average**: [`ScanStats::merge`] the per-query
+    /// counters first and take the effectiveness of the total, i.e.
+    /// Σmatches / Σrows_examined. The bench harness's
+    /// `workload_effectiveness` does exactly that; per-query averaging
+    /// is the documented anti-pattern.
     pub fn effectiveness(&self) -> f64 {
         self.precision()
     }
 }
 
 /// One query's result ids plus its scan counters, as returned by
-/// [`MultidimIndex::batch_query`].
+/// [`MultidimIndex::batch_query`] and
+/// [`MultidimIndex::batch_range_query_filtered`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct QueryResult {
     /// Ids of the matching rows (order unspecified).
     pub ids: Vec<RowId>,
     /// Work the query performed.
     pub stats: ScanStats,
+}
+
+/// One navigation + filter probe of a batched filtered range query — a
+/// borrowed `(nav, filter)` pair for
+/// [`MultidimIndex::batch_range_query_filtered`].
+///
+/// The same precondition as [`MultidimIndex::range_query_filtered`]
+/// applies to each probe independently: `nav` must not exclude any
+/// `filter`-matching row stored in the index. Probes in one batch are
+/// otherwise unrelated — they may come from different queries, or be the
+/// disjoint navigation rectangles of a single multi-interval query.
+#[derive(Clone, Copy, Debug)]
+pub struct FilteredProbe<'a> {
+    /// Navigation rectangle: directory pruning and in-cell narrowing may
+    /// use it.
+    pub nav: &'a RangeQuery,
+    /// Acceptance rectangle: every returned row satisfies it.
+    pub filter: &'a RangeQuery,
+}
+
+/// Bitwise total order over a query's bound vectors (bounds are never
+/// NaN, and `total_cmp` makes value-identical queries adjacent when
+/// sorted — the property the dedup maps below rely on). Dimensionality
+/// is compared first: queries of different arity are never equal, so a
+/// wrong-dims query can't be "deduplicated" onto another query's result
+/// — it reaches the backend and trips its dims assert exactly as the
+/// sequential path would.
+pub(crate) fn cmp_query_bounds(a: &RangeQuery, b: &RangeQuery) -> std::cmp::Ordering {
+    a.dims().cmp(&b.dims()).then_with(|| {
+        a.lows()
+            .iter()
+            .zip(b.lows())
+            .chain(a.highs().iter().zip(b.highs()))
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+/// `representative[i]` is the index of the **first** item comparing
+/// equal to item `i` (itself when unique): the dedup map batched
+/// execution uses to answer each distinct query once and copy the rest.
+/// Sort-based, so duplicate-heavy batches cost `O(n log n)` comparisons.
+pub(crate) fn representatives<T>(
+    items: &[T],
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..items.len() as u32).collect();
+    order.sort_unstable_by(|&ai, &bi| {
+        cmp(&items[ai as usize], &items[bi as usize]).then(ai.cmp(&bi))
+    });
+    let mut representative: Vec<u32> = (0..items.len() as u32).collect();
+    for pair in order.windows(2) {
+        let (prev, cur) = (pair[0] as usize, pair[1] as usize);
+        if cmp(&items[cur], &items[prev]) == std::cmp::Ordering::Equal {
+            // Ties sort by index, so `prev`'s chain head is already the
+            // first equal item in batch order.
+            representative[cur] = representative[prev];
+        }
+    }
+    representative
+}
+
+/// The dedup map for a probe batch: probes are equal when both their
+/// `nav` and their `filter` bounds are bitwise equal.
+pub(crate) fn probe_representatives(probes: &[FilteredProbe<'_>]) -> Vec<u32> {
+    representatives(probes, |a, b| {
+        cmp_query_bounds(a.nav, b.nav).then_with(|| cmp_query_bounds(a.filter, b.filter))
+    })
+}
+
+/// Copies each representative's finished result onto its duplicates.
+pub(crate) fn copy_to_duplicates(results: &mut [QueryResult], representative: &[u32]) {
+    for i in 0..results.len() {
+        let rep = representative[i] as usize;
+        if rep != i {
+            results[i] = results[rep].clone();
+        }
+    }
 }
 
 /// An exact multidimensional range/point index over a fixed dataset.
@@ -123,14 +213,20 @@ pub trait MultidimIndex: std::fmt::Debug + Send + Sync {
     /// Results are exact: every id appended satisfies the predicate and no
     /// matching id is missed. Order is unspecified.
     ///
-    /// **Id contract:** every appended id is a *local* row id of this
-    /// index, i.e. in `0..self.len()` — the id the row had in the dataset
-    /// the index was built over. Composing callers (COAX holds one boxed
-    /// primary and one boxed outlier index over partition-local datasets)
-    /// rely on this to remap results through an id table; an
-    /// implementation emitting anything else is out of contract and will
-    /// corrupt composed results (COAX's exec layer debug-asserts the
-    /// range).
+    /// # Id contract
+    ///
+    /// Every appended id is a **local** row id of this index, i.e. in
+    /// `0..self.len()` — the id the row had in the dataset the index was
+    /// built over. Composing callers (COAX holds one boxed primary and
+    /// one boxed outlier index over partition-local datasets) rely on
+    /// this to remap results through an id table; an implementation
+    /// emitting anything else is out of contract and will corrupt
+    /// composed results (COAX's exec layer debug-asserts the range, and
+    /// in release builds a violation panics on the id-table bound check
+    /// instead of aliasing another partition's rows).
+    ///
+    /// The contract applies to every query method of this trait — the
+    /// filtered, point, and batched variants all emit the same local ids.
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats;
 
     /// Range query with separate *navigation* and *filter* predicates:
@@ -166,6 +262,43 @@ pub trait MultidimIndex: std::fmt::Debug + Send + Sync {
         self.range_query_stats(&probe, out)
     }
 
+    /// Executes many navigation/filter probes in one call, returning one
+    /// [`QueryResult`] per probe, in probe order.
+    ///
+    /// # Contract
+    ///
+    /// Per-probe results and [`ScanStats`] must be **identical** to
+    /// calling [`MultidimIndex::range_query_filtered`] once per probe —
+    /// batching is a work-sharing opportunity, never a semantic change.
+    /// The default implementation is that loop, minus duplicates:
+    /// value-equal probes (hot queries re-asked within one batch) are
+    /// answered once and their result copied, which is indistinguishable
+    /// from re-executing them because execution is deterministic.
+    ///
+    /// # Why override
+    ///
+    /// Backends whose probes share physical structure can fuse more than
+    /// duplicates: [`crate::GridFile`] merges the distinct probes'
+    /// directory odometers into one ascending address pass — each shared
+    /// cell located once, all runs through it scanned while the page is
+    /// hot — while keeping every probe's counters exact (COAX's batch
+    /// engine routes all primary probes of a query batch through this
+    /// method, so overlapping queries stop re-walking the same
+    /// directory).
+    fn batch_range_query_filtered(&self, probes: &[FilteredProbe<'_>]) -> Vec<QueryResult> {
+        let representative = probe_representatives(probes);
+        let mut results: Vec<QueryResult> = vec![QueryResult::default(); probes.len()];
+        for (pi, p) in probes.iter().enumerate() {
+            if representative[pi] == pi as u32 {
+                let mut ids = Vec::new();
+                let stats = self.range_query_filtered(p.nav, p.filter, &mut ids);
+                results[pi] = QueryResult { ids, stats };
+            }
+        }
+        copy_to_duplicates(&mut results, &representative);
+        results
+    }
+
     /// Convenience wrapper returning a fresh result vector.
     fn range_query(&self, query: &RangeQuery) -> Vec<RowId> {
         let mut out = Vec::new();
@@ -189,22 +322,41 @@ pub trait MultidimIndex: std::fmt::Debug + Send + Sync {
     }
 
     /// Answers a batch of queries, returning per-query results and
-    /// counters.
+    /// counters, in query order.
     ///
-    /// The default loops over [`MultidimIndex::range_query_stats`];
-    /// backends with per-query setup cost they can amortize (COAX
-    /// translates each query into a plan first) override this, but must
-    /// keep the per-query results and stats identical to sequential
-    /// execution.
+    /// # Contract
+    ///
+    /// Per-query results and stats must be identical to one-at-a-time
+    /// [`MultidimIndex::range_query_stats`] calls, whatever the backend
+    /// does internally — batching changes *how fast* answers arrive,
+    /// never *what* they are (`crates/core/tests/exec_batch.rs` asserts
+    /// this across backends, probe sharing, and thread counts).
+    ///
+    /// # Why override
+    ///
+    /// The default answers each **distinct** query through
+    /// [`MultidimIndex::range_query_stats`] and copies the result to its
+    /// value-equal duplicates (execution is deterministic, so the copy
+    /// is indistinguishable from a re-run). Backends with per-query
+    /// setup cost or shareable physical work override it: COAX
+    /// translates every query exactly once into a `QueryPlan`, merges
+    /// the resulting navigation probes so queries landing in the same
+    /// grid cells share the scan, and can fan the batch out over a
+    /// scoped worker pool (`coax_core::exec`, knobs in `ExecConfig`);
+    /// [`crate::GridFile`] fuses the whole batch into one ascending
+    /// directory pass.
     fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
-        queries
-            .iter()
-            .map(|q| {
+        let representative = representatives(queries, cmp_query_bounds);
+        let mut results: Vec<QueryResult> = vec![QueryResult::default(); queries.len()];
+        for (qi, q) in queries.iter().enumerate() {
+            if representative[qi] == qi as u32 {
                 let mut ids = Vec::new();
                 let stats = self.range_query_stats(q, &mut ids);
-                QueryResult { ids, stats }
-            })
-            .collect()
+                results[qi] = QueryResult { ids, stats };
+            }
+        }
+        copy_to_duplicates(&mut results, &representative);
+        results
     }
 
     /// Invokes `f` with every stored `(row_id, row_values)` pair, in an
@@ -310,6 +462,32 @@ mod tests {
         let stats = fs.range_query_filtered(&nav, &disjoint, &mut out);
         assert!(out.is_empty());
         assert_eq!(stats, ScanStats::default());
+    }
+
+    #[test]
+    fn default_batched_probe_matches_per_probe_calls() {
+        use crate::FullScan;
+        use coax_data::Dataset;
+        let ds = Dataset::new(vec![(0..50).map(f64::from).collect()]);
+        let fs = FullScan::build(&ds);
+        let mut nav1 = RangeQuery::unbounded(1);
+        nav1.constrain(0, 5.0, 30.0);
+        let mut filter1 = RangeQuery::unbounded(1);
+        filter1.constrain(0, 10.0, 20.0);
+        let nav2 = RangeQuery::unbounded(1);
+        let filter2 = RangeQuery::unbounded(1);
+        let probes = [
+            FilteredProbe { nav: &nav1, filter: &filter1 },
+            FilteredProbe { nav: &nav2, filter: &filter2 },
+        ];
+        let batched = fs.batch_range_query_filtered(&probes);
+        assert_eq!(batched.len(), probes.len());
+        for (p, r) in probes.iter().zip(&batched) {
+            let mut ids = Vec::new();
+            let stats = fs.range_query_filtered(p.nav, p.filter, &mut ids);
+            assert_eq!(r.stats, stats);
+            assert_eq!(r.ids, ids);
+        }
     }
 
     #[test]

@@ -9,12 +9,21 @@
 //! * **batch t=1 (unshared)** — translate-once batching with probe
 //!   sharing disabled: isolates what planning amortisation alone buys;
 //! * **batch t=N** — the full engine: shared navigation probes, chunks
-//!   fanned out over `N` scoped workers.
+//!   fanned out over `N` scoped workers;
+//! * **stream t=N** — `batch_query_streaming` over the same pool:
+//!   results flow to the sink as chunks complete.
+//!
+//! Every row reports **time-to-first-result** (`ttfr`) next to the
+//! whole-batch time: for the materialized rows the first result exists
+//! only when the batch returns (ttfr = batch time); the sequential loop's
+//! first result is its first query; the streaming rows' is the first
+//! sink callback — the latency the cursor/streaming redesign exists to
+//! cut, now visible in the perf trajectory via `--json`/`--csv`.
 //!
 //! Before timing, every configuration's per-query results and
 //! `ScanStats` are checked **bit-identical** to the sequential loop —
-//! the speedup is never bought with a changed answer (the `exec_batch`
-//! and `batch_parallel` suites assert the same, harder).
+//! the speedup is never bought with a changed answer (the `exec_batch`,
+//! `batch_parallel`, and `streaming` suites assert the same, harder).
 //!
 //! Scaled by `COAX_BENCH_ROWS` / `COAX_BENCH_REPEATS`; ladders by
 //! `COAX_BENCH_BATCH_SIZES` / `COAX_BENCH_BATCH_THREADS` (comma lists).
@@ -54,9 +63,23 @@ fn sequential_loop(index: &CoaxIndex, queries: &[RangeQuery]) -> Vec<QueryResult
         .collect()
 }
 
+/// Mean wall-clock milliseconds until the first result of `f` exists,
+/// with one untimed warm-up pass. `f` runs the workload and returns the
+/// elapsed time at which its first result materialized.
+fn time_first_ms(repeats: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let repeats = repeats.max(1);
+    f();
+    let mut total = 0.0;
+    for _ in 0..repeats {
+        total += f();
+    }
+    total * 1e3 / repeats as f64
+}
+
 struct Row {
     label: String,
     batch_ms: f64,
+    ttfr_ms: f64,
     speedup: f64,
     threads: usize,
     shared: bool,
@@ -120,10 +143,20 @@ fn main() {
             let seq_ms = time_batch_ms(repeats, || {
                 std::hint::black_box(sequential_loop(&index, queries));
             });
+            // The loop's first result is its first query's answer.
+            let seq_ttfr_ms = time_first_ms(repeats, || {
+                let start = Instant::now();
+                let mut ids = Vec::new();
+                index.range_query_stats(&queries[0], &mut ids);
+                let elapsed = start.elapsed().as_secs_f64();
+                std::hint::black_box(ids);
+                elapsed
+            });
 
             let mut table: Vec<Row> = vec![Row {
                 label: "sequential loop".into(),
                 batch_ms: seq_ms,
+                ttfr_ms: seq_ttfr_ms,
                 speedup: 1.0,
                 threads: 1,
                 shared: false,
@@ -161,9 +194,50 @@ fn main() {
                     std::hint::black_box(index.batch_query_with(queries, &config));
                 });
                 table.push(Row {
-                    label,
+                    label: label.clone(),
                     batch_ms,
+                    // A materialized batch's first result exists when the
+                    // whole batch returns.
+                    ttfr_ms: batch_ms,
                     speedup: seq_ms / batch_ms,
+                    threads: config.batch_threads,
+                    shared: config.shared_probes,
+                });
+
+                // The same pool, streaming: results flow to the sink as
+                // chunks complete. Contract check first, then the clock —
+                // total drain time and time-to-first-result.
+                let mut streamed: Vec<Option<QueryResult>> = vec![None; queries.len()];
+                index.batch_query_streaming_with(queries, &config, |qi, r| {
+                    streamed[qi] = Some(r);
+                });
+                let streamed: Vec<QueryResult> =
+                    streamed.into_iter().map(|r| r.expect("every query streamed")).collect();
+                assert_eq!(
+                    streamed, baseline,
+                    "{section} / {label}: stream diverged from the sequential loop"
+                );
+                let stream_ms = time_batch_ms(repeats, || {
+                    index.batch_query_streaming_with(queries, &config, |_, r| {
+                        std::hint::black_box(r);
+                    });
+                });
+                let stream_ttfr_ms = time_first_ms(repeats, || {
+                    let start = Instant::now();
+                    let mut first = f64::NAN;
+                    index.batch_query_streaming_with(queries, &config, |_, r| {
+                        if first.is_nan() {
+                            first = start.elapsed().as_secs_f64();
+                        }
+                        std::hint::black_box(r);
+                    });
+                    first
+                });
+                table.push(Row {
+                    label: table[table.len() - 1].label.replace("batch", "stream"),
+                    batch_ms: stream_ms,
+                    ttfr_ms: stream_ttfr_ms,
+                    speedup: seq_ms / stream_ms,
                     threads: config.batch_threads,
                     shared: config.shared_probes,
                 });
@@ -178,6 +252,7 @@ fn main() {
                         ("threads", JsonValue::Int(row.threads as u64)),
                         ("shared_probes", JsonValue::Str(row.shared.to_string())),
                         ("batch_ms", JsonValue::Num(row.batch_ms)),
+                        ("ttfr_ms", JsonValue::Num(row.ttfr_ms)),
                         ("per_query_us", JsonValue::Num(per_query_us)),
                         ("qps", JsonValue::Num(1e3 * queries.len() as f64 / row.batch_ms)),
                         ("speedup_vs_sequential", JsonValue::Num(row.speedup)),
@@ -191,6 +266,7 @@ fn main() {
                         label: row.label.clone(),
                         values: vec![
                             ("batch time".into(), fmt_ms(row.batch_ms)),
+                            ("ttfr".into(), fmt_ms(row.ttfr_ms)),
                             ("per query".into(), fmt_ms(row.batch_ms / queries.len() as f64)),
                             (
                                 "qps".into(),
@@ -209,9 +285,12 @@ fn main() {
         report.print();
     } else {
         println!(
-            "\nReading: 'sequential loop' is the pre-engine baseline; 't=1 (unshared)' \
-             adds translate-once batching only; 't=N' adds shared probes and N workers. \
-             Every row's answers were verified bit-identical to the loop before timing."
+            "\nReading: 'sequential loop' is the pre-engine baseline; 'batch t=1 (unshared)' \
+             adds translate-once batching only; 'batch t=N' adds shared probes and N workers; \
+             'stream t=N' is the same pool delivering results as chunks complete. 'ttfr' is \
+             time-to-first-result: a materialized batch's equals its batch time, a stream's \
+             is its first sink callback. Every row's answers were verified bit-identical to \
+             the loop before timing."
         );
     }
     maybe_write_csv(&report);

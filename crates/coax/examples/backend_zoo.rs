@@ -10,16 +10,27 @@
 //! the outlier store on an R-tree, the primary on any substrate, even on
 //! another COAX (correlation nesting).
 //!
+//! The comparison loop drives the **Query API v2** surface end to end:
+//! queries come from the typed predicate builder, every backend also
+//! streams one query through its `range_query_cursor`, and the live
+//! handle finishes with a `ReadSnapshot` batch stream.
+//!
 //! Run with: `cargo run --release --example backend_zoo`
+//! (`COAX_ZOO_ROWS` scales the dataset; CI runs a small N.)
 
 use coax::core::{CoaxConfig, IndexSpec, OutlierBackend, PrimaryBackend};
 use coax::data::synth::{AirlineConfig, Generator};
 use coax::data::workload::knn_rectangle_queries;
+use coax::data::Query;
 use coax::index::{BackendSpec, MultidimIndex, ScanStats};
 use std::time::Instant;
 
 fn main() {
-    let rows = 100_000;
+    let rows = std::env::var("COAX_ZOO_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000usize)
+        .max(2_000);
     let dataset = AirlineConfig::small(rows, 42).generate();
     let queries = knn_rectangle_queries(&dataset, 60, rows / 2000, 7);
     println!(
@@ -56,6 +67,11 @@ fn main() {
         }),
     ];
 
+    // One builder-made probe every backend will also *stream*: a
+    // half-open band on dim 0, everything else unconstrained.
+    let probe =
+        Query::select(dataset.dims()).range(0, 200.0..600.0).build().expect("valid predicate");
+
     println!(
         "{:<14} {:>10} {:>12} {:>14} {:>14} {:>8}  config",
         "index", "build", "mem", "per query", "rows/query", "eff"
@@ -75,6 +91,12 @@ fn main() {
         }
         let per_query = start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
 
+        // Every backend streams through the same box: collected cursor
+        // results are bit-identical to the materialized call.
+        let (streamed, stream_stats) = index.range_query_cursor(&probe).collect_with_stats();
+        assert_eq!(streamed.len(), index.range_query(&probe).len());
+        assert_eq!(stream_stats.matches, streamed.len());
+
         println!(
             "{:<14} {:>8.1}ms {:>10}B {:>11.1}us {:>14} {:>8.3}  {label}",
             index.name(),
@@ -92,4 +114,26 @@ fn main() {
     let batched = coax.batch_query(&queries[..10.min(queries.len())]);
     let total_hits: usize = batched.iter().map(|r| r.ids.len()).sum();
     println!("\nbatch of {} queries through the boxed trait: {total_hits} hits", batched.len());
+
+    // And the live surface: wrap COAX in a handle, open one ReadSnapshot
+    // session, and stream a batch off it while an insert lands on the
+    // handle — the session's answers don't move.
+    let handle = IndexSpec::coax(CoaxConfig::default())
+        .build_handle(&dataset)
+        .expect("coax spec yields a handle");
+    let session = handle.snapshot();
+    let before = session.range_query(&probe).len();
+    handle.insert(&dataset.row(0)).expect("well-formed row");
+    let mut streamed_hits = 0;
+    for (_, result) in session.batch_query_streaming(&queries[..8.min(queries.len())]) {
+        streamed_hits += result.ids.len();
+    }
+    assert_eq!(session.range_query(&probe).len(), before, "session is isolated");
+    println!(
+        "snapshot session (epoch {}): {streamed_hits} hits streamed while the live handle \
+         absorbed an insert ({} vs {} rows)",
+        session.epoch(),
+        session.len(),
+        handle.len()
+    );
 }

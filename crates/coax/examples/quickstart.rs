@@ -1,11 +1,12 @@
 //! Quickstart: build a COAX index on correlated data, watch it discover
-//! the soft functional dependencies, query it, and update it.
+//! the soft functional dependencies, query it through the typed
+//! predicate builder, stream results through a cursor, and update it.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use coax::core::{CoaxConfig, CoaxIndex};
 use coax::data::synth::{AirlineConfig, Generator};
-use coax::data::RangeQuery;
+use coax::data::Query;
 use coax::index::MultidimIndex;
 
 fn main() {
@@ -55,13 +56,15 @@ fn main() {
     );
 
     // 3. Query on a *dependent* attribute — COAX never indexed it, yet
-    //    the translated query runs against its predictor.
+    //    the translated query runs against its predictor. The builder
+    //    names only the attribute we constrain; it lowers to the closed
+    //    rectangle the engine executes.
     let model = index.groups()[0].models[0].clone();
     let (dep, pred) = (model.dependent(), model.predictor());
     let centre = model.predict(dataset.column(pred)[0]);
     let (q_lo, q_hi) = (centre - 40.0, centre + 40.0);
-    let mut query = RangeQuery::unbounded(dataset.dims());
-    query.constrain(dep, q_lo, q_hi);
+    let query =
+        Query::select(dataset.dims()).range(dep, q_lo..=q_hi).build().expect("valid predicate");
     let nav = index.translate_query(&query);
     println!(
         "\nquery {} in [{q_lo:.0}, {q_hi:.0}] -> translated {} in [{:.0}, {:.0}]",
@@ -80,7 +83,23 @@ fn main() {
         dataset.len()
     );
 
-    // 4. Inserts route by the margin check; rebuild folds them in.
+    // 4. The same query, streamed: a cursor yields matches cell by cell,
+    //    so the first results are in hand long before the scan finishes.
+    let mut cursor = index.range_query_cursor(&query);
+    let first_chunk = cursor.next_chunk().map(<[u32]>::len).unwrap_or(0);
+    let examined_at_first = cursor.stats().rows_examined;
+    let (rest, stats) = cursor.collect_with_stats();
+    println!(
+        "streaming: first chunk of {first_chunk} ids after examining {examined_at_first} \
+         rows; full cursor matched {} (examined {})",
+        first_chunk + rest.len(),
+        stats.rows_examined
+    );
+
+    // 5. Inserts route by the margin check; rebuild folds them in. (For
+    //    concurrent inserts + reads, wrap the index in an IndexHandle and
+    //    take ReadSnapshot sessions — see the streaming_maintenance
+    //    example.)
     let mut index = index;
     let id = index
         .insert(&[800.0, 135.0, 107.0, 600.0, 755.0, 750.0, 3.0, 2.0])

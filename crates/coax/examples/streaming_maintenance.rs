@@ -46,7 +46,7 @@ fn main() {
     println!(
         "built epoch 0 over {} rows ({} correlation group(s))",
         handle.len(),
-        handle.snapshot().groups().len()
+        handle.snapshot().frozen().groups().len()
     );
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -128,7 +128,7 @@ fn main() {
     println!("final epoch {} holds {} rows ({} pending)", handle.epoch(), handle.len(), {
         handle.pending_len()
     });
-    if let Some(lin) = final_index.groups()[0].models[0].as_linear() {
+    if let Some(lin) = final_index.frozen().groups()[0].models[0].as_linear() {
         println!(
             "refreshed model: y = {:.3}x + {:.1} (margins -{:.1}/+{:.1})",
             lin.params.slope, lin.params.intercept, lin.eps_lb, lin.eps_ub

@@ -28,15 +28,18 @@
 //! * [`core`] ([`coax_core`]) — the paper's contribution: soft-FD
 //!   discovery, query translation, the shared execution layer
 //!   ([`core::exec`]: translate once into a [`core::QueryPlan`], then
-//!   probe primary → probe outliers → merge), and [`core::CoaxIndex`]
-//!   itself — which **implements `MultidimIndex` too**, holds its outlier
+//!   probe primary → probe outliers → merge, materialized or streamed
+//!   through a cursor), and [`core::CoaxIndex`] itself — which
+//!   **implements `MultidimIndex` too**, holds its outlier
 //!   partition as a factory-built `Box<dyn MultidimIndex>`, and therefore
 //!   composes like any other backend. [`core::IndexSpec`] extends the
 //!   factory to cover COAX, so callers build *every* index in the
 //!   workspace the same way. The [`core::maint`] lifecycle layer keeps a
 //!   built index true under a live write stream: a drift monitor, a
-//!   fold/refit policy, and the epoch-swapped [`core::maint::IndexHandle`]
-//!   for reads concurrent with writes (see the `streaming_maintenance`
+//!   fold/refit policy, the epoch-swapped [`core::maint::IndexHandle`]
+//!   for reads concurrent with writes, and
+//!   [`core::maint::ReadSnapshot`] sessions for multi-query reads that
+//!   see one consistent version (see the `streaming_maintenance`
 //!   example).
 //!
 //! The bench harness (`coax-bench`), the integration tests, and the
@@ -49,7 +52,7 @@
 //! ```
 //! use coax::core::{CoaxConfig, CoaxIndex};
 //! use coax::data::synth::{AirlineConfig, Generator};
-//! use coax::data::RangeQuery;
+//! use coax::data::Query;
 //! use coax::index::MultidimIndex;
 //!
 //! // A miniature airline-like dataset with two correlated attribute groups.
@@ -58,11 +61,17 @@
 //! // Build COAX: soft FDs are discovered automatically.
 //! let index = CoaxIndex::build(&dataset, &CoaxConfig::default());
 //!
-//! // A rectangle query over all attributes (here: unconstrained except dim 0).
-//! let mut query = RangeQuery::unbounded(dataset.dims());
-//! query.constrain(0, 200.0, 600.0);
+//! // The typed predicate builder: name only the attributes you
+//! // constrain (half-open and one-sided intervals welcome); it lowers
+//! // to the closed rectangle the engine executes.
+//! let query = Query::select(dataset.dims()).range(0, 200.0..=600.0).build().unwrap();
 //! let hits = index.range_query(&query);
 //! assert!(!hits.is_empty());
+//!
+//! // The same query, streamed: chunks flow as the scan proceeds, and
+//! // the collected stream is bit-identical to the materialized call.
+//! let (streamed, _stats) = index.range_query_cursor(&query).collect_with_stats();
+//! assert_eq!(streamed.len(), hits.len());
 //! ```
 //!
 //! Or, treating COAX as just one backend among many via the factory:

@@ -78,7 +78,7 @@ fn drift_scenario_detect_refit_recover() {
         ..Default::default()
     };
     let handle = Arc::new(IndexHandle::build(&build_ds, &config));
-    assert!(!handle.snapshot().groups().is_empty(), "dependency must be discovered");
+    assert!(!handle.snapshot().frozen().groups().is_empty(), "dependency must be discovered");
 
     // --- stream the drifting suffix, asserting reader exactness at
     // --- checkpoints against a full scan of everything inserted so far.
@@ -162,7 +162,7 @@ fn stationary_stream_folds_but_never_refits() {
         ..Default::default()
     };
     let handle = Arc::new(IndexHandle::build(&full.take_rows(&build_rows), &config));
-    let model_before = handle.snapshot().groups()[0].models[0].clone();
+    let model_before = handle.snapshot().frozen().groups()[0].models[0].clone();
     let maintainer = Maintainer::new(Arc::clone(&handle));
     let mut folds = 0;
     for i in 8_000..12_000 {
@@ -178,7 +178,7 @@ fn stationary_stream_folds_but_never_refits() {
     }
     assert!(folds >= 2, "the fold trigger must have fired, got {folds}");
     assert_eq!(
-        handle.snapshot().groups()[0].models[0],
+        handle.snapshot().frozen().groups()[0].models[0],
         model_before,
         "folds froze every model"
     );

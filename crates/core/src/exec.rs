@@ -58,9 +58,10 @@ use crate::discovery::CorrelationGroup;
 use crate::index::{CoaxIndex, CoaxQueryStats};
 use crate::translate::translate_all;
 use coax_data::{RangeQuery, RowId};
-use coax_index::{FilteredProbe, QueryResult, ScanStats};
+use coax_index::{CursorSource, FilteredProbe, QueryResult, RowCursor, ScanStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
 
 /// Upper bound on how many disjoint navigation rectangles one query may
 /// fan out into (non-monotone spline inversions); beyond it, translation
@@ -194,6 +195,131 @@ pub(crate) fn execute(
     stats.pending_examined = examined;
     stats.pending_matches = matched;
     stats
+}
+
+/// Streaming counterpart of [`execute`]: a [`RowCursor`] that chains the
+/// primary probe (one sub-cursor per navigation rectangle, local ids
+/// remapped chunk by chunk), the outlier probe, and the pending-buffer
+/// scan — in exactly the order [`execute`] appends them, with the same
+/// counters, so collecting the cursor reproduces the materialized call
+/// bit for bit. First results leave as soon as the primary backend's own
+/// cursor produces its first populated chunk.
+pub(crate) fn plan_cursor(index: &CoaxIndex, plan: QueryPlan) -> RowCursor<'_> {
+    RowCursor::new(Box::new(PlanCursor {
+        index,
+        plan,
+        stage: PlanStage::Primary { nav_idx: 0, cursor: None },
+    }))
+}
+
+/// Where a [`PlanCursor`] currently is in the four-step exec sequence.
+enum PlanStage<'a> {
+    /// Probing the primary with navigation rectangle `nav_idx` (the
+    /// sub-cursor is created lazily so translation-pruned navs cost
+    /// nothing).
+    Primary { nav_idx: usize, cursor: Option<RowCursor<'a>> },
+    /// Probing the outlier index with the original filter.
+    Outliers { cursor: Option<RowCursor<'a>> },
+    /// Scanning the pending-insert buffer (one final chunk).
+    Pending,
+    /// Every part exhausted.
+    Done,
+}
+
+/// The incremental exec sequence behind [`plan_cursor`].
+struct PlanCursor<'a> {
+    index: &'a CoaxIndex,
+    plan: QueryPlan,
+    stage: PlanStage<'a>,
+}
+
+impl PlanCursor<'_> {
+    /// Pulls one chunk from `cursor`, remaps its local ids through
+    /// `table`, and merges the chunk's counter delta. `false` when the
+    /// sub-cursor is exhausted.
+    fn forward_chunk(
+        cursor: &mut RowCursor<'_>,
+        table: &[RowId],
+        backend: &str,
+        out: &mut Vec<RowId>,
+        stats: &mut ScanStats,
+    ) -> bool {
+        let before = cursor.stats();
+        let from = out.len();
+        let Some(chunk) = cursor.next_chunk() else {
+            // Exhaustion may still have folded trailing empty-chunk
+            // counters (visited cells with no match) into the cursor.
+            *stats = stats.merge(cursor.stats().since(before));
+            return false;
+        };
+        out.extend_from_slice(chunk);
+        remap_local_ids(&mut out[from..], table, backend);
+        *stats = stats.merge(cursor.stats().since(before));
+        true
+    }
+}
+
+impl CursorSource for PlanCursor<'_> {
+    fn next_chunk(&mut self, out: &mut Vec<RowId>, stats: &mut ScanStats) -> bool {
+        loop {
+            match &mut self.stage {
+                PlanStage::Primary { nav_idx, cursor } => {
+                    if let Some(cur) = cursor {
+                        if PlanCursor::forward_chunk(
+                            cur,
+                            &self.index.primary_ids,
+                            self.index.primary.name(),
+                            out,
+                            stats,
+                        ) {
+                            return true;
+                        }
+                        *cursor = None;
+                        *nav_idx += 1;
+                    }
+                    // Find the next non-empty navigation rectangle, as
+                    // `probe_primary` does.
+                    match self.plan.navs()[*nav_idx..].iter().position(|n| !n.is_empty()) {
+                        Some(skip) => {
+                            *nav_idx += skip;
+                            let nav = &self.plan.navs()[*nav_idx];
+                            *cursor = Some(
+                                self.index
+                                    .primary
+                                    .range_query_filtered_cursor(nav, self.plan.filter()),
+                            );
+                        }
+                        None => {
+                            self.stage = PlanStage::Outliers { cursor: None };
+                        }
+                    }
+                }
+                PlanStage::Outliers { cursor } => {
+                    let cur = cursor.get_or_insert_with(|| {
+                        self.index.outliers.range_query_cursor(self.plan.filter())
+                    });
+                    if PlanCursor::forward_chunk(
+                        cur,
+                        &self.index.outlier_ids,
+                        self.index.outliers.name(),
+                        out,
+                        stats,
+                    ) {
+                        return true;
+                    }
+                    self.stage = PlanStage::Pending;
+                }
+                PlanStage::Pending => {
+                    let (examined, matched) = scan_pending(self.index, self.plan.filter(), out);
+                    stats.scanned_pending += examined;
+                    stats.matches += matched;
+                    self.stage = PlanStage::Done;
+                    return true;
+                }
+                PlanStage::Done => return false,
+            }
+        }
+    }
 }
 
 /// Batch-execution knobs: how many workers a batch may fan out over and
@@ -365,6 +491,83 @@ impl BatchPlan {
             .collect()
     }
 
+    /// Streaming execution: per-query results flow to `sink` as their
+    /// chunk completes, instead of arriving all at once when the slowest
+    /// chunk finishes — the ROADMAP's "results flow before the whole
+    /// batch finishes" item.
+    ///
+    /// `sink` receives `(query_index, QueryResult)` pairs: in query order
+    /// when the batch stays on the calling thread, in completion order
+    /// (each pair tagged with its index) when chunks fan out over the
+    /// worker pool, where finished chunks cross back through a **bounded
+    /// channel** so a slow consumer applies backpressure instead of
+    /// buffering the whole batch. Every query is delivered exactly once,
+    /// and each [`QueryResult`] is identical to the one
+    /// [`BatchPlan::execute`] returns at that index.
+    ///
+    /// Chunks are sized for latency here (≈4 per worker, never the whole
+    /// batch — an explicit [`ExecConfig::chunk_size`] still wins):
+    /// time-to-first-result is one chunk's work, so maximal probe sharing
+    /// would defeat the point of streaming.
+    pub fn execute_streaming(
+        &self,
+        index: &CoaxIndex,
+        config: &ExecConfig,
+        sink: &mut dyn FnMut(usize, QueryResult),
+    ) {
+        let n = self.plans.len();
+        if n == 0 {
+            return;
+        }
+        let threads = config.resolve_threads(n);
+        let chunk = streaming_chunk(config, n, threads);
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect();
+        if threads <= 1 {
+            for r in ranges {
+                let mut results = Vec::with_capacity(r.len());
+                self.execute_chunk(index, r.clone(), config.shared_probes, &mut results);
+                for (offset, result) in results.into_iter().enumerate() {
+                    sink(r.start + offset, result);
+                }
+            }
+            return;
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::sync_channel(stream_capacity(chunk, threads));
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(ranges.len()) {
+                let tx = tx.clone();
+                let (next, ranges) = (&next, &ranges);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    let mut results = Vec::with_capacity(ranges[i].len());
+                    self.execute_chunk(
+                        index,
+                        ranges[i].clone(),
+                        config.shared_probes,
+                        &mut results,
+                    );
+                    for (offset, result) in results.into_iter().enumerate() {
+                        // A dropped receiver (consumer gone) cancels the
+                        // remaining work.
+                        if tx.send((ranges[i].start + offset, result)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for (qi, result) in rx {
+                sink(qi, result);
+            }
+        });
+    }
+
     /// Executes one contiguous chunk of the batch, appending one result
     /// per query to `results` in query order.
     ///
@@ -445,6 +648,138 @@ impl BatchPlan {
     }
 }
 
+/// Chunk size for streaming execution: an explicit
+/// [`ExecConfig::chunk_size`] wins, else ≈4 chunks per worker with a
+/// floor of 8 queries — and never the whole batch, because the first
+/// chunk's completion time is the stream's time-to-first-result.
+fn streaming_chunk(config: &ExecConfig, batch_len: usize, threads: usize) -> usize {
+    if config.chunk_size > 0 {
+        return config.chunk_size;
+    }
+    batch_len.div_ceil(threads.max(1) * 4).max(8).min(batch_len.max(1))
+}
+
+/// Bounded capacity of a streaming result channel: a couple of chunks of
+/// per-query slots — enough that workers never stall on a keeping-up
+/// consumer, small enough that a stalled consumer stalls the pool instead
+/// of buffering the whole batch.
+fn stream_capacity(chunk: usize, threads: usize) -> usize {
+    (2 * chunk * threads.max(1)).clamp(16, 4096)
+}
+
+/// A live stream of batch results: an iterator over
+/// `(query_index, QueryResult)` pairs arriving in completion order as
+/// the worker pool finishes chunks, fed through a bounded channel.
+///
+/// Produced by the snapshot surface
+/// ([`crate::maint::ReadSnapshot::batch_query_streaming`] and
+/// [`crate::maint::IndexHandle::batch_query_streaming`]), whose
+/// `Arc`-owned state lets the pool run detached from the caller's stack.
+/// Every query of the batch is delivered exactly once, each result
+/// identical to the materialized `batch_query` at that index; dropping
+/// the stream early cancels the remaining work (workers observe the
+/// closed channel and stop).
+///
+/// # Panics
+///
+/// [`Iterator::next`] panics if a worker thread died before delivering
+/// its queries — results are missing, and truncating the stream quietly
+/// would break the exactly-once contract. This mirrors the scoped
+/// [`BatchPlan::execute_streaming`] surface, where a worker panic
+/// propagates to the caller.
+#[derive(Debug)]
+pub struct BatchStream {
+    rx: Receiver<(usize, QueryResult)>,
+    remaining: usize,
+}
+
+impl BatchStream {
+    /// Results not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for BatchStream {
+    type Item = (usize, QueryResult);
+
+    fn next(&mut self) -> Option<(usize, QueryResult)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(item) => {
+                self.remaining -= 1;
+                Some(item)
+            }
+            // Every sender is gone with results still owed: a worker
+            // died mid-batch. Surface the loss instead of truncating.
+            Err(_) => panic!(
+                "batch stream lost {} result(s): a worker thread panicked mid-batch",
+                self.remaining
+            ),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
+    }
+}
+
+/// Shared post-processing hook a [`BatchStream`]'s workers run on each
+/// finished [`QueryResult`] before sending it (the snapshot layer's
+/// per-query overlay merge).
+pub(crate) type StreamFinishFn = Arc<dyn Fn(usize, &mut QueryResult) + Send + Sync>;
+
+/// Spawns the detached worker pool behind a [`BatchStream`]: workers
+/// claim contiguous chunks off an atomic counter, translate and execute
+/// them against the `Arc`-shared frozen index, run each result through
+/// `finish` (the snapshot layer's overlay merge), and push it through the
+/// bounded channel. Translation happens inside the workers, so the first
+/// results do not wait for the whole batch to be planned.
+pub(crate) fn spawn_batch_stream(
+    index: Arc<CoaxIndex>,
+    queries: Arc<Vec<RangeQuery>>,
+    config: ExecConfig,
+    finish: Option<StreamFinishFn>,
+) -> BatchStream {
+    let n = queries.len();
+    // At least one worker always spawns (the caller thread is the
+    // consumer, so "stay on the calling thread" cannot stream).
+    let threads = config.resolve_threads(n).max(1);
+    let chunk = streaming_chunk(&config, n.max(1), threads);
+    let (tx, rx) = std::sync::mpsc::sync_channel(stream_capacity(chunk, threads));
+    let ranges: Arc<Vec<std::ops::Range<usize>>> =
+        Arc::new((0..n).step_by(chunk.max(1)).map(|s| s..(s + chunk).min(n)).collect());
+    let next = Arc::new(AtomicUsize::new(0));
+    for _ in 0..threads.min(ranges.len()) {
+        let (index, queries, ranges) =
+            (Arc::clone(&index), Arc::clone(&queries), Arc::clone(&ranges));
+        let (next, tx, finish) = (Arc::clone(&next), tx.clone(), finish.clone());
+        std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= ranges.len() {
+                break;
+            }
+            let range = ranges[i].clone();
+            let sub = BatchPlan::new(&index, &queries[range.clone()]);
+            let mut results = Vec::with_capacity(range.len());
+            sub.execute_chunk(&index, 0..sub.len(), config.shared_probes, &mut results);
+            for (offset, mut result) in results.into_iter().enumerate() {
+                let qi = range.start + offset;
+                if let Some(finish) = &finish {
+                    finish(qi, &mut result);
+                }
+                // A dropped BatchStream cancels the remaining work.
+                if tx.send((qi, result)).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+    BatchStream { rx, remaining: n }
+}
+
 /// Batch execution behind [`CoaxIndex::batch_query_with`] and the trait's
 /// `batch_query`: plan the whole batch once ([`BatchPlan`]), then execute
 /// under `config`. Per-query results and counters are identical to
@@ -456,6 +791,17 @@ pub(crate) fn execute_batch(
     config: &ExecConfig,
 ) -> Vec<QueryResult> {
     BatchPlan::new(index, queries).execute(index, config)
+}
+
+/// Streaming batch execution behind [`CoaxIndex::batch_query_streaming`]:
+/// plan once, then [`BatchPlan::execute_streaming`].
+pub(crate) fn execute_batch_streaming(
+    index: &CoaxIndex,
+    queries: &[RangeQuery],
+    config: &ExecConfig,
+    sink: &mut dyn FnMut(usize, QueryResult),
+) {
+    BatchPlan::new(index, queries).execute_streaming(index, config, sink);
 }
 
 #[cfg(test)]

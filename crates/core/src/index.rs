@@ -555,6 +555,42 @@ impl CoaxIndex {
         exec::execute_batch(self, queries, config)
     }
 
+    /// Streaming execution of a prepared plan: the returned cursor chains
+    /// the primary probe (per navigation rectangle), the outlier probe,
+    /// and the pending scan, yielding chunks as each part produces them —
+    /// collecting it reproduces [`CoaxIndex::execute_plan`] bit for bit
+    /// (ids in the same order, [`ScanStats`] equal), but the first chunk
+    /// leaves after the primary's first populated cell instead of after
+    /// the whole four-step sequence.
+    pub fn execute_plan_cursor(&self, plan: QueryPlan) -> coax_index::RowCursor<'_> {
+        exec::plan_cursor(self, plan)
+    }
+
+    /// Streaming batch execution under the built-in [`CoaxConfig::exec`]
+    /// policy: `sink` receives `(query_index, QueryResult)` pairs as
+    /// chunks of the batch complete — before the whole batch has finished
+    /// — each result identical to [`MultidimIndex::batch_query`]'s at
+    /// that index. See [`BatchPlan::execute_streaming`] for ordering and
+    /// backpressure semantics.
+    pub fn batch_query_streaming(
+        &self,
+        queries: &[RangeQuery],
+        mut sink: impl FnMut(usize, QueryResult),
+    ) {
+        exec::execute_batch_streaming(self, queries, &self.config.exec, &mut sink);
+    }
+
+    /// [`CoaxIndex::batch_query_streaming`] under an explicit
+    /// [`ExecConfig`], overriding the built-in policy for this call only.
+    pub fn batch_query_streaming_with(
+        &self,
+        queries: &[RangeQuery],
+        config: &ExecConfig,
+        mut sink: impl FnMut(usize, QueryResult),
+    ) {
+        exec::execute_batch_streaming(self, queries, config, &mut sink);
+    }
+
     /// Queries only the primary (soft-FD) index. Results are exact w.r.t.
     /// the primary partition; outliers and pending rows are *not*
     /// consulted — pair with [`CoaxIndex::query_outliers`] for full
@@ -749,6 +785,15 @@ impl MultidimIndex for CoaxIndex {
     /// degenerate-rectangle call.
     fn point_query_stats(&self, point: &[Value], out: &mut Vec<RowId>) -> ScanStats {
         self.execute_plan(&self.plan(&RangeQuery::point(point)), out).flatten()
+    }
+
+    /// Streaming override — the [`crate::exec`] plan cursor: the query is
+    /// translated once ([`CoaxIndex::plan`]) and executed incrementally
+    /// (primary cell by cell, then outliers, then the pending buffer),
+    /// with collected results and stats identical to
+    /// [`MultidimIndex::range_query_stats`].
+    fn range_query_cursor(&self, query: &RangeQuery) -> coax_index::RowCursor<'_> {
+        self.execute_plan_cursor(self.plan(query))
     }
 
     /// Batch override — the [`crate::exec`] batch engine: every query is

@@ -25,7 +25,11 @@
 //!    overlapping navigation probes so queries in the same cells share
 //!    the scan, and fans chunks out over a scoped worker pool sized by
 //!    [`exec::ExecConfig`] — with per-query results and stats identical
-//!    to the sequential loop.
+//!    to the sequential loop. Both surfaces also stream: the plan
+//!    cursor yields results chunk by chunk, and
+//!    `batch_query_streaming` / [`exec::BatchStream`] deliver per-query
+//!    results off the pool through a bounded channel before the whole
+//!    batch finishes.
 //! 7. [`index`] — [`CoaxIndex`]: a primary index (default: the paper's
 //!    reduced-dimensionality grid file) plus an outlier index, **both**
 //!    pluggable boxed backends ([`PrimaryBackend`]/[`OutlierBackend`]),
@@ -38,8 +42,10 @@
 //!    the insert stream for correlation drift,
 //!    [`maint::MaintenancePolicy`] decides between a cheap fold
 //!    ([`CoaxIndex::rebuild_incremental`]) and a full refit
-//!    ([`CoaxIndex::rebuild`]), and [`maint::IndexHandle`] epoch-swaps
-//!    the rebuilt index under concurrent readers.
+//!    ([`CoaxIndex::rebuild`]), [`maint::IndexHandle`] epoch-swaps
+//!    the rebuilt index under concurrent readers, and
+//!    [`maint::ReadSnapshot`] gives multi-query read sessions one
+//!    consistent version of it all.
 //! 10. [`theory`] — §7 + appendices: effectiveness (Eq. 5), the
 //!     Centre-Sequence Model, and Monte-Carlo validation of Theorems
 //!     7.1–7.4.
@@ -59,13 +65,14 @@ pub mod translate;
 
 pub use discovery::{CorrelationGroup, Discovery, DiscoveryConfig};
 pub use epsilon::EpsilonPolicy;
-pub use exec::{BatchPlan, ExecConfig, QueryPlan};
+pub use exec::{BatchPlan, BatchStream, ExecConfig, QueryPlan};
 pub use index::{
     CoaxConfig, CoaxIndex, CoaxQueryStats, InsertError, OutlierBackend, PrimaryBackend,
 };
 pub use learn::{LearnConfig, PairFit};
 pub use maint::{
     DriftMonitor, DriftReport, IndexHandle, Maintainer, MaintenanceAction, MaintenancePolicy,
+    ReadSnapshot,
 };
 pub use model::{FdModel, SoftFdModel};
 pub use regression::{ols, BayesianLinReg, LinParams};

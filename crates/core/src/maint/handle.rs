@@ -55,11 +55,17 @@ struct OverlayRow {
 
 /// The reader-visible state: epoch pointer + insert overlay, guarded
 /// together so the pair can never tear.
+///
+/// The overlay is held behind an `Arc` so a [`ReadSnapshot`] freezes it
+/// by cloning the pointer, not the rows; the insert path mutates it
+/// through [`Arc::make_mut`], which is in-place while no snapshot is
+/// live and copies-on-write (preserving every open snapshot's view)
+/// while one is.
 #[derive(Debug)]
 struct EpochState {
     epoch: u64,
     index: Arc<CoaxIndex>,
-    overlay: Vec<OverlayRow>,
+    overlay: Arc<Vec<OverlayRow>>,
 }
 
 /// Write-side bookkeeping, touched briefly per insert: id allocation,
@@ -109,7 +115,7 @@ impl IndexHandle {
             state: RwLock::new(EpochState {
                 epoch: 0,
                 index: Arc::clone(&index),
-                overlay: Vec::new(),
+                overlay: Arc::new(Vec::new()),
             }),
             insert: Mutex::new(InsertState { models: index, next_id, posteriors, monitor }),
             maint: Mutex::new(()),
@@ -131,11 +137,20 @@ impl IndexHandle {
         self.state.read().expect("state lock poisoned").epoch
     }
 
-    /// A consistent snapshot of the current epoch's frozen index. Rows
-    /// still in the overlay are *not* in it — use the query methods for
-    /// full results.
-    pub fn snapshot(&self) -> Arc<CoaxIndex> {
-        Arc::clone(&self.state.read().expect("state lock poisoned").index)
+    /// Opens a **read session**: one consistent [`ReadSnapshot`] taken
+    /// under a single read guard — the epoch `Arc` and the frozen
+    /// overlay view are cloned together, so they can never tear. Any
+    /// number of point/range/batch/cursor queries against the snapshot
+    /// see exactly this version of the data, however many inserts,
+    /// folds, or refits publish concurrently; the handle's own query
+    /// methods are each a one-query session through this call.
+    pub fn snapshot(&self) -> ReadSnapshot {
+        let st = self.state.read().expect("state lock poisoned");
+        ReadSnapshot {
+            epoch: st.epoch,
+            index: Arc::clone(&st.index),
+            overlay: Arc::clone(&st.overlay),
+        }
     }
 
     /// Rows buffered but not yet folded into index structures: the
@@ -172,8 +187,11 @@ impl IndexHandle {
         ins.next_id += 1;
         // Publish to readers while still holding the insert lock: ids
         // enter the overlay in allocation order, so a reader's snapshot
-        // is always a contiguous prefix of the insert history.
-        self.state.write().expect("state lock poisoned").overlay.push(OverlayRow {
+        // is always a contiguous prefix of the insert history. The
+        // copy-on-write `make_mut` leaves every open ReadSnapshot's
+        // frozen overlay untouched.
+        let mut st = self.state.write().expect("state lock poisoned");
+        Arc::make_mut(&mut st.overlay).push(OverlayRow {
             id,
             values: row.to_vec(),
             in_margins,
@@ -267,7 +285,7 @@ impl IndexHandle {
         let mut st = self.state.write().expect("state lock poisoned");
         st.index = Arc::clone(&successor);
         st.epoch += 1;
-        st.overlay.drain(..folded);
+        Arc::make_mut(&mut st.overlay).drain(..folded);
         ins.models = Arc::clone(&successor);
         if refit {
             // The refit moved the models: the surviving overlay rows'
@@ -279,7 +297,7 @@ impl IndexHandle {
             ins.posteriors = successor.posteriors.clone();
             ins.monitor = DriftMonitor::new(&successor, self.config.maintenance.ewma_alpha);
             let ins = &mut *ins;
-            for row in st.overlay.iter_mut() {
+            for row in Arc::make_mut(&mut st.overlay).iter_mut() {
                 row.in_margins = ins.monitor.observe(&row.values);
                 if row.in_margins {
                     for (m, reg) in ins.models.discovery.all_models().zip(&mut ins.posteriors) {
@@ -300,23 +318,11 @@ impl IndexHandle {
         // into the outlier-rate baseline.
     }
 
-    /// One consistent read snapshot: the overlay rows matching `query`
-    /// are appended to `out` under the read guard, and the epoch `Arc`
-    /// comes back for the caller to probe lock-free.
-    fn read_snapshot(
-        &self,
-        query: &RangeQuery,
-        out: &mut Vec<RowId>,
-    ) -> (Arc<CoaxIndex>, usize, usize) {
-        let st = self.state.read().expect("state lock poisoned");
-        let mut matched = 0;
-        for r in &st.overlay {
-            if query.matches(&r.values) {
-                out.push(r.id);
-                matched += 1;
-            }
-        }
-        (Arc::clone(&st.index), st.overlay.len(), matched)
+    /// Streaming batch execution against one snapshot taken now: sugar
+    /// for `self.snapshot().batch_query_streaming(queries)`. See
+    /// [`ReadSnapshot::batch_query_streaming`].
+    pub fn batch_query_streaming(&self, queries: &[RangeQuery]) -> crate::exec::BatchStream {
+        self.snapshot().batch_query_streaming(queries)
     }
 }
 
@@ -334,8 +340,19 @@ impl MultidimIndex for IndexHandle {
         st.index.len() + st.overlay.len()
     }
 
+    /// A one-query read session, borrowed inline: the overlay is scanned
+    /// under the read guard (the overlay `Arc` is never retained, so
+    /// concurrent inserts keep their in-place `make_mut` fast path) and
+    /// the epoch `Arc` is cloned for the lock-free probe — exactly what
+    /// [`ReadSnapshot`] would answer, without making every point query
+    /// trigger copy-on-write for the writer. Multi-query consumers that
+    /// need *one* version across queries take the snapshot themselves.
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
-        let (index, scanned, matched) = self.read_snapshot(query, out);
+        let (index, scanned, matched) = {
+            let st = self.state.read().expect("state lock poisoned");
+            let matched = scan_overlay(&st.overlay, query, out);
+            (Arc::clone(&st.index), st.overlay.len(), matched)
+        };
         let mut stats = index.range_query_stats(query, out);
         stats.scanned_pending += scanned;
         stats.matches += matched;
@@ -343,54 +360,221 @@ impl MultidimIndex for IndexHandle {
     }
 
     /// One snapshot for the whole batch: every query in the batch sees
-    /// the same epoch and the same overlay prefix. The epoch probes run
-    /// through the frozen index's batch engine
-    /// ([`CoaxIndex::batch_query`] → `coax_core::exec`), so the whole
-    /// batch is translated once, shares navigation probes, and fans out
-    /// over the worker pool configured in the epoch's
-    /// [`crate::index::CoaxConfig::exec`] — never touching the handle's
-    /// `RwLock` again, because the `Arc` snapshot is immutable (the
-    /// worker pool itself still coordinates chunk hand-off through the
-    /// batch engine's result mutex). Per-query results and stats are
-    /// identical to one-at-a-time handle queries against the same
-    /// snapshot.
+    /// the same epoch and the same overlay prefix (see
+    /// [`ReadSnapshot::batch_query`]).
     fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
-        let (index, overlay) = {
-            let st = self.state.read().expect("state lock poisoned");
-            (Arc::clone(&st.index), st.overlay.clone())
+        self.snapshot().batch_query(queries)
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        self.snapshot().for_each_entry(f)
+    }
+
+    fn memory_overhead(&self) -> usize {
+        self.snapshot().memory_overhead()
+    }
+}
+
+/// One consistent read session over a live [`IndexHandle`]: a frozen
+/// epoch index plus the frozen overlay view that was current when
+/// [`IndexHandle::snapshot`] ran, both cloned under a single read guard.
+///
+/// Every query issued through a snapshot — point, range, batch, cursor,
+/// or streaming — sees exactly this version, while inserts keep landing
+/// and fold/refit keep publishing new epochs on the live handle: the
+/// epoch `Arc` pins the structures and the overlay `Arc` pins the
+/// buffered rows (inserts copy-on-write around open snapshots). That is
+/// snapshot isolation for multi-query read transactions, at a cost paid
+/// by the holder and the writer: the epoch's memory stays alive for the
+/// session's lifetime, and while a session is open each concurrent
+/// insert's `make_mut` copies the overlay (bounded by the maintenance
+/// policy's pending cap) instead of pushing in place — sessions are
+/// meant to be opened, used, and dropped, not parked. The handle's own
+/// one-query methods scan the overlay under the read guard without
+/// retaining it, so plain reads never trigger that copy.
+///
+/// Implements [`MultidimIndex`], so a session drops into every
+/// spec-driven comparison path; it is also `Clone` (cheap — two `Arc`s)
+/// and `Send + Sync`, so one session can fan out across reader threads.
+#[derive(Clone, Debug)]
+pub struct ReadSnapshot {
+    epoch: u64,
+    index: Arc<CoaxIndex>,
+    overlay: Arc<Vec<OverlayRow>>,
+}
+
+/// Appends the overlay rows matching `query` to `out`, returning how
+/// many matched — the one overlay scan every snapshot query path runs
+/// first, so their results agree id for id.
+fn scan_overlay(overlay: &[OverlayRow], query: &RangeQuery, out: &mut Vec<RowId>) -> usize {
+    let mut matched = 0;
+    for r in overlay {
+        if query.matches(&r.values) {
+            out.push(r.id);
+            matched += 1;
+        }
+    }
+    matched
+}
+
+impl ReadSnapshot {
+    /// The epoch this session reads (as [`IndexHandle::epoch`] reported
+    /// when the snapshot was taken).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen epoch index, for model/structure inspection
+    /// (`groups()`, `primary_ratio()`, …). Rows in the snapshot's
+    /// overlay are **not** in it — query through the snapshot itself for
+    /// full results.
+    pub fn frozen(&self) -> &CoaxIndex {
+        &self.index
+    }
+
+    /// Rows the session reads from its frozen overlay + the epoch's own
+    /// pending buffer, i.e. everything charged to
+    /// [`ScanStats::scanned_pending`] by this snapshot's queries.
+    pub fn pending_len(&self) -> usize {
+        self.index.pending_len() + self.overlay.len()
+    }
+
+    /// Streaming batch execution against this session: returns a
+    /// [`crate::exec::BatchStream`] yielding `(query_index,
+    /// QueryResult)` pairs in completion order, off a detached worker
+    /// pool through a bounded channel — results flow before the whole
+    /// batch finishes, and every result is identical to
+    /// [`ReadSnapshot::batch_query`]'s at that index. Dropping the
+    /// stream cancels the remaining work.
+    ///
+    /// The pool is sized by the epoch's
+    /// [`crate::index::CoaxConfig::exec`] policy; use
+    /// [`ReadSnapshot::batch_query_streaming_with`] to override it per
+    /// call.
+    pub fn batch_query_streaming(&self, queries: &[RangeQuery]) -> crate::exec::BatchStream {
+        self.batch_query_streaming_with(queries, self.index.config().exec)
+    }
+
+    /// [`ReadSnapshot::batch_query_streaming`] under an explicit
+    /// [`crate::ExecConfig`].
+    pub fn batch_query_streaming_with(
+        &self,
+        queries: &[RangeQuery],
+        config: crate::ExecConfig,
+    ) -> crate::exec::BatchStream {
+        let queries = Arc::new(queries.to_vec());
+        let overlay = Arc::clone(&self.overlay);
+        let filter_queries = Arc::clone(&queries);
+        let finish: crate::exec::StreamFinishFn = Arc::new(move |qi, result| {
+            // Overlay rows come first, as in every snapshot path.
+            let mut ids = Vec::with_capacity(result.ids.len());
+            let matched = scan_overlay(&overlay, &filter_queries[qi], &mut ids);
+            ids.append(&mut result.ids);
+            result.ids = ids;
+            result.stats.scanned_pending += overlay.len();
+            result.stats.matches += matched;
+        });
+        crate::exec::spawn_batch_stream(Arc::clone(&self.index), queries, config, Some(finish))
+    }
+}
+
+/// The incremental snapshot scan behind
+/// [`ReadSnapshot`]'s `range_query_cursor`: one overlay chunk first,
+/// then the epoch's plan-cursor chunks.
+struct SnapshotCursor<'a> {
+    overlay: &'a [OverlayRow],
+    query: RangeQuery,
+    inner: coax_index::RowCursor<'a>,
+    overlay_done: bool,
+}
+
+impl coax_index::CursorSource for SnapshotCursor<'_> {
+    fn next_chunk(&mut self, out: &mut Vec<RowId>, stats: &mut ScanStats) -> bool {
+        if !self.overlay_done {
+            self.overlay_done = true;
+            stats.matches += scan_overlay(self.overlay, &self.query, out);
+            stats.scanned_pending += self.overlay.len();
+            return true;
+        }
+        let before = self.inner.stats();
+        let produced = match self.inner.next_chunk() {
+            Some(chunk) => {
+                out.extend_from_slice(chunk);
+                true
+            }
+            None => false,
         };
-        let mut results = index.batch_query(queries);
+        *stats = stats.merge(self.inner.stats().since(before));
+        produced
+    }
+}
+
+impl MultidimIndex for ReadSnapshot {
+    fn name(&self) -> &str {
+        "coax-snapshot"
+    }
+
+    fn dims(&self) -> usize {
+        self.index.dims()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len() + self.overlay.len()
+    }
+
+    /// Overlay scan first (charged to [`ScanStats::scanned_pending`]),
+    /// then the frozen epoch's four-step exec sequence — all lock-free:
+    /// the session owns both `Arc`s.
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        let matched = scan_overlay(&self.overlay, query, out);
+        let mut stats = self.index.range_query_stats(query, out);
+        stats.scanned_pending += self.overlay.len();
+        stats.matches += matched;
+        stats
+    }
+
+    /// Streaming override: the overlay chunk flows first, then the
+    /// epoch's plan cursor (primary cell by cell → outliers → epoch
+    /// pending buffer). Collected results and stats are identical to
+    /// [`ReadSnapshot`]'s `range_query_stats`.
+    fn range_query_cursor(&self, query: &RangeQuery) -> coax_index::RowCursor<'_> {
+        coax_index::RowCursor::new(Box::new(SnapshotCursor {
+            overlay: &self.overlay,
+            query: query.clone(),
+            inner: self.index.range_query_cursor(query),
+            overlay_done: false,
+        }))
+    }
+
+    /// One session, whole batch: the epoch probes run through the frozen
+    /// index's batch engine ([`CoaxIndex::batch_query`] →
+    /// `coax_core::exec` — translated once, shared probes, worker pool
+    /// per the epoch's [`crate::index::CoaxConfig::exec`]), then each
+    /// query's overlay matches are prepended. Per-query results and
+    /// stats are identical to one-at-a-time snapshot queries.
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        let mut results = self.index.batch_query(queries);
         for (q, r) in queries.iter().zip(&mut results) {
             // Overlay rows come first, as in `range_query_stats`.
-            let mut ids: Vec<RowId> = Vec::with_capacity(r.ids.len() + overlay.len());
-            let mut matched = 0;
-            for row in &overlay {
-                if q.matches(&row.values) {
-                    ids.push(row.id);
-                    matched += 1;
-                }
-            }
+            let mut ids: Vec<RowId> = Vec::with_capacity(r.ids.len());
+            let matched = scan_overlay(&self.overlay, q, &mut ids);
             ids.append(&mut r.ids);
             r.ids = ids;
-            r.stats.scanned_pending += overlay.len();
+            r.stats.scanned_pending += self.overlay.len();
             r.stats.matches += matched;
         }
         results
     }
 
     fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
-        let (index, overlay) = {
-            let st = self.state.read().expect("state lock poisoned");
-            (Arc::clone(&st.index), st.overlay.clone())
-        };
-        index.for_each_entry(f);
-        for r in &overlay {
+        self.index.for_each_entry(f);
+        for r in self.overlay.iter() {
             f(r.id, &r.values);
         }
     }
 
     fn memory_overhead(&self) -> usize {
-        self.snapshot().memory_overhead()
+        self.index.memory_overhead()
     }
 }
 
@@ -567,7 +751,7 @@ mod tests {
             ..Default::default()
         };
         let handle = IndexHandle::build(&ds, &config);
-        let model = handle.snapshot().groups()[0].models[0].clone();
+        let model = handle.snapshot().frozen().groups()[0].models[0].clone();
         let mut folds = 0;
         let mut refit_at = None;
         for i in 0..600 {

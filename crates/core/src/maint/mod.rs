@@ -20,9 +20,15 @@
 //!   ([`crate::CoaxIndex::rebuild`] semantics) when the dependency has
 //!   drifted. The policy travels in [`crate::CoaxConfig::maintenance`].
 //! * [`IndexHandle`] — the epoch swap: readers query a consistent
-//!   `Arc<CoaxIndex>` snapshot lock-free while a writer thread builds the
-//!   successor epoch and publishes it with a pointer swap; inserts buffer
-//!   through the handle and are visible immediately.
+//!   snapshot lock-free while a writer thread builds the successor epoch
+//!   and publishes it with a pointer swap; inserts buffer through the
+//!   handle and are visible immediately.
+//! * [`ReadSnapshot`] — a read session over the handle:
+//!   [`IndexHandle::snapshot`] clones the epoch `Arc` and a frozen
+//!   overlay view under one read guard, so any number of
+//!   point/range/batch/cursor/streaming queries see a single consistent
+//!   version while inserts and fold/refit proceed concurrently (snapshot
+//!   isolation for multi-query read transactions).
 //!
 //! ```no_run
 //! use coax_core::maint::{IndexHandle, Maintainer};
@@ -42,5 +48,5 @@ mod handle;
 mod policy;
 
 pub use drift::{DriftMonitor, DriftReport, GroupDrift, ModelDrift};
-pub use handle::IndexHandle;
+pub use handle::{IndexHandle, ReadSnapshot};
 pub use policy::{Maintainer, MaintenanceAction, MaintenanceOutcome, MaintenancePolicy};

@@ -328,3 +328,78 @@ fn plans_are_reusable_and_report_pruning() {
     let stats = index.execute_plan(&pruned, &mut out);
     assert_eq!(stats.primary.rows_examined, 0, "pruned plan must skip the primary");
 }
+
+/// The streaming sink must deliver every query exactly once, each result
+/// identical to the materialized batch at that index — whatever thread
+/// count, sharing, or chunking drives the pool, and with pending inserts
+/// in the picture.
+#[test]
+fn streaming_batch_delivers_every_query_identically() {
+    let ds = planted(8_000, 191);
+    let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    for i in 0..40 {
+        let x = (i as f64 * 23.7) % 1000.0;
+        index.insert(&[x, 2.0 * x + 25.0, 50.0]).unwrap();
+    }
+    let mut queries = mixed_workload(&ds);
+    queries.extend(knn_rectangle_queries(&ds, 60, 50, 905));
+    let expected = index.batch_query(&queries);
+
+    for (threads, chunk_size) in [(1usize, 0usize), (1, 3), (2, 0), (4, 7), (8, 0)] {
+        let config = ExecConfig {
+            batch_threads: threads,
+            min_parallel_batch: 2,
+            shared_probes: true,
+            chunk_size,
+        };
+        let mut received: Vec<Option<coax_index::QueryResult>> = vec![None; queries.len()];
+        index.batch_query_streaming_with(&queries, &config, |qi, result| {
+            assert!(
+                received[qi].replace(result).is_none(),
+                "query {qi} delivered twice (threads={threads}, chunk={chunk_size})"
+            );
+        });
+        for (qi, slot) in received.iter().enumerate() {
+            let got = slot.as_ref().unwrap_or_else(|| {
+                panic!("query {qi} never delivered (threads={threads}, chunk={chunk_size})")
+            });
+            assert_eq!(
+                got, &expected[qi],
+                "streamed result diverged (threads={threads}, chunk={chunk_size}, query {qi})"
+            );
+        }
+    }
+}
+
+/// Single-threaded streaming yields in query order, chunk by chunk — the
+/// sink sees a strictly increasing index sequence.
+#[test]
+fn single_threaded_streaming_preserves_query_order() {
+    let ds = planted(4_000, 192);
+    let index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    let queries = mixed_workload(&ds);
+    let mut seen = Vec::new();
+    index.batch_query_streaming(&queries, |qi, _| seen.push(qi));
+    assert_eq!(seen, (0..queries.len()).collect::<Vec<_>>());
+}
+
+/// The plan cursor is the streaming twin of `execute_plan`: collecting
+/// it reproduces the materialized ids (same order) and `ScanStats` bit
+/// for bit, for every query shape including pruned and empty ones.
+#[test]
+fn plan_cursor_collects_identically_to_execute_plan() {
+    let ds = planted(8_000, 193);
+    let mut index = CoaxIndex::build(&ds, &CoaxConfig::default());
+    for i in 0..25 {
+        let x = (i as f64 * 17.3) % 1000.0;
+        let y = if i % 7 == 0 { 2.0 * x + 600.0 } else { 2.0 * x + 25.0 };
+        index.insert(&[x, y, 10.0]).unwrap();
+    }
+    for q in mixed_workload(&ds) {
+        let mut ids = Vec::new();
+        let stats = index.range_query_stats(&q, &mut ids);
+        let (cursor_ids, cursor_stats) = index.range_query_cursor(&q).collect_with_stats();
+        assert_eq!(cursor_ids, ids, "cursor ids diverged on {q:?}");
+        assert_eq!(cursor_stats, stats, "cursor stats diverged on {q:?}");
+    }
+}

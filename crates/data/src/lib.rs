@@ -7,7 +7,10 @@
 //! * [`Dataset`] — an immutable, column-major multidimensional table of
 //!   `f64` values, the storage format shared by every index.
 //! * [`RangeQuery`] — hyper-rectangle predicates (the paper's query model,
-//!   §4: point queries and partially-constrained queries are special cases).
+//!   §4: point queries and partially-constrained queries are special
+//!   cases), plus the typed predicate builder [`Query`]/[`QueryBuilder`]
+//!   that lowers per-attribute constraints (half-open, one-sided,
+//!   unbounded) to the closed rectangle.
 //! * [`synth`] — synthetic dataset generators standing in for the paper's
 //!   Airline and OpenStreetMap datasets (see `DESIGN.md` §3 for the
 //!   substitution argument).
@@ -18,6 +21,8 @@
 //! * [`io`] — numeric CSV import/export so downstream users can point the
 //!   index at their own tables.
 
+#![warn(missing_docs)]
+
 pub mod dataset;
 pub mod io;
 pub mod query;
@@ -26,7 +31,7 @@ pub mod synth;
 pub mod workload;
 
 pub use dataset::{Dataset, DatasetBuilder};
-pub use query::RangeQuery;
+pub use query::{Query, QueryBuilder, QueryError, RangeQuery};
 
 /// The scalar type for every attribute value.
 ///

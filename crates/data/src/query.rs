@@ -1,11 +1,215 @@
-//! Hyper-rectangle range queries.
+//! Hyper-rectangle range queries and the typed predicate builder.
 //!
 //! The paper's query model (§4): every query is a closed rectangle
 //! `q_lo[d] ≤ C_d ≤ q_hi[d]` per attribute. Unconstrained dimensions use
 //! `(-∞, +∞)`, and point queries set `q_lo == q_hi`. Infinite *bounds* are
 //! allowed even though dataset *values* must be finite.
+//!
+//! [`RangeQuery`] stays the internal plan currency every index executes;
+//! [`Query`]/[`QueryBuilder`] are the ergonomic front door: callers name
+//! only the attributes they constrain (`Query::select(dims).range(0,
+//! 10.0..=20.0).ge(2, 5.0).build()`), with half-open and unbounded
+//! intervals per dimension, and the builder lowers to the closed
+//! rectangle — nobody hand-assembles `±∞` vectors.
 
 use crate::{Dataset, RowId, Value};
+use std::ops::{Bound, RangeBounds};
+
+/// Why a query could not be built or combined.
+///
+/// Returned by [`QueryBuilder::build`] and the fallible `try_*` rectangle
+/// operations ([`RangeQuery::try_constrain`], [`RangeQuery::try_intersect`],
+/// [`RangeQuery::try_project`]); the panicking counterparts raise the same
+/// conditions with this error's message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A constraint named a dimension the query does not have.
+    DimOutOfRange {
+        /// The offending dimension.
+        dim: usize,
+        /// The query's dimensionality.
+        dims: usize,
+    },
+    /// A bound on `dim` was NaN.
+    NanBound {
+        /// The dimension carrying the NaN bound.
+        dim: usize,
+    },
+    /// Two rectangles of different dimensionality were combined.
+    DimsMismatch {
+        /// Dimensionality of the left-hand query.
+        left: usize,
+        /// Dimensionality of the right-hand query.
+        right: usize,
+    },
+    /// A query over zero dimensions was requested.
+    NoDims,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::DimOutOfRange { dim, dims } => {
+                write!(f, "dimension {dim} out of range for a {dims}-dimensional query")
+            }
+            QueryError::NanBound { dim } => {
+                write!(f, "query bound on dimension {dim} must not be NaN")
+            }
+            QueryError::DimsMismatch { left, right } => {
+                write!(f, "query dimensionality mismatch: {left} vs {right} dimensions")
+            }
+            QueryError::NoDims => write!(f, "query must have at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Entry point of the typed predicate builder.
+///
+/// `Query::select(dims)` opens a [`QueryBuilder`] over a `dims`-attribute
+/// table; chain per-attribute predicates and [`QueryBuilder::build`] the
+/// closed [`RangeQuery`] rectangle every index executes:
+///
+/// ```
+/// use coax_data::query::Query;
+///
+/// let q = Query::select(3)
+///     .range(0, 10.0..20.0) // half-open: 10 ≤ x < 20
+///     .ge(2, 5.0)           // one-sided: z ≥ 5
+///     .build()
+///     .unwrap();
+/// assert!(q.matches(&[15.0, -1e300, 5.0]));
+/// assert!(!q.matches(&[20.0, 0.0, 5.0])); // 20 excluded
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Query;
+
+impl Query {
+    /// Starts building a query over a `dims`-dimensional dataset, every
+    /// attribute initially unconstrained.
+    pub fn select(dims: usize) -> QueryBuilder {
+        QueryBuilder {
+            lo: vec![f64::NEG_INFINITY; dims],
+            hi: vec![f64::INFINITY; dims],
+            error: if dims == 0 { Some(QueryError::NoDims) } else { None },
+        }
+    }
+}
+
+/// Accumulates per-attribute predicates and lowers them to a closed
+/// [`RangeQuery`] rectangle (see [`Query`] for an example).
+///
+/// Each method replaces the named side(s) of that dimension's interval:
+/// [`QueryBuilder::ge`]/[`QueryBuilder::gt`] set the lower bound,
+/// [`QueryBuilder::le`]/[`QueryBuilder::lt`] the upper,
+/// [`QueryBuilder::range`] and [`QueryBuilder::eq`] both — so
+/// `.ge(d, 1.0).le(d, 5.0)` constrains `d` to `[1, 5]`. Strict bounds
+/// lower to the adjacent representable `f64` (dataset values are finite,
+/// so `x > v` and `x ≥ next_up(v)` accept exactly the same rows).
+///
+/// Errors (out-of-range dimension, NaN bound) are recorded and reported
+/// by [`QueryBuilder::build`]; the first error wins and later calls are
+/// ignored, so a chain never panics.
+#[derive(Clone, Debug)]
+pub struct QueryBuilder {
+    lo: Vec<Value>,
+    hi: Vec<Value>,
+    error: Option<QueryError>,
+}
+
+impl QueryBuilder {
+    /// Number of dimensions the built query will have.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Constrains `dim` to `range` — any [`RangeBounds`] over [`Value`]:
+    /// `lo..=hi` (closed), `lo..hi` (half-open), `lo..` / `..=hi`
+    /// (one-sided), or `..` (clears the constraint). Replaces both sides
+    /// of the dimension's interval.
+    pub fn range(mut self, dim: usize, range: impl RangeBounds<Value>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.next_up(),
+            Bound::Unbounded => f64::NEG_INFINITY,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.next_down(),
+            Bound::Unbounded => f64::INFINITY,
+        };
+        self.set(dim, Some(lo), Some(hi));
+        self
+    }
+
+    /// Constrains `dim` to exactly `value` (a point predicate on that
+    /// attribute).
+    #[allow(clippy::should_implement_trait)]
+    pub fn eq(mut self, dim: usize, value: Value) -> Self {
+        self.set(dim, Some(value), Some(value));
+        self
+    }
+
+    /// Lower-bounds `dim` inclusively: `attribute ≥ value`.
+    pub fn ge(mut self, dim: usize, value: Value) -> Self {
+        self.set(dim, Some(value), None);
+        self
+    }
+
+    /// Lower-bounds `dim` strictly: `attribute > value`.
+    pub fn gt(mut self, dim: usize, value: Value) -> Self {
+        self.set(dim, Some(value.next_up()), None);
+        self
+    }
+
+    /// Upper-bounds `dim` inclusively: `attribute ≤ value`.
+    pub fn le(mut self, dim: usize, value: Value) -> Self {
+        self.set(dim, None, Some(value));
+        self
+    }
+
+    /// Upper-bounds `dim` strictly: `attribute < value`.
+    pub fn lt(mut self, dim: usize, value: Value) -> Self {
+        self.set(dim, None, Some(value.next_down()));
+        self
+    }
+
+    /// Lowers the accumulated predicates to the closed rectangle, or
+    /// reports the first recorded error.
+    ///
+    /// An interval whose bounds crossed (e.g. `.range(d, 5.0..=3.0)`) is
+    /// *not* an error: it lowers to the empty rectangle, matching
+    /// [`RangeQuery::is_empty`]'s convention — translation prunes such
+    /// queries for free.
+    pub fn build(self) -> Result<RangeQuery, QueryError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(RangeQuery { lo: self.lo, hi: self.hi }),
+        }
+    }
+
+    /// Records the new bounds for `dim`, or the first error.
+    fn set(&mut self, dim: usize, lo: Option<Value>, hi: Option<Value>) {
+        if self.error.is_some() {
+            return;
+        }
+        if dim >= self.lo.len() {
+            self.error = Some(QueryError::DimOutOfRange { dim, dims: self.lo.len() });
+            return;
+        }
+        if lo.is_some_and(Value::is_nan) || hi.is_some_and(Value::is_nan) {
+            self.error = Some(QueryError::NanBound { dim });
+            return;
+        }
+        if let Some(lo) = lo {
+            self.lo[dim] = lo;
+        }
+        if let Some(hi) = hi {
+            self.hi[dim] = hi;
+        }
+    }
+}
 
 /// A closed hyper-rectangle predicate over all attributes of a dataset.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,11 +247,40 @@ impl RangeQuery {
     }
 
     /// Constrains dimension `dim` to `[lo, hi]`, replacing previous bounds.
+    ///
+    /// `lo > hi` is allowed and produces an empty query (see
+    /// [`RangeQuery::is_empty`]) — translation uses inverted intervals to
+    /// prove a rectangle matches nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics with dimension context if `dim` is out of range or a bound
+    /// is NaN; [`RangeQuery::try_constrain`] reports the same conditions
+    /// as a [`QueryError`] instead.
     pub fn constrain(&mut self, dim: usize, lo: Value, hi: Value) -> &mut Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "query bounds must not be NaN");
+        if let Err(e) = self.try_constrain(dim, lo, hi) {
+            panic!("{e}");
+        }
+        self
+    }
+
+    /// Fallible [`RangeQuery::constrain`]: rejects an out-of-range `dim`
+    /// or a NaN bound as a [`QueryError`] instead of panicking.
+    pub fn try_constrain(
+        &mut self,
+        dim: usize,
+        lo: Value,
+        hi: Value,
+    ) -> Result<&mut Self, QueryError> {
+        if dim >= self.dims() {
+            return Err(QueryError::DimOutOfRange { dim, dims: self.dims() });
+        }
+        if lo.is_nan() || hi.is_nan() {
+            return Err(QueryError::NanBound { dim });
+        }
         self.lo[dim] = lo;
         self.hi[dim] = hi;
-        self
+        Ok(self)
     }
 
     /// Number of dimensions.
@@ -115,21 +348,59 @@ impl RangeQuery {
     /// Intersects in place with another rectangle (used by query
     /// translation, Eq. 2: the final constraint is the intersection of the
     /// direct and the inferred constraints).
+    ///
+    /// # Panics
+    ///
+    /// Panics with both dimensionalities in the message if the rectangles
+    /// disagree on arity; [`RangeQuery::try_intersect`] reports the same
+    /// condition as a [`QueryError`] instead.
     pub fn intersect(&mut self, other: &RangeQuery) {
-        assert_eq!(self.dims(), other.dims(), "dimension mismatch");
+        if let Err(e) = self.try_intersect(other) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`RangeQuery::intersect`]: rejects a dimensionality
+    /// mismatch as a [`QueryError`] instead of panicking.
+    pub fn try_intersect(&mut self, other: &RangeQuery) -> Result<&mut Self, QueryError> {
+        if self.dims() != other.dims() {
+            return Err(QueryError::DimsMismatch { left: self.dims(), right: other.dims() });
+        }
         for d in 0..self.dims() {
             self.lo[d] = self.lo[d].max(other.lo[d]);
             self.hi[d] = self.hi[d].min(other.hi[d]);
         }
+        Ok(self)
     }
 
     /// The query projected onto a subset of dimensions (directory lookups
     /// in reduced-dimensionality indexes).
+    ///
+    /// # Panics
+    ///
+    /// Panics with dimension context if `dims` is empty or names an
+    /// out-of-range dimension; [`RangeQuery::try_project`] reports the
+    /// same conditions as a [`QueryError`] instead.
     pub fn project(&self, dims: &[usize]) -> RangeQuery {
-        RangeQuery::new(
+        match self.try_project(dims) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`RangeQuery::project`]: rejects an empty selection or an
+    /// out-of-range dimension as a [`QueryError`] instead of panicking.
+    pub fn try_project(&self, dims: &[usize]) -> Result<RangeQuery, QueryError> {
+        if dims.is_empty() {
+            return Err(QueryError::NoDims);
+        }
+        if let Some(&dim) = dims.iter().find(|&&d| d >= self.dims()) {
+            return Err(QueryError::DimOutOfRange { dim, dims: self.dims() });
+        }
+        Ok(RangeQuery::new(
             dims.iter().map(|&d| self.lo[d]).collect(),
             dims.iter().map(|&d| self.hi[d]).collect(),
-        )
+        ))
     }
 }
 
@@ -216,5 +487,123 @@ mod tests {
         let q = RangeQuery::new(vec![f64::NEG_INFINITY], vec![0.0]);
         assert!(q.matches(&[-1e308]));
         assert!(!q.matches(&[0.5]));
+    }
+
+    #[test]
+    fn builder_lowers_to_the_closed_rectangle() {
+        let q = Query::select(3).range(0, 10.0..=20.0).eq(1, 7.0).build().unwrap();
+        assert_eq!(q, {
+            let mut expect = RangeQuery::unbounded(3);
+            expect.constrain(0, 10.0, 20.0).constrain(1, 7.0, 7.0);
+            expect
+        });
+        assert!(q.is_unconstrained(2));
+    }
+
+    #[test]
+    fn builder_half_open_and_strict_bounds_exclude_the_endpoint() {
+        let q = Query::select(1).range(0, 1.0..2.0).build().unwrap();
+        assert!(q.matches(&[1.0]));
+        assert!(q.matches(&[2.0f64.next_down()]));
+        assert!(!q.matches(&[2.0]));
+
+        let q = Query::select(1).gt(0, 1.0).lt(0, 2.0).build().unwrap();
+        assert!(!q.matches(&[1.0]));
+        assert!(q.matches(&[1.5]));
+        assert!(!q.matches(&[2.0]));
+    }
+
+    #[test]
+    fn builder_one_sided_and_unbounded_dimensions() {
+        let q = Query::select(2).ge(0, 5.0).build().unwrap();
+        assert!(q.is_unconstrained(1));
+        assert!(q.matches(&[5.0, 1e300]));
+        assert!(!q.matches(&[4.999, 0.0]));
+
+        // `..` clears a previous constraint.
+        let q = Query::select(1).eq(0, 3.0).range(0, ..).build().unwrap();
+        assert!(q.is_unconstrained(0));
+    }
+
+    #[test]
+    fn builder_sides_compose_on_one_dimension() {
+        let q = Query::select(1).ge(0, 1.0).le(0, 5.0).build().unwrap();
+        assert_eq!((q.lo(0), q.hi(0)), (1.0, 5.0));
+    }
+
+    #[test]
+    fn builder_inverted_interval_is_the_empty_query_not_an_error() {
+        let q = Query::select(2).range(1, 5.0..=3.0).build().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn builder_reports_first_error_and_never_panics() {
+        assert_eq!(
+            Query::select(2).ge(5, 1.0).eq(9, 2.0).build(),
+            Err(QueryError::DimOutOfRange { dim: 5, dims: 2 })
+        );
+        assert_eq!(
+            Query::select(2).le(0, f64::NAN).build(),
+            Err(QueryError::NanBound { dim: 0 })
+        );
+        assert_eq!(Query::select(0).build(), Err(QueryError::NoDims));
+    }
+
+    #[test]
+    fn try_constrain_reports_context() {
+        let mut q = RangeQuery::unbounded(2);
+        assert_eq!(
+            q.try_constrain(3, 0.0, 1.0).map(|_| ()),
+            Err(QueryError::DimOutOfRange { dim: 3, dims: 2 })
+        );
+        assert_eq!(
+            q.try_constrain(1, f64::NAN, 1.0).map(|_| ()),
+            Err(QueryError::NanBound { dim: 1 })
+        );
+        // The failed calls left the query untouched.
+        assert!(q.is_unconstrained(0) && q.is_unconstrained(1));
+        q.try_constrain(1, 0.0, 1.0).unwrap();
+        assert_eq!((q.lo(1), q.hi(1)), (0.0, 1.0));
+    }
+
+    #[test]
+    fn try_intersect_and_project_report_context() {
+        let mut a = RangeQuery::unbounded(2);
+        let b = RangeQuery::unbounded(3);
+        assert_eq!(
+            a.try_intersect(&b).map(|_| ()),
+            Err(QueryError::DimsMismatch { left: 2, right: 3 })
+        );
+        assert_eq!(a.try_project(&[0, 7]), Err(QueryError::DimOutOfRange { dim: 7, dims: 2 }));
+        assert_eq!(a.try_project(&[]), Err(QueryError::NoDims));
+        assert_eq!(a.try_project(&[1]).unwrap().dims(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension 9 out of range for a 2-dimensional query")]
+    fn constrain_panics_with_dimension_context() {
+        RangeQuery::unbounded(2).constrain(9, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 vs 3 dimensions")]
+    fn intersect_panics_with_both_arities() {
+        RangeQuery::unbounded(2).intersect(&RangeQuery::unbounded(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension 5 out of range")]
+    fn project_panics_with_dimension_context() {
+        RangeQuery::unbounded(2).project(&[5]);
+    }
+
+    #[test]
+    fn query_error_messages_name_the_dimension() {
+        assert_eq!(
+            QueryError::DimOutOfRange { dim: 4, dims: 2 }.to_string(),
+            "dimension 4 out of range for a 2-dimensional query"
+        );
+        assert!(QueryError::NanBound { dim: 1 }.to_string().contains("dimension 1"));
     }
 }

@@ -12,7 +12,7 @@
 //! wrapper that also knows how to pick a good sort dimension.
 
 use crate::grid_file::{GridFile, GridFileConfig};
-use crate::traits::{FilteredProbe, MultidimIndex, QueryResult, ScanStats};
+use crate::traits::{FilteredProbe, MultidimIndex, QueryResult, RowCursor, ScanStats};
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 
 /// CDF-aligned grid over `d − 1` attributes with the last attribute sorted
@@ -103,6 +103,20 @@ impl MultidimIndex for ColumnFiles {
     /// Forwarded to [`GridFile`]'s shared-cell multi-probe.
     fn batch_range_query_filtered(&self, probes: &[FilteredProbe<'_>]) -> Vec<QueryResult> {
         MultidimIndex::batch_range_query_filtered(&self.inner, probes)
+    }
+
+    /// Forwarded to [`GridFile`]'s cell-by-cell streaming cursor.
+    fn range_query_cursor(&self, query: &RangeQuery) -> RowCursor<'_> {
+        self.inner.filtered_cursor(query, query)
+    }
+
+    /// Forwarded to [`GridFile`]'s cell-by-cell streaming cursor.
+    fn range_query_filtered_cursor(
+        &self,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+    ) -> RowCursor<'_> {
+        self.inner.filtered_cursor(nav, filter)
     }
 
     /// Forwarded to [`GridFile`]'s shared-cell batch.

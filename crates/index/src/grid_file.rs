@@ -19,7 +19,9 @@
 //! — through [`crate::ColumnFiles`] — the strongest baseline.
 
 use crate::pages::{PageStore, MAX_CELLS};
-use crate::traits::{FilteredProbe, MultidimIndex, QueryResult, ScanStats};
+use crate::traits::{
+    CursorSource, FilteredProbe, MultidimIndex, QueryResult, RowCursor, ScanStats,
+};
 use coax_data::stats::equi_depth_boundaries;
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 
@@ -233,6 +235,27 @@ impl GridFile {
         Some(ranges)
     }
 
+    /// Streaming navigate-and-filter scan: a [`RowCursor`] yielding one
+    /// chunk per directory cell, in the same ascending odometer order —
+    /// and with the same per-cell binary searches and filter checks — as
+    /// [`GridFile::range_query_filtered`], so the concatenated chunks and
+    /// the final [`crate::ScanStats`] are identical to the materialized
+    /// call. First results leave after the first populated cell instead
+    /// of after the whole directory pass.
+    pub fn filtered_cursor(&self, nav: &RangeQuery, filter: &RangeQuery) -> RowCursor<'_> {
+        assert_eq!(filter.dims(), self.dims, "filter query dimensionality mismatch");
+        let odometer = match self.cell_ranges(nav) {
+            Some(ranges) => Odometer::new(ranges, self.strides.clone()),
+            None => Odometer::empty(),
+        };
+        RowCursor::new(Box::new(CellCursor {
+            grid: self,
+            nav: nav.clone(),
+            filter: filter.clone(),
+            odometer,
+        }))
+    }
+
     /// The multi-query fused probe: executes every `(nav, filter)` probe
     /// of a batch in **one ascending pass over the union of their
     /// directory cells**, returning per-probe results plus the
@@ -315,6 +338,32 @@ impl GridFile {
     }
 }
 
+/// The incremental scan behind [`GridFile::filtered_cursor`]: each
+/// `next_chunk` call visits the next odometer address and scans that one
+/// cell, exactly as the materialized pass would.
+struct CellCursor<'a> {
+    grid: &'a GridFile,
+    nav: RangeQuery,
+    filter: RangeQuery,
+    /// `'static`: the cursor owns its range/stride copies — it outlives
+    /// the call that computed them.
+    odometer: Odometer<'static>,
+}
+
+impl CursorSource for CellCursor<'_> {
+    fn next_chunk(&mut self, out: &mut Vec<RowId>, stats: &mut ScanStats) -> bool {
+        let Some(addr) = self.odometer.next() else {
+            return false;
+        };
+        stats.cells_visited += 1;
+        let (examined, matched) =
+            self.grid.pages.scan_cell_narrowed(addr, &self.nav, &self.filter, out);
+        stats.rows_examined += examined;
+        stats.matches += matched;
+        true
+    }
+}
+
 impl MultidimIndex for GridFile {
     fn name(&self) -> &str {
         "grid-file"
@@ -343,6 +392,22 @@ impl MultidimIndex for GridFile {
         out: &mut Vec<RowId>,
     ) -> ScanStats {
         GridFile::range_query_filtered(self, nav, filter, out)
+    }
+
+    /// Streaming override: one chunk per directory cell, ascending
+    /// odometer order (see [`GridFile::filtered_cursor`]).
+    fn range_query_cursor(&self, query: &RangeQuery) -> RowCursor<'_> {
+        self.filtered_cursor(query, query)
+    }
+
+    /// Streaming navigate-and-filter override (see
+    /// [`GridFile::filtered_cursor`]).
+    fn range_query_filtered_cursor(
+        &self,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+    ) -> RowCursor<'_> {
+        self.filtered_cursor(nav, filter)
     }
 
     /// Fused multi-probe override: duplicate probes are answered once,
@@ -392,32 +457,79 @@ fn cell_index(b: &[Value], v: Value) -> usize {
     interior.partition_point(|&x| x <= v)
 }
 
-/// Invokes `f` with the linear address of every cell in the Cartesian
-/// product of inclusive `ranges` (odometer iteration). With no gridded
-/// dimensions there is exactly one cell: address 0.
-fn for_each_address(ranges: &[(usize, usize)], strides: &[usize], mut f: impl FnMut(usize)) {
-    debug_assert_eq!(ranges.len(), strides.len());
-    if ranges.is_empty() {
-        f(0);
-        return;
+/// Ascending odometer over the Cartesian product of inclusive `ranges`,
+/// yielding each cell's linear directory address. With no gridded
+/// dimensions there is exactly one cell: address 0. This is the **only**
+/// directory-traversal order in the crate — the materialized scan, the
+/// batched multi-probe, and the streaming cursor all draw addresses from
+/// it, so their cell order cannot diverge.
+///
+/// Ranges and strides are `Cow` so the materialized hot path borrows
+/// them allocation-free while the streaming cursor (which outlives the
+/// call that computed its ranges) owns its copies.
+struct Odometer<'a> {
+    ranges: std::borrow::Cow<'a, [(usize, usize)]>,
+    strides: std::borrow::Cow<'a, [usize]>,
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> Odometer<'a> {
+    fn new(
+        ranges: impl Into<std::borrow::Cow<'a, [(usize, usize)]>>,
+        strides: impl Into<std::borrow::Cow<'a, [usize]>>,
+    ) -> Self {
+        let (ranges, strides) = (ranges.into(), strides.into());
+        debug_assert_eq!(ranges.len(), strides.len());
+        let idx = ranges.iter().map(|r| r.0).collect();
+        Self { ranges, strides, idx, done: false }
     }
-    let mut idx: Vec<usize> = ranges.iter().map(|r| r.0).collect();
-    'outer: loop {
-        let addr = idx.iter().zip(strides).map(|(i, s)| i * s).sum();
-        f(addr);
-        let mut d = ranges.len() - 1;
+
+    /// An odometer that yields no address at all (the navigation
+    /// rectangle provably misses every cell).
+    fn empty() -> Odometer<'static> {
+        Odometer {
+            ranges: Vec::new().into(),
+            strides: Vec::new().into(),
+            idx: Vec::new(),
+            done: true,
+        }
+    }
+}
+
+impl Iterator for Odometer<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.done {
+            return None;
+        }
+        let addr = self.idx.iter().zip(self.strides.iter()).map(|(i, s)| i * s).sum();
+        if self.ranges.is_empty() {
+            self.done = true;
+            return Some(addr);
+        }
+        let mut d = self.ranges.len() - 1;
         loop {
-            idx[d] += 1;
-            if idx[d] <= ranges[d].1 {
-                continue 'outer;
+            self.idx[d] += 1;
+            if self.idx[d] <= self.ranges[d].1 {
+                break;
             }
-            idx[d] = ranges[d].0;
+            self.idx[d] = self.ranges[d].0;
             if d == 0 {
-                break 'outer;
+                self.done = true;
+                break;
             }
             d -= 1;
         }
+        Some(addr)
     }
+}
+
+/// Invokes `f` with every address of the odometer pass (the callback
+/// shape the materialized scans use; the odometer borrows both slices).
+fn for_each_address(ranges: &[(usize, usize)], strides: &[usize], f: impl FnMut(usize)) {
+    Odometer::new(ranges, strides).for_each(f);
 }
 
 #[cfg(test)]
@@ -654,6 +766,52 @@ mod tests {
                 assert_eq!(r.ids, ids, "ids diverged (seed {seed})");
             }
         }
+    }
+
+    #[test]
+    fn cursor_streams_cell_by_cell_and_matches_materialized() {
+        use coax_data::workload::knn_rectangle_queries;
+        let ds = UniformConfig::cube(3, 2500, 71).generate();
+        let grid = GridFile::build(&ds, &GridFileConfig::with_sort(3, 2, 5));
+        let mut queries = knn_rectangle_queries(&ds, 15, 30, 72);
+        let mut empty = RangeQuery::unbounded(3);
+        empty.constrain(0, 2.0, 1.0);
+        queries.push(empty);
+        let mut miss = RangeQuery::unbounded(3);
+        miss.constrain(1, 50.0, 60.0); // data lives in [0, 1]
+        queries.push(miss);
+        for q in &queries {
+            let mut expected = Vec::new();
+            let expected_stats = grid.range_query_stats(q, &mut expected);
+            // Chunked consumption: every chunk comes from one cell, and
+            // the cursor never visits more cells than the materialized
+            // scan did.
+            let mut cursor = grid.range_query_cursor(q);
+            let mut ids = Vec::new();
+            while let Some(chunk) = cursor.next_chunk() {
+                assert!(!chunk.is_empty());
+                ids.extend_from_slice(chunk);
+            }
+            assert_eq!(ids, expected, "ids diverged on {q:?}");
+            assert_eq!(cursor.stats(), expected_stats, "stats diverged on {q:?}");
+        }
+    }
+
+    #[test]
+    fn cursor_first_chunk_costs_one_populated_cell() {
+        let ds = UniformConfig::cube(2, 4000, 73).generate();
+        let grid = GridFile::build(&ds, &GridFileConfig::all_dims(2, 8));
+        let q = RangeQuery::unbounded(2);
+        let full = grid.range_query_stats(&q, &mut Vec::new());
+        let mut cursor = grid.range_query_cursor(&q);
+        let first = cursor.next_chunk().expect("unbounded query has matches");
+        assert!(!first.is_empty());
+        // The streaming win: the first chunk arrives having examined at
+        // most one cell's rows, not the whole structure.
+        assert_eq!(cursor.stats().cells_visited, 1);
+        assert!(cursor.stats().rows_examined < full.rows_examined);
+        let (_, stats) = cursor.collect_with_stats();
+        assert_eq!(stats, full);
     }
 
     #[test]

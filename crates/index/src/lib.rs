@@ -42,5 +42,7 @@ pub use column_files::ColumnFiles;
 pub use full_scan::FullScan;
 pub use grid_file::{GridFile, GridFileConfig, SharedProbeStats};
 pub use rtree::{RTree, RTreeConfig};
-pub use traits::{FilteredProbe, MultidimIndex, QueryResult, ScanStats};
+pub use traits::{
+    CursorSource, FilteredProbe, MultidimIndex, QueryResult, RowCursor, ScanStats,
+};
 pub use uniform_grid::UniformGrid;

@@ -37,6 +37,25 @@ impl ScanStats {
         }
     }
 
+    /// Component-wise `self − earlier`, for two observations of the same
+    /// monotonically-growing counters: the work added since `earlier`
+    /// was captured. Composing cursors meter a sub-cursor's per-chunk
+    /// increments this way (watch [`RowCursor::stats`] grow, forward the
+    /// difference).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds
+    /// `self`'s — the pair did not come from one growing sequence.
+    pub fn since(self, earlier: ScanStats) -> ScanStats {
+        ScanStats {
+            cells_visited: self.cells_visited - earlier.cells_visited,
+            rows_examined: self.rows_examined - earlier.rows_examined,
+            scanned_pending: self.scanned_pending - earlier.scanned_pending,
+            matches: self.matches - earlier.matches,
+        }
+    }
+
     /// Every row the query compared against the predicate: index rows
     /// plus pending-buffer rows. The denominator of Eq. 5.
     pub fn total_examined(&self) -> usize {
@@ -100,6 +119,168 @@ pub struct QueryResult {
     pub ids: Vec<RowId>,
     /// Work the query performed.
     pub stats: ScanStats,
+}
+
+/// Incremental producer behind a [`RowCursor`]: one call yields one
+/// *chunk* of matching row ids (for a grid-family index, one directory
+/// cell's worth) plus that chunk's scan counters.
+///
+/// `Send` is a supertrait so cursors can cross threads (a streaming
+/// consumer draining on a worker, say) whatever source backs them.
+pub trait CursorSource: Send {
+    /// Appends the next chunk's matching ids to `out` (without clearing
+    /// it) and merges that chunk's counters into `stats`. Returns `false`
+    /// — touching neither argument — once the scan is exhausted.
+    ///
+    /// A chunk may legitimately append nothing while still counting work
+    /// (a visited cell with no matching row); exhaustion is signalled by
+    /// the return value alone.
+    fn next_chunk(&mut self, out: &mut Vec<RowId>, stats: &mut ScanStats) -> bool;
+}
+
+/// A streaming range-query result: row ids flow chunk by chunk as the
+/// scan proceeds, instead of arriving in one fully-materialized `Vec`.
+///
+/// Returned by [`MultidimIndex::range_query_cursor`] and
+/// [`MultidimIndex::range_query_filtered_cursor`]. The cursor is a plain
+/// [`Iterator`] over [`RowId`]s and is `Send`; chunk-granular consumers
+/// use [`RowCursor::next_chunk`] instead of the per-id iterator.
+///
+/// # Exactness contract
+///
+/// Concatenating every chunk yields **exactly** the ids the materialized
+/// call ([`MultidimIndex::range_query_stats`] /
+/// [`MultidimIndex::range_query_filtered`]) would have appended, in the
+/// same order, and once the cursor is exhausted [`RowCursor::stats`]
+/// equals the materialized call's [`ScanStats`] bit for bit — streaming
+/// changes *when* results arrive, never *what* they are (pinned by the
+/// `coax` crate's streaming equivalence suite). Before exhaustion,
+/// `stats()` reports the work performed so far.
+pub struct RowCursor<'a> {
+    source: Box<dyn CursorSource + 'a>,
+    buf: Vec<RowId>,
+    /// Ids in `buf[..pos]` were already handed out via the iterator.
+    pos: usize,
+    stats: ScanStats,
+    exhausted: bool,
+}
+
+impl std::fmt::Debug for RowCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowCursor")
+            .field("stats", &self.stats)
+            .field("exhausted", &self.exhausted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> RowCursor<'a> {
+    /// Wraps an incremental source.
+    pub fn new(source: Box<dyn CursorSource + 'a>) -> Self {
+        Self { source, buf: Vec::new(), pos: 0, stats: ScanStats::default(), exhausted: false }
+    }
+
+    /// A cursor over an already-materialized result: one chunk carrying
+    /// every id and the full counters. This is the default adapter
+    /// backends without an incremental scan path fall back to.
+    ///
+    /// The counters are attributed when the chunk is produced — not
+    /// preloaded — so composing cursors (COAX chains its primary's
+    /// cursor into the exec sequence) can meter progress by watching
+    /// [`RowCursor::stats`] grow, whichever kind of source backs it.
+    pub fn materialized(ids: Vec<RowId>, stats: ScanStats) -> RowCursor<'static> {
+        struct OneShot {
+            ids: Option<Vec<RowId>>,
+            stats: ScanStats,
+        }
+        impl CursorSource for OneShot {
+            fn next_chunk(&mut self, out: &mut Vec<RowId>, stats: &mut ScanStats) -> bool {
+                match self.ids.take() {
+                    Some(mut ids) => {
+                        out.append(&mut ids);
+                        *stats = stats.merge(self.stats);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+        RowCursor::new(Box::new(OneShot { ids: Some(ids), stats }))
+    }
+
+    /// Advances to the next non-empty chunk of matching ids and returns
+    /// it, or `None` once the scan is exhausted. Chunks that matched
+    /// nothing are folded into [`RowCursor::stats`] and skipped, so a
+    /// returned slice is never empty.
+    ///
+    /// Ids not yet consumed through the [`Iterator`] side are returned
+    /// first — the two access styles can be mixed without loss.
+    pub fn next_chunk(&mut self) -> Option<&[RowId]> {
+        loop {
+            if self.pos < self.buf.len() {
+                let start = self.pos;
+                self.pos = self.buf.len();
+                return Some(&self.buf[start..]);
+            }
+            if self.exhausted {
+                return None;
+            }
+            self.buf.clear();
+            self.pos = 0;
+            if !self.source.next_chunk(&mut self.buf, &mut self.stats) {
+                self.exhausted = true;
+            }
+        }
+    }
+
+    /// Scan counters accumulated so far; the full, materialized-identical
+    /// [`ScanStats`] once the cursor is exhausted.
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+
+    /// `true` once every chunk has been produced *and* consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted && self.pos >= self.buf.len()
+    }
+
+    /// Drains the remaining chunks into a `Vec`, returning the ids and
+    /// the final counters — the bridge back to the materialized calls
+    /// (and what the equivalence tests compare bit for bit).
+    pub fn collect_with_stats(mut self) -> (Vec<RowId>, ScanStats) {
+        let mut ids = self.buf.split_off(self.pos);
+        // `split_off` keeps the consumed prefix in `buf`; drop it and
+        // stream the rest straight into `ids`.
+        self.buf.clear();
+        while !self.exhausted {
+            if !self.source.next_chunk(&mut ids, &mut self.stats) {
+                self.exhausted = true;
+            }
+        }
+        (ids, self.stats)
+    }
+}
+
+impl Iterator for RowCursor<'_> {
+    type Item = RowId;
+
+    fn next(&mut self) -> Option<RowId> {
+        loop {
+            if self.pos < self.buf.len() {
+                let id = self.buf[self.pos];
+                self.pos += 1;
+                return Some(id);
+            }
+            if self.exhausted {
+                return None;
+            }
+            self.buf.clear();
+            self.pos = 0;
+            if !self.source.next_chunk(&mut self.buf, &mut self.stats) {
+                self.exhausted = true;
+            }
+        }
+    }
 }
 
 /// One navigation + filter probe of a batched filtered range query — a
@@ -306,6 +487,47 @@ pub trait MultidimIndex: std::fmt::Debug + Send + Sync {
         out
     }
 
+    /// Streaming range query: returns a [`RowCursor`] whose chunks flow
+    /// as the scan proceeds, instead of one materialized `Vec`.
+    ///
+    /// # Contract
+    ///
+    /// The concatenated chunks and the exhausted cursor's
+    /// [`RowCursor::stats`] must be **identical** — same ids, same order,
+    /// same counters — to one [`MultidimIndex::range_query_stats`] call;
+    /// streaming is a latency improvement, never a semantic change.
+    ///
+    /// The default adapter materializes eagerly and streams the finished
+    /// result in one chunk — correct for every backend, incremental for
+    /// none. Backends with a natural scan order override it:
+    /// [`crate::GridFile`] yields one chunk per directory cell as its
+    /// ascending odometer pass visits it, and the COAX index chains
+    /// primary, outlier, and pending-buffer cursors so first results
+    /// arrive before the outlier probe has even started.
+    ///
+    /// The cursor borrows `self` (not `query`), is `Send`, and may be
+    /// dropped early at no cost beyond the work already performed.
+    fn range_query_cursor(&self, query: &RangeQuery) -> RowCursor<'_> {
+        let mut ids = Vec::new();
+        let stats = self.range_query_stats(query, &mut ids);
+        RowCursor::materialized(ids, stats)
+    }
+
+    /// Streaming variant of [`MultidimIndex::range_query_filtered`]: the
+    /// same navigation/filter split and caller precondition, results
+    /// flowing through a [`RowCursor`] under the same exactness contract
+    /// as [`MultidimIndex::range_query_cursor`]. The default adapter
+    /// materializes eagerly; [`crate::GridFile`] streams cell by cell.
+    fn range_query_filtered_cursor(
+        &self,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+    ) -> RowCursor<'_> {
+        let mut ids = Vec::new();
+        let stats = self.range_query_filtered(nav, filter, &mut ids);
+        RowCursor::materialized(ids, stats)
+    }
+
     /// Point lookup: appends the ids of rows equal to `point` (paper
     /// §8.2.1: "a range query where the lower bound and upper bound …
     /// are equal"). Backends with a cheaper exact-match path may
@@ -493,12 +715,95 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         // Compile-time check: `dyn MultidimIndex` must be a valid type,
-        // including the default-implemented batch/point surface.
+        // including the default-implemented batch/point/cursor surface.
         fn _takes_dyn(index: &dyn MultidimIndex) -> usize {
             index.len()
         }
         fn _takes_boxed(index: Box<dyn MultidimIndex>) -> usize {
             index.dims()
         }
+        fn _cursor_through_dyn<'a>(
+            index: &'a dyn MultidimIndex,
+            q: &RangeQuery,
+        ) -> RowCursor<'a> {
+            index.range_query_cursor(q)
+        }
+    }
+
+    #[test]
+    fn row_cursor_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RowCursor<'static>>();
+    }
+
+    #[test]
+    fn default_cursor_matches_materialized_call() {
+        use crate::FullScan;
+        use coax_data::Dataset;
+        let ds = Dataset::new(vec![(0..200).map(f64::from).collect()]);
+        let fs = FullScan::build(&ds);
+        let mut q = RangeQuery::unbounded(1);
+        q.constrain(0, 50.0, 99.0);
+        let mut expected = Vec::new();
+        let expected_stats = fs.range_query_stats(&q, &mut expected);
+        let (ids, stats) = fs.range_query_cursor(&q).collect_with_stats();
+        assert_eq!(ids, expected);
+        assert_eq!(stats, expected_stats);
+        // The iterator side sees the same stream.
+        let iterated: Vec<RowId> = fs.range_query_cursor(&q).collect();
+        assert_eq!(iterated, expected);
+    }
+
+    /// Source yielding chunks [0,1], [] (counted work, no match), [2].
+    struct Scripted {
+        step: usize,
+    }
+    impl CursorSource for Scripted {
+        fn next_chunk(&mut self, out: &mut Vec<RowId>, stats: &mut ScanStats) -> bool {
+            self.step += 1;
+            match self.step {
+                1 => {
+                    out.extend([0, 1]);
+                    *stats = stats.merge(stats_of(1, 2, 0, 2));
+                    true
+                }
+                2 => {
+                    *stats = stats.merge(stats_of(1, 3, 0, 0));
+                    true
+                }
+                3 => {
+                    out.push(2);
+                    *stats = stats.merge(stats_of(1, 1, 0, 1));
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+
+    fn stats_of(cells: usize, examined: usize, pending: usize, matches: usize) -> ScanStats {
+        stats(cells, examined, pending, matches)
+    }
+
+    #[test]
+    fn cursor_skips_empty_chunks_but_keeps_their_stats() {
+        let mut cursor = RowCursor::new(Box::new(Scripted { step: 0 }));
+        assert_eq!(cursor.next_chunk(), Some(&[0, 1][..]));
+        // The empty middle chunk is folded into the next fetch.
+        assert_eq!(cursor.next_chunk(), Some(&[2][..]));
+        assert_eq!(cursor.next_chunk(), None);
+        assert!(cursor.is_exhausted());
+        assert_eq!(cursor.stats(), stats_of(3, 6, 0, 3));
+    }
+
+    #[test]
+    fn cursor_mixing_iterator_and_chunks_loses_nothing() {
+        let mut cursor = RowCursor::new(Box::new(Scripted { step: 0 }));
+        assert_eq!(cursor.next(), Some(0));
+        // The unconsumed remainder of the buffered chunk comes first.
+        assert_eq!(cursor.next_chunk(), Some(&[1][..]));
+        let (rest, total) = cursor.collect_with_stats();
+        assert_eq!(rest, vec![2]);
+        assert_eq!(total, stats_of(3, 6, 0, 3));
     }
 }

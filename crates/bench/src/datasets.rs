@@ -49,6 +49,19 @@ pub fn bench_batch_threads() -> Vec<usize> {
     env_usize_list("COAX_BENCH_BATCH_THREADS", &[1, 2, 4, 8])
 }
 
+/// Dimensionalities the `scan` bench ladders over
+/// (`COAX_BENCH_SCAN_DIMS`, default `2,4,8`).
+pub fn bench_scan_dims() -> Vec<usize> {
+    env_usize_list("COAX_BENCH_SCAN_DIMS", &[2, 4, 8])
+}
+
+/// Per-mille selectivities of the `scan` bench's rectangle ladder
+/// (`COAX_BENCH_SCAN_SELS_PERMILLE`, default `1,10,100,500` — i.e.
+/// 0.1 % to 50 % of the cell's rows matching).
+pub fn bench_scan_sels_permille() -> Vec<usize> {
+    env_usize_list("COAX_BENCH_SCAN_SELS_PERMILLE", &[1, 10, 100, 500])
+}
+
 /// The airline analogue at benchmark scale (paper: 80 M rows; Table 1).
 pub fn airline(rows: usize) -> Dataset {
     AirlineConfig::small(rows, 0x0a1e).generate()

@@ -15,6 +15,7 @@
 //! | `tuning` | §8.2.1 — per-index tuning sweeps |
 //! | `maint`  | live-maintenance cost under correlation drift |
 //! | `batch`  | batch-engine throughput ladders vs the sequential loop |
+//! | `scan`   | columnar scan-kernel throughput vs the scalar reference |
 //!
 //! Every binary accepts `--json` (machine-readable report on stdout)
 //! and `--csv <path>` (flat CSV for plotting scripts).
@@ -28,6 +29,9 @@
 //! * `COAX_BENCH_BATCH_SIZES` / `COAX_BENCH_BATCH_THREADS` — the
 //!   `batch` binary's ladders (comma lists, defaults `256,1024,4096`
 //!   and `1,2,4,8`)
+//! * `COAX_BENCH_SCAN_DIMS` / `COAX_BENCH_SCAN_SELS_PERMILLE` — the
+//!   `scan` binary's ladders (comma lists, defaults `2,4,8` and
+//!   `1,10,100,500`)
 
 pub mod datasets;
 pub mod harness;

@@ -156,6 +156,56 @@ fn primary_x_outlier_combinations_match_full_scan() {
     }
 }
 
+/// End-to-end differential check of the vectorized scan kernel: every
+/// primary × outlier COAX combination answers the workload **bit
+/// identically** (ids in order, `ScanStats` bit for bit) with the scalar
+/// reference path forced and with the columnar kernel active.
+#[test]
+fn primary_x_outlier_combinations_are_scalar_kernel_identical() {
+    let dataset = OsmConfig::small(4_000, 22).generate();
+    let queries = random_workload(&dataset, 0xB3);
+
+    let primaries = [
+        PrimaryBackend::GridFile,
+        PrimaryBackend::RTree { capacity: 8 },
+        PrimaryBackend::Custom(BackendSpec::UniformGrid { cells_per_dim: 4 }),
+    ];
+    let outliers = [
+        OutlierBackend::GridFile,
+        OutlierBackend::RTree { capacity: 8 },
+        OutlierBackend::Custom(BackendSpec::FullScan),
+    ];
+    for primary in &primaries {
+        for outlier in &outliers {
+            let index = IndexSpec::coax(CoaxConfig {
+                primary_backend: primary.clone(),
+                outlier_backend: *outlier,
+                ..Default::default()
+            })
+            .build(&dataset);
+
+            let run = || {
+                queries
+                    .iter()
+                    .map(|q| {
+                        let mut ids = Vec::new();
+                        let stats = index.range_query_stats(q, &mut ids);
+                        (ids, stats)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            coax::index::kernel::force_scalar(true);
+            let scalar = run();
+            coax::index::kernel::force_scalar(false);
+            let vectorized = run();
+            assert_eq!(
+                scalar, vectorized,
+                "kernel paths diverged (primary {primary:?}, outliers {outlier:?})"
+            );
+        }
+    }
+}
+
 #[test]
 fn boxed_entry_iteration_covers_every_backend() {
     let dataset = AirlineConfig::small(2_000, 20).generate();

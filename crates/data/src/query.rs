@@ -336,13 +336,29 @@ impl RangeQuery {
     }
 
     /// Whether row `row` of `dataset` satisfies every bound, without
-    /// materialising the row.
+    /// materialising the row. Same slice-zip shape (and the same
+    /// debug-time arity check) as [`RangeQuery::matches`].
     #[inline]
     pub fn matches_row(&self, dataset: &Dataset, row: RowId) -> bool {
-        (0..self.dims()).all(|d| {
+        debug_assert_eq!(dataset.dims(), self.dims());
+        self.lo.iter().zip(&self.hi).enumerate().all(|(d, (l, h))| {
             let v = dataset.value(row, d);
-            self.lo[d] <= v && v <= self.hi[d]
+            *l <= v && v <= *h
         })
+    }
+
+    /// Iterates `(dim, lo, hi)` over the *constrained* dimensions only —
+    /// the ones where at least one bound is finite. This is the shared
+    /// hot-loop form of the scan kernels: dimension-at-a-time evaluators
+    /// walk these bounds and never touch unconstrained columns at all.
+    #[inline]
+    pub fn constrained_bounds(&self) -> impl Iterator<Item = (usize, Value, Value)> + '_ {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .enumerate()
+            .filter(|(_, (l, h))| **l != f64::NEG_INFINITY || **h != f64::INFINITY)
+            .map(|(d, (l, h))| (d, *l, *h))
     }
 
     /// Intersects in place with another rectangle (used by query
@@ -450,6 +466,14 @@ mod tests {
         q.constrain(0, 0.0, 2.0);
         assert!(q.matches_row(&ds, 0));
         assert!(!q.matches_row(&ds, 1));
+    }
+
+    #[test]
+    fn constrained_bounds_skips_unbounded_dims() {
+        let q = Query::select(4).range(1, 2.0..=3.0).ge(3, 7.0).build().unwrap();
+        let got: Vec<_> = q.constrained_bounds().collect();
+        assert_eq!(got, vec![(1, 2.0, 3.0), (3, 7.0, f64::INFINITY)]);
+        assert_eq!(RangeQuery::unbounded(2).constrained_bounds().count(), 0);
     }
 
     #[test]

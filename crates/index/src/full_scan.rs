@@ -1,6 +1,7 @@
 //! The full-scan baseline (§8.1.3: "every item in the dataset is checked
 //! against queries").
 
+use crate::kernel;
 use crate::traits::{MultidimIndex, ScanStats};
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 
@@ -46,26 +47,26 @@ impl MultidimIndex for FullScan {
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
         assert_eq!(query.dims(), self.dims(), "query dimensionality mismatch");
         let n = self.len();
-        let mut matches = 0;
-        // Column-major predicate evaluation: start from "all rows pass",
-        // prune per dimension. For typical selectivities this touches far
-        // less memory than row-major row materialisation.
-        let mut alive: Vec<u32> = (0..n as u32).collect();
-        for (d, col) in self.columns.iter().enumerate() {
-            if query.is_unconstrained(d) {
-                continue;
+        // Column-major predicate evaluation over the whole heap — the
+        // same tile-mask kernel the grid cells use, with the identity
+        // gather (packed slot == row id). Constrained dimensions only;
+        // rows emerge in ascending id order. The scalar reference stays
+        // reachable through the same process-wide flag as the cell scans.
+        let matches = if kernel::scalar_forced() {
+            let mut matches = 0;
+            for r in 0..n {
+                let ok = query
+                    .constrained_bounds()
+                    .all(|(d, lo, hi)| (lo..=hi).contains(&self.columns[d][r]));
+                if ok {
+                    out.push(r as RowId);
+                    matches += 1;
+                }
             }
-            let (lo, hi) = (query.lo(d), query.hi(d));
-            alive.retain(|&r| {
-                let v = col[r as usize];
-                lo <= v && v <= hi
-            });
-            if alive.is_empty() {
-                break;
-            }
-        }
-        matches += alive.len();
-        out.extend_from_slice(&alive);
+            matches
+        } else {
+            kernel::scan_columnar_identity(&self.columns, 0, n, query, out)
+        };
         ScanStats { cells_visited: 1, rows_examined: n, matches, ..Default::default() }
     }
 

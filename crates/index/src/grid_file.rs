@@ -18,6 +18,7 @@
 //! indexed attributes), the COAX outlier index (gridding everything), and
 //! — through [`crate::ColumnFiles`] — the strongest baseline.
 
+use crate::kernel;
 use crate::pages::{PageStore, MAX_CELLS};
 use crate::traits::{
     CursorSource, FilteredProbe, MultidimIndex, QueryResult, RowCursor, ScanStats,
@@ -176,12 +177,6 @@ impl GridFile {
         self.pages.cell_lengths()
     }
 
-    /// Iterates every stored `(row_id, packed_row)` pair in cell order
-    /// (used by COAX's rebuild path to reconstruct its dataset).
-    pub fn entries(&self) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
-        (0..self.pages.n_cells()).flat_map(move |c| self.pages.cell_entries(c))
-    }
-
     /// Range query with separate *navigation* and *filter* predicates.
     ///
     /// Directory ranges and the in-cell binary search use `nav`; row
@@ -308,23 +303,54 @@ impl GridFile {
         visits.sort_unstable();
 
         let mut i = 0;
+        // Tile-mask caches of the cell currently being swept, one per
+        // distinct filter rectangle, keyed by a representative probe
+        // index; rebuilt for each cell.
+        let mut caches: Vec<(u32, kernel::CellMaskCache)> = Vec::new();
         while i < visits.len() {
             let addr = visits[i].0;
             shared.cells_scanned += 1;
+            caches.clear();
+            let (cs, ce) = self.pages.cell_run(addr);
             // All probes landing in this cell scan their narrowed runs
-            // back-to-back: the page is resolved once and stays hot.
+            // back-to-back: the page is resolved once, stays hot, and —
+            // beyond `probe_representatives`' whole-probe dedup — probes
+            // whose *filters* are value-equal (e.g. the disjoint
+            // navigation rectangles one COAX query fans out into) share
+            // each 64-row tile's per-dimension selection masks: the
+            // first such probe computes them, the rest only trim and
+            // gather.
             while i < visits.len() && visits[i].0 == addr {
                 let pi = visits[i].1 as usize;
                 let (s, e) = self.pages.narrowed_run(addr, probes[pi].nav);
                 let r = &mut results[pi];
                 r.stats.cells_visited += 1;
                 r.stats.rows_examined += e - s;
-                for slot in s..e {
-                    if probes[pi].filter.matches(self.pages.packed_row(slot)) {
-                        r.ids.push(self.pages.packed_id(slot));
-                        r.stats.matches += 1;
-                    }
-                }
+                r.stats.matches += if kernel::scalar_forced() {
+                    self.pages.scan_run_scalar(s, e, probes[pi].filter, &mut r.ids)
+                } else {
+                    let slot = caches.iter().position(|(rep, _)| {
+                        crate::traits::cmp_query_bounds(
+                            probes[*rep as usize].filter,
+                            probes[pi].filter,
+                        ) == std::cmp::Ordering::Equal
+                    });
+                    let cache = match slot {
+                        Some(idx) => &mut caches[idx].1,
+                        None => {
+                            caches.push((pi as u32, kernel::CellMaskCache::new(cs, ce)));
+                            &mut caches.last_mut().expect("just pushed").1
+                        }
+                    };
+                    cache.scan(
+                        self.pages.columns(),
+                        self.pages.packed_ids(),
+                        probes[pi].filter,
+                        s,
+                        e,
+                        &mut r.ids,
+                    )
+                };
                 i += 1;
             }
         }
@@ -430,10 +456,11 @@ impl MultidimIndex for GridFile {
         self.batch_range_query_filtered_shared(&probes).0
     }
 
+    /// Cell order, packed order within each cell — rows gathered back
+    /// from the column slabs (used by COAX's rebuild path to reconstruct
+    /// its dataset).
     fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
-        for (id, row) in self.entries() {
-            f(id, row);
-        }
+        self.pages.for_each_entry(f)
     }
 
     fn memory_overhead(&self) -> usize {

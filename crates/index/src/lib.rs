@@ -18,7 +18,12 @@
 //!   node capacities (the paper tunes 2–32 and finds 8–12 best).
 //!
 //! All indexes answer *exact* rectangle queries: candidates fetched from
-//! the directory are re-checked against the full predicate.
+//! the directory are re-checked against the full predicate. The
+//! grid-family cell scans and [`FullScan`]'s heap pass all run on one
+//! vectorized columnar kernel ([`kernel`]): per-cell column slabs,
+//! 64-row tiles with `u64` selection masks, dimension-at-a-time
+//! evaluation — bit-identical to the scalar reference path kept behind
+//! [`kernel::force_scalar`] (`COAX_SCAN_KERNEL=scalar`).
 //!
 //! Callers normally do not name these types at all: [`BackendSpec`]
 //! describes any of them as a plain config value and
@@ -32,6 +37,7 @@ pub mod backend;
 pub mod column_files;
 pub mod full_scan;
 pub mod grid_file;
+pub mod kernel;
 pub mod pages;
 pub mod rtree;
 pub mod traits;

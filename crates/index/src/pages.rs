@@ -1,15 +1,25 @@
-//! Contiguous row-store cell pages shared by the grid-family indexes.
+//! Contiguous columnar cell pages shared by the grid-family indexes.
 //!
 //! Paper §6: *"each cell stores records in a contiguous block of virtual
-//! memory in a row store format"*, and rows inside a page may be *"sorted
-//! based on a given function similar to the approach proposed in Flood"*,
-//! which lets one grid dimension be replaced by binary search.
+//! memory"*, and rows inside a page may be *"sorted based on a given
+//! function similar to the approach proposed in Flood"*, which lets one
+//! grid dimension be replaced by binary search.
 //!
-//! A [`PageStore`] is a CSR-style layout: one flat `data` array of packed
-//! rows grouped by cell, one flat `ids` array mapping each packed row back
-//! to its dataset row id, and an `offsets` table with one entry per cell
-//! boundary.
+//! A [`PageStore`] is a CSR-style layout with **columnar-within-cell**
+//! pages: one `offsets` table with one entry per cell boundary, one flat
+//! `ids` array mapping each packed row back to its dataset row id, and —
+//! instead of row-major packed rows — one flat slab *per dimension*, all
+//! sharing the same packed order. `cols[d][offsets[c]..offsets[c + 1]]`
+//! is cell `c`'s dimension-`d` values as one contiguous `&[f64]` run, so
+//! the scan kernel ([`crate::kernel`]) can evaluate a rectangle one
+//! dimension at a time over dense slices, and the sort-dimension binary
+//! search is a plain `partition_point` on the sort column's slab.
+//!
+//! Scans run the vectorized kernel by default and the scalar reference
+//! path when [`crate::kernel::force_scalar`] is engaged; the two are
+//! bit-identical (ids, order, counters) by contract.
 
+use crate::kernel;
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 
 /// Hard cap on any grid-family directory, shared by every builder and by
@@ -17,16 +27,19 @@ use coax_data::{Dataset, RangeQuery, RowId, Value};
 /// never drift apart: 2²⁸ cells ≈ 1 GiB of offsets.
 pub(crate) const MAX_CELLS: usize = 1 << 28;
 
-/// Packed rows grouped into `n_cells` contiguous pages.
+/// Packed rows grouped into `n_cells` contiguous pages, stored as
+/// per-dimension column slabs in a shared packed order.
 #[derive(Clone, Debug)]
 pub struct PageStore {
     dims: usize,
-    /// `offsets[c]..offsets[c+1]` is the row range of cell `c`.
+    /// `offsets[c]..offsets[c+1]` is the packed-row range of cell `c`.
     offsets: Vec<u32>,
     /// Original dataset row id of each packed row.
     ids: Vec<RowId>,
-    /// Row-major packed values, `dims` per row, rows in cell order.
-    data: Vec<Value>,
+    /// One value slab per dimension: `cols[d][i]` is dimension `d` of
+    /// packed row `i`. Every slab shares the packed order, so a cell's
+    /// values for one dimension are a contiguous run.
+    cols: Vec<Vec<Value>>,
     /// Attribute by which rows inside every cell are sorted, if any.
     sort_dim: Option<usize>,
 }
@@ -87,15 +100,15 @@ impl PageStore {
             }
         }
 
-        // Pack row data in final order.
-        let mut data = Vec::with_capacity(n * dims);
-        for &id in &ids {
-            for d in 0..dims {
-                data.push(dataset.value(id, d));
-            }
-        }
+        // Gather each dimension's slab in the final packed order.
+        let cols = (0..dims)
+            .map(|d| {
+                let src = dataset.column(d);
+                ids.iter().map(|&id| src[id as usize]).collect()
+            })
+            .collect();
 
-        Self { dims, offsets, ids, data, sort_dim }
+        Self { dims, offsets, ids, cols, sort_dim }
     }
 
     /// Number of cells.
@@ -134,9 +147,27 @@ impl PageStore {
         (self.offsets[c + 1] - self.offsets[c]) as usize
     }
 
+    /// The packed-row bounds `[start, end)` of cell `c`.
+    #[inline]
+    pub fn cell_run(&self, c: usize) -> (usize, usize) {
+        (self.offsets[c] as usize, self.offsets[c + 1] as usize)
+    }
+
     /// Lengths of every cell (Fig. 4a plots this distribution).
     pub fn cell_lengths(&self) -> Vec<usize> {
         (0..self.n_cells()).map(|c| self.cell_len(c)).collect()
+    }
+
+    /// The per-dimension column slabs (shared packed order).
+    #[inline]
+    pub fn columns(&self) -> &[Vec<Value>] {
+        &self.cols
+    }
+
+    /// The packed-order id map (`packed slot → dataset row id`).
+    #[inline]
+    pub fn packed_ids(&self) -> &[RowId] {
+        &self.ids
     }
 
     /// Scans cell `c`, appending ids of rows matching `filter` to `out`.
@@ -162,6 +193,11 @@ impl PageStore {
     /// original query as `filter`; plain indexes pass the same query twice.
     /// `nav` must be a sub-rectangle of `filter` on the sort dimension or
     /// results may be silently dropped — callers uphold this.
+    ///
+    /// Runs the vectorized columnar kernel unless the scalar reference
+    /// path is forced ([`crate::kernel::force_scalar`]); both emit
+    /// identical ids in identical (ascending packed) order with identical
+    /// counters.
     pub fn scan_cell_narrowed(
         &self,
         c: usize,
@@ -170,17 +206,53 @@ impl PageStore {
         out: &mut Vec<RowId>,
     ) -> (usize, usize) {
         let (s, e) = self.narrowed_run(c, nav);
-        let mut examined = 0;
+        let matched = if kernel::scalar_forced() {
+            self.scan_run_scalar(s, e, filter, out)
+        } else {
+            kernel::scan_columnar(&self.cols, &self.ids, s, e, filter, out)
+        };
+        (e - s, matched)
+    }
+
+    /// The scalar reference scan: identical contract and results as
+    /// [`PageStore::scan_cell_narrowed`], but testing rows one at a time
+    /// against the whole rectangle. Kept callable directly so the
+    /// differential suite and `bench --bin scan` can A/B the paths without
+    /// touching the process-wide flag.
+    pub fn scan_cell_narrowed_scalar(
+        &self,
+        c: usize,
+        nav: &RangeQuery,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> (usize, usize) {
+        let (s, e) = self.narrowed_run(c, nav);
+        (e - s, self.scan_run_scalar(s, e, filter, out))
+    }
+
+    /// Row-at-a-time scan of packed rows `[s, e)`: the reference the
+    /// kernel must stay bit-identical to.
+    pub(crate) fn scan_run_scalar(
+        &self,
+        s: usize,
+        e: usize,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> usize {
         let mut matched = 0;
         for i in s..e {
-            examined += 1;
-            let row = &self.data[i * self.dims..(i + 1) * self.dims];
-            if filter.matches(row) {
+            let ok = filter
+                .lows()
+                .iter()
+                .zip(filter.highs())
+                .zip(&self.cols)
+                .all(|((l, h), col)| *l <= col[i] && col[i] <= *h);
+            if ok {
                 out.push(self.ids[i]);
                 matched += 1;
             }
         }
-        (examined, matched)
+        matched
     }
 
     /// The packed-row range `[s, e)` a [`PageStore::scan_cell_narrowed`]
@@ -199,54 +271,27 @@ impl PageStore {
             return (s, s);
         }
         if let Some(sd) = self.sort_dim {
+            // The sort column's slab is sorted within the cell, so both
+            // bounding searches are plain `partition_point`s on it.
+            let col = &self.cols[sd];
             let lo = nav.lo(sd);
             let hi = nav.hi(sd);
             if lo > f64::NEG_INFINITY {
-                s += self.partition_rows(s, e, |v| v < lo, sd);
+                s += col[s..e].partition_point(|&v| v < lo);
             }
             if hi < f64::INFINITY {
-                let len = e - s;
-                let keep = self.partition_rows(s, e, |v| v <= hi, sd);
-                e = s + keep.min(len);
+                e = s + col[s..e].partition_point(|&v| v <= hi);
             }
         }
         (s, e)
     }
 
-    /// The packed values of slot `i` (a global packed-row position as
-    /// returned in a [`PageStore::narrowed_run`] range, *not* a dataset
-    /// row id).
-    #[inline]
-    pub fn packed_row(&self, i: usize) -> &[Value] {
-        &self.data[i * self.dims..(i + 1) * self.dims]
-    }
-
-    /// The dataset row id stored in packed slot `i`.
+    /// The dataset row id stored in packed slot `i` (a global packed-row
+    /// position as returned in a [`PageStore::narrowed_run`] range, *not*
+    /// a dataset row id).
     #[inline]
     pub fn packed_id(&self, i: usize) -> RowId {
         self.ids[i]
-    }
-
-    /// `partition_point` over packed rows `[s, e)` keyed by dimension `sd`.
-    fn partition_rows(
-        &self,
-        s: usize,
-        e: usize,
-        mut pred: impl FnMut(Value) -> bool,
-        sd: usize,
-    ) -> usize {
-        let mut lo = 0usize;
-        let mut hi = e - s;
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            let v = self.data[(s + mid) * self.dims + sd];
-            if pred(v) {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
     }
 
     /// Directory overhead contributed by the offsets table, in bytes.
@@ -256,14 +301,38 @@ impl PageStore {
 
     /// Bytes of stored row payloads + id map (data, not directory).
     pub fn data_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<Value>()
+        self.cols.iter().map(|c| c.len() * std::mem::size_of::<Value>()).sum::<usize>()
             + self.ids.len() * std::mem::size_of::<RowId>()
     }
 
-    /// Iterates `(dataset_row_id, packed_row)` pairs of cell `c`.
-    pub fn cell_entries(&self, c: usize) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
-        let (s, e) = (self.offsets[c] as usize, self.offsets[c + 1] as usize);
-        (s..e).map(move |i| (self.ids[i], &self.data[i * self.dims..(i + 1) * self.dims]))
+    /// Invokes `f` with every `(dataset_row_id, row_values)` pair of cell
+    /// `c` in packed order, gathering each row from the column slabs into
+    /// `scratch` (resized to `dims`; the slice passed to `f` is only valid
+    /// for that call).
+    pub fn for_each_cell_entry(
+        &self,
+        c: usize,
+        scratch: &mut Vec<Value>,
+        f: &mut dyn FnMut(RowId, &[Value]),
+    ) {
+        scratch.resize(self.dims, 0.0);
+        let (s, e) = self.cell_run(c);
+        for i in s..e {
+            for (d, col) in self.cols.iter().enumerate() {
+                scratch[d] = col[i];
+            }
+            f(self.ids[i], scratch);
+        }
+    }
+
+    /// Invokes `f` with every stored `(dataset_row_id, row_values)` pair,
+    /// cells in order and packed order within each cell — the rebuild /
+    /// fold traversal of the grid-family indexes.
+    pub fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        let mut scratch = Vec::with_capacity(self.dims);
+        for c in 0..self.n_cells() {
+            self.for_each_cell_entry(c, &mut scratch, f);
+        }
     }
 }
 
@@ -283,6 +352,13 @@ mod tests {
         PageStore::build(ds, 3, None, |r| ds.value(r, 0) as usize)
     }
 
+    fn cell_entries(ps: &PageStore, c: usize) -> Vec<(RowId, Vec<Value>)> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        ps.for_each_cell_entry(c, &mut scratch, &mut |id, row| out.push((id, row.to_vec())));
+        out
+    }
+
     #[test]
     fn build_distributes_rows() {
         let ds = dataset();
@@ -296,15 +372,39 @@ mod tests {
     }
 
     #[test]
+    fn columns_are_per_cell_contiguous_slabs() {
+        let ds = dataset();
+        let ps = by_floor(&ds);
+        assert_eq!(ps.columns().len(), 2);
+        let (s, e) = ps.cell_run(1);
+        // Cell 1 holds rows 1 and 4 in packed order; dimension 1's slab
+        // for the cell is exactly their y values, contiguous.
+        assert_eq!(&ps.columns()[1][s..e], &[20.0, 50.0]);
+    }
+
+    #[test]
     fn cell_entries_round_trip() {
         let ds = dataset();
         let ps = by_floor(&ds);
-        let mut ids: Vec<RowId> = ps.cell_entries(0).map(|(id, _)| id).collect();
+        let mut ids: Vec<RowId> = cell_entries(&ps, 0).into_iter().map(|(id, _)| id).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 2, 5]);
-        for (id, row) in ps.cell_entries(1) {
-            assert_eq!(row, ds.row(id).as_slice());
+        for (id, row) in cell_entries(&ps, 1) {
+            assert_eq!(row, ds.row(id));
         }
+    }
+
+    #[test]
+    fn for_each_entry_visits_every_row_once() {
+        let ds = dataset();
+        let ps = by_floor(&ds);
+        let mut seen = Vec::new();
+        ps.for_each_entry(&mut |id, row| {
+            assert_eq!(row, ds.row(id).as_slice());
+            seen.push(id);
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -381,6 +481,20 @@ mod tests {
         let mut out = Vec::new();
         let (_, matched) = ps.scan_cell(0, &q, &mut out);
         assert_eq!(matched, 3);
+    }
+
+    #[test]
+    fn scalar_reference_is_bit_identical_here() {
+        let ds = dataset();
+        let ps = PageStore::build(&ds, 1, Some(1), |_| 0);
+        let mut q = RangeQuery::unbounded(2);
+        q.constrain(0, 0.2, 1.6);
+        q.constrain(1, 15.0, 55.0);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let sa = ps.scan_cell_narrowed(0, &q, &q, &mut a);
+        let sb = ps.scan_cell_narrowed_scalar(0, &q, &q, &mut b);
+        assert_eq!(sa, sb);
+        assert_eq!(a, b);
     }
 
     #[test]

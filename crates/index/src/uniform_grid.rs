@@ -149,11 +149,7 @@ impl MultidimIndex for UniformGrid {
     }
 
     fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
-        for c in 0..self.pages.n_cells() {
-            for (id, row) in self.pages.cell_entries(c) {
-                f(id, row);
-            }
-        }
+        self.pages.for_each_entry(f)
     }
 
     fn memory_overhead(&self) -> usize {

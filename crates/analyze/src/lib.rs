@@ -1,0 +1,28 @@
+//! `coax-analyze` — project-invariant static analysis for the COAX
+//! workspace.
+//!
+//! COAX's correctness rests on contracts the compiler cannot check: the
+//! scan kernel's bit-identity promise, the local-id remap contract, the
+//! epoch-swap/snapshot discipline, seeded-deterministic test suites.
+//! This crate machine-checks the source-level shadows of those contracts
+//! on every push, with zero dependencies (the workspace vendors only
+//! `rand`/`criterion`, so the scanner is hand-rolled pure std — see
+//! [`lexer`]).
+//!
+//! ```text
+//! cargo run -p coax-analyze -- check            # human-readable, exit 1 on findings
+//! cargo run -p coax-analyze -- check --json     # machine-readable report
+//! ```
+//!
+//! Rules are listed in [`rules::RULES`]; a finding is silenced inline
+//! with `// coax-analyze: allow(<rule>, <reason>)` on the same or the
+//! preceding line — the reason is mandatory and audited (a reasonless or
+//! unknown-rule suppression is itself a finding).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_source, check_workspace, FileClass, Finding, Report};

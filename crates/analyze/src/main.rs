@@ -1,0 +1,82 @@
+//! CLI entry point: `coax-analyze check [--json] [--root <dir>]`.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: coax-analyze check [--json] [--root <dir>]
+
+Walks <root>/crates/**/*.rs and enforces the COAX project-invariant
+lint rules. Exit 0 when clean, 1 on findings, 2 on usage/IO errors.
+
+  --json        emit a machine-readable report on stdout
+  --root <dir>  workspace root to analyze (default: current directory)
+
+Suppress a finding inline with a mandatory reason:
+  // coax-analyze: allow(<rule>, <reason>)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut command = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => {
+                        eprintln!("coax-analyze: --root requires a directory\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("coax-analyze: unrecognized argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if command != Some("check") {
+        eprintln!("coax-analyze: expected the `check` command\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let report = match coax_analyze::check_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("coax-analyze: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        eprintln!(
+            "coax-analyze: {} finding(s) in {} file(s) ({} suppressed with reasons)",
+            report.findings.len(),
+            report.files_scanned,
+            report.suppressed
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,445 @@
+//! The project-invariant rule table.
+//!
+//! Every rule encodes an invariant the compiler cannot see but the
+//! workspace's correctness arguments rely on (see `ARCHITECTURE.md`
+//! Layer 9 for the full rationale):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `panic-free-library`  | library code returns errors; panicking APIs are explicit, documented and suppressed by name |
+//! | `nan-unsafe-cmp`      | float comparators use `f64::total_cmp`, never `partial_cmp(..).unwrap()` |
+//! | `kernel-encapsulation`| cell scans and `PageStore` slab access live in `kernel.rs`/`pages.rs` only |
+//! | `thread-discipline`   | threads are spawned only by the exec pool and the maintainer |
+//! | `seeded-randomness`   | RNGs come from explicit seeds — no environmental entropy |
+//! | `doc-headers`         | every `pub fn` in `coax-core`'s exec/maint documents its contract |
+//!
+//! Rules are scoped by [`FileClass`] (library / binary / test) and, for
+//! the encapsulation rules, by an allow-list of file paths. A finding can
+//! be silenced inline with `// coax-analyze: allow(<rule>, <reason>)` on
+//! the same or the preceding line; the reason is mandatory.
+
+use crate::engine::{FileClass, FileContext, Finding};
+use crate::lexer::{Tok, TokKind};
+
+/// Static metadata for one rule.
+pub struct RuleInfo {
+    /// Stable identifier used in diagnostics and suppressions.
+    pub name: &'static str,
+    /// One-line description for `--json` consumers and `--help`.
+    pub description: &'static str,
+}
+
+/// Every rule the analyzer enforces, in diagnostic order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "panic-free-library",
+        description: "no unwrap()/expect()/panic! in non-test library code",
+    },
+    RuleInfo {
+        name: "nan-unsafe-cmp",
+        description:
+            "no partial_cmp(..).unwrap()/expect() float comparators; use f64::total_cmp",
+    },
+    RuleInfo {
+        name: "kernel-encapsulation",
+        description:
+            "PageStore column slabs and scan primitives are touched only by kernel.rs/pages.rs",
+    },
+    RuleInfo {
+        name: "thread-discipline",
+        description: "std::thread::spawn/scope only in coax-core's exec.rs and maint/",
+    },
+    RuleInfo {
+        name: "seeded-randomness",
+        description: "RNGs are constructed from explicit seeds, never environmental entropy",
+    },
+    RuleInfo {
+        name: "doc-headers",
+        description: "every pub fn in coax-core's exec/maint carries a doc comment",
+    },
+];
+
+/// Runs every rule over one file's token stream.
+pub fn run_rules(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    panic_free_library(ctx, &mut out);
+    nan_unsafe_cmp(ctx, &mut out);
+    kernel_encapsulation(ctx, &mut out);
+    thread_discipline(ctx, &mut out);
+    seeded_randomness(ctx, &mut out);
+    doc_headers(ctx, &mut out);
+    out
+}
+
+fn finding(ctx: &FileContext<'_>, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding { file: ctx.path.to_string(), line, rule, message }
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token).
+fn match_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// `panic-free-library`: `.unwrap()`, `.expect(` and `panic!` are banned
+/// in library code. The invariant: every fallible library path surfaces a
+/// typed error (`QueryError`, `RowError`, …); the few deliberate
+/// panicking APIs (documented `# Panics` contracts, poisoned-lock
+/// propagation) are suppressed by name with a reason, which keeps them
+/// enumerable.
+fn panic_free_library(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.class_at(toks[i].line) != FileClass::Library {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(finding(
+                ctx,
+                t.line,
+                "panic-free-library",
+                format!(
+                    "`.{}(..)` in library code: surface a typed error (`?`, `try_*`) or add \
+                     `coax-analyze: allow(panic-free-library, <reason>)`",
+                    t.text
+                ),
+            ));
+        }
+        if t.is_ident("panic") && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            out.push(finding(
+                ctx,
+                t.line,
+                "panic-free-library",
+                "`panic!` in library code: surface a typed error or add \
+                 `coax-analyze: allow(panic-free-library, <reason>)`"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `nan-unsafe-cmp`: a `partial_cmp(..).unwrap()/.expect(..)` comparator
+/// panics the first time a NaN reaches it. Dataset ingestion validates
+/// finiteness, but stats/learn helpers also take raw slices — every float
+/// comparator in the workspace uses `f64::total_cmp` instead, which is
+/// total over NaN and bit-identical to `partial_cmp` on the finite values
+/// the indexes store.
+fn nan_unsafe_cmp(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("partial_cmp") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let close = match_paren(toks, i + 1);
+        let panicky = toks.get(close + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(close + 2)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+        if panicky {
+            out.push(finding(
+                ctx,
+                toks[i].line,
+                "nan-unsafe-cmp",
+                "`partial_cmp(..)` followed by `.unwrap()`/`.expect(..)` panics on NaN: \
+                 use `f64::total_cmp` or validate values at ingestion"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Files allowed to touch `PageStore` slabs and scan primitives.
+const KERNEL_FILES: &[&str] = &["crates/index/src/kernel.rs", "crates/index/src/pages.rs"];
+
+/// `kernel-encapsulation`: the vectorized scan kernel's bit-identity
+/// contract (vectorized == scalar reference, ids/order/counters) is only
+/// auditable while every cell scan flows through `kernel.rs`/`pages.rs`.
+/// Outside those files, code must call `PageStore::scan_cell*` /
+/// `PageStore::scan_run_cached` rather than pulling the raw column slabs
+/// or composing tile primitives itself.
+fn kernel_encapsulation(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if KERNEL_FILES.contains(&ctx.path) {
+        return;
+    }
+    const BANNED_CALLS: &[&str] = &["columns", "packed_ids"];
+    const BANNED_IDENTS: &[&str] =
+        &["tile_mask", "select_tile", "scan_columnar", "scan_columnar_identity"];
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.class_at(toks[i].line) == FileClass::Test {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call = i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if method_call && BANNED_CALLS.contains(&t.text.as_str()) {
+            out.push(finding(
+                ctx,
+                t.line,
+                "kernel-encapsulation",
+                format!(
+                    "`.{}()` exposes PageStore column slabs outside kernel.rs/pages.rs: \
+                     scan through `PageStore::scan_cell*`/`scan_run_cached` instead",
+                    t.text
+                ),
+            ));
+        }
+        if BANNED_IDENTS.contains(&t.text.as_str()) {
+            out.push(finding(
+                ctx,
+                t.line,
+                "kernel-encapsulation",
+                format!(
+                    "`{}` is a scan-kernel primitive: cell-scan loops live in \
+                     kernel.rs/pages.rs so the scalar/vector bit-identity contract \
+                     stays auditable in one place",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Files allowed to spawn threads.
+fn thread_allowed(path: &str) -> bool {
+    path == "crates/core/src/exec.rs" || path.contains("crates/core/src/maint/")
+}
+
+/// `thread-discipline`: worker threads are owned by the exec layer's
+/// scoped pool and the maintainer's background loop. Ad-hoc spawns
+/// elsewhere would bypass `ExecConfig` sizing and the epoch-swap
+/// shutdown protocol.
+fn thread_discipline(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if thread_allowed(ctx.path) {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.class_at(toks[i].line) == FileClass::Test {
+            continue;
+        }
+        if toks[i].is_ident("thread")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("spawn") || t.is_ident("scope"))
+        {
+            let what = &toks[i + 3].text;
+            out.push(finding(
+                ctx,
+                toks[i].line,
+                "thread-discipline",
+                format!(
+                    "`thread::{what}` outside exec.rs/maint/: thread lifecycles are owned \
+                     by the exec pool (`ExecConfig`) and the `Maintainer`"
+                ),
+            ));
+        }
+    }
+}
+
+/// `seeded-randomness`: the equivalence suites and benches are only
+/// reproducible if every RNG is seeded explicitly. The vendored `rand`
+/// offers `seed_from_u64` alone, so today this bans the upstream
+/// entropy-drawing constructors by name before they can be introduced.
+fn seeded_randomness(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &["thread_rng", "from_entropy", "from_os_rng"];
+    for t in ctx.toks {
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            out.push(finding(
+                ctx,
+                t.line,
+                "seeded-randomness",
+                format!(
+                    "`{}` draws entropy from the environment: construct RNGs with an \
+                     explicit seed (`StdRng::seed_from_u64`) so every run is reproducible",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Files the `doc-headers` rule covers.
+fn doc_headers_applies(path: &str) -> bool {
+    path == "crates/core/src/exec.rs" || path.contains("crates/core/src/maint/")
+}
+
+/// `doc-headers`: the exec/maint layers carry the workspace's subtlest
+/// contracts (probe ordering, epoch swaps, snapshot pinning); every
+/// `pub fn` there must state its contract in a doc comment, not just in
+/// the implementation.
+fn doc_headers(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !doc_headers_applies(ctx.path) {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("pub") || ctx.class_at(toks[i].line) == FileClass::Test {
+            continue;
+        }
+        // Optional restricted visibility: `pub(crate)`, `pub(super)`, …
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            j = match_paren(toks, j) + 1;
+        }
+        // Qualifiers before `fn`.
+        while toks
+            .get(j)
+            .is_some_and(|t| t.is_ident("const") || t.is_ident("async") || t.is_ident("unsafe"))
+        {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+            continue;
+        }
+        let name = toks.get(j + 1).map(|t| t.text.clone()).unwrap_or_default();
+        // Walk back over attributes (`#[inline]`, …) to the block start;
+        // a `#[doc = …]` attribute counts as documentation.
+        let mut first = i;
+        let mut doc_attr = false;
+        while first >= 1 && toks[first - 1].is_punct(']') {
+            let mut depth = 0usize;
+            let mut m = first - 1;
+            loop {
+                if toks[m].is_punct(']') {
+                    depth += 1;
+                } else if toks[m].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if m == 0 {
+                    break;
+                }
+                m -= 1;
+            }
+            if m >= 1 && toks[m - 1].is_punct('#') {
+                if toks[m..first].iter().any(|t| t.is_ident("doc")) {
+                    doc_attr = true;
+                }
+                first = m - 1;
+            } else {
+                break;
+            }
+        }
+        let first_line = toks[first].line;
+        let documented =
+            doc_attr || ctx.comments.iter().any(|c| c.is_doc && c.last_line + 1 == first_line);
+        if !documented {
+            out.push(finding(
+                ctx,
+                toks[i].line,
+                "doc-headers",
+                format!(
+                    "`pub fn {name}` in the exec/maint layer has no doc comment: \
+                     state the contract (ordering, blocking, epoch behaviour) above it"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::analyze_source;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        analyze_source(path, src).0.into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_in_library_not_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_hit("crates/core/src/a.rs", src), vec!["panic-free-library"]);
+        assert!(rules_hit("crates/coax/tests/a.rs", src).is_empty());
+        assert!(rules_hit("crates/bench/src/bin/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(rules_hit("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_flagged_expect_too() {
+        let src = "fn c(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }\n";
+        let hits = rules_hit("crates/bench/src/bin/a.rs", src);
+        assert_eq!(hits, vec!["nan-unsafe-cmp"]);
+        let src = "fn c(a: f64, b: f64) { a.partial_cmp(&b).expect(\"finite\"); }\n";
+        let hits = rules_hit("crates/core/src/a.rs", src);
+        // Library code trips both the NaN rule and the panic rule.
+        assert!(hits.contains(&"nan-unsafe-cmp"));
+        assert!(hits.contains(&"panic-free-library"));
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let src = "fn c(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+        assert!(rules_hit("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slab_access_flagged_outside_kernel_files() {
+        let src = "fn f(ps: &PageStore) { let _ = ps.columns(); }\n";
+        assert_eq!(
+            rules_hit("crates/index/src/grid_file.rs", src),
+            vec!["kernel-encapsulation"]
+        );
+        assert!(rules_hit("crates/index/src/pages.rs", src).is_empty());
+        assert!(rules_hit("crates/index/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_exec() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules_hit("crates/index/src/grid_file.rs", src), vec!["thread-discipline"]);
+        assert!(rules_hit("crates/core/src/exec.rs", src).is_empty());
+        assert!(rules_hit("crates/core/src/maint/policy.rs", src).is_empty());
+    }
+
+    #[test]
+    fn entropy_rngs_flagged_everywhere() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        assert_eq!(rules_hit("crates/coax/tests/a.rs", src), vec!["seeded-randomness"]);
+        assert_eq!(rules_hit("crates/data/src/a.rs", src), vec!["seeded-randomness"]);
+    }
+
+    #[test]
+    fn undocumented_pub_fn_flagged_in_exec_only() {
+        let src = "pub fn mystery() {}\n";
+        assert_eq!(rules_hit("crates/core/src/exec.rs", src), vec!["doc-headers"]);
+        assert!(rules_hit("crates/core/src/translate.rs", src).is_empty());
+        let documented = "/// Does a thing.\npub fn mystery() {}\n";
+        assert!(rules_hit("crates/core/src/exec.rs", documented).is_empty());
+        let attr_between = "/// Docs.\n#[inline]\npub fn mystery() {}\n";
+        assert!(rules_hit("crates/core/src/exec.rs", attr_between).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Golden-file tests for the analyzer: each fixture under
+//! `tests/fixtures/` is analyzed under a *virtual* workspace path (its
+//! first line, `// virtual-path: …`) and the rendered findings are
+//! compared against the `.expected` file next to it.
+//!
+//! Regenerate the goldens after an intentional diagnostic change with
+//! `COAX_ANALYZE_BLESS=1 cargo test -p coax-analyze --test fixtures`.
+
+use coax_analyze::analyze_source;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Reads a fixture, returning its declared virtual path and full source.
+fn load(name: &str) -> (String, String) {
+    let path = fixtures_dir().join(name);
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    let first = source.lines().next().unwrap_or_default();
+    let virtual_path = first
+        .strip_prefix("// virtual-path: ")
+        .unwrap_or_else(|| panic!("{name}: first line must be `// virtual-path: <path>`"))
+        .trim()
+        .to_string();
+    (virtual_path, source)
+}
+
+/// Renders the fixture's findings, one `file:line: rule: message` per
+/// line, plus a trailing `suppressed: N` marker (golden files pin the
+/// suppression count too, so a silently-ignored suppression fails).
+fn render(name: &str) -> String {
+    let (virtual_path, source) = load(name);
+    let (findings, suppressed) = analyze_source(&virtual_path, &source);
+    let mut out = String::new();
+    for f in &findings {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    out.push_str(&format!("suppressed: {suppressed}\n"));
+    out
+}
+
+fn check_golden(name: &str) {
+    let actual = render(name);
+    let expected_path = fixtures_dir().join(name).with_extension("expected");
+    if std::env::var_os("COAX_ANALYZE_BLESS").is_some() {
+        fs::write(&expected_path, &actual)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", expected_path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", expected_path.display()));
+    assert_eq!(
+        actual, expected,
+        "fixture {name} diverged from its golden file (COAX_ANALYZE_BLESS=1 regenerates)"
+    );
+}
+
+macro_rules! golden {
+    ($($test:ident => $file:literal),* $(,)?) => {
+        $(#[test]
+        fn $test() {
+            check_golden($file);
+        })*
+    };
+}
+
+golden! {
+    panic_free_violating => "panic_free_violating.rs",
+    panic_free_clean => "panic_free_clean.rs",
+    nan_cmp_violating => "nan_cmp_violating.rs",
+    nan_cmp_clean => "nan_cmp_clean.rs",
+    kernel_violating => "kernel_violating.rs",
+    kernel_clean => "kernel_clean.rs",
+    thread_violating => "thread_violating.rs",
+    thread_clean => "thread_clean.rs",
+    seeded_violating => "seeded_violating.rs",
+    seeded_clean => "seeded_clean.rs",
+    doc_headers_violating => "doc_headers_violating.rs",
+    doc_headers_clean => "doc_headers_clean.rs",
+    suppression_honored => "suppression_honored.rs",
+    suppression_reason_missing => "suppression_reason_missing.rs",
+    suppression_unknown_rule => "suppression_unknown_rule.rs",
+}
+
+/// A well-formed suppression removes the finding *and* is counted.
+#[test]
+fn suppression_honored_counts() {
+    let (virtual_path, source) = load("suppression_honored.rs");
+    let (findings, suppressed) = analyze_source(&virtual_path, &source);
+    assert!(findings.is_empty(), "suppressed finding leaked: {findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+/// A reasonless suppression is rejected: it reports itself and does NOT
+/// silence the underlying finding.
+#[test]
+fn reasonless_suppression_rejected() {
+    let (virtual_path, source) = load("suppression_reason_missing.rs");
+    let (findings, suppressed) = analyze_source(&virtual_path, &source);
+    assert_eq!(suppressed, 0);
+    assert!(findings.iter().any(|f| f.rule == "suppression"));
+    assert!(findings.iter().any(|f| f.rule == "panic-free-library"));
+}

@@ -1,0 +1,5 @@
+// virtual-path: crates/core/src/exec.rs
+/// Executes `plan` and returns matching row ids.
+pub fn execute(plan: &Plan) -> Vec<u32> {
+    plan.run()
+}

@@ -1,0 +1,4 @@
+// virtual-path: crates/core/src/exec.rs
+pub fn execute(plan: &Plan) -> Vec<u32> {
+    plan.run()
+}

@@ -1,0 +1,6 @@
+// virtual-path: crates/index/src/pages.rs
+pub fn peek(pages: &PageStore) -> usize {
+    let slabs = pages.columns();
+    let ids = pages.packed_ids();
+    slabs.len() + ids.len()
+}

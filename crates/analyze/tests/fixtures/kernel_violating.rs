@@ -1,0 +1,6 @@
+// virtual-path: crates/index/src/shortcut.rs
+pub fn peek(pages: &crate::pages::PageStore) -> usize {
+    let slabs = pages.columns();
+    let ids = pages.packed_ids();
+    slabs.len() + ids.len()
+}

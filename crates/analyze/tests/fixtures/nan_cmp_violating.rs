@@ -1,0 +1,7 @@
+// virtual-path: crates/demo/tests/sort.rs
+#[test]
+fn sorts() {
+    let mut xs = vec![2.0f64, 1.0];
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+}

@@ -1,0 +1,17 @@
+// virtual-path: crates/demo/src/lib.rs
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+// virtual-path: crates/demo/src/lib.rs
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("numeric")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}

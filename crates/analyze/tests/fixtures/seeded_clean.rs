@@ -1,0 +1,6 @@
+// virtual-path: crates/demo/tests/random.rs
+#[test]
+fn randomized() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let _ = rng.gen_range(0..10);
+}

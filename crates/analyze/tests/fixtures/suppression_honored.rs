@@ -1,0 +1,5 @@
+// virtual-path: crates/demo/src/lib.rs
+pub fn first(xs: &[u32]) -> u32 {
+    // coax-analyze: allow(panic-free-library, slice is non-empty by construction in every caller)
+    *xs.first().unwrap()
+}

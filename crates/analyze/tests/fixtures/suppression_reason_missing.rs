@@ -1,0 +1,5 @@
+// virtual-path: crates/demo/src/lib.rs
+pub fn first(xs: &[u32]) -> u32 {
+    // coax-analyze: allow(panic-free-library)
+    *xs.first().unwrap()
+}

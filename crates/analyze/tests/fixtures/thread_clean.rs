@@ -1,0 +1,5 @@
+// virtual-path: crates/core/src/exec.rs
+/// Spawns the worker from the exec layer, which owns thread lifecycles.
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}

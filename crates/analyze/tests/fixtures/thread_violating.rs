@@ -1,0 +1,4 @@
+// virtual-path: crates/demo/src/lib.rs
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,23 @@
+//! The workspace's own acceptance gate: `check_workspace` over the live
+//! source tree must report zero findings — every rule is either satisfied
+//! or carries an audited, reasoned suppression.
+
+use coax_analyze::check_workspace;
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = check_workspace(&root).expect("workspace walk succeeds");
+    assert!(report.files_scanned > 50, "walk found too few files: {}", report.files_scanned);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "coax-analyze found {} violation(s) in the live workspace:\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

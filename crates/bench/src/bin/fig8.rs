@@ -179,9 +179,7 @@ fn run_dataset(name: &str, dataset: &Dataset, report: &mut JsonReport, json: boo
     print_table(&format!("{name} — baselines sweep"), &rows);
 
     // Headline: memory ratio at comparable runtime.
-    let coax_best = coax_sweep
-        .iter()
-        .min_by(|a, b| a.total_ms.partial_cmp(&b.total_ms).expect("finite timings"));
+    let coax_best = coax_sweep.iter().min_by(|a, b| a.total_ms.total_cmp(&b.total_ms));
     if let (Some(coax_best), Some(cf_best)) = (coax_best, tuning::best(&cf_sweep)) {
         println!(
             "{name}: best COAX ({}) directory {} vs best Column Files {} — {:.0}x smaller \

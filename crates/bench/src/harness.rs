@@ -100,8 +100,7 @@ pub fn print_table(title: &str, rows: &[ReportRow]) {
     }
     let columns: Vec<&String> = rows[0].values.iter().map(|(c, _)| c).collect();
     let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
-    let label_width =
-        rows.iter().map(|r| r.label.len()).chain(std::iter::once(4)).max().unwrap();
+    let label_width = rows.iter().map(|r| r.label.len()).fold(4, usize::max);
     for row in rows {
         for (i, (_, v)) in row.values.iter().enumerate() {
             widths[i] = widths[i].max(v.len());
@@ -139,6 +138,7 @@ pub fn csv_path() -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--csv" {
+            // coax-analyze: allow(panic-free-library, bench CLI flag parsing: a missing path is operator error and the figure binaries have no error channel but the process exit)
             return Some(args.next().expect("--csv requires a file path"));
         }
     }
@@ -151,6 +151,7 @@ pub fn csv_path() -> Option<String> {
 pub fn maybe_write_csv(report: &JsonReport) {
     if let Some(path) = csv_path() {
         std::fs::write(&path, report.to_csv())
+            // coax-analyze: allow(panic-free-library, bench CLI output: an unwritable --csv target is operator error and the figure binaries have no error channel but the process exit)
             .unwrap_or_else(|e| panic!("cannot write CSV to {path}: {e}"));
         eprintln!("wrote CSV report to {path}");
     }
@@ -277,14 +278,15 @@ impl JsonReport {
     /// Field names must not be `"label"` (reserved for the row label).
     pub fn add_row(&mut self, section: &str, label: &str, fields: Vec<(&str, JsonValue)>) {
         debug_assert!(fields.iter().all(|(name, _)| *name != "label"));
-        let section = match self.sections.iter_mut().find(|s| s.title == section) {
-            Some(section) => section,
+        let at = match self.sections.iter().position(|s| s.title == section) {
+            Some(at) => at,
             None => {
                 self.sections
                     .push(JsonSection { title: section.to_string(), rows: Vec::new() });
-                self.sections.last_mut().expect("just pushed")
+                self.sections.len() - 1
             }
         };
+        let section = &mut self.sections[at];
         section.rows.push(JsonRow {
             label: label.to_string(),
             fields: fields.into_iter().map(|(name, v)| (name.to_string(), v)).collect(),

@@ -33,6 +33,8 @@
 //!   `scan` binary's ladders (comma lists, defaults `2,4,8` and
 //!   `1,10,100,500`)
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod harness;
 pub mod tuning;

@@ -37,9 +37,7 @@ pub struct SweepPoint {
 
 /// The sweep point with the lowest mean query time.
 pub fn best(sweep: &[SweepPoint]) -> Option<&SweepPoint> {
-    sweep
-        .iter()
-        .min_by(|a, b| a.mean_query_ms.partial_cmp(&b.mean_query_ms).expect("finite timings"))
+    sweep.iter().min_by(|a, b| a.mean_query_ms.total_cmp(&b.mean_query_ms))
 }
 
 /// Default grid-resolution ladder for sweeps.

@@ -97,6 +97,9 @@
 //! let reference = backends[0].range_query(&query).len();
 //! assert!(backends.iter().all(|b| b.range_query(&query).len() == reference));
 //! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use coax_core as core;
 pub use coax_data as data;
 pub use coax_index as index;

@@ -1,0 +1,87 @@
+//! NaN total-order hardening: non-finite data and NaN query bounds are
+//! rejected as typed errors at every entry point — nothing in the query
+//! path panics on a NaN, and `±∞` keeps its unbounded-side meaning.
+
+use coax::core::{CoaxConfig, CoaxIndex};
+use coax::data::query::Query;
+use coax::data::stats::quantile;
+use coax::data::{Dataset, DatasetBuilder, DatasetError, QueryError, RangeQuery, RowError};
+use coax::index::MultidimIndex;
+
+fn clean_dataset() -> Dataset {
+    let xs: Vec<f64> = (0..512).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 5.0).collect();
+    Dataset::new(vec![xs, ys])
+}
+
+/// A NaN (or ±∞) datum is refused by every construction path with a
+/// typed error — it can never reach an index.
+#[test]
+fn non_finite_data_is_rejected_not_panicked() {
+    assert_eq!(
+        Dataset::try_new(vec![vec![1.0, f64::NAN]]).err(),
+        Some(DatasetError::NonFinite { column: 0 })
+    );
+    assert_eq!(
+        Dataset::try_new(vec![vec![1.0], vec![f64::INFINITY]]).err(),
+        Some(DatasetError::NonFinite { column: 1 })
+    );
+    assert_eq!(
+        Dataset::try_with_names(vec![vec![f64::NAN]], vec!["x".into()]).err(),
+        Some(DatasetError::NonFinite { column: 0 })
+    );
+
+    let mut b = DatasetBuilder::new(2);
+    assert_eq!(b.push_row(&[0.0, f64::NAN]), Err(RowError::NonFinite));
+    assert_eq!(b.push_row(&[f64::NEG_INFINITY, 0.0]), Err(RowError::NonFinite));
+    b.push_row(&[1.0, 2.0]).expect("finite row accepted");
+    assert_eq!(b.finish().len(), 1);
+}
+
+/// A NaN bound is refused by the builder and every fallible rectangle
+/// operation; `±∞` stays legal as the unbounded-side sentinel.
+#[test]
+fn nan_bounds_are_rejected_not_panicked() {
+    assert_eq!(Query::select(2).ge(0, f64::NAN).build(), Err(QueryError::NonFinite { dim: 0 }));
+    assert_eq!(
+        Query::select(2).range(1, f64::NAN..1.0).build(),
+        Err(QueryError::NonFinite { dim: 1 })
+    );
+    assert_eq!(
+        RangeQuery::try_new(vec![0.0, f64::NAN], vec![1.0, 1.0]),
+        Err(QueryError::NonFinite { dim: 1 })
+    );
+    let mut q = RangeQuery::unbounded(2);
+    assert_eq!(q.try_constrain(0, 0.0, f64::NAN).err(), Some(QueryError::NonFinite { dim: 0 }));
+
+    // ±∞ is not an error: it means "unbounded on this side".
+    let q = RangeQuery::try_new(vec![f64::NEG_INFINITY, 0.0], vec![f64::INFINITY, 10.0])
+        .expect("infinite bounds are the unbounded sentinel");
+    assert!(q.is_unconstrained(0));
+}
+
+/// End to end: a fully unbounded query over a COAX index returns every
+/// row, and the NaN-rejection path composes with the builder front door.
+#[test]
+fn unbounded_query_still_matches_everything() {
+    let dataset = clean_dataset();
+    let index = CoaxIndex::build(&dataset, &CoaxConfig::default());
+
+    let all = Query::select(2).build().expect("unconstrained build succeeds");
+    let mut ids = Vec::new();
+    index.range_query_stats(&all, &mut ids);
+    assert_eq!(ids.len(), dataset.len());
+
+    let err = Query::select(2).ge(0, 1.0).eq(1, f64::NAN).build().unwrap_err();
+    assert_eq!(err, QueryError::NonFinite { dim: 1 });
+}
+
+/// The total-order comparators digest NaN without panicking: quantile
+/// over a NaN-carrying slice completes (NaN sorts last under
+/// `total_cmp`, so finite quantiles stay finite).
+#[test]
+fn stats_comparators_tolerate_nan() {
+    let xs = vec![3.0, f64::NAN, 1.0, 2.0];
+    let q = quantile(&xs, 0.25).expect("non-empty");
+    assert!(q.is_finite());
+}

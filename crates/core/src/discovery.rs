@@ -154,14 +154,13 @@ pub fn discover(dataset: &Dataset, config: &DiscoveryConfig, seed: u64) -> Disco
         components[uf.find(d)].push(d);
     }
     for members in components.into_iter().filter(|m| m.len() >= 2) {
-        let predictor = *members
-            .iter()
-            .max_by(|&&a, &&b| {
-                let ka = edge_evidence(&accepted, a);
-                let kb = edge_evidence(&accepted, b);
-                ka.partial_cmp(&kb).expect("finite evidence").then(b.cmp(&a)) // prefer the lower index on ties
-            })
-            .expect("non-empty component");
+        let Some(&predictor) = members.iter().max_by(|&&a, &&b| {
+            let (ca, sa) = edge_evidence(&accepted, a);
+            let (cb, sb) = edge_evidence(&accepted, b);
+            ca.cmp(&cb).then(sa.total_cmp(&sb)).then(b.cmp(&a)) // prefer the lower index on ties
+        }) else {
+            continue; // unreachable: components are filtered to len >= 2
+        };
 
         // Models predictor → dependent: reuse the accepted fit when the
         // direction was evaluated, otherwise fit it now (a member may have

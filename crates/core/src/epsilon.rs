@@ -84,7 +84,7 @@ impl EpsilonPolicy {
                     return (0.0, 0.0);
                 }
                 let mut sorted = residuals.to_vec();
-                sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+                sorted.sort_unstable_by(|a, b| a.total_cmp(b));
                 let tail = (1.0 - coverage) / 2.0;
                 let lo = quantile_sorted(&sorted, tail);
                 let hi = quantile_sorted(&sorted, 1.0 - tail);

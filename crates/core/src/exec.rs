@@ -480,13 +480,16 @@ impl BatchPlan {
                         config.shared_probes,
                         &mut results,
                     );
+                    // coax-analyze: allow(panic-free-library, poisoned chunk-result lock: a sibling worker panicked, so the batch result set is already lost — propagate rather than return a truncated batch)
                     done.lock().expect("chunk result lock poisoned")[i] = Some(results);
                 });
             }
         });
         done.into_inner()
+            // coax-analyze: allow(panic-free-library, poisoned chunk-result lock: a worker panicked mid-batch, so returning would silently drop its chunk — propagate instead)
             .expect("chunk result lock poisoned")
             .into_iter()
+            // coax-analyze: allow(panic-free-library, scope() joins every worker before this line, so each chunk slot is filled — a None means a worker died and its results are unrecoverable)
             .flat_map(|r| r.expect("every chunk executed"))
             .collect()
     }
@@ -714,6 +717,7 @@ impl Iterator for BatchStream {
             }
             // Every sender is gone with results still owed: a worker
             // died mid-batch. Surface the loss instead of truncating.
+            // coax-analyze: allow(panic-free-library, a dead worker means owed results are gone for good — ending the iterator here would silently truncate the batch)
             Err(_) => panic!(
                 "batch stream lost {} result(s): a worker thread panicked mid-batch",
                 self.remaining

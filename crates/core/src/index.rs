@@ -877,6 +877,7 @@ pub(crate) fn refresh_group(
             let idx = order
                 .iter()
                 .position(|o| o.predictor() == lin.predictor && o.dependent() == lin.dependent)
+                // coax-analyze: allow(panic-free-library, refresh_group is called with the same discovery order the models were built from — a missing entry is a construction bug, not a runtime input)
                 .expect("model present in discovery");
             let params =
                 posteriors[idx].as_ref().and_then(BayesianLinReg::params).unwrap_or(lin.params);

@@ -50,6 +50,9 @@
 //!     Centre-Sequence Model, and Monte-Carlo validation of Theorems
 //!     7.1–7.4.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod discovery;
 pub mod epsilon;
 pub mod exec;

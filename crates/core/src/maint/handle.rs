@@ -41,7 +41,30 @@ use crate::index::{refresh_group, CoaxConfig, CoaxIndex, InsertError};
 use crate::regression::BayesianLinReg;
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 use coax_index::{MultidimIndex, QueryResult, ScanStats};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquires a read guard, propagating a poisoned-lock panic.
+///
+/// A poisoned lock means a writer panicked while mutating epoch state;
+/// continuing would let readers observe a torn epoch/overlay pair, so
+/// propagating the panic is the only sound option. Centralised here so
+/// the panic-free audit has exactly three named exemptions.
+fn read_guard<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    // coax-analyze: allow(panic-free-library, poisoned state lock: a writer panicked mid-update, serving torn epoch state would be worse)
+    lock.read().expect("state lock poisoned")
+}
+
+/// Acquires a write guard; same poisoning rationale as [`read_guard`].
+fn write_guard<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    // coax-analyze: allow(panic-free-library, poisoned state lock: a writer panicked mid-update, serving torn epoch state would be worse)
+    lock.write().expect("state lock poisoned")
+}
+
+/// Acquires a mutex guard; same poisoning rationale as [`read_guard`].
+fn lock_guard<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    // coax-analyze: allow(panic-free-library, poisoned insert/maint lock: the holder panicked mid-update, continuing would corrupt bookkeeping)
+    lock.lock().expect("lock poisoned")
+}
 
 /// One row buffered in the handle since the current epoch was published.
 #[derive(Clone, Debug)]
@@ -134,7 +157,7 @@ impl IndexHandle {
 
     /// The current epoch counter (bumped by every fold/refit publish).
     pub fn epoch(&self) -> u64 {
-        self.state.read().expect("state lock poisoned").epoch
+        read_guard(&self.state).epoch
     }
 
     /// Opens a **read session**: one consistent [`ReadSnapshot`] taken
@@ -145,7 +168,7 @@ impl IndexHandle {
     /// folds, or refits publish concurrently; the handle's own query
     /// methods are each a one-query session through this call.
     pub fn snapshot(&self) -> ReadSnapshot {
-        let st = self.state.read().expect("state lock poisoned");
+        let st = read_guard(&self.state);
         ReadSnapshot {
             epoch: st.epoch,
             index: Arc::clone(&st.index),
@@ -158,7 +181,7 @@ impl IndexHandle {
     /// maintenance) plus the handle overlay. This is the count the
     /// policy's fold trigger watches.
     pub fn pending_len(&self) -> usize {
-        let st = self.state.read().expect("state lock poisoned");
+        let st = read_guard(&self.state);
         st.index.pending_len() + st.overlay.len()
     }
 
@@ -173,7 +196,7 @@ impl IndexHandle {
         if row.iter().any(|v| !v.is_finite()) {
             return Err(InsertError::NonFinite);
         }
-        let mut guard = self.insert.lock().expect("insert lock poisoned");
+        let mut guard = lock_guard(&self.insert);
         let ins = &mut *guard;
         let in_margins = ins.monitor.observe(row);
         if in_margins {
@@ -190,7 +213,7 @@ impl IndexHandle {
         // is always a contiguous prefix of the insert history. The
         // copy-on-write `make_mut` leaves every open ReadSnapshot's
         // frozen overlay untouched.
-        let mut st = self.state.write().expect("state lock poisoned");
+        let mut st = write_guard(&self.state);
         Arc::make_mut(&mut st.overlay).push(OverlayRow {
             id,
             values: row.to_vec(),
@@ -201,9 +224,9 @@ impl IndexHandle {
 
     /// The drift monitor's current view of the insert stream.
     pub fn drift_report(&self) -> DriftReport {
-        let ins = self.insert.lock().expect("insert lock poisoned");
+        let ins = lock_guard(&self.insert);
         let pending = {
-            let st = self.state.read().expect("state lock poisoned");
+            let st = read_guard(&self.state);
             st.index.pending_len() + st.overlay.len()
         };
         ins.monitor.report(pending)
@@ -239,12 +262,12 @@ impl IndexHandle {
     /// lock held, publish under the write lock, re-route the overlay rows
     /// that arrived mid-build.
     fn run_maintenance(&self, refit: bool) {
-        let _serialise = self.maint.lock().expect("maint lock poisoned");
+        let _serialise = lock_guard(&self.maint);
 
         // --- 1. snapshot ------------------------------------------------
         let (base, overlay_snapshot, posteriors) = {
-            let ins = self.insert.lock().expect("insert lock poisoned");
-            let st = self.state.read().expect("state lock poisoned");
+            let ins = lock_guard(&self.insert);
+            let st = read_guard(&self.state);
             (Arc::clone(&st.index), st.overlay.clone(), ins.posteriors.clone())
         };
         let folded = overlay_snapshot.len();
@@ -281,8 +304,8 @@ impl IndexHandle {
         let successor = Arc::new(successor);
 
         // --- 3. publish -------------------------------------------------
-        let mut ins = self.insert.lock().expect("insert lock poisoned");
-        let mut st = self.state.write().expect("state lock poisoned");
+        let mut ins = lock_guard(&self.insert);
+        let mut st = write_guard(&self.state);
         st.index = Arc::clone(&successor);
         st.epoch += 1;
         Arc::make_mut(&mut st.overlay).drain(..folded);
@@ -336,7 +359,7 @@ impl MultidimIndex for IndexHandle {
     }
 
     fn len(&self) -> usize {
-        let st = self.state.read().expect("state lock poisoned");
+        let st = read_guard(&self.state);
         st.index.len() + st.overlay.len()
     }
 
@@ -349,7 +372,7 @@ impl MultidimIndex for IndexHandle {
     /// need *one* version across queries take the snapshot themselves.
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
         let (index, scanned, matched) = {
-            let st = self.state.read().expect("state lock poisoned");
+            let st = read_guard(&self.state);
             let matched = scan_overlay(&st.overlay, query, out);
             (Arc::clone(&st.index), st.overlay.len(), matched)
         };

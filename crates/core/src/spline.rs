@@ -62,7 +62,7 @@ impl SplineFdModel {
             return None;
         }
         let mut order: Vec<usize> = (0..xs.len()).collect();
-        order.sort_unstable_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+        order.sort_unstable_by(|&a, &b| xs[a].total_cmp(&xs[b]));
 
         let mut segments = Vec::new();
         let (mut ax, mut ay) = (xs[order[0]], ys[order[0]]);
@@ -223,7 +223,7 @@ impl SplineFdModel {
                 pieces.push((x_lo, x_hi));
             }
         }
-        pieces.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bounds"));
+        pieces.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Merge overlapping or touching neighbours (adjacent segment
         // domains share their boundary point).
         let mut merged: Vec<(Value, Value)> = Vec::with_capacity(pieces.len());

@@ -23,17 +23,77 @@ pub struct Dataset {
     n_rows: usize,
 }
 
+/// Why a [`Dataset`] could not be constructed from columns.
+///
+/// Returned by [`Dataset::try_new`] and [`Dataset::try_with_names`]; the
+/// panicking constructors raise the same conditions with this error's
+/// message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetError {
+    /// `columns` was empty (zero-dimensional tables are rejected).
+    NoColumns,
+    /// `names.len()` differed from the number of columns.
+    NameCountMismatch {
+        /// Number of columns supplied.
+        columns: usize,
+        /// Number of names supplied.
+        names: usize,
+    },
+    /// Column `column` had a different length from column 0.
+    LengthMismatch {
+        /// The offending column index.
+        column: usize,
+    },
+    /// Column `column` contained a NaN or ±∞ value — dataset values must
+    /// be finite (query *bounds* may be ±∞, data may not).
+    NonFinite {
+        /// The offending column index.
+        column: usize,
+    },
+    /// More rows than [`RowId`] can address.
+    TooManyRows,
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::NoColumns => {
+                write!(f, "dataset must have at least one column")
+            }
+            DatasetError::NameCountMismatch { columns, names } => {
+                write!(
+                    f,
+                    "{columns} column(s) but {names} name(s): one name per column required"
+                )
+            }
+            DatasetError::LengthMismatch { column } => {
+                write!(f, "column {column} length mismatch")
+            }
+            DatasetError::NonFinite { column } => {
+                write!(f, "column {column} contains a non-finite value")
+            }
+            DatasetError::TooManyRows => write!(f, "row count exceeds RowId::MAX"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
 impl Dataset {
     /// Builds a dataset from columns, validating the invariants.
     ///
     /// # Panics
     ///
     /// Panics if `columns` is empty, columns have unequal lengths, or any
-    /// value is non-finite. Use [`DatasetBuilder`] for a fallible,
-    /// row-oriented construction path.
+    /// value is non-finite. Use [`Dataset::try_new`] for the fallible
+    /// column path or [`DatasetBuilder`] for fallible, row-oriented
+    /// construction.
     pub fn new(columns: Vec<Vec<Value>>) -> Self {
-        let names = (0..columns.len()).map(|d| format!("attr{d}")).collect();
-        Self::with_names(columns, names)
+        match Self::try_new(columns) {
+            Ok(ds) => ds,
+            // coax-analyze: allow(panic-free-library, documented panicking counterpart of try_new — invariant-violating columns are a caller bug, and try_new is the fallible path)
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Like [`Dataset::new`] but with explicit attribute names.
@@ -41,20 +101,51 @@ impl Dataset {
     /// # Panics
     ///
     /// Same conditions as [`Dataset::new`], plus `names.len()` must equal
-    /// the number of columns.
+    /// the number of columns; [`Dataset::try_with_names`] reports the same
+    /// conditions as a [`DatasetError`] instead.
     pub fn with_names(columns: Vec<Vec<Value>>, names: Vec<String>) -> Self {
-        assert!(!columns.is_empty(), "dataset must have at least one column");
-        assert_eq!(columns.len(), names.len(), "one name per column required");
+        match Self::try_with_names(columns, names) {
+            Ok(ds) => ds,
+            // coax-analyze: allow(panic-free-library, documented panicking counterpart of try_with_names — the fallible path exists and the doc header points to it)
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dataset::new`]: validates the invariants and reports a
+    /// violation as a [`DatasetError`] instead of panicking. A NaN (or
+    /// ±∞) datum surfaces as [`DatasetError::NonFinite`].
+    pub fn try_new(columns: Vec<Vec<Value>>) -> Result<Self, DatasetError> {
+        let names = (0..columns.len()).map(|d| format!("attr{d}")).collect();
+        Self::try_with_names(columns, names)
+    }
+
+    /// Fallible [`Dataset::with_names`]; see [`Dataset::try_new`].
+    pub fn try_with_names(
+        columns: Vec<Vec<Value>>,
+        names: Vec<String>,
+    ) -> Result<Self, DatasetError> {
+        if columns.is_empty() {
+            return Err(DatasetError::NoColumns);
+        }
+        if columns.len() != names.len() {
+            return Err(DatasetError::NameCountMismatch {
+                columns: columns.len(),
+                names: names.len(),
+            });
+        }
         let n_rows = columns[0].len();
         for (d, col) in columns.iter().enumerate() {
-            assert_eq!(col.len(), n_rows, "column {d} length mismatch");
-            assert!(
-                col.iter().all(|v| v.is_finite()),
-                "column {d} contains a non-finite value"
-            );
+            if col.len() != n_rows {
+                return Err(DatasetError::LengthMismatch { column: d });
+            }
+            if !col.iter().all(|v| v.is_finite()) {
+                return Err(DatasetError::NonFinite { column: d });
+            }
         }
-        assert!(n_rows <= RowId::MAX as usize, "row count exceeds RowId::MAX");
-        Self { columns, names, n_rows }
+        if n_rows > RowId::MAX as usize {
+            return Err(DatasetError::TooManyRows);
+        }
+        Ok(Self { columns, names, n_rows })
     }
 
     /// Number of attributes (columns).

@@ -21,6 +21,7 @@
 //! * [`io`] — numeric CSV import/export so downstream users can point the
 //!   index at their own tables.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;
@@ -30,7 +31,7 @@ pub mod stats;
 pub mod synth;
 pub mod workload;
 
-pub use dataset::{Dataset, DatasetBuilder};
+pub use dataset::{Dataset, DatasetBuilder, DatasetError, RowError};
 pub use query::{Query, QueryBuilder, QueryError, RangeQuery};
 
 /// The scalar type for every attribute value.

@@ -30,8 +30,10 @@ pub enum QueryError {
         /// The query's dimensionality.
         dims: usize,
     },
-    /// A bound on `dim` was NaN.
-    NanBound {
+    /// A bound on `dim` was NaN — the one non-finite value with no
+    /// rectangle meaning. (`±∞` stays legal: it is the unbounded-side
+    /// sentinel, so `.ge(d, 5.0)` lowers to `[5.0, +∞]`.)
+    NonFinite {
         /// The dimension carrying the NaN bound.
         dim: usize,
     },
@@ -52,8 +54,12 @@ impl std::fmt::Display for QueryError {
             QueryError::DimOutOfRange { dim, dims } => {
                 write!(f, "dimension {dim} out of range for a {dims}-dimensional query")
             }
-            QueryError::NanBound { dim } => {
-                write!(f, "query bound on dimension {dim} must not be NaN")
+            QueryError::NonFinite { dim } => {
+                write!(
+                    f,
+                    "query bound on dimension {dim} must not be NaN \
+                     (use ±inf for an unbounded side)"
+                )
             }
             QueryError::DimsMismatch { left, right } => {
                 write!(f, "query dimensionality mismatch: {left} vs {right} dimensions")
@@ -199,7 +205,7 @@ impl QueryBuilder {
             return;
         }
         if lo.is_some_and(Value::is_nan) || hi.is_some_and(Value::is_nan) {
-            self.error = Some(QueryError::NanBound { dim });
+            self.error = Some(QueryError::NonFinite { dim });
             return;
         }
         if let Some(lo) = lo {
@@ -229,15 +235,31 @@ impl RangeQuery {
     ///
     /// # Panics
     ///
-    /// Panics if lengths differ, are zero, or any bound is NaN.
+    /// Panics if lengths differ, are zero, or any bound is NaN;
+    /// [`RangeQuery::try_new`] reports the same conditions as a
+    /// [`QueryError`] instead.
     pub fn new(lo: Vec<Value>, hi: Vec<Value>) -> Self {
-        assert!(!lo.is_empty(), "query must have at least one dimension");
-        assert_eq!(lo.len(), hi.len(), "lo/hi length mismatch");
-        assert!(
-            lo.iter().chain(hi.iter()).all(|v| !v.is_nan()),
-            "query bounds must not be NaN"
-        );
-        Self { lo, hi }
+        match Self::try_new(lo, hi) {
+            Ok(q) => q,
+            // coax-analyze: allow(panic-free-library, documented panicking counterpart of try_new — construction with bad bounds is a caller bug, and try_new is the fallible path)
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`RangeQuery::new`]: rejects empty or mismatched bound
+    /// vectors and NaN bounds as a [`QueryError`] instead of panicking.
+    /// `±∞` is accepted — it is the unbounded-side sentinel.
+    pub fn try_new(lo: Vec<Value>, hi: Vec<Value>) -> Result<Self, QueryError> {
+        if lo.is_empty() {
+            return Err(QueryError::NoDims);
+        }
+        if lo.len() != hi.len() {
+            return Err(QueryError::DimsMismatch { left: lo.len(), right: hi.len() });
+        }
+        if let Some(dim) = (0..lo.len()).find(|&d| lo[d].is_nan() || hi[d].is_nan()) {
+            return Err(QueryError::NonFinite { dim });
+        }
+        Ok(Self { lo, hi })
     }
 
     /// A point query matching exactly `point` (paper §8.2.1: "a range query
@@ -259,6 +281,7 @@ impl RangeQuery {
     /// as a [`QueryError`] instead.
     pub fn constrain(&mut self, dim: usize, lo: Value, hi: Value) -> &mut Self {
         if let Err(e) = self.try_constrain(dim, lo, hi) {
+            // coax-analyze: allow(panic-free-library, documented panicking counterpart of try_constrain — the fallible path exists and the doc header points to it)
             panic!("{e}");
         }
         self
@@ -276,7 +299,7 @@ impl RangeQuery {
             return Err(QueryError::DimOutOfRange { dim, dims: self.dims() });
         }
         if lo.is_nan() || hi.is_nan() {
-            return Err(QueryError::NanBound { dim });
+            return Err(QueryError::NonFinite { dim });
         }
         self.lo[dim] = lo;
         self.hi[dim] = hi;
@@ -372,6 +395,7 @@ impl RangeQuery {
     /// condition as a [`QueryError`] instead.
     pub fn intersect(&mut self, other: &RangeQuery) {
         if let Err(e) = self.try_intersect(other) {
+            // coax-analyze: allow(panic-free-library, documented panicking counterpart of try_intersect — the fallible path exists and the doc header points to it)
             panic!("{e}");
         }
     }
@@ -400,6 +424,7 @@ impl RangeQuery {
     pub fn project(&self, dims: &[usize]) -> RangeQuery {
         match self.try_project(dims) {
             Ok(q) => q,
+            // coax-analyze: allow(panic-free-library, documented panicking counterpart of try_project — the fallible path exists and the doc header points to it)
             Err(e) => panic!("{e}"),
         }
     }
@@ -569,7 +594,7 @@ mod tests {
         );
         assert_eq!(
             Query::select(2).le(0, f64::NAN).build(),
-            Err(QueryError::NanBound { dim: 0 })
+            Err(QueryError::NonFinite { dim: 0 })
         );
         assert_eq!(Query::select(0).build(), Err(QueryError::NoDims));
     }
@@ -583,7 +608,7 @@ mod tests {
         );
         assert_eq!(
             q.try_constrain(1, f64::NAN, 1.0).map(|_| ()),
-            Err(QueryError::NanBound { dim: 1 })
+            Err(QueryError::NonFinite { dim: 1 })
         );
         // The failed calls left the query untouched.
         assert!(q.is_unconstrained(0) && q.is_unconstrained(1));
@@ -628,6 +653,6 @@ mod tests {
             QueryError::DimOutOfRange { dim: 4, dims: 2 }.to_string(),
             "dimension 4 out of range for a 2-dimensional query"
         );
-        assert!(QueryError::NanBound { dim: 1 }.to_string().contains("dimension 1"));
+        assert!(QueryError::NonFinite { dim: 1 }.to_string().contains("dimension 1"));
     }
 }

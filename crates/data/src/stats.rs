@@ -68,7 +68,7 @@ pub fn quantile(xs: &[Value], q: Value) -> Option<Value> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&sorted, q))
 }
 
@@ -127,7 +127,7 @@ pub fn equi_depth_boundaries(xs: &[Value], k: usize) -> Vec<Value> {
         return vec![0.0; k + 1];
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
     (0..=k).map(|i| quantile_sorted(&sorted, i as Value / k as Value)).collect()
 }
 

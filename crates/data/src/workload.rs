@@ -37,7 +37,7 @@ pub fn knn_rectangle_queries(
     // Per-dimension inverse ranges for normalisation.
     let inv_range: Vec<Value> = (0..dims)
         .map(|d| {
-            let (lo, hi) = dataset.min_max(d).expect("non-empty");
+            let (lo, hi) = dataset.min_max(d).unwrap_or((0.0, 0.0));
             if hi > lo {
                 1.0 / (hi - lo)
             } else {
@@ -72,7 +72,7 @@ pub fn knn_rectangle_queries(
         let kk = k.min(n);
         if kk < n {
             order.select_nth_unstable_by(kk - 1, |&a, &b| {
-                dist2[a as usize].partial_cmp(&dist2[b as usize]).expect("distances are finite")
+                dist2[a as usize].total_cmp(&dist2[b as usize])
             });
         }
         let nearest = &order[..kk];

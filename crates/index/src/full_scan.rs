@@ -65,6 +65,7 @@ impl MultidimIndex for FullScan {
             }
             matches
         } else {
+            // coax-analyze: allow(kernel-encapsulation, FullScan owns its column slabs and is itself a scan baseline — it calls the kernel entry point directly rather than re-implementing the loop)
             kernel::scan_columnar_identity(&self.columns, 0, n, query, out)
         };
         ScanStats { cells_visited: 1, rows_examined: n, matches, ..Default::default() }

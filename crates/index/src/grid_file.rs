@@ -122,6 +122,7 @@ impl GridFile {
         let n_cells = k
             .checked_pow(config.grid_dims.len() as u32)
             .filter(|&c| c <= MAX_CELLS)
+            // coax-analyze: allow(panic-free-library, documented build-time capacity check on a caller-chosen config — build() has no error channel and a silently truncated directory would be worse)
             .expect("grid directory too large; reduce cells_per_dim or grid_dims");
 
         let boundaries: Vec<Vec<Value>> = config
@@ -335,19 +336,18 @@ impl GridFile {
                             probes[pi].filter,
                         ) == std::cmp::Ordering::Equal
                     });
-                    let cache = match slot {
-                        Some(idx) => &mut caches[idx].1,
+                    let at = match slot {
+                        Some(idx) => idx,
                         None => {
                             caches.push((pi as u32, kernel::CellMaskCache::new(cs, ce)));
-                            &mut caches.last_mut().expect("just pushed").1
+                            caches.len() - 1
                         }
                     };
-                    cache.scan(
-                        self.pages.columns(),
-                        self.pages.packed_ids(),
-                        probes[pi].filter,
+                    self.pages.scan_run_cached(
+                        &mut caches[at].1,
                         s,
                         e,
+                        probes[pi].filter,
                         &mut r.ids,
                     )
                 };

@@ -29,6 +29,13 @@
 //! scalar path at runtime for A/B measurement (`COAX_SCAN_KERNEL=scalar`
 //! sets the initial value; `bench --bin scan` times both sides).
 
+// The whole workspace is `#![forbid(unsafe_code)]` (crate root). Today the
+// kernel needs none: the masks/gather code autovectorizes from safe slices.
+// If explicit-SIMD round 2 (std::simd or intrinsics) lands here, this module
+// is the one planned carve-out — the crate root would move to
+// `#![deny(unsafe_code)]` with a narrowly scoped `#[allow]` on the intrinsic
+// wrappers, keeping the rest of the crate forbid-clean.
+
 use coax_data::{RangeQuery, RowId, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

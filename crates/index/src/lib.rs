@@ -31,6 +31,7 @@
 //! `Box<dyn MultidimIndex>` — the factory seam the COAX outlier store,
 //! the bench harness, and the equivalence tests are written against.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

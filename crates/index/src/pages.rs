@@ -92,11 +92,8 @@ impl PageStore {
             let col = dataset.column(sd);
             for c in 0..n_cells {
                 let (s, e) = (offsets[c] as usize, offsets[c + 1] as usize);
-                ids[s..e].sort_unstable_by(|&a, &b| {
-                    col[a as usize]
-                        .partial_cmp(&col[b as usize])
-                        .expect("dataset values are finite")
-                });
+                ids[s..e]
+                    .sort_unstable_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
             }
         }
 
@@ -253,6 +250,28 @@ impl PageStore {
             }
         }
         matched
+    }
+
+    /// Scans the packed-row run `[s, e)` through a caller-held
+    /// [`kernel::CellMaskCache`], pushing matching row ids and returning
+    /// the match count.
+    ///
+    /// This is the batched counterpart of the scalar per-run scan:
+    /// probes whose filters are value-equal share one cache, so the
+    /// first of them computes each 64-row tile's per-dimension selection
+    /// masks and the rest only trim and gather. Keeping this entry point
+    /// on `PageStore` means callers never touch the column slabs — the
+    /// scalar/vector bit-identity contract stays auditable inside
+    /// kernel.rs/pages.rs.
+    pub fn scan_run_cached(
+        &self,
+        cache: &mut kernel::CellMaskCache,
+        s: usize,
+        e: usize,
+        filter: &RangeQuery,
+        out: &mut Vec<RowId>,
+    ) -> usize {
+        cache.scan(&self.cols, &self.ids, filter, s, e, out)
     }
 
     /// The packed-row range `[s, e)` a [`PageStore::scan_cell_narrowed`]

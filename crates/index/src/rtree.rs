@@ -297,8 +297,7 @@ fn str_rec(
         out.push(items.to_vec());
         return;
     }
-    items
-        .sort_unstable_by(|&a, &b| key(a, dim).partial_cmp(&key(b, dim)).expect("finite keys"));
+    items.sort_unstable_by(|&a, &b| key(a, dim).total_cmp(&key(b, dim)));
     let remaining_dims = dims - dim;
     if remaining_dims <= 1 {
         for chunk in items.chunks(capacity) {

@@ -41,6 +41,7 @@ impl UniformGrid {
         let n_cells = cells_per_dim
             .checked_pow(dims as u32)
             .filter(|&c| c <= MAX_CELLS)
+            // coax-analyze: allow(panic-free-library, documented build-time capacity check on a caller-chosen config — build() has no error channel and a silently truncated directory would be worse)
             .expect("uniform grid directory too large; reduce cells_per_dim");
 
         let mut mins = Vec::with_capacity(dims);

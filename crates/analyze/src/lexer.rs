@@ -10,7 +10,9 @@
 //!   [`TokKind::Punct`] (so `::` is two `:` tokens and rules match short
 //!   token sequences);
 //! * string/char/number literals collapse to [`TokKind::Lit`] — their
-//!   content can never trigger a rule;
+//!   content can never trigger an identifier rule (rules match idents by
+//!   kind), but plain `"…"` strings keep their text in [`Tok::text`] so
+//!   literal-argument rules (`obs-naming`) can validate it;
 //! * comments are captured out-of-band as [`Comment`]s, because the
 //!   suppression grammar (`// coax-analyze: allow(rule, reason)`) and the
 //!   `doc-headers` rule both read them.
@@ -28,7 +30,9 @@ pub enum TokKind {
     Ident,
     /// A single significant character (`.`, `(`, `::` is two of these, …).
     Punct(char),
-    /// A string/char/number literal, content discarded.
+    /// A string/char/number literal. Plain `"…"` strings retain their
+    /// content (escapes kept verbatim) in [`Tok::text`]; raw strings,
+    /// chars and numbers leave it empty.
     Lit,
 }
 
@@ -107,8 +111,8 @@ impl Lexer {
                 comments.push(self.block_comment());
             } else if c == '"' {
                 let line = self.line;
-                self.string();
-                toks.push(Tok { line, kind: TokKind::Lit, text: String::new() });
+                let text = self.string();
+                toks.push(Tok { line, kind: TokKind::Lit, text });
             } else if c == 'r' || c == 'b' {
                 self.raw_or_ident(&mut toks);
             } else if c == '\'' {
@@ -173,16 +177,26 @@ impl Lexer {
         Comment { first_line, last_line: self.line, text, is_doc }
     }
 
-    /// Consumes a `"…"` string with escapes (cursor on the opening quote).
-    fn string(&mut self) {
+    /// Consumes a `"…"` string with escapes (cursor on the opening
+    /// quote), returning the content between the quotes with escape
+    /// sequences kept verbatim (`\"` stays two characters — good enough
+    /// for name validation, which rejects backslashes anyway).
+    fn string(&mut self) -> String {
+        let mut text = String::new();
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             if c == '\\' {
-                self.bump();
+                text.push(c);
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
             } else if c == '"' {
                 break;
+            } else {
+                text.push(c);
             }
         }
+        text
     }
 
     /// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` or falls back
@@ -340,6 +354,14 @@ mod tests {
         let ids = idents(src);
         assert!(ids.contains(&"real_ident".to_string()));
         assert!(!ids.iter().any(|i| i == "unwrap" || i == "panic" || i == "expect"));
+    }
+
+    #[test]
+    fn plain_strings_retain_content_for_literal_rules() {
+        let toks = lex(r#"reg.counter("coax.query.count"); let e = "a\"b";"#).0;
+        let lits: Vec<String> =
+            toks.iter().filter(|t| t.kind == TokKind::Lit).map(|t| t.text.clone()).collect();
+        assert_eq!(lits, vec!["coax.query.count".to_string(), "a\\\"b".to_string()]);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `thread-discipline`   | threads are spawned only by the exec pool and the maintainer |
 //! | `seeded-randomness`   | RNGs come from explicit seeds — no environmental entropy |
 //! | `doc-headers`         | every `pub fn` in `coax-core`'s exec/maint documents its contract |
+//! | `obs-naming`          | metric names are literal, snake_case, dot-namespaced, registered through the registry constructors |
 //!
 //! Rules are scoped by [`FileClass`] (library / binary / test) and, for
 //! the encapsulation rules, by an allow-list of file paths. A finding can
@@ -57,6 +58,12 @@ pub const RULES: &[RuleInfo] = &[
         name: "doc-headers",
         description: "every pub fn in coax-core's exec/maint carries a doc comment",
     },
+    RuleInfo {
+        name: "obs-naming",
+        description:
+            "metric registrations pass a literal snake_case dot-namespaced name to the \
+             registry constructors",
+    },
 ];
 
 /// Runs every rule over one file's token stream.
@@ -68,6 +75,7 @@ pub fn run_rules(ctx: &FileContext<'_>) -> Vec<Finding> {
     thread_discipline(ctx, &mut out);
     seeded_randomness(ctx, &mut out);
     doc_headers(ctx, &mut out);
+    obs_naming(ctx, &mut out);
     out
 }
 
@@ -365,6 +373,81 @@ fn doc_headers(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// Mirror of `coax_core::obs::is_valid_metric_name` (the analyzer is
+/// dependency-free by design): ≥2 dot-separated segments, each
+/// `[a-z][a-z0-9_]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut segments = 0;
+    for seg in name.split('.') {
+        let mut chars = seg.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {}
+            _ => return false,
+        }
+        if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
+/// `obs-naming`: the metric name set is an API surface — dashboards,
+/// scrape configs and the Prometheus rendering all key on it. Every
+/// `.counter(..)` / `.gauge(..)` / `.histogram(..)` registration must
+/// pass a **string literal** (so `coax-analyze` can enumerate the full
+/// set statically) matching the grammar `seg(.seg)+` with snake_case
+/// segments. Runtime-computed names would make the set unauditable and
+/// the Prometheus name mangling unreviewable.
+fn obs_naming(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const CONSTRUCTORS: &[&str] = &["counter", "gauge", "histogram"];
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.class_at(toks[i].line) == FileClass::Test {
+            continue;
+        }
+        let t = &toks[i];
+        let registration = t.kind == TokKind::Ident
+            && CONSTRUCTORS.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !registration {
+            continue;
+        }
+        match toks.get(i + 2) {
+            Some(arg) if arg.kind == TokKind::Lit && !arg.text.is_empty() => {
+                if !valid_metric_name(&arg.text) {
+                    out.push(finding(
+                        ctx,
+                        arg.line,
+                        "obs-naming",
+                        format!(
+                            "metric name \"{}\" breaks the grammar: dot-separated \
+                             snake_case segments (`[a-z][a-z0-9_]*`), at least one \
+                             namespace (e.g. `coax.query.count`)",
+                            arg.text
+                        ),
+                    ));
+                }
+            }
+            _ => {
+                out.push(finding(
+                    ctx,
+                    t.line,
+                    "obs-naming",
+                    format!(
+                        "`.{}(..)` registers a metric without a literal name: pass a \
+                         string literal so the metric name set stays statically \
+                         enumerable",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::engine::analyze_source;
@@ -430,6 +513,26 @@ mod tests {
         let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
         assert_eq!(rules_hit("crates/coax/tests/a.rs", src), vec!["seeded-randomness"]);
         assert_eq!(rules_hit("crates/data/src/a.rs", src), vec!["seeded-randomness"]);
+    }
+
+    #[test]
+    fn metric_registration_names_are_validated() {
+        let good = "fn f(r: &MetricsRegistry) { r.counter(\"coax.query.count\"); }\n";
+        assert!(rules_hit("crates/core/src/obs/mod.rs", good).is_empty());
+        let bad_grammar = "fn f(r: &MetricsRegistry) { r.gauge(\"CoaxEpoch\"); }\n";
+        assert_eq!(rules_hit("crates/core/src/obs/mod.rs", bad_grammar), vec!["obs-naming"]);
+        let single_segment = "fn f(r: &MetricsRegistry) { r.histogram(\"latency\"); }\n";
+        assert_eq!(rules_hit("crates/core/src/obs/mod.rs", single_segment), vec!["obs-naming"]);
+        let computed = "fn f(r: &MetricsRegistry, n: &str) { r.counter(n); }\n";
+        assert_eq!(rules_hit("crates/core/src/obs/mod.rs", computed), vec!["obs-naming"]);
+        // Tests may register scratch metrics however they like.
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn t(r: &MetricsRegistry) { r.counter(\"X\"); }\n}\n";
+        assert!(rules_hit("crates/core/src/obs/mod.rs", in_test).is_empty());
+        // Field access and definitions are not registrations.
+        let not_calls =
+            "pub fn counter(&self, name: &str) {}\nfn g(s: &S) { s.histogram.is_some(); }\n";
+        assert!(rules_hit("crates/core/src/obs/registry.rs", not_calls).is_empty());
     }
 
     #[test]

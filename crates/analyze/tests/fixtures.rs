@@ -81,6 +81,8 @@ golden! {
     seeded_clean => "seeded_clean.rs",
     doc_headers_violating => "doc_headers_violating.rs",
     doc_headers_clean => "doc_headers_clean.rs",
+    obs_naming_violating => "obs_naming_violating.rs",
+    obs_naming_clean => "obs_naming_clean.rs",
     suppression_honored => "suppression_honored.rs",
     suppression_reason_missing => "suppression_reason_missing.rs",
     suppression_unknown_rule => "suppression_unknown_rule.rs",

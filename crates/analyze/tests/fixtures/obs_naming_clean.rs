@@ -1,0 +1,16 @@
+// virtual-path: crates/demo/src/metrics.rs
+fn register(reg: &MetricsRegistry) {
+    let _ = reg.counter("coax.query.count");
+    let _ = reg.gauge("coax.overlay.rows");
+    let _ = reg.histogram("coax.query.latency_us");
+    // coax-analyze: allow(obs-naming, migration shim republishes a legacy dashboard name)
+    let _ = reg.counter("Legacy.QueryCount");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_metrics_are_exempt(reg: &MetricsRegistry) {
+        let _ = reg.counter("X");
+    }
+}

@@ -1,0 +1,7 @@
+// virtual-path: crates/demo/src/metrics.rs
+fn register(reg: &MetricsRegistry, suffix: &str) {
+    let _ = reg.counter("CamelCase.Count");
+    let _ = reg.gauge("overlay");
+    let _ = reg.histogram(&format!("coax.query.{suffix}"));
+    let _ = reg.counter("coax.query.9starts_with_digit");
+}

@@ -16,9 +16,11 @@
 //! Every row reports **time-to-first-result** (`ttfr`) next to the
 //! whole-batch time: for the materialized rows the first result exists
 //! only when the batch returns (ttfr = batch time); the sequential loop's
-//! first result is its first query; the streaming rows' is the first
-//! sink callback — the latency the cursor/streaming redesign exists to
-//! cut, now visible in the perf trajectory via `--json`/`--csv`.
+//! first result is its first query; the streaming rows' comes from the
+//! exec layer's own span recorder (the `coax.batch.ttfr_us` histogram,
+//! stamped before the first sink call) — the latency the
+//! cursor/streaming redesign exists to cut, now visible in the perf
+//! trajectory via `--json`/`--csv`.
 //!
 //! Before timing, every configuration's per-query results and
 //! `ScanStats` are checked **bit-identical** to the sequential loop —
@@ -28,13 +30,17 @@
 //! Scaled by `COAX_BENCH_ROWS` / `COAX_BENCH_REPEATS`; ladders by
 //! `COAX_BENCH_BATCH_SIZES` / `COAX_BENCH_BATCH_THREADS` (comma lists).
 //! Pass `--json` for machine-readable output, `--csv <path>` for a flat
-//! CSV.
+//! CSV, `--metrics <path>` for the observability snapshot (JSON +
+//! `<path>.prom` Prometheus text).
 
 use coax_bench::datasets;
 use coax_bench::harness::{
-    fmt_ms, json_mode, maybe_write_csv, print_table, JsonReport, JsonValue, ReportRow,
+    fmt_ms, json_mode, maybe_write_csv, maybe_write_metrics, print_table, JsonReport,
+    JsonValue, ReportRow,
 };
-use coax_core::{CoaxConfig, CoaxIndex, ExecConfig, IndexSpec, PrimaryBackend};
+use coax_core::{
+    CoaxConfig, CoaxIndex, ExecConfig, IndexSpec, MetricsRegistry, PrimaryBackend,
+};
 use coax_data::RangeQuery;
 use coax_index::{MultidimIndex, QueryResult};
 use std::time::Instant;
@@ -74,6 +80,28 @@ fn time_first_ms(repeats: usize, mut f: impl FnMut() -> f64) -> f64 {
         total += f();
     }
     total * 1e3 / repeats as f64
+}
+
+/// Mean streaming time-to-first-result in milliseconds over `repeats`
+/// runs of `f`, read from the exec layer's own span recorder: the
+/// `coax.batch.ttfr_us` histogram delta across the timed passes
+/// (`execute_streaming` stamps first-result latency before the first
+/// sink call, so this measures the engine, not the bench's callback).
+fn stream_ttfr_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let hist = MetricsRegistry::global().histogram("coax.batch.ttfr_us");
+    let repeats = repeats.max(1);
+    f(); // untimed warm-up, outside the bracket
+    let before = hist.snapshot();
+    for _ in 0..repeats {
+        f();
+    }
+    let delta = hist.snapshot().since(&before);
+    assert_eq!(
+        delta.count(),
+        repeats as u64,
+        "one ttfr record per streaming run (is obs disabled?)"
+    );
+    delta.sum_us() as f64 / delta.count() as f64 / 1e3
 }
 
 struct Row {
@@ -222,21 +250,15 @@ fn main() {
                         std::hint::black_box(r);
                     });
                 });
-                let stream_ttfr_ms = time_first_ms(repeats, || {
-                    let start = Instant::now();
-                    let mut first = f64::NAN;
+                let stream_ttfr = stream_ttfr_ms(repeats, || {
                     index.batch_query_streaming_with(queries, &config, |_, r| {
-                        if first.is_nan() {
-                            first = start.elapsed().as_secs_f64();
-                        }
                         std::hint::black_box(r);
                     });
-                    first
                 });
                 table.push(Row {
                     label: table[table.len() - 1].label.replace("batch", "stream"),
                     batch_ms: stream_ms,
-                    ttfr_ms: stream_ttfr_ms,
+                    ttfr_ms: stream_ttfr,
                     speedup: seq_ms / stream_ms,
                     threads: config.batch_threads,
                     shared: config.shared_probes,
@@ -294,4 +316,5 @@ fn main() {
         );
     }
     maybe_write_csv(&report);
+    maybe_write_metrics();
 }

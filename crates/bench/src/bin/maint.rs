@@ -20,15 +20,17 @@
 //!
 //! Scaled by `COAX_BENCH_ROWS` / `COAX_BENCH_QUERIES` /
 //! `COAX_BENCH_REPEATS`; pass `--json` for machine-readable output,
-//! `--csv <path>` for a flat CSV.
+//! `--csv <path>` for a flat CSV, `--metrics <path>` for the
+//! observability snapshot (JSON + `<path>.prom` Prometheus text).
 
 use coax_bench::datasets;
 use coax_bench::harness::{
-    fmt_ms, json_mode, maybe_write_csv, print_table, time_per_query_ms, JsonReport, JsonValue,
-    ReportRow,
+    fmt_ms, json_mode, maybe_write_csv, maybe_write_metrics, percentile_fields, print_table,
+    time_per_query_ms, JsonReport, JsonValue, ReportRow,
 };
 use coax_core::maint::{IndexHandle, Maintainer};
-use coax_core::{CoaxConfig, CoaxIndex, MaintenancePolicy};
+use coax_core::obs::HistogramSummary;
+use coax_core::{CoaxConfig, CoaxIndex, MaintenancePolicy, MetricsRegistry};
 use coax_data::synth::{DriftingLinearConfig, Generator};
 use coax_data::{Dataset, RangeQuery, RowId};
 use coax_index::{MultidimIndex, ScanStats};
@@ -74,6 +76,24 @@ struct Phase {
     pending: usize,
     drift_score: f64,
     epoch: u64,
+    /// Per-query exec latency distribution over this phase alone — the
+    /// delta of the process-wide `coax.query.latency_us` histogram
+    /// across the phase's measurement passes.
+    latency: HistogramSummary,
+}
+
+/// Runs `measure` bracketed by snapshots of the exec-latency histogram,
+/// so each phase reports its own percentile distribution.
+fn measure_with_latency(
+    index: &dyn MultidimIndex,
+    queries: &[RangeQuery],
+    repeats: usize,
+) -> (f64, ScanStats, HistogramSummary) {
+    let hist = MetricsRegistry::global().histogram("coax.query.latency_us");
+    let before = hist.snapshot();
+    let (ms, stats) = measure(index, queries, repeats);
+    let latency = hist.snapshot().since(&before).summary();
+    (ms, stats, latency)
 }
 
 fn phase(
@@ -82,7 +102,7 @@ fn phase(
     queries: &[RangeQuery],
     repeats: usize,
 ) -> Phase {
-    let (ms, stats) = measure(handle, queries, repeats);
+    let (ms, stats, latency) = measure_with_latency(handle, queries, repeats);
     let report = handle.drift_report();
     Phase {
         label,
@@ -91,6 +111,7 @@ fn phase(
         pending: report.pending,
         drift_score: report.max_drift_score(),
         epoch: handle.epoch(),
+        latency,
     }
 }
 
@@ -144,7 +165,8 @@ fn main() {
     phases.push(phase("after", &handle, &queries, repeats));
 
     let fresh = CoaxIndex::build(&full, &config);
-    let (fresh_ms, fresh_stats) = measure(&fresh, &queries, repeats);
+    let (fresh_ms, fresh_stats, fresh_latency) =
+        measure_with_latency(&fresh, &queries, repeats);
     phases.push(Phase {
         label: "fresh",
         ms: fresh_ms,
@@ -152,23 +174,22 @@ fn main() {
         pending: 0,
         drift_score: 0.0,
         epoch: 0,
+        latency: fresh_latency,
     });
 
     let mut report = JsonReport::new("maint");
     for p in &phases {
-        report.add_row(
-            "phases",
-            p.label,
-            vec![
-                ("runtime_ms", JsonValue::Num(p.ms)),
-                ("effectiveness", JsonValue::Num(p.stats.effectiveness())),
-                ("rows_examined", JsonValue::Int(p.stats.rows_examined as u64)),
-                ("scanned_pending", JsonValue::Int(p.stats.scanned_pending as u64)),
-                ("pending_rows", JsonValue::Int(p.pending as u64)),
-                ("drift_score", JsonValue::Num(p.drift_score)),
-                ("epoch", JsonValue::Int(p.epoch)),
-            ],
-        );
+        let mut fields = vec![
+            ("runtime_ms", JsonValue::Num(p.ms)),
+            ("effectiveness", JsonValue::Num(p.stats.effectiveness())),
+            ("rows_examined", JsonValue::Int(p.stats.rows_examined as u64)),
+            ("scanned_pending", JsonValue::Int(p.stats.scanned_pending as u64)),
+            ("pending_rows", JsonValue::Int(p.pending as u64)),
+            ("drift_score", JsonValue::Num(p.drift_score)),
+            ("epoch", JsonValue::Int(p.epoch)),
+        ];
+        fields.extend(percentile_fields(&p.latency));
+        report.add_row("phases", p.label, fields);
     }
     report.add_row(
         "maintenance",
@@ -179,6 +200,7 @@ fn main() {
             ("drift_score_at_decision", JsonValue::Num(outcome.report.max_drift_score())),
             ("outlier_rate", JsonValue::Num(outcome.report.outlier_rate)),
             ("pending_at_decision", JsonValue::Int(outcome.report.pending as u64)),
+            ("drift_summary", outcome.report.summary().as_str().into()),
         ],
     );
 
@@ -195,15 +217,17 @@ fn main() {
                     ("pending scans".into(), p.stats.scanned_pending.to_string()),
                     ("drift score".into(), format!("{:.2}", p.drift_score)),
                     ("epoch".into(), p.epoch.to_string()),
+                    ("p50".into(), fmt_ms(p.latency.p50_us as f64 / 1e3)),
+                    ("p99".into(), fmt_ms(p.latency.p99_us as f64 / 1e3)),
                 ],
             })
             .collect();
         print_table("Query cost before/during/after maintenance", &rows);
         println!(
-            "maintenance: {:?} in {} (drift score {:.2} at decision)",
+            "maintenance: {:?} in {} ({})",
             outcome.action,
             fmt_ms(maint_ms),
-            outcome.report.max_drift_score(),
+            outcome.report.summary(),
         );
         let during = &phases[1];
         let after = &phases[2];
@@ -216,4 +240,5 @@ fn main() {
         );
     }
     maybe_write_csv(&report);
+    maybe_write_metrics();
 }

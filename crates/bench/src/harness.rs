@@ -157,6 +157,89 @@ pub fn maybe_write_csv(report: &JsonReport) {
     }
 }
 
+/// The path following a `--metrics` flag, if one was given: the figure
+/// binary then dumps the process-wide observability snapshot there at
+/// exit (see [`maybe_write_metrics`]). Orthogonal to `--json`/`--csv`.
+///
+/// # Panics
+///
+/// Panics when `--metrics` is present without a following path.
+pub fn metrics_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            // coax-analyze: allow(panic-free-library, bench CLI flag parsing: a missing path is operator error and the figure binaries have no error channel but the process exit)
+            return Some(args.next().expect("--metrics requires a file path"));
+        }
+    }
+    None
+}
+
+/// Renders an observability snapshot as a [`JsonReport`]: one
+/// `"metrics"` section with a row per metric (histograms carry their
+/// count/sum and p50/p90/p95/p99/p999 columns) and one `"journal"`
+/// section with a row per retained event.
+pub fn metrics_report(snapshot: &coax_core::obs::MetricsSnapshot) -> JsonReport {
+    let mut report = JsonReport::new("metrics");
+    for s in &snapshot.samples {
+        let mut fields: Vec<(&str, JsonValue)> =
+            vec![("kind", s.kind.as_str().into()), ("value", JsonValue::Int(s.value))];
+        if let Some(h) = &s.histogram {
+            fields.push(("count", JsonValue::Int(h.count)));
+            fields.push(("sum_us", JsonValue::Int(h.sum_us)));
+            fields.push(("min_us", JsonValue::Int(h.min_us)));
+            fields.push(("max_us", JsonValue::Int(h.max_us)));
+            fields.extend(percentile_fields(h));
+        }
+        report.add_row("metrics", &s.name, fields);
+    }
+    for e in &snapshot.events {
+        report.add_row(
+            "journal",
+            &format!("{}", e.seq),
+            vec![
+                ("at_us", JsonValue::Int(e.at_us)),
+                ("kind", e.kind.into()),
+                ("detail", e.detail.as_str().into()),
+            ],
+        );
+    }
+    report
+}
+
+/// The percentile columns every histogram-backed figure row shares:
+/// p50/p90/p95/p99/p999, in microseconds.
+pub fn percentile_fields(
+    h: &coax_core::obs::HistogramSummary,
+) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        ("p50_us", JsonValue::Int(h.p50_us)),
+        ("p90_us", JsonValue::Int(h.p90_us)),
+        ("p95_us", JsonValue::Int(h.p95_us)),
+        ("p99_us", JsonValue::Int(h.p99_us)),
+        ("p999_us", JsonValue::Int(h.p999_us)),
+    ]
+}
+
+/// Dumps the process-wide observability snapshot when `--metrics <path>`
+/// was given (no-op otherwise): the [`metrics_report`] JSON at `<path>`
+/// and the Prometheus text exposition at `<path>.prom`. Confirmation
+/// goes to stderr so a simultaneous `--json` stdout stream stays
+/// parseable.
+pub fn maybe_write_metrics() {
+    if let Some(path) = metrics_path() {
+        let snapshot = coax_core::obs::snapshot();
+        std::fs::write(&path, metrics_report(&snapshot).to_json())
+            // coax-analyze: allow(panic-free-library, bench CLI output: an unwritable --metrics target is operator error and the figure binaries have no error channel but the process exit)
+            .unwrap_or_else(|e| panic!("cannot write metrics to {path}: {e}"));
+        let prom = format!("{path}.prom");
+        std::fs::write(&prom, snapshot.render_prometheus())
+            // coax-analyze: allow(panic-free-library, bench CLI output: an unwritable --metrics target is operator error and the figure binaries have no error channel but the process exit)
+            .unwrap_or_else(|e| panic!("cannot write metrics to {prom}: {e}"));
+        eprintln!("wrote metrics snapshot to {path} (+ {prom})");
+    }
+}
+
 /// One machine-readable field value of a [`JsonReport`] row.
 #[derive(Clone, Debug)]
 pub enum JsonValue {

@@ -8,7 +8,7 @@
 //! just another backend, distinguishable from the substrates only by its
 //! name string.
 
-use coax::core::{CoaxConfig, IndexSpec, OutlierBackend, PrimaryBackend};
+use coax::core::{CoaxConfig, IndexSpec, ObsConfig, OutlierBackend, PrimaryBackend};
 use coax::data::synth::{AirlineConfig, Generator, OsmConfig};
 use coax::data::workload::{knn_rectangle_queries, partial_queries, point_queries};
 use coax::data::{Dataset, RangeQuery};
@@ -201,6 +201,54 @@ fn primary_x_outlier_combinations_are_scalar_kernel_identical() {
             assert_eq!(
                 scalar, vectorized,
                 "kernel paths diverged (primary {primary:?}, outliers {outlier:?})"
+            );
+        }
+    }
+}
+
+/// The observability layer's acceptance invariant: recording must never
+/// perturb an answer. Every primary × outlier COAX combination runs the
+/// workload twice — recorder enabled (the default) and
+/// [`ObsConfig::disabled`] — and the per-query `(ids, ScanStats)` pairs
+/// must be bit-identical.
+#[test]
+fn obs_on_and_off_are_bit_identical() {
+    let dataset = AirlineConfig::small(4_000, 23).generate();
+    let queries = random_workload(&dataset, 0xB4);
+
+    let primaries = [
+        PrimaryBackend::GridFile,
+        PrimaryBackend::RTree { capacity: 8 },
+        PrimaryBackend::Custom(BackendSpec::UniformGrid { cells_per_dim: 4 }),
+    ];
+    let outliers = [
+        OutlierBackend::GridFile,
+        OutlierBackend::RTree { capacity: 8 },
+        OutlierBackend::Custom(BackendSpec::FullScan),
+    ];
+    for primary in &primaries {
+        for outlier in &outliers {
+            let run = |obs: ObsConfig| {
+                let index = IndexSpec::coax(CoaxConfig {
+                    primary_backend: primary.clone(),
+                    outlier_backend: *outlier,
+                    obs,
+                    ..Default::default()
+                })
+                .build(&dataset);
+                queries
+                    .iter()
+                    .map(|q| {
+                        let mut ids = Vec::new();
+                        let stats = index.range_query_stats(q, &mut ids);
+                        (ids, stats)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                run(ObsConfig::default()),
+                run(ObsConfig::disabled()),
+                "observability perturbed results (primary {primary:?}, outliers {outlier:?})"
             );
         }
     }

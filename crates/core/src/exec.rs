@@ -56,6 +56,7 @@
 
 use crate::discovery::CorrelationGroup;
 use crate::index::{CoaxIndex, CoaxQueryStats};
+use crate::obs::{Obs, QueryPhase};
 use crate::translate::translate_all;
 use coax_data::{RangeQuery, RowId};
 use coax_index::{CursorSource, FilteredProbe, QueryResult, RowCursor, ScanStats};
@@ -186,14 +187,17 @@ pub(crate) fn execute(
     plan: &QueryPlan,
     out: &mut Vec<RowId>,
 ) -> CoaxQueryStats {
-    let mut stats = CoaxQueryStats {
-        primary: probe_primary(index, plan, out),
-        outliers: probe_outliers(index, plan.filter(), out),
-        ..Default::default()
-    };
+    let mut span = index.obs.query_span();
+    let mut stats =
+        CoaxQueryStats { primary: probe_primary(index, plan, out), ..Default::default() };
+    span.phase(QueryPhase::PrimaryProbe);
+    stats.outliers = probe_outliers(index, plan.filter(), out);
+    span.phase(QueryPhase::OutlierProbe);
     let (examined, matched) = scan_pending(index, plan.filter(), out);
+    span.phase(QueryPhase::PendingScan);
     stats.pending_examined = examined;
     stats.pending_matches = matched;
+    span.finish(&stats.flatten());
     stats
 }
 
@@ -456,11 +460,14 @@ impl BatchPlan {
         let chunk = config.resolve_chunk(n, threads).max(1);
         let ranges: Vec<std::ops::Range<usize>> =
             (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect();
+        let pool_timer = index.obs.timer();
+        let chunks = ranges.len();
         if threads <= 1 {
             let mut results = Vec::with_capacity(n);
             for r in ranges {
                 self.execute_chunk(index, r, config.shared_probes, &mut results);
             }
+            journal_batch_pool(&index.obs, pool_timer, chunks, n, 1);
             return results;
         }
 
@@ -485,6 +492,7 @@ impl BatchPlan {
                 });
             }
         });
+        journal_batch_pool(&index.obs, pool_timer, chunks, n, threads);
         done.into_inner()
             // coax-analyze: allow(panic-free-library, poisoned chunk-result lock: a worker panicked mid-batch, so returning would silently drop its chunk — propagate instead)
             .expect("chunk result lock poisoned")
@@ -526,14 +534,19 @@ impl BatchPlan {
         let chunk = streaming_chunk(config, n, threads);
         let ranges: Vec<std::ops::Range<usize>> =
             (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect();
+        let pool_timer = index.obs.timer();
+        let chunks = ranges.len();
+        let mut ttfr = index.obs.timer();
         if threads <= 1 {
             for r in ranges {
                 let mut results = Vec::with_capacity(r.len());
                 self.execute_chunk(index, r.clone(), config.shared_probes, &mut results);
                 for (offset, result) in results.into_iter().enumerate() {
+                    index.obs.record_ttfr(ttfr.take());
                     sink(r.start + offset, result);
                 }
             }
+            journal_batch_pool(&index.obs, pool_timer, chunks, n, 1);
             return;
         }
 
@@ -556,9 +569,13 @@ impl BatchPlan {
                         &mut results,
                     );
                     for (offset, result) in results.into_iter().enumerate() {
+                        // Count the slot before sending so the gauge
+                        // covers time spent blocked on a full channel.
+                        index.obs.stream_depth_add(1);
                         // A dropped receiver (consumer gone) cancels the
                         // remaining work.
                         if tx.send((ranges[i].start + offset, result)).is_err() {
+                            index.obs.stream_depth_sub(1);
                             return;
                         }
                     }
@@ -566,9 +583,12 @@ impl BatchPlan {
             }
             drop(tx);
             for (qi, result) in rx {
+                index.obs.stream_depth_sub(1);
+                index.obs.record_ttfr(ttfr.take());
                 sink(qi, result);
             }
         });
+        journal_batch_pool(&index.obs, pool_timer, chunks, n, threads);
     }
 
     /// Executes one contiguous chunk of the batch, appending one result
@@ -589,12 +609,14 @@ impl BatchPlan {
         results: &mut Vec<QueryResult>,
     ) {
         let plans = &self.plans[range.clone()];
+        let chunk_timer = index.obs.timer();
         if !shared_probes {
             for plan in plans {
                 let mut ids = Vec::new();
                 let stats = execute(index, plan, &mut ids).flatten();
                 results.push(QueryResult { ids, stats });
             }
+            index.obs.record_chunk(chunk_timer, plans.len());
             return;
         }
 
@@ -648,7 +670,24 @@ impl BatchPlan {
             .flatten();
             results.push(QueryResult { ids, stats });
         }
+        index.obs.record_chunk(chunk_timer, plans.len());
     }
+}
+
+/// Journals one batch-pool completion (chunk/query/thread counts and
+/// wall time) — the `batch_pool` event both batch surfaces emit.
+fn journal_batch_pool(
+    obs: &Obs,
+    started: Option<std::time::Instant>,
+    chunks: usize,
+    queries: usize,
+    threads: usize,
+) {
+    obs.record_batch_pool(|| {
+        let us =
+            started.map_or(0, |t| t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        format!("chunks={chunks} queries={queries} threads={threads} wall_us={us}")
+    });
 }
 
 /// Chunk size for streaming execution: an explicit
@@ -694,6 +733,12 @@ fn stream_capacity(chunk: usize, threads: usize) -> usize {
 pub struct BatchStream {
     rx: Receiver<(usize, QueryResult)>,
     remaining: usize,
+    /// Recorder of the spawning index; times first delivery and tracks
+    /// channel depth.
+    obs: Obs,
+    /// Set until the first result is yielded, then taken to record
+    /// time-to-first-result (`None` when observability is off).
+    started: Option<std::time::Instant>,
 }
 
 impl BatchStream {
@@ -713,6 +758,8 @@ impl Iterator for BatchStream {
         match self.rx.recv() {
             Ok(item) => {
                 self.remaining -= 1;
+                self.obs.stream_depth_sub(1);
+                self.obs.record_ttfr(self.started.take());
                 Some(item)
             }
             // Every sender is gone with results still owed: a worker
@@ -774,14 +821,19 @@ pub(crate) fn spawn_batch_stream(
                 if let Some(finish) = &finish {
                     finish(qi, &mut result);
                 }
+                // Count the slot before sending so the depth gauge
+                // covers time spent blocked on a full channel.
+                index.obs.stream_depth_add(1);
                 // A dropped BatchStream cancels the remaining work.
                 if tx.send((qi, result)).is_err() {
+                    index.obs.stream_depth_sub(1);
                     return;
                 }
             }
         });
     }
-    BatchStream { rx, remaining: n }
+    let (obs, started) = (index.obs.clone(), index.obs.timer());
+    BatchStream { rx, remaining: n, obs, started }
 }
 
 /// Batch execution behind [`CoaxIndex::batch_query_with`] and the trait's

@@ -29,6 +29,7 @@ use crate::exec::{self, BatchPlan, ExecConfig, QueryPlan};
 use crate::learn::split_rows;
 use crate::maint::MaintenancePolicy;
 use crate::model::{FdModel, SoftFdModel};
+use crate::obs::{Obs, ObsConfig, QueryPhase};
 use crate::regression::BayesianLinReg;
 use crate::translate::translate;
 use coax_data::{Dataset, RangeQuery, RowId, Value};
@@ -204,6 +205,12 @@ pub struct CoaxConfig {
     /// pick it up with no second channel; override per call with
     /// [`CoaxIndex::batch_query_with`].
     pub exec: ExecConfig,
+    /// Runtime observability: metric/span/journal recording (see
+    /// [`crate::obs`]). Default **on**; [`ObsConfig::disabled`] turns
+    /// every record site into a single `None` check. Never affects
+    /// results — the equivalence suite pins obs-on output bit-identical
+    /// to obs-off.
+    pub obs: ObsConfig,
     /// Seed for the sampling inside discovery.
     pub seed: u64,
 }
@@ -219,6 +226,7 @@ impl Default for CoaxConfig {
             sort_dim: None,
             maintenance: MaintenancePolicy::default(),
             exec: ExecConfig::default(),
+            obs: ObsConfig::default(),
             seed: 0xC0A0,
         }
     }
@@ -244,6 +252,14 @@ impl CoaxQueryStats {
     /// bloated insert buffer degrades reported effectiveness (Eq. 5)
     /// instead of hiding — the signal [`crate::maint`] watches.
     pub fn flatten(&self) -> ScanStats {
+        // The index partitions never scan the pending buffer: all
+        // pending work must arrive through `pending_examined`, or the
+        // flattened `scanned_pending` would double-count it.
+        debug_assert!(
+            self.primary.scanned_pending == 0 && self.outliers.scanned_pending == 0,
+            "CoaxQueryStats::flatten: partition stats carry scanned_pending \
+             (pending_examined is the only pending channel)"
+        );
         let mut s = self.primary.merge(self.outliers);
         s.scanned_pending += self.pending_examined;
         s.matches += self.pending_matches;
@@ -321,6 +337,10 @@ pub struct CoaxIndex {
     /// Buffered inserts, scanned linearly at query time.
     pub(crate) pending: Vec<PendingRow>,
     pub(crate) next_id: RowId,
+    /// Observability recorder (no-op when `config.obs` is disabled).
+    /// Rebuilt with the index; the underlying metric cells are
+    /// process-wide, so counters survive fold/refit cycles.
+    pub(crate) obs: Obs,
 }
 
 impl CoaxIndex {
@@ -422,6 +442,7 @@ impl CoaxIndex {
             .to_spec(outlier_ds.len(), dims, sort_dim, config.outlier_cells_per_dim)
             .build(&outlier_ds);
 
+        let obs = Obs::new(&config.obs);
         Self {
             dims,
             config,
@@ -434,6 +455,7 @@ impl CoaxIndex {
             posteriors,
             pending: Vec::new(),
             next_id,
+            obs,
         }
     }
 
@@ -523,7 +545,10 @@ impl CoaxIndex {
     /// of the [`crate::exec`] sequence). Plans can be executed repeatedly
     /// and are what the batch path builds up front.
     pub fn plan(&self, query: &RangeQuery) -> QueryPlan {
-        QueryPlan::new(query, &self.discovery.groups)
+        let t = self.obs.timer();
+        let plan = QueryPlan::new(query, &self.discovery.groups);
+        self.obs.record_phase(QueryPhase::Translate, t);
+        plan
     }
 
     /// Executes a prepared plan: primary probe + outlier probe + pending

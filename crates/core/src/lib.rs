@@ -49,6 +49,14 @@
 //! 10. [`theory`] — §7 + appendices: effectiveness (Eq. 5), the
 //!     Centre-Sequence Model, and Monte-Carlo validation of Theorems
 //!     7.1–7.4.
+//! 11. [`obs`] — runtime observability over all of the above: the
+//!     process-wide metrics registry (counters / gauges / log-bucketed
+//!     latency histograms), per-phase [`obs::QuerySpan`]s through the
+//!     exec pipeline, and the bounded [`obs::EventJournal`] of
+//!     structural events (epoch publishes, fold-vs-refit decisions,
+//!     overlay copy-on-write). Configured by [`obs::ObsConfig`] in
+//!     [`CoaxConfig`]; zero-overhead when off and never perturbs
+//!     results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +68,7 @@ pub mod index;
 pub mod learn;
 pub mod maint;
 pub mod model;
+pub mod obs;
 pub mod regression;
 pub mod spec;
 pub mod spline;
@@ -78,6 +87,7 @@ pub use maint::{
     ReadSnapshot,
 };
 pub use model::{FdModel, SoftFdModel};
+pub use obs::{MetricsRegistry, MetricsSnapshot, ObsConfig};
 pub use regression::{ols, BayesianLinReg, LinParams};
 pub use spec::IndexSpec;
 pub use spline::SplineFdModel;

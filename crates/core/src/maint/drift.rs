@@ -204,6 +204,22 @@ impl DriftReport {
     pub fn outlier_excess(&self) -> Value {
         (self.outlier_rate - self.baseline_outlier_rate).max(0.0)
     }
+
+    /// A stable one-line rendering of the report, shared by the event
+    /// journal and the `maint` bench's tick log so the two stay
+    /// grep-compatible: `inserts=.. pending=.. max_drift=..
+    /// outlier_rate=.. baseline=.. excess=..`.
+    pub fn summary(&self) -> String {
+        format!(
+            "inserts={} pending={} max_drift={:.4} outlier_rate={:.4} baseline={:.4} excess={:.4}",
+            self.inserts,
+            self.pending,
+            self.max_drift_score(),
+            self.outlier_rate,
+            self.baseline_outlier_rate,
+            self.outlier_excess(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ use super::drift::{DriftMonitor, DriftReport};
 use super::policy::{MaintenanceAction, MaintenancePolicy};
 use crate::discovery::Discovery;
 use crate::index::{refresh_group, CoaxConfig, CoaxIndex, InsertError};
+use crate::obs::Obs;
 use crate::regression::BayesianLinReg;
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 use coax_index::{MultidimIndex, QueryResult, ScanStats};
@@ -120,6 +121,9 @@ pub struct IndexHandle {
     /// Serialises epoch builds (fold/refit); never held by readers or
     /// inserters.
     maint: Mutex<()>,
+    /// Recorder for the handle's write path and epoch lifecycle; the
+    /// epoch indexes carry their own clone for the query path.
+    pub(crate) obs: Obs,
 }
 
 impl IndexHandle {
@@ -132,6 +136,8 @@ impl IndexHandle {
         let posteriors = index.posteriors.clone();
         let next_id = index.next_id;
         let index = Arc::new(index);
+        let obs = Obs::new(&config.obs);
+        obs.set_overlay_rows(0);
         Self {
             config,
             dims,
@@ -142,6 +148,7 @@ impl IndexHandle {
             }),
             insert: Mutex::new(InsertState { models: index, next_id, posteriors, monitor }),
             maint: Mutex::new(()),
+            obs,
         }
     }
 
@@ -196,6 +203,7 @@ impl IndexHandle {
         if row.iter().any(|v| !v.is_finite()) {
             return Err(InsertError::NonFinite);
         }
+        let timer = self.obs.timer();
         let mut guard = lock_guard(&self.insert);
         let ins = &mut *guard;
         let in_margins = ins.monitor.observe(row);
@@ -214,11 +222,19 @@ impl IndexHandle {
         // copy-on-write `make_mut` leaves every open ReadSnapshot's
         // frozen overlay untouched.
         let mut st = write_guard(&self.state);
+        if Arc::strong_count(&st.overlay) > 1 {
+            // A live ReadSnapshot pins the overlay: this push clones it.
+            self.obs.record_overlay_cow(st.overlay.len());
+        }
         Arc::make_mut(&mut st.overlay).push(OverlayRow {
             id,
             values: row.to_vec(),
             in_margins,
         });
+        self.obs.set_overlay_rows(st.overlay.len());
+        drop(st);
+        drop(guard);
+        self.obs.record_insert(timer, in_margins);
         Ok(id)
     }
 
@@ -271,6 +287,7 @@ impl IndexHandle {
             (Arc::clone(&st.index), st.overlay.clone(), ins.posteriors.clone())
         };
         let folded = overlay_snapshot.len();
+        let timer = self.obs.timer();
 
         // --- 2. build the successor, no lock held -----------------------
         let dataset = combined_dataset(&base, &overlay_snapshot);
@@ -339,6 +356,16 @@ impl IndexHandle {
         // `max_pending` below `min_inserts` could then fold forever while
         // the models drift unchecked) and would bake routed drift rows
         // into the outlier-rate baseline.
+        let (new_epoch, survivors) = (st.epoch, st.overlay.len());
+        drop(st);
+        drop(ins);
+        self.obs.set_overlay_rows(survivors);
+        self.obs.record_epoch_publish(new_epoch, refit, timer, || {
+            let action = if refit { "refit" } else { "fold" };
+            format!(
+                "epoch={new_epoch} action={action} folded={folded} overlay_after={survivors}"
+            )
+        });
     }
 
     /// Streaming batch execution against one snapshot taken now: sugar
@@ -371,6 +398,7 @@ impl MultidimIndex for IndexHandle {
     /// trigger copy-on-write for the writer. Multi-query consumers that
     /// need *one* version across queries take the snapshot themselves.
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        let timer = self.obs.timer();
         let (index, scanned, matched) = {
             let st = read_guard(&self.state);
             let matched = scan_overlay(&st.overlay, query, out);
@@ -379,6 +407,7 @@ impl MultidimIndex for IndexHandle {
         let mut stats = index.range_query_stats(query, out);
         stats.scanned_pending += scanned;
         stats.matches += matched;
+        self.obs.record_handle_query(timer);
         stats
     }
 
@@ -549,10 +578,12 @@ impl MultidimIndex for ReadSnapshot {
     /// then the frozen epoch's four-step exec sequence — all lock-free:
     /// the session owns both `Arc`s.
     fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        let timer = self.index.obs.timer();
         let matched = scan_overlay(&self.overlay, query, out);
         let mut stats = self.index.range_query_stats(query, out);
         stats.scanned_pending += self.overlay.len();
         stats.matches += matched;
+        self.index.obs.record_handle_query(timer);
         stats
     }
 

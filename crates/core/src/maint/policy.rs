@@ -141,6 +141,7 @@ impl Maintainer {
     pub fn tick(&self) -> MaintenanceOutcome {
         let report = self.handle.drift_report();
         let action = self.handle.policy().decide(&report);
+        self.handle.obs.record_maint_tick(|| format!("action={action:?} {}", report.summary()));
         match action {
             MaintenanceAction::None => {}
             MaintenanceAction::Fold => self.handle.fold(),

@@ -1,0 +1,117 @@
+//! Bounded ring-buffer journal for structural events.
+//!
+//! Metrics answer "how much / how fast"; the journal answers "what
+//! happened, in what order". Epoch publishes, fold-vs-refit decisions
+//! (with the triggering [`crate::maint::DriftReport`] scores), overlay
+//! copy-on-write promotions and batch-pool completions are pushed here
+//! as timestamped one-line events. The buffer is bounded (oldest events
+//! drop first), so it is safe to leave on in a long-running process and
+//! cheap to serialize into every metrics dump.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Default ring capacity: enough for the full maintenance history of a
+/// bench run while staying a few hundred KB at worst.
+pub const JOURNAL_CAPACITY: usize = 1024;
+
+/// Microseconds since the first observability touch of the process —
+/// the common clock all journal events are stamped with.
+pub fn clock_us() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// One structural event: a monotone sequence number, a timestamp on the
+/// [`clock_us`] clock, a stable kind tag and a human-readable detail
+/// line (for maintenance decisions this is
+/// [`crate::maint::DriftReport::summary`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone per-journal sequence number (gaps mean dropped events).
+    pub seq: u64,
+    /// Timestamp in µs on the process-wide observability clock.
+    pub at_us: u64,
+    /// Stable machine-readable tag (`epoch_publish`, `maint_decision`,
+    /// `overlay_cow`, `batch_pool`).
+    pub kind: &'static str,
+    /// Free-form detail line.
+    pub detail: String,
+}
+
+/// A bounded, thread-safe ring buffer of [`Event`]s.
+#[derive(Debug, Default)]
+pub struct EventJournal {
+    state: Mutex<JournalState>,
+}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    next_seq: u64,
+    events: VecDeque<Event>,
+}
+
+impl EventJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide journal all [`crate::obs::Obs`] recorders feed.
+    pub fn global() -> &'static EventJournal {
+        static GLOBAL: OnceLock<EventJournal> = OnceLock::new();
+        GLOBAL.get_or_init(EventJournal::new)
+    }
+
+    /// Appends an event, evicting the oldest once the ring is full.
+    pub fn push(&self, kind: &'static str, detail: String) {
+        // Journal state is plain data; a panic mid-push cannot leave it
+        // logically inconsistent, so recover the mutex on poison.
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        if st.events.len() == JOURNAL_CAPACITY {
+            st.events.pop_front();
+        }
+        st.events.push_back(Event { seq, at_us: clock_us(), kind, detail });
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.events.iter().cloned().collect()
+    }
+
+    /// Number of events currently buffered (≤ [`JOURNAL_CAPACITY`]).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).events.len()
+    }
+
+    /// `true` when nothing has been journaled (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_sequenced() {
+        let j = EventJournal::new();
+        for i in 0..JOURNAL_CAPACITY + 10 {
+            j.push("test_event", format!("event {i}"));
+        }
+        let events = j.events();
+        assert_eq!(events.len(), JOURNAL_CAPACITY);
+        // Oldest 10 evicted; sequence numbers stay monotone and dense.
+        assert_eq!(events[0].seq, 10);
+        for pair in events.windows(2) {
+            assert_eq!(pair[1].seq, pair[0].seq + 1);
+            assert!(pair[1].at_us >= pair[0].at_us);
+        }
+    }
+}

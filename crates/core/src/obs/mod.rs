@@ -1,0 +1,337 @@
+//! Runtime observability: metrics registry, query-lifecycle spans and
+//! the maintenance event journal.
+//!
+//! The layer has three export shapes and one recording surface:
+//!
+//! * [`MetricsRegistry`] — process-wide named counters / gauges /
+//!   log-bucketed latency histograms ([`LatencyHistogram`]), registered
+//!   once, recorded into through cheap cloned handles (a relaxed atomic
+//!   op per record).
+//! * [`QuerySpan`] — per-phase timing of the exec pipeline (translate →
+//!   primary probe → outlier probe → pending/overlay scan → merge),
+//!   each phase feeding its own histogram.
+//! * [`EventJournal`] — a bounded ring of structural events: epoch
+//!   publishes, fold-vs-refit decisions with their
+//!   [`crate::maint::DriftReport`] scores, overlay copy-on-write
+//!   promotions, batch-pool completions.
+//!
+//! Recording goes through an [`Obs`] recorder carried by `CoaxIndex`
+//! and `IndexHandle` (configured via [`ObsConfig`] in
+//! [`crate::CoaxConfig`]). A disabled recorder is a `None` — every
+//! record call is one branch, no clock reads, no atomics — and
+//! instrumentation never touches query results: the equivalence suite
+//! pins obs-on output bit-identical to obs-off.
+//!
+//! Export: [`snapshot`] gathers every metric plus the journal into a
+//! [`MetricsSnapshot`], which serializes through the bench harness's
+//! `JsonReport` (`--metrics <path>` on the `maint`/`batch` bins) and
+//! renders Prometheus text exposition via
+//! [`MetricsSnapshot::render_prometheus`].
+
+mod histogram;
+mod journal;
+mod registry;
+mod span;
+
+pub use histogram::{bucket_of, HistogramSnapshot, HistogramSummary, LatencyHistogram};
+pub use journal::{clock_us, Event, EventJournal, JOURNAL_CAPACITY};
+pub use registry::{
+    is_valid_metric_name, Counter, Gauge, MetricKind, MetricSample, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use span::{QueryPhase, QuerySpan};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Observability switch carried in [`crate::CoaxConfig`]. Default is
+/// **on** (recording is a relaxed atomic per event); construct with
+/// [`ObsConfig::disabled`] to compile every record call down to a
+/// single `None` check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// `true` to record metrics, spans and journal events.
+    pub enabled: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { enabled: true }
+    }
+}
+
+impl ObsConfig {
+    /// A no-op recorder configuration: nothing is timed, counted or
+    /// journaled, and [`Obs::timer`] never reads the clock.
+    pub fn disabled() -> Self {
+        ObsConfig { enabled: false }
+    }
+}
+
+/// Every pre-registered handle the recorder touches on hot paths.
+/// Built once per [`Obs::new`]; all instances share the process-wide
+/// cells because registration is idempotent by name.
+#[derive(Debug)]
+pub(crate) struct ObsHandles {
+    // Per-query counters (fed by `QuerySpan::finish`).
+    pub(crate) query_count: Counter,
+    pub(crate) query_rows_examined: Counter,
+    pub(crate) query_cells_visited: Counter,
+    pub(crate) query_scanned_pending: Counter,
+    pub(crate) query_matches: Counter,
+    // Batch engine.
+    batch_chunks: Counter,
+    batch_queries: Counter,
+    // Handle write path.
+    insert_count: Counter,
+    insert_out_of_margin: Counter,
+    overlay_cow_copies: Counter,
+    // Maintenance loop.
+    maint_ticks: Counter,
+    maint_folds: Counter,
+    maint_refits: Counter,
+    epoch_publishes: Counter,
+    // Gauges.
+    epoch_current: Gauge,
+    overlay_rows: Gauge,
+    stream_queue_depth: Gauge,
+    // Histograms.
+    pub(crate) query_latency_us: Arc<LatencyHistogram>,
+    translate_us: Arc<LatencyHistogram>,
+    primary_probe_us: Arc<LatencyHistogram>,
+    outlier_probe_us: Arc<LatencyHistogram>,
+    pending_scan_us: Arc<LatencyHistogram>,
+    merge_us: Arc<LatencyHistogram>,
+    handle_query_us: Arc<LatencyHistogram>,
+    batch_chunk_us: Arc<LatencyHistogram>,
+    batch_ttfr_us: Arc<LatencyHistogram>,
+    insert_latency_us: Arc<LatencyHistogram>,
+    maint_fold_us: Arc<LatencyHistogram>,
+    maint_refit_us: Arc<LatencyHistogram>,
+}
+
+impl ObsHandles {
+    fn new(reg: &MetricsRegistry) -> Self {
+        ObsHandles {
+            query_count: reg.counter("coax.query.count"),
+            query_rows_examined: reg.counter("coax.query.rows_examined"),
+            query_cells_visited: reg.counter("coax.query.cells_visited"),
+            query_scanned_pending: reg.counter("coax.query.scanned_pending"),
+            query_matches: reg.counter("coax.query.matches"),
+            batch_chunks: reg.counter("coax.batch.chunks"),
+            batch_queries: reg.counter("coax.batch.queries"),
+            insert_count: reg.counter("coax.insert.count"),
+            insert_out_of_margin: reg.counter("coax.insert.out_of_margin"),
+            overlay_cow_copies: reg.counter("coax.overlay.cow_copies"),
+            maint_ticks: reg.counter("coax.maint.ticks"),
+            maint_folds: reg.counter("coax.maint.folds"),
+            maint_refits: reg.counter("coax.maint.refits"),
+            epoch_publishes: reg.counter("coax.epoch.publishes"),
+            epoch_current: reg.gauge("coax.epoch.current"),
+            overlay_rows: reg.gauge("coax.overlay.rows"),
+            stream_queue_depth: reg.gauge("coax.stream.queue_depth"),
+            query_latency_us: reg.histogram("coax.query.latency_us"),
+            translate_us: reg.histogram("coax.query.translate_us"),
+            primary_probe_us: reg.histogram("coax.query.primary_probe_us"),
+            outlier_probe_us: reg.histogram("coax.query.outlier_probe_us"),
+            pending_scan_us: reg.histogram("coax.query.pending_scan_us"),
+            merge_us: reg.histogram("coax.query.merge_us"),
+            handle_query_us: reg.histogram("coax.handle.query_us"),
+            batch_chunk_us: reg.histogram("coax.batch.chunk_us"),
+            batch_ttfr_us: reg.histogram("coax.batch.ttfr_us"),
+            insert_latency_us: reg.histogram("coax.insert.latency_us"),
+            maint_fold_us: reg.histogram("coax.maint.fold_us"),
+            maint_refit_us: reg.histogram("coax.maint.refit_us"),
+        }
+    }
+
+    pub(crate) fn phase_histogram(&self, phase: QueryPhase) -> &LatencyHistogram {
+        match phase {
+            QueryPhase::Translate => &self.translate_us,
+            QueryPhase::PrimaryProbe => &self.primary_probe_us,
+            QueryPhase::OutlierProbe => &self.outlier_probe_us,
+            QueryPhase::PendingScan => &self.pending_scan_us,
+            QueryPhase::Merge => &self.merge_us,
+        }
+    }
+}
+
+/// The recorder carried by `CoaxIndex` / `IndexHandle`: a cheap-clone
+/// handle bundle when enabled, a `None` when off. Every method below is
+/// a no-op on a disabled recorder.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsHandles>>,
+}
+
+impl Obs {
+    /// Builds a recorder for `config`, registering (or re-opening) the
+    /// full metric set in the process-wide registry when enabled.
+    pub fn new(config: &ObsConfig) -> Self {
+        if !config.enabled {
+            return Obs { inner: None };
+        }
+        coax_index::telemetry::set_enabled(true);
+        Obs { inner: Some(Arc::new(ObsHandles::new(MetricsRegistry::global()))) }
+    }
+
+    /// `true` when this recorder actually records.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Reads the clock — only when enabled, so disabled recorders pay
+    /// no syscall. Pass the result back into the `record_*` methods.
+    pub fn timer(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Starts a query-lifecycle span tagged with the current epoch.
+    pub fn query_span(&self) -> QuerySpan {
+        match &self.inner {
+            Some(h) => QuerySpan::started(Arc::clone(h), h.epoch_current.get()),
+            None => QuerySpan::disabled(),
+        }
+    }
+
+    /// Records a phase slice outside a span (the `Translate` phase
+    /// lives at plan construction, before any span exists).
+    pub fn record_phase(&self, phase: QueryPhase, started: Option<Instant>) {
+        if let (Some(h), Some(t)) = (&self.inner, started) {
+            h.phase_histogram(phase).record_duration(t.elapsed());
+        }
+    }
+
+    /// Records one handle-level query (epoch probe + overlay scan).
+    pub fn record_handle_query(&self, started: Option<Instant>) {
+        if let (Some(h), Some(t)) = (&self.inner, started) {
+            h.handle_query_us.record_duration(t.elapsed());
+        }
+    }
+
+    /// Records one insert: latency plus the in-margin / out-of-margin
+    /// routing decision.
+    pub fn record_insert(&self, started: Option<Instant>, in_margins: bool) {
+        if let Some(h) = &self.inner {
+            if let Some(t) = started {
+                h.insert_latency_us.record_duration(t.elapsed());
+            }
+            h.insert_count.inc();
+            if !in_margins {
+                h.insert_out_of_margin.inc();
+            }
+        }
+    }
+
+    /// Journals an overlay copy-on-write promotion (a snapshot held the
+    /// overlay while a writer appended, forcing a clone of `rows` rows).
+    pub fn record_overlay_cow(&self, rows: usize) {
+        if let Some(h) = &self.inner {
+            h.overlay_cow_copies.inc();
+            EventJournal::global().push("overlay_cow", format!("cloned {rows} overlay rows"));
+        }
+    }
+
+    /// Updates the overlay-size gauge.
+    pub fn set_overlay_rows(&self, rows: usize) {
+        if let Some(h) = &self.inner {
+            h.overlay_rows.set(rows as u64);
+        }
+    }
+
+    /// Records an epoch publish: bumps the epoch gauge and publish /
+    /// fold / refit counters, records the rebuild latency, journals the
+    /// event with the lazily-built `detail` line.
+    pub fn record_epoch_publish(
+        &self,
+        epoch: u64,
+        refit: bool,
+        started: Option<Instant>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(h) = &self.inner {
+            h.epoch_current.set(epoch);
+            h.epoch_publishes.inc();
+            let hist = if refit { &h.maint_refit_us } else { &h.maint_fold_us };
+            if refit {
+                h.maint_refits.inc();
+            } else {
+                h.maint_folds.inc();
+            }
+            if let Some(t) = started {
+                hist.record_duration(t.elapsed());
+            }
+            EventJournal::global().push("epoch_publish", detail());
+        }
+    }
+
+    /// Records one maintainer poll/decide cycle and journals the
+    /// decision with its triggering drift scores.
+    pub fn record_maint_tick(&self, detail: impl FnOnce() -> String) {
+        if let Some(h) = &self.inner {
+            h.maint_ticks.inc();
+            EventJournal::global().push("maint_decision", detail());
+        }
+    }
+
+    /// Records one executed batch chunk (shared-probe or per-query).
+    pub fn record_chunk(&self, started: Option<Instant>, queries: usize) {
+        if let Some(h) = &self.inner {
+            if let Some(t) = started {
+                h.batch_chunk_us.record_duration(t.elapsed());
+            }
+            h.batch_chunks.inc();
+            h.batch_queries.add(queries as u64);
+        }
+    }
+
+    /// Records time-to-first-result for a streaming batch.
+    pub fn record_ttfr(&self, started: Option<Instant>) {
+        if let (Some(h), Some(t)) = (&self.inner, started) {
+            h.batch_ttfr_us.record_duration(t.elapsed());
+        }
+    }
+
+    /// Journals a batch-pool completion (chunk/query/thread counts).
+    pub fn record_batch_pool(&self, detail: impl FnOnce() -> String) {
+        if self.inner.is_some() {
+            EventJournal::global().push("batch_pool", detail());
+        }
+    }
+
+    /// Bumps the streaming queue-depth gauge (a chunk entered the
+    /// channel).
+    pub fn stream_depth_add(&self, n: usize) {
+        if let Some(h) = &self.inner {
+            h.stream_queue_depth.add(n as u64);
+        }
+    }
+
+    /// Drops the streaming queue-depth gauge (a chunk left the channel).
+    pub fn stream_depth_sub(&self, n: usize) {
+        if let Some(h) = &self.inner {
+            h.stream_queue_depth.sub(n as u64);
+        }
+    }
+}
+
+/// Gathers every registered metric, the grid file's shared-probe
+/// telemetry and the event journal into one export unit.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut samples = MetricsRegistry::global().snapshot();
+    let (cells_scanned, cell_visits) = coax_index::telemetry::shared_probe_totals();
+    samples.push(MetricSample {
+        name: "coax.grid.shared_cells_scanned".to_string(),
+        kind: MetricKind::Counter,
+        value: cells_scanned,
+        histogram: None,
+    });
+    samples.push(MetricSample {
+        name: "coax.grid.shared_cell_visits".to_string(),
+        kind: MetricKind::Counter,
+        value: cell_visits,
+        histogram: None,
+    });
+    samples.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot { samples, events: EventJournal::global().events() }
+}

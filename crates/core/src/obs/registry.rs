@@ -1,0 +1,354 @@
+//! The process-wide metrics registry: named counters, gauges and
+//! latency histograms.
+//!
+//! Registration happens once per name (re-registering returns a handle
+//! to the existing cell, so every `IndexHandle` / `CoaxIndex` built in
+//! the process shares one set of cells); the returned handles are
+//! cheap `Arc` clones carried into hot paths, where recording is a
+//! single relaxed atomic op. Metric names follow the grammar enforced
+//! by the `obs-naming` static-analysis rule: lowercase `snake_case`
+//! segments joined by dots, at least two segments
+//! (`coax.query.latency_us`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use super::histogram::{HistogramSummary, LatencyHistogram};
+use super::journal::Event;
+
+/// `true` when `name` is a valid metric name: dot-separated
+/// `snake_case` namespaces, each segment `[a-z][a-z0-9_]*`, at least
+/// two segments.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut segments = 0;
+    for seg in name.split('.') {
+        segments += 1;
+        let mut chars = seg.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {}
+            _ => return false,
+        }
+        if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+    }
+    segments >= 2
+}
+
+/// A monotone counter handle; clone freely, record with
+/// [`Counter::add`].
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways (overlay size,
+/// current epoch, stream queue depth).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrements by `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        // fetch_update never fails with a `Some`-returning closure; the
+        // loop retries on contention only.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What a registered metric is — drives both export renderings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Log-bucketed latency histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable lowercase tag (`counter` / `gauge` / `histogram`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum MetricCell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+#[derive(Debug)]
+struct MetricEntry {
+    name: String,
+    cell: MetricCell,
+}
+
+/// The registry of named metrics. One process-wide instance lives
+/// behind [`MetricsRegistry::global`]; tests may build private ones.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<MetricEntry>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry every [`crate::obs::Obs`] records into.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<MetricEntry>> {
+        // Registry state is append-only plain data; recover on poison.
+        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers (or re-opens) the counter `name` and returns a handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        debug_assert!(is_valid_metric_name(name), "invalid metric name: {name}");
+        let mut entries = self.lock();
+        for e in entries.iter() {
+            if e.name == name {
+                if let MetricCell::Counter(c) = &e.cell {
+                    return Counter(Arc::clone(c));
+                }
+                debug_assert!(false, "metric {name} re-registered with a different kind");
+                return Counter(Arc::new(AtomicU64::new(0)));
+            }
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        entries.push(MetricEntry {
+            name: name.to_string(),
+            cell: MetricCell::Counter(Arc::clone(&cell)),
+        });
+        Counter(cell)
+    }
+
+    /// Registers (or re-opens) the gauge `name` and returns a handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        debug_assert!(is_valid_metric_name(name), "invalid metric name: {name}");
+        let mut entries = self.lock();
+        for e in entries.iter() {
+            if e.name == name {
+                if let MetricCell::Gauge(c) = &e.cell {
+                    return Gauge(Arc::clone(c));
+                }
+                debug_assert!(false, "metric {name} re-registered with a different kind");
+                return Gauge(Arc::new(AtomicU64::new(0)));
+            }
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        entries.push(MetricEntry {
+            name: name.to_string(),
+            cell: MetricCell::Gauge(Arc::clone(&cell)),
+        });
+        Gauge(cell)
+    }
+
+    /// Registers (or re-opens) the histogram `name` and returns a handle.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        debug_assert!(is_valid_metric_name(name), "invalid metric name: {name}");
+        let mut entries = self.lock();
+        for e in entries.iter() {
+            if e.name == name {
+                if let MetricCell::Histogram(h) = &e.cell {
+                    return Arc::clone(h);
+                }
+                debug_assert!(false, "metric {name} re-registered with a different kind");
+                return Arc::new(LatencyHistogram::new());
+            }
+        }
+        let cell = Arc::new(LatencyHistogram::new());
+        entries.push(MetricEntry {
+            name: name.to_string(),
+            cell: MetricCell::Histogram(Arc::clone(&cell)),
+        });
+        cell
+    }
+
+    /// Reads every registered metric into a point-in-time snapshot.
+    ///
+    /// Counters and gauges are single relaxed loads; histograms copy
+    /// their buckets. Counter values are monotone across successive
+    /// snapshots (handles only ever `fetch_add`), which the concurrency
+    /// suite pins.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let entries = self.lock();
+        entries
+            .iter()
+            .map(|e| match &e.cell {
+                MetricCell::Counter(c) => MetricSample {
+                    name: e.name.clone(),
+                    kind: MetricKind::Counter,
+                    value: c.load(Ordering::Relaxed),
+                    histogram: None,
+                },
+                MetricCell::Gauge(c) => MetricSample {
+                    name: e.name.clone(),
+                    kind: MetricKind::Gauge,
+                    value: c.load(Ordering::Relaxed),
+                    histogram: None,
+                },
+                MetricCell::Histogram(h) => {
+                    let summary = h.snapshot().summary();
+                    MetricSample {
+                        name: e.name.clone(),
+                        kind: MetricKind::Histogram,
+                        value: summary.count,
+                        histogram: Some(summary),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    /// Registered metric name (`coax.query.latency_us`).
+    pub name: String,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// Counter/gauge value; for histograms, the observation count.
+    pub value: u64,
+    /// Percentile digest, present for histograms only.
+    pub histogram: Option<HistogramSummary>,
+}
+
+/// A full export unit: every registered metric plus the buffered event
+/// journal, taken at one point in time.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All registered metrics.
+    pub samples: Vec<MetricSample>,
+    /// Journal contents, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a sample by metric name.
+    pub fn get(&self, name: &str) -> Option<&MetricSample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// one `# TYPE` header per metric (dots mapped to underscores),
+    /// histograms as `summary` series with `quantile` labels plus
+    /// `_sum`/`_count`, journal omitted (it is not a metric).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.samples {
+            let name: String = s.name.chars().map(|c| if c == '.' { '_' } else { c }).collect();
+            match (&s.kind, &s.histogram) {
+                (MetricKind::Histogram, Some(h)) => {
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    for (q, v) in [
+                        ("0.5", h.p50_us),
+                        ("0.9", h.p90_us),
+                        ("0.95", h.p95_us),
+                        ("0.99", h.p99_us),
+                        ("0.999", h.p999_us),
+                    ] {
+                        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.sum_us);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+                _ => {
+                    let _ = writeln!(out, "# TYPE {name} {}", s.kind.as_str());
+                    let _ = writeln!(out, "{name} {}", s.value);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_grammar() {
+        for good in ["coax.query.latency_us", "a.b", "coax.maint.refits", "x2.y_3"] {
+            assert!(is_valid_metric_name(good), "{good} should be valid");
+        }
+        for bad in
+            ["coax", "Coax.query", "coax.Query", "coax..q", "coax.2q", "coax.q-x", "", "coax."]
+        {
+            assert!(!is_valid_metric_name(bad), "{bad} should be invalid");
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("test.shared_counter");
+        let b = reg.counter("test.shared_counter");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_type_headers() {
+        let reg = MetricsRegistry::new();
+        reg.counter("test.render_count").add(5);
+        reg.gauge("test.render_depth").set(2);
+        reg.histogram("test.render_us").record(1000);
+        let snap = MetricsSnapshot { samples: reg.snapshot(), events: Vec::new() };
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE test_render_count counter"));
+        assert!(text.contains("# TYPE test_render_depth gauge"));
+        assert!(text.contains("# TYPE test_render_us summary"));
+        assert!(text.contains("test_render_us{quantile=\"0.99\"}"));
+        assert!(text.contains("test_render_count 5"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Observability-layer contracts: histogram quantile accuracy against a
+//! sorted reference, and registry consistency under concurrent hammering.
+//!
+//! The histogram promises quantiles "within one bucket of exact": the
+//! value [`LatencyHistogram`]'s `quantile(q)` returns must land in the
+//! same bucket as the rank-`ceil(q·n)` element of the sorted sample
+//! (buckets are ≈1.6% wide above 64µs and exact below, so this bounds
+//! the relative error). The tests sweep seeded distributions chosen to
+//! stress the layout: degenerate single-value, bimodal two-point,
+//! heavy-tail, and uniform.
+
+use coax_core::obs::{bucket_of, LatencyHistogram, MetricsRegistry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const QS: [f64; 5] = [0.5, 0.9, 0.95, 0.99, 0.999];
+
+/// The histogram's own rank rule, applied to the exact sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Records `values` and asserts every swept quantile lands in the same
+/// bucket as the sorted-reference answer.
+fn assert_quantiles_within_one_bucket(label: &str, mut values: Vec<u64>) {
+    let hist = LatencyHistogram::new();
+    for &v in &values {
+        hist.record(v);
+    }
+    values.sort_unstable();
+    let snap = hist.snapshot();
+    for q in QS {
+        let exact = exact_quantile(&values, q);
+        let approx = snap.quantile(q);
+        assert_eq!(
+            bucket_of(approx),
+            bucket_of(exact),
+            "{label}: q={q} exact={exact} approx={approx} landed in a different bucket"
+        );
+    }
+    assert_eq!(snap.count(), values.len() as u64);
+    assert_eq!(snap.sum_us(), values.iter().sum::<u64>());
+}
+
+#[test]
+fn quantiles_single_value_distribution() {
+    assert_quantiles_within_one_bucket("single-value", vec![777; 500]);
+}
+
+#[test]
+fn quantiles_two_point_distribution() {
+    let mut rng = StdRng::seed_from_u64(0xB501);
+    let values: Vec<u64> =
+        (0..2_000).map(|_| if rng.gen_range(0..10) < 3 { 3 } else { 50_000 }).collect();
+    assert_quantiles_within_one_bucket("two-point", values);
+}
+
+#[test]
+fn quantiles_heavy_tail_distribution() {
+    let mut rng = StdRng::seed_from_u64(0xB502);
+    // x⁴ over a 10-second span: most mass near zero, a long sparse tail.
+    let values: Vec<u64> = (0..5_000)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            (x.powi(4) * 1e7) as u64
+        })
+        .collect();
+    assert_quantiles_within_one_bucket("heavy-tail", values);
+}
+
+#[test]
+fn quantiles_uniform_distribution() {
+    let mut rng = StdRng::seed_from_u64(0xB503);
+    let values: Vec<u64> = (0..5_000).map(|_| rng.gen_range(0..200_000)).collect();
+    assert_quantiles_within_one_bucket("uniform", values);
+}
+
+#[test]
+fn merge_equals_bulk_record() {
+    let mut rng = StdRng::seed_from_u64(0xB504);
+    let values: Vec<u64> = (0..3_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+    let (left, right) = (LatencyHistogram::new(), LatencyHistogram::new());
+    let whole = LatencyHistogram::new();
+    for (i, &v) in values.iter().enumerate() {
+        if i % 2 == 0 {
+            left.record(v)
+        } else {
+            right.record(v)
+        }
+        whole.record(v);
+    }
+    let mut merged = left.snapshot();
+    merged.merge(&right.snapshot());
+    let expected = whole.snapshot();
+    for q in QS {
+        assert_eq!(merged.quantile(q), expected.quantile(q));
+    }
+    assert_eq!(merged.count(), expected.count());
+    assert_eq!(merged.sum_us(), expected.sum_us());
+}
+
+/// Hammers one registry from writer threads while a reader snapshots:
+/// counters must be monotone across snapshots and never tear against
+/// each other (each writer bumps `first` before `second`, so any
+/// snapshot must observe `first >= second`).
+#[test]
+fn registry_hammering_yields_monotone_untorn_snapshots() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    const WRITERS: usize = 4;
+    const OPS: u64 = 20_000;
+
+    std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let first = reg.counter("test.hammer.first");
+                    let second = reg.counter("test.hammer.second");
+                    let hist = reg.histogram("test.hammer.latency_us");
+                    for i in 0..OPS {
+                        first.inc();
+                        second.inc();
+                        hist.record((w as u64 + 1) * (i % 97));
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let (mut last_first, mut last_second, mut reads) = (0u64, 0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let samples = reg.snapshot();
+                    let get = |name: &str| {
+                        samples.iter().find(|s| s.name == name).map_or(0, |s| s.value)
+                    };
+                    let first = get("test.hammer.first");
+                    let second = get("test.hammer.second");
+                    assert!(first >= last_first, "counter went backwards");
+                    assert!(second >= last_second, "counter went backwards");
+                    // `first` is always bumped before `second`: a torn
+                    // snapshot could otherwise show second > first.
+                    assert!(first >= second, "torn snapshot: first={first} second={second}");
+                    last_first = first;
+                    last_second = second;
+                    reads += 1;
+                }
+                reads
+            })
+        };
+        // The reader races the writers for their whole run; only after
+        // every writer drained is it released, guaranteeing at least one
+        // snapshot observed the final totals.
+        for h in writers {
+            h.join().expect("writer");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let reads = reader.join().expect("reader");
+        assert!(reads > 0, "reader never snapshotted");
+    });
+
+    let samples = reg.snapshot();
+    let total = WRITERS as u64 * OPS;
+    let get = |name: &str| samples.iter().find(|s| s.name == name).expect(name).clone();
+    assert_eq!(get("test.hammer.first").value, total);
+    assert_eq!(get("test.hammer.second").value, total);
+    let hist = get("test.hammer.latency_us").histogram.expect("histogram summary");
+    assert_eq!(hist.count, total, "histogram lost records under contention");
+}

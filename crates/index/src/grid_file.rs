@@ -360,6 +360,7 @@ impl GridFile {
         // included, so `cell_visits − cells_scanned` is the full win).
         crate::traits::copy_to_duplicates(&mut results, &representative);
         shared.cell_visits = results.iter().map(|r| r.stats.cells_visited).sum();
+        crate::telemetry::record_shared_probe(shared.cells_scanned, shared.cell_visits);
         (results, shared)
     }
 }

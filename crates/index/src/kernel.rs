@@ -168,6 +168,7 @@ pub fn scan_columnar(
     filter: &RangeQuery,
     out: &mut Vec<RowId>,
 ) -> usize {
+    crate::kernel_span!(scan_columnar);
     let mut matched = 0;
     if e - s < SHORT_RUN {
         for i in s..e {
@@ -206,6 +207,7 @@ pub fn scan_columnar_identity(
     filter: &RangeQuery,
     out: &mut Vec<RowId>,
 ) -> usize {
+    crate::kernel_span!(scan_columnar_identity);
     let mut matched = 0;
     let mut t = s;
     while t < e {

@@ -46,8 +46,22 @@ impl ScanStats {
     /// # Panics
     ///
     /// Panics in debug builds if any counter of `earlier` exceeds
-    /// `self`'s — the pair did not come from one growing sequence.
+    /// `self`'s — the pair did not come from one growing sequence — or
+    /// if matches outnumber the total work examined in the delta (a
+    /// `scanned_pending` / `rows_examined` accounting mismatch: every
+    /// match was found by examining *some* row, indexed or pending).
     pub fn since(self, earlier: ScanStats) -> ScanStats {
+        debug_assert!(
+            self.cells_visited >= earlier.cells_visited
+                && self.rows_examined >= earlier.rows_examined
+                && self.scanned_pending >= earlier.scanned_pending
+                && self.matches >= earlier.matches,
+            "ScanStats::since: earlier {earlier:?} is not a prefix of {self:?}"
+        );
+        debug_assert!(
+            self.matches - earlier.matches <= self.total_examined() - earlier.total_examined(),
+            "ScanStats::since: delta matches exceed delta examined rows"
+        );
         ScanStats {
             cells_visited: self.cells_visited - earlier.cells_visited,
             rows_examined: self.rows_examined - earlier.rows_examined,

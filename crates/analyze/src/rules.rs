@@ -9,7 +9,7 @@
 //! | `panic-free-library`  | library code returns errors; panicking APIs are explicit, documented and suppressed by name |
 //! | `nan-unsafe-cmp`      | float comparators use `f64::total_cmp`, never `partial_cmp(..).unwrap()` |
 //! | `kernel-encapsulation`| cell scans and `PageStore` slab access live in `kernel.rs`/`pages.rs` only |
-//! | `thread-discipline`   | threads are spawned only by the exec pool and the maintainer |
+//! | `thread-discipline`   | threads are spawned only by the exec and shard fan-out pools and the maintainer |
 //! | `seeded-randomness`   | RNGs come from explicit seeds — no environmental entropy |
 //! | `doc-headers`         | every `pub fn` in `coax-core`'s exec/maint documents its contract |
 //! | `obs-naming`          | metric names are literal, snake_case, dot-namespaced, registered through the registry constructors |
@@ -48,7 +48,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "thread-discipline",
-        description: "std::thread::spawn/scope only in coax-core's exec.rs and maint/",
+        description:
+            "std::thread::spawn/scope only in coax-core's exec.rs, shard.rs and maint/",
     },
     RuleInfo {
         name: "seeded-randomness",
@@ -233,14 +234,18 @@ fn kernel_encapsulation(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// Files allowed to spawn threads.
+/// Files allowed to spawn threads: the exec layer's pool, the
+/// maintainer's background loop, and the shard fan-out pool (sized by
+/// the same `ExecConfig`).
 fn thread_allowed(path: &str) -> bool {
-    path == "crates/core/src/exec.rs" || path.contains("crates/core/src/maint/")
+    path == "crates/core/src/exec.rs"
+        || path == "crates/core/src/shard.rs"
+        || path.contains("crates/core/src/maint/")
 }
 
 /// `thread-discipline`: worker threads are owned by the exec layer's
-/// scoped pool and the maintainer's background loop. Ad-hoc spawns
-/// elsewhere would bypass `ExecConfig` sizing and the epoch-swap
+/// scoped pool, the shard fan-out pool, and the maintainer's background
+/// loop. Ad-hoc spawns elsewhere would bypass `ExecConfig` sizing and the epoch-swap
 /// shutdown protocol.
 fn thread_discipline(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     if thread_allowed(ctx.path) {
@@ -262,8 +267,9 @@ fn thread_discipline(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                 toks[i].line,
                 "thread-discipline",
                 format!(
-                    "`thread::{what}` outside exec.rs/maint/: thread lifecycles are owned \
-                     by the exec pool (`ExecConfig`) and the `Maintainer`"
+                    "`thread::{what}` outside exec.rs/shard.rs/maint/: thread lifecycles \
+                     are owned by the exec and shard fan-out pools (`ExecConfig`) and the \
+                     `Maintainer`"
                 ),
             ));
         }
@@ -394,13 +400,16 @@ fn valid_metric_name(name: &str) -> bool {
 
 /// `obs-naming`: the metric name set is an API surface — dashboards,
 /// scrape configs and the Prometheus rendering all key on it. Every
-/// `.counter(..)` / `.gauge(..)` / `.histogram(..)` registration must
-/// pass a **string literal** (so `coax-analyze` can enumerate the full
-/// set statically) matching the grammar `seg(.seg)+` with snake_case
-/// segments. Runtime-computed names would make the set unauditable and
-/// the Prometheus name mangling unreviewable.
+/// `.counter(..)` / `.gauge(..)` / `.histogram(..)` registration — and
+/// the shard-labelled `.*_shard(..)` variants, whose first argument is
+/// the family name — must pass a **string literal** (so `coax-analyze`
+/// can enumerate the full set statically) matching the grammar
+/// `seg(.seg)+` with snake_case segments. Runtime-computed names would
+/// make the set unauditable and the Prometheus name mangling
+/// unreviewable; shard numbers travel as a label, never in the name.
 fn obs_naming(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
-    const CONSTRUCTORS: &[&str] = &["counter", "gauge", "histogram"];
+    const CONSTRUCTORS: &[&str] =
+        &["counter", "gauge", "histogram", "counter_shard", "gauge_shard", "histogram_shard"];
     let toks = ctx.toks;
     for i in 0..toks.len() {
         if ctx.class_at(toks[i].line) == FileClass::Test {
@@ -505,6 +514,7 @@ mod tests {
         let src = "fn f() { std::thread::spawn(|| {}); }\n";
         assert_eq!(rules_hit("crates/index/src/grid_file.rs", src), vec!["thread-discipline"]);
         assert!(rules_hit("crates/core/src/exec.rs", src).is_empty());
+        assert!(rules_hit("crates/core/src/shard.rs", src).is_empty());
         assert!(rules_hit("crates/core/src/maint/policy.rs", src).is_empty());
     }
 
@@ -525,6 +535,14 @@ mod tests {
         assert_eq!(rules_hit("crates/core/src/obs/mod.rs", single_segment), vec!["obs-naming"]);
         let computed = "fn f(r: &MetricsRegistry, n: &str) { r.counter(n); }\n";
         assert_eq!(rules_hit("crates/core/src/obs/mod.rs", computed), vec!["obs-naming"]);
+        // Shard-labelled constructors: first argument is the family name
+        // and obeys the same grammar; the shard travels as a label.
+        let shard_good =
+            "fn f(r: &MetricsRegistry) { r.histogram_shard(\"coax.query.latency_us\", Some(3)); }\n";
+        assert!(rules_hit("crates/core/src/obs/mod.rs", shard_good).is_empty());
+        let shard_computed =
+            "fn f(r: &MetricsRegistry, n: &str) { r.counter_shard(n, Some(0)); }\n";
+        assert_eq!(rules_hit("crates/core/src/obs/mod.rs", shard_computed), vec!["obs-naming"]);
         // Tests may register scratch metrics however they like.
         let in_test =
             "#[cfg(test)]\nmod tests {\n    fn t(r: &MetricsRegistry) { r.counter(\"X\"); }\n}\n";

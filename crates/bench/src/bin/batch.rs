@@ -27,6 +27,13 @@
 //! the speedup is never bought with a changed answer (the `exec_batch`,
 //! `batch_parallel`, and `streaming` suites assert the same, harder).
 //!
+//! A final **sharded** section runs the same workload through the
+//! sharded index service (`ShardedHandle`), laddered over
+//! `COAX_BENCH_SHARDS` (comma list, default `1,4`): every shard count's
+//! answers are verified against the unsharded handle *and* against each
+//! other before timing, so fan-out throughput is never bought with a
+//! changed answer.
+//!
 //! Scaled by `COAX_BENCH_ROWS` / `COAX_BENCH_REPEATS`; ladders by
 //! `COAX_BENCH_BATCH_SIZES` / `COAX_BENCH_BATCH_THREADS` (comma lists).
 //! Pass `--json` for machine-readable output, `--csv <path>` for a flat
@@ -39,7 +46,8 @@ use coax_bench::harness::{
     JsonValue, ReportRow,
 };
 use coax_core::{
-    CoaxConfig, CoaxIndex, ExecConfig, IndexSpec, MetricsRegistry, PrimaryBackend,
+    CoaxConfig, CoaxIndex, ExecConfig, IndexSpec, MetricsRegistry, PrimaryBackend, ShardSpec,
+    ShardedHandle,
 };
 use coax_data::RangeQuery;
 use coax_index::{MultidimIndex, QueryResult};
@@ -300,6 +308,120 @@ fn main() {
                     .collect();
                 print_table(&section, &printable);
             }
+        }
+    }
+
+    // --- sharded section: the same workload through the sharded index
+    // --- service, laddered over `COAX_BENCH_SHARDS`. Before any timing,
+    // --- every shard count's answers are checked against the unsharded
+    // --- handle (same row set per query, same matches/scanned_pending)
+    // --- and across shard counts — bit-identity is never traded for
+    // --- fan-out throughput. At one shard the full results, id order
+    // --- and ScanStats included, must be bit-identical.
+    let shard_ladder = datasets::bench_shards();
+    let shard_queries =
+        &workload[..sizes.iter().copied().max().unwrap_or(0).min(workload.len())];
+    let single = IndexSpec::coax(CoaxConfig::default())
+        .build_handle(&dataset)
+        .expect("coax spec yields a handle");
+    let baseline = {
+        let mut results = Vec::with_capacity(shard_queries.len());
+        for q in shard_queries {
+            let mut ids = Vec::new();
+            let stats = single.range_query_stats(q, &mut ids);
+            ids.sort_unstable();
+            results.push((ids, stats));
+        }
+        results
+    };
+    let seq_ms = time_batch_ms(repeats, || {
+        for q in shard_queries {
+            let mut ids = Vec::new();
+            single.range_query_stats(q, &mut ids);
+            std::hint::black_box(ids);
+        }
+    });
+    let mut previous: Option<Vec<Vec<u32>>> = None;
+    for &shards in &shard_ladder {
+        let section = format!("sharded batch={}", shard_queries.len());
+        let label = format!("shards={shards}");
+        let sharded = ShardedHandle::build(
+            &dataset,
+            &CoaxConfig {
+                shard: ShardSpec::auto(shards),
+                exec: ExecConfig { batch_threads: 0, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        // The contract check, before the clock.
+        let results = sharded.batch_query(shard_queries);
+        let sorted_ids: Vec<Vec<u32>> = results
+            .iter()
+            .map(|r| {
+                let mut ids = r.ids.clone();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+        for (qi, ((expect_ids, expect_stats), result)) in
+            baseline.iter().zip(&results).enumerate()
+        {
+            assert_eq!(
+                &sorted_ids[qi], expect_ids,
+                "{label}: sharded rows diverged from the unsharded handle on query {qi}"
+            );
+            assert_eq!(result.stats.matches, expect_stats.matches, "{label}: query {qi}");
+            assert_eq!(
+                result.stats.scanned_pending, expect_stats.scanned_pending,
+                "{label}: query {qi}"
+            );
+            if sharded.shard_count() == 1 {
+                let mut single_ids = Vec::new();
+                let single_stats =
+                    single.range_query_stats(&shard_queries[qi], &mut single_ids);
+                assert_eq!(result.ids, single_ids, "one shard must be bit-identical");
+                assert_eq!(result.stats, single_stats, "one shard must be bit-identical");
+            }
+        }
+        if let Some(prev) = &previous {
+            assert_eq!(&sorted_ids, prev, "{label}: answers changed across shard counts");
+        }
+        previous = Some(sorted_ids);
+
+        let batch_ms = time_batch_ms(repeats, || {
+            std::hint::black_box(sharded.batch_query(shard_queries));
+        });
+        let stream_ms = time_batch_ms(repeats, || {
+            for (_, r) in sharded.batch_query_streaming(shard_queries) {
+                std::hint::black_box(r);
+            }
+        });
+        report.add_row(
+            &section,
+            &label,
+            vec![
+                ("shards", JsonValue::Int(shards.max(1) as u64)),
+                ("key_dim", JsonValue::Int(sharded.key_dim() as u64)),
+                ("batch_ms", JsonValue::Num(batch_ms)),
+                ("stream_ms", JsonValue::Num(stream_ms)),
+                ("qps", JsonValue::Num(1e3 * shard_queries.len() as f64 / batch_ms)),
+                ("speedup_vs_sequential", JsonValue::Num(seq_ms / batch_ms)),
+            ],
+        );
+        if !json {
+            let row = ReportRow {
+                label: label.clone(),
+                values: vec![
+                    ("batch time".into(), fmt_ms(batch_ms)),
+                    ("stream time".into(), fmt_ms(stream_ms)),
+                    (
+                        "qps".into(),
+                        format!("{:.0}", 1e3 * shard_queries.len() as f64 / batch_ms),
+                    ),
+                    ("speedup".into(), format!("{:.2}x", seq_ms / batch_ms)),
+                ],
+            };
+            print_table(&section, &[row]);
         }
     }
 

@@ -30,10 +30,12 @@ use coax_bench::harness::{
 };
 use coax_core::maint::{IndexHandle, Maintainer};
 use coax_core::obs::HistogramSummary;
-use coax_core::{CoaxConfig, CoaxIndex, MaintenancePolicy, MetricsRegistry};
+use coax_core::{
+    CoaxConfig, CoaxIndex, MaintenancePolicy, MetricsRegistry, ShardSpec, ShardedHandle,
+};
 use coax_data::synth::{DriftingLinearConfig, Generator};
 use coax_data::{Dataset, RangeQuery, RowId};
-use coax_index::{MultidimIndex, ScanStats};
+use coax_index::{FullScan, MultidimIndex, ScanStats};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -177,6 +179,97 @@ fn main() {
         latency: fresh_latency,
     });
 
+    // --- sharded isolation: drive the same drift onto ONE shard of a
+    // --- 3-shard service and refit it in the background while the
+    // --- workload keeps fanning out to every shard. Per-shard query
+    // --- latency comes from the shard-labelled `coax.query.latency_us`
+    // --- histograms — a quiet bracket and a during-refit bracket per
+    // --- shard, so a latency cliff on the untouched shards would be
+    // --- visible as a p99 delta between the two. Parity is asserted
+    // --- before any timed bracket, and afterwards only the drifted
+    // --- shard's epoch may have moved.
+    const SHARDS: usize = 3;
+    const TARGET: usize = 1;
+    let shard_config = CoaxConfig {
+        shard: ShardSpec::range(SHARDS, 0),
+        maintenance: MaintenancePolicy { max_pending: usize::MAX, ..Default::default() },
+        ..Default::default()
+    };
+    let prefix_ds = full.take_rows(&prefix);
+    let sharded = ShardedHandle::build(&prefix_ds, &shard_config);
+    // Parity before timing: the sharded service returns exactly the
+    // ground-truth row set for every workload query.
+    let ground_truth = FullScan::build(&prefix_ds);
+    for q in &queries {
+        let mut got = sharded.range_query(q);
+        got.sort_unstable();
+        let mut expect = ground_truth.range_query(q);
+        expect.sort_unstable();
+        assert_eq!(got, expect, "sharded parity failed on {q:?}");
+    }
+    // The drifting suffix, filtered to rows the router sends to the
+    // target shard: only that shard's monitor sees drift.
+    let mut target_inserts = 0usize;
+    for i in build_rows..rows {
+        let row = full.row(i as RowId);
+        if sharded.route(&row) == TARGET {
+            sharded.insert(&row).expect("insert");
+            target_inserts += 1;
+        }
+    }
+    let epochs_before = sharded.epochs();
+
+    let shard_hists: Vec<_> = (0..SHARDS)
+        .map(|s| {
+            MetricsRegistry::global().histogram_shard("coax.query.latency_us", Some(s as u32))
+        })
+        .collect();
+    let run_workload = |passes: usize| {
+        for _ in 0..passes.max(1) {
+            for q in &queries {
+                let mut out = Vec::new();
+                sharded.range_query_stats(q, &mut out);
+                std::hint::black_box(&out);
+            }
+        }
+    };
+    // Quiet bracket: no maintenance in flight.
+    let quiet_marks: Vec<_> = shard_hists.iter().map(|h| h.snapshot()).collect();
+    run_workload(repeats);
+    let quiet: Vec<HistogramSummary> = shard_hists
+        .iter()
+        .zip(&quiet_marks)
+        .map(|(h, m)| h.snapshot().since(m).summary())
+        .collect();
+    // During-refit bracket: the drifted shard rebuilds in the background
+    // while the same workload keeps fanning out across all shards.
+    let refit_marks: Vec<_> = shard_hists.iter().map(|h| h.snapshot()).collect();
+    // coax-analyze: allow(thread-discipline, the benchmark must overlap one shard's refit with foreground queries; the scope joins before any result is read)
+    let refit_ms = std::thread::scope(|scope| {
+        let refitter = scope.spawn(|| {
+            let t = Instant::now();
+            sharded.shard_handle(TARGET).refit();
+            t.elapsed().as_secs_f64() * 1e3
+        });
+        run_workload(repeats);
+        refitter.join().expect("refit thread")
+    });
+    let during: Vec<HistogramSummary> = shard_hists
+        .iter()
+        .zip(&refit_marks)
+        .map(|(h, m)| h.snapshot().since(m).summary())
+        .collect();
+    let epochs_after = sharded.epochs();
+    assert!(epochs_after[TARGET] > epochs_before[TARGET], "target shard must have refitted");
+    for s in 0..SHARDS {
+        if s != TARGET {
+            assert_eq!(
+                epochs_after[s], epochs_before[s],
+                "shard {s} published an epoch during shard {TARGET}'s refit"
+            );
+        }
+    }
+
     let mut report = JsonReport::new("maint");
     for p in &phases {
         let mut fields = vec![
@@ -201,6 +294,32 @@ fn main() {
             ("outlier_rate", JsonValue::Num(outcome.report.outlier_rate)),
             ("pending_at_decision", JsonValue::Int(outcome.report.pending as u64)),
             ("drift_summary", outcome.report.summary().as_str().into()),
+        ],
+    );
+    for s in 0..SHARDS {
+        report.add_row(
+            "sharded",
+            &format!("shard={s}"),
+            vec![
+                ("is_refit_target", JsonValue::Str((s == TARGET).to_string())),
+                ("epoch_before", JsonValue::Int(epochs_before[s])),
+                ("epoch_after", JsonValue::Int(epochs_after[s])),
+                ("quiet_queries", JsonValue::Int(quiet[s].count)),
+                ("quiet_p50_us", JsonValue::Int(quiet[s].p50_us)),
+                ("quiet_p99_us", JsonValue::Int(quiet[s].p99_us)),
+                ("during_refit_queries", JsonValue::Int(during[s].count)),
+                ("during_refit_p50_us", JsonValue::Int(during[s].p50_us)),
+                ("during_refit_p99_us", JsonValue::Int(during[s].p99_us)),
+            ],
+        );
+    }
+    report.add_row(
+        "sharded",
+        "refit",
+        vec![
+            ("target_shard", JsonValue::Int(TARGET as u64)),
+            ("target_pending_before", JsonValue::Int(target_inserts as u64)),
+            ("refit_ms", JsonValue::Num(refit_ms)),
         ],
     );
 
@@ -237,6 +356,27 @@ fn main() {
             during.stats.effectiveness(),
             after.stats.effectiveness(),
             fresh.stats.effectiveness(),
+        );
+    }
+    if !json {
+        let rows: Vec<ReportRow> = (0..SHARDS)
+            .map(|s| ReportRow {
+                label: format!("shard={s}{}", if s == TARGET { " (refit target)" } else { "" }),
+                values: vec![
+                    ("epoch".into(), format!("{} -> {}", epochs_before[s], epochs_after[s])),
+                    ("quiet p99".into(), fmt_ms(quiet[s].p99_us as f64 / 1e3)),
+                    ("during-refit p99".into(), fmt_ms(during[s].p99_us as f64 / 1e3)),
+                ],
+            })
+            .collect();
+        print_table(
+            &format!("Per-shard exec p99 around shard {TARGET}'s background refit"),
+            &rows,
+        );
+        println!(
+            "sharded: shard {TARGET} refitted {target_inserts} drifted inserts in {} while \
+             the other shards' epochs never moved",
+            fmt_ms(refit_ms)
         );
     }
     maybe_write_csv(&report);

@@ -49,6 +49,13 @@ pub fn bench_batch_threads() -> Vec<usize> {
     env_usize_list("COAX_BENCH_BATCH_THREADS", &[1, 2, 4, 8])
 }
 
+/// Shard counts the `batch` bench's sharded section ladders over
+/// (`COAX_BENCH_SHARDS`, default `1,4`). Every count is verified
+/// bit-identical to the unsharded baseline before timing.
+pub fn bench_shards() -> Vec<usize> {
+    env_usize_list("COAX_BENCH_SHARDS", &[1, 4])
+}
+
 /// Dimensionalities the `scan` bench ladders over
 /// (`COAX_BENCH_SCAN_DIMS`, default `2,4,8`).
 pub fn bench_scan_dims() -> Vec<usize> {

@@ -1,0 +1,271 @@
+//! Cross-shard equivalence: the sharded service answers exactly like a
+//! single handle over the same rows.
+//!
+//! The acceptance bar of the sharded index service: for every
+//! combination of shard count {1, 2, 7} × primary backend × outlier
+//! backend × hash/range shard key, and on every query surface (point,
+//! range, batch, streaming, cursor), [`ShardedHandle`] returns the same
+//! row set as one unsharded [`IndexHandle`] over the same dataset.
+//!
+//! The stats contract (documented on `coax::core::shard`): `matches` and
+//! `scanned_pending` always equal the unsharded handle's — the same rows
+//! match and every buffered row is scanned exactly once, wherever it
+//! lives. At one shard the **entire** result is bit-identical — ids, id
+//! order, and the full [`ScanStats`] — because a single-shard service is
+//! the unsharded layout behind an identity id table. And across the
+//! sharded service's own surfaces (handle vs snapshot vs batch vs
+//! stream vs cursor, sequential or parallel fan-out) everything is
+//! bit-identical: ids, order, stats.
+//!
+//! All assertions run before any timing anywhere in the workspace cares;
+//! every dataset and workload is seeded.
+
+use coax::core::{
+    CoaxConfig, ExecConfig, IndexHandle, OutlierBackend, PrimaryBackend, ShardKey, ShardSpec,
+    ShardedHandle,
+};
+use coax::data::synth::{Generator, LinearPairConfig};
+use coax::data::workload::knn_rectangle_queries;
+use coax::data::{Dataset, Query, RangeQuery};
+use coax::index::{MultidimIndex, QueryResult};
+
+fn planted(rows: usize, seed: u64) -> Dataset {
+    LinearPairConfig {
+        rows,
+        slope: 2.0,
+        intercept: 10.0,
+        noise_sigma: 4.0,
+        outlier_fraction: 0.05,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+/// The query workload every combination is swept over: selective
+/// rectangles, a dependent-only constraint, point probes, and the
+/// unbounded query.
+fn workload(ds: &Dataset, seed: u64) -> Vec<RangeQuery> {
+    let mut queries = knn_rectangle_queries(ds, 6, 40, seed);
+    queries.push(Query::select(2).range(0, 100.0..=300.0).build().unwrap());
+    queries.push(Query::select(2).range(1, 500.0..=900.0).build().unwrap());
+    queries.push(RangeQuery::point(&ds.row(7)));
+    queries.push(RangeQuery::point(&[0.12345, 0.678])); // no hit
+    queries.push(RangeQuery::unbounded(2));
+    queries
+}
+
+/// The sweep grid from the issue: shard counts × backends × shard keys.
+fn sweep_configs() -> Vec<(usize, CoaxConfig)> {
+    let primaries = [PrimaryBackend::GridFile, PrimaryBackend::RTree { capacity: 16 }];
+    let outliers = [OutlierBackend::GridFile, OutlierBackend::RTree { capacity: 8 }];
+    let keys = [ShardKey::Hash { dim: 0 }, ShardKey::Range { dim: 0 }];
+    let mut out = Vec::new();
+    for &shards in &[1usize, 2, 7] {
+        for primary in &primaries {
+            for outlier in &outliers {
+                for &key in &keys {
+                    out.push((
+                        shards,
+                        CoaxConfig {
+                            primary_backend: primary.clone(),
+                            outlier_backend: *outlier,
+                            shard: ShardSpec { shards, key },
+                            ..Default::default()
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Asserts the sharded service agrees with the unsharded `single` handle
+/// on every surface, under the module-level stats contract.
+fn assert_sharded_matches_single(
+    sharded: &ShardedHandle,
+    single: &IndexHandle,
+    queries: &[RangeQuery],
+    label: &str,
+) {
+    assert_eq!(sharded.len(), single.len(), "{label}: row count");
+    let one_shard = sharded.shard_count() == 1;
+
+    // Reference answers through the sharded handle's own fan-out path.
+    let mut reference: Vec<QueryResult> = Vec::new();
+    for q in queries {
+        let mut ids = Vec::new();
+        let stats = sharded.range_query_stats(q, &mut ids);
+        let mut expect_ids = Vec::new();
+        let expect = single.range_query_stats(q, &mut expect_ids);
+        assert_eq!(
+            sorted(ids.clone()),
+            sorted(expect_ids.clone()),
+            "{label}: sharded vs single ids on {q:?}"
+        );
+        assert_eq!(stats.matches, expect.matches, "{label}: matches on {q:?}");
+        assert_eq!(
+            stats.scanned_pending, expect.scanned_pending,
+            "{label}: scanned_pending on {q:?}"
+        );
+        if one_shard {
+            // A single-shard service is the unsharded layout behind an
+            // identity id table: everything is bit-identical.
+            assert_eq!(ids, expect_ids, "{label}: one-shard id order on {q:?}");
+            assert_eq!(stats, expect, "{label}: one-shard stats on {q:?}");
+        }
+        reference.push(QueryResult { ids, stats });
+    }
+
+    // Every other sharded surface is bit-identical to the reference:
+    // batch through the handle…
+    let batch = sharded.batch_query(queries);
+    assert_eq!(batch, reference, "{label}: handle batch diverged");
+    // …the cross-shard snapshot's single, batch, and cursor paths…
+    let session = sharded.snapshot();
+    assert_eq!(session.len(), sharded.len(), "{label}: snapshot row count");
+    for (q, expect) in queries.iter().zip(&reference) {
+        let mut ids = Vec::new();
+        let stats = session.range_query_stats(q, &mut ids);
+        assert_eq!((ids, stats), (expect.ids.clone(), expect.stats), "{label}: snapshot {q:?}");
+        let (cursor_ids, cursor_stats) = session.range_query_cursor(q).collect_with_stats();
+        assert_eq!(cursor_ids, expect.ids, "{label}: cursor ids on {q:?}");
+        assert_eq!(cursor_stats, expect.stats, "{label}: cursor stats on {q:?}");
+    }
+    assert_eq!(session.batch_query(queries), reference, "{label}: snapshot batch diverged");
+    // …and the merged stream: every query exactly once, results
+    // bit-identical, whatever the completion order.
+    let mut streamed: Vec<Option<QueryResult>> = vec![None; queries.len()];
+    for (qi, result) in sharded.batch_query_streaming(queries) {
+        assert!(streamed[qi].is_none(), "{label}: query {qi} delivered twice");
+        streamed[qi] = Some(result);
+    }
+    for (qi, slot) in streamed.into_iter().enumerate() {
+        let got = slot.unwrap_or_else(|| panic!("{label}: query {qi} never delivered"));
+        assert_eq!(got, reference[qi], "{label}: stream diverged on query {qi}");
+    }
+}
+
+/// The headline sweep: {1, 2, 7} shards × primary × outlier × hash/range
+/// keys, static build, every surface.
+#[test]
+fn sharded_equals_single_across_the_sweep() {
+    let ds = planted(2_000, 91);
+    let queries = workload(&ds, 92);
+    for (shards, config) in sweep_configs() {
+        let label = format!(
+            "shards={shards} primary={:?} outlier={:?} key={:?}",
+            config.primary_backend, config.outlier_backend, config.shard.key
+        );
+        let mut single_config = config.clone();
+        single_config.shard = ShardSpec::default();
+        let single = IndexHandle::build(&ds, &single_config);
+        let sharded = ShardedHandle::build(&ds, &config);
+        assert_eq!(sharded.shard_count(), shards.max(1), "{label}");
+        assert_sharded_matches_single(&sharded, &single, &queries, &label);
+    }
+}
+
+/// Fan-out parallelism never changes answers: sequential (one thread)
+/// and saturated (all cores) fan-out produce bit-identical results on
+/// the same service.
+#[test]
+fn parallel_fan_out_is_bit_identical_to_sequential() {
+    let ds = planted(3_000, 93);
+    let queries = workload(&ds, 94);
+    let sequential = ShardedHandle::build(
+        &ds,
+        &CoaxConfig {
+            shard: ShardSpec::hash(7, 0),
+            exec: ExecConfig { batch_threads: 1, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let parallel = ShardedHandle::build(
+        &ds,
+        &CoaxConfig {
+            shard: ShardSpec::hash(7, 0),
+            exec: ExecConfig { batch_threads: 0, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let a = sequential.batch_query(&queries);
+    let b = parallel.batch_query(&queries);
+    assert_eq!(a, b, "fan-out parallelism changed a result");
+    for (q, expect) in queries.iter().zip(&a) {
+        let mut ids = Vec::new();
+        let stats = parallel.range_query_stats(q, &mut ids);
+        assert_eq!((ids, stats), (expect.ids.clone(), expect.stats), "single-query {q:?}");
+    }
+}
+
+/// Equivalence survives the write path: inserts routed through the
+/// sharded service and the same inserts applied to the single handle,
+/// then folds and refits on both sides, stay in agreement.
+#[test]
+fn sharded_equals_single_after_inserts_and_maintenance() {
+    let ds = planted(2_500, 95);
+    let queries = workload(&ds, 96);
+    for key in [ShardKey::Hash { dim: 0 }, ShardKey::Range { dim: 0 }] {
+        let label = format!("key={key:?}");
+        let config = CoaxConfig { shard: ShardSpec { shards: 3, key }, ..Default::default() };
+        let mut single_config = config.clone();
+        single_config.shard = ShardSpec::default();
+        let single = IndexHandle::build(&ds, &single_config);
+        let sharded = ShardedHandle::build(&ds, &config);
+
+        // Identical insert stream on both sides: global ids must match
+        // one for one (the sharded service allocates densely in call
+        // order, exactly like the unsharded handle).
+        for i in 0..300u32 {
+            let x = (f64::from(i) * 7.3) % 1000.0;
+            let row = [x, 2.0 * x + 10.0 + f64::from(i % 13)];
+            let sid = sharded.insert(&row).unwrap();
+            let uid = single.insert(&row).unwrap();
+            assert_eq!(sid, uid, "{label}: global id diverged at insert {i}");
+        }
+        assert_sharded_matches_single(&sharded, &single, &queries, &format!("{label} +rows"));
+
+        // Fold everywhere, then refit everywhere; answers must not move.
+        single.fold();
+        for s in 0..sharded.shard_count() {
+            sharded.shard_handle(s).fold();
+        }
+        assert_sharded_matches_single(&sharded, &single, &queries, &format!("{label} +fold"));
+        single.refit();
+        for s in 0..sharded.shard_count() {
+            sharded.shard_handle(s).refit();
+        }
+        assert_sharded_matches_single(&sharded, &single, &queries, &format!("{label} +refit"));
+    }
+}
+
+/// The factory path builds the same service: a sharded [`IndexSpec`]
+/// answers exactly like a directly built [`ShardedHandle`], through the
+/// boxed trait surface.
+#[test]
+fn factory_built_sharded_service_is_equivalent() {
+    use coax::core::IndexSpec;
+    let ds = planted(1_500, 97);
+    let queries = workload(&ds, 98);
+    let config = CoaxConfig { shard: ShardSpec::auto(4), ..Default::default() };
+    let spec = IndexSpec::coax(config.clone());
+    assert_eq!(spec.name(), "coax-sharded");
+    let boxed = spec.build(&ds);
+    assert_eq!(boxed.name(), "coax-sharded");
+    let direct = ShardedHandle::build(&ds, &config);
+    for q in &queries {
+        let mut boxed_ids = Vec::new();
+        let boxed_stats = boxed.range_query_stats(q, &mut boxed_ids);
+        let mut direct_ids = Vec::new();
+        let direct_stats = direct.range_query_stats(q, &mut direct_ids);
+        assert_eq!(boxed_ids, direct_ids, "factory ids diverged on {q:?}");
+        assert_eq!(boxed_stats, direct_stats, "factory stats diverged on {q:?}");
+    }
+}

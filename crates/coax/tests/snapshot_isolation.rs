@@ -9,7 +9,10 @@
 //! only a *new* snapshot sees the new version.
 
 use coax::core::maint::MaintenanceOutcome;
-use coax::core::{CoaxConfig, IndexHandle, Maintainer, MaintenancePolicy, ReadSnapshot};
+use coax::core::{
+    CoaxConfig, IndexHandle, Maintainer, MaintenancePolicy, ReadSnapshot, ShardSpec,
+    ShardedHandle, ShardedSnapshot,
+};
 use coax::data::synth::{Generator, LinearPairConfig};
 use coax::data::workload::knn_rectangle_queries;
 use coax::data::{Dataset, Query, RangeQuery};
@@ -188,6 +191,89 @@ fn read_session_is_isolated_from_concurrent_writer_and_maintainer() {
         assert!(session.len() <= handle.len());
         drop(outcomes);
     });
+}
+
+/// Every read surface of one *cross-shard* session answers from the same
+/// frozen per-shard versions.
+fn assert_sharded_surfaces_agree(session: &ShardedSnapshot, queries: &[RangeQuery]) {
+    let batch = session.batch_query(queries);
+    for (q, batch_result) in queries.iter().zip(&batch) {
+        let mut ids = Vec::new();
+        let stats = session.range_query_stats(q, &mut ids);
+        assert_eq!(batch_result.stats, stats, "batch vs single diverged on {q:?}");
+        assert_eq!(batch_result.ids, ids, "batch vs single ids diverged on {q:?}");
+        let (cursor_ids, cursor_stats) = session.range_query_cursor(q).collect_with_stats();
+        assert_eq!(cursor_ids, ids, "cursor diverged on {q:?}");
+        assert_eq!(cursor_stats, stats, "cursor stats diverged on {q:?}");
+    }
+    let mut streamed = vec![None; queries.len()];
+    for (qi, result) in session.batch_query_streaming(queries) {
+        streamed[qi] = Some(result);
+    }
+    for (qi, slot) in streamed.into_iter().enumerate() {
+        assert_eq!(slot.expect("delivered"), batch[qi], "stream diverged on query {qi}");
+    }
+}
+
+/// The cross-shard extension of the headline criterion: a
+/// [`ShardedSnapshot`] taken mid-stream — one pass over the shards, no
+/// global lock — returns identical results across repeated queries on
+/// every surface while inserts land on all shards and one shard folds
+/// *and another refits* underneath it. Only a fresh session sees the
+/// new per-shard versions.
+#[test]
+fn sharded_snapshot_is_stable_across_inserts_and_a_one_shard_refit() {
+    let ds = planted(5_000, 55);
+    let sharded = ShardedHandle::build(
+        &ds,
+        &CoaxConfig { shard: ShardSpec::range(3, 0), ..Default::default() },
+    );
+    for i in 0..60 {
+        let x = (i as f64 * 11.3) % 1000.0;
+        sharded.insert(&[x, 2.0 * x + 10.0]).unwrap(); // overlay rows up front
+    }
+
+    let queries: Vec<RangeQuery> = (0..8)
+        .map(|i| {
+            let x0 = i as f64 * 110.0;
+            Query::select(2).range(0, x0..=x0 + 90.0).build().unwrap()
+        })
+        .collect();
+
+    let session = sharded.snapshot();
+    let epochs_at_open = session.epochs();
+    assert_eq!(epochs_at_open, vec![0, 0, 0]);
+    let before: Vec<Vec<u32>> = queries.iter().map(|q| session.range_query(q)).collect();
+    assert_sharded_surfaces_agree(&session, &queries);
+
+    // Writer activity after the session opened: rows onto every shard,
+    // then shard 0 folds and shard 2 refits — two shards publish new
+    // epochs, the session must notice neither.
+    for i in 0..240 {
+        let x = (i as f64 * 7.7) % 1000.0;
+        sharded.insert(&[x, 2.0 * x + 10.0]).unwrap();
+    }
+    sharded.shard_handle(0).fold();
+    sharded.shard_handle(2).refit();
+    assert_eq!(sharded.epochs(), vec![1, 0, 1]);
+
+    for (q, before_ids) in queries.iter().zip(&before) {
+        assert_eq!(&session.range_query(q), before_ids, "sharded session drifted on {q:?}");
+    }
+    assert_sharded_surfaces_agree(&session, &queries);
+    assert_eq!(session.epochs(), epochs_at_open, "session epochs moved");
+    assert_eq!(session.len() + 240, sharded.len());
+
+    // A fresh session sees the new versions — and exactly every row.
+    let fresh = sharded.snapshot();
+    assert_eq!(fresh.epochs(), vec![1, 0, 1]);
+    assert_eq!(fresh.len(), sharded.len());
+    let unbounded = RangeQuery::unbounded(2);
+    assert_eq!(
+        sorted(fresh.range_query(&unbounded)),
+        (0..sharded.len() as u32).collect::<Vec<_>>()
+    );
+    assert_eq!(session.range_query(&unbounded).len(), sharded.len() - 240);
 }
 
 /// Open sessions survive epoch publishes *and* keep their overlay view:

@@ -733,6 +733,9 @@ fn stream_capacity(chunk: usize, threads: usize) -> usize {
 pub struct BatchStream {
     rx: Receiver<(usize, QueryResult)>,
     remaining: usize,
+    /// Shard label of the spawning index, so a worker-death panic names
+    /// the shard that lost results (`None` for unsharded indexes).
+    shard: Option<u32>,
     /// Recorder of the spawning index; times first delivery and tracks
     /// channel depth.
     obs: Obs,
@@ -745,6 +748,12 @@ impl BatchStream {
     /// Results not yet yielded.
     pub fn remaining(&self) -> usize {
         self.remaining
+    }
+
+    /// The shard label of the index this stream was spawned from
+    /// (`None` for unsharded indexes).
+    pub fn shard(&self) -> Option<u32> {
+        self.shard
     }
 }
 
@@ -763,11 +772,16 @@ impl Iterator for BatchStream {
                 Some(item)
             }
             // Every sender is gone with results still owed: a worker
-            // died mid-batch. Surface the loss instead of truncating.
+            // died mid-batch. Surface the loss instead of truncating,
+            // naming the shard when the spawning index had one.
             // coax-analyze: allow(panic-free-library, a dead worker means owed results are gone for good — ending the iterator here would silently truncate the batch)
             Err(_) => panic!(
-                "batch stream lost {} result(s): a worker thread panicked mid-batch",
-                self.remaining
+                "batch stream lost {} result(s): a worker thread panicked mid-batch{}",
+                self.remaining,
+                match self.shard {
+                    Some(k) => format!(" (shard {k})"),
+                    None => String::new(),
+                }
             ),
         }
     }
@@ -833,7 +847,7 @@ pub(crate) fn spawn_batch_stream(
         });
     }
     let (obs, started) = (index.obs.clone(), index.obs.timer());
-    BatchStream { rx, remaining: n, obs, started }
+    BatchStream { rx, remaining: n, shard: obs.shard(), obs, started }
 }
 
 /// Batch execution behind [`CoaxIndex::batch_query_with`] and the trait's

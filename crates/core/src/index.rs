@@ -31,6 +31,7 @@ use crate::maint::MaintenancePolicy;
 use crate::model::{FdModel, SoftFdModel};
 use crate::obs::{Obs, ObsConfig, QueryPhase};
 use crate::regression::BayesianLinReg;
+use crate::shard::ShardSpec;
 use crate::translate::translate;
 use coax_data::{Dataset, RangeQuery, RowId, Value};
 use coax_index::{
@@ -211,6 +212,13 @@ pub struct CoaxConfig {
     /// results — the equivalence suite pins obs-on output bit-identical
     /// to obs-off.
     pub obs: ObsConfig,
+    /// Row partitioning across independent [`crate::maint::IndexHandle`]
+    /// shards (see [`crate::shard::ShardedHandle`]). Consumed by the
+    /// factory ([`crate::IndexSpec::build`]) and by
+    /// [`crate::shard::ShardedHandle::build`]; a bare [`CoaxIndex`] or
+    /// single `IndexHandle` ignores it. Default is one shard
+    /// (unsharded).
+    pub shard: ShardSpec,
     /// Seed for the sampling inside discovery.
     pub seed: u64,
 }
@@ -227,6 +235,7 @@ impl Default for CoaxConfig {
             maintenance: MaintenancePolicy::default(),
             exec: ExecConfig::default(),
             obs: ObsConfig::default(),
+            shard: ShardSpec::default(),
             seed: 0xC0A0,
         }
     }

@@ -57,6 +57,16 @@
 //!     overlay copy-on-write). Configured by [`obs::ObsConfig`] in
 //!     [`CoaxConfig`]; zero-overhead when off and never perturbs
 //!     results.
+//! 12. [`shard`] — the sharded index service:
+//!     [`shard::ShardedHandle`] partitions rows across N independent
+//!     [`maint::IndexHandle`] shards on a correlation-aware shard key
+//!     ([`shard::ShardSpec`] in [`CoaxConfig`]), fans single / batch /
+//!     streaming queries out across them, remaps per-shard local ids to
+//!     global ids, and merges results and [`coax_index::ScanStats`]
+//!     exactly as the unsharded path reports them. Each shard keeps its
+//!     own epoch and maintenance loop — a refit on one shard never
+//!     stalls the other N−1 — and [`shard::ShardedSnapshot`] gives
+//!     cross-shard read sessions without a global lock.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +80,7 @@ pub mod maint;
 pub mod model;
 pub mod obs;
 pub mod regression;
+pub mod shard;
 pub mod spec;
 pub mod spline;
 pub mod theory;
@@ -89,5 +100,6 @@ pub use maint::{
 pub use model::{FdModel, SoftFdModel};
 pub use obs::{MetricsRegistry, MetricsSnapshot, ObsConfig};
 pub use regression::{ols, BayesianLinReg, LinParams};
+pub use shard::{ShardKey, ShardSpec, ShardedBatchStream, ShardedHandle, ShardedSnapshot};
 pub use spec::IndexSpec;
 pub use spline::SplineFdModel;

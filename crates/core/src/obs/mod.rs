@@ -52,11 +52,17 @@ use std::time::Instant;
 pub struct ObsConfig {
     /// `true` to record metrics, spans and journal events.
     pub enabled: bool,
+    /// Shard label for every metric, span and journal event this
+    /// recorder emits. `None` (the default) records into the unlabelled
+    /// process-wide series; [`crate::shard::ShardedHandle`] sets
+    /// `Some(k)` on shard `k`'s recorder so per-shard latency and epoch
+    /// series stay separable in the export.
+    pub shard: Option<u32>,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
-        ObsConfig { enabled: true }
+        ObsConfig { enabled: true, shard: None }
     }
 }
 
@@ -64,7 +70,12 @@ impl ObsConfig {
     /// A no-op recorder configuration: nothing is timed, counted or
     /// journaled, and [`Obs::timer`] never reads the clock.
     pub fn disabled() -> Self {
-        ObsConfig { enabled: false }
+        ObsConfig { enabled: false, shard: None }
+    }
+
+    /// The same configuration with the shard label set.
+    pub fn for_shard(self, shard: u32) -> Self {
+        ObsConfig { shard: Some(shard), ..self }
     }
 }
 
@@ -111,37 +122,37 @@ pub(crate) struct ObsHandles {
 }
 
 impl ObsHandles {
-    fn new(reg: &MetricsRegistry) -> Self {
+    fn new(reg: &MetricsRegistry, shard: Option<u32>) -> Self {
         ObsHandles {
-            query_count: reg.counter("coax.query.count"),
-            query_rows_examined: reg.counter("coax.query.rows_examined"),
-            query_cells_visited: reg.counter("coax.query.cells_visited"),
-            query_scanned_pending: reg.counter("coax.query.scanned_pending"),
-            query_matches: reg.counter("coax.query.matches"),
-            batch_chunks: reg.counter("coax.batch.chunks"),
-            batch_queries: reg.counter("coax.batch.queries"),
-            insert_count: reg.counter("coax.insert.count"),
-            insert_out_of_margin: reg.counter("coax.insert.out_of_margin"),
-            overlay_cow_copies: reg.counter("coax.overlay.cow_copies"),
-            maint_ticks: reg.counter("coax.maint.ticks"),
-            maint_folds: reg.counter("coax.maint.folds"),
-            maint_refits: reg.counter("coax.maint.refits"),
-            epoch_publishes: reg.counter("coax.epoch.publishes"),
-            epoch_current: reg.gauge("coax.epoch.current"),
-            overlay_rows: reg.gauge("coax.overlay.rows"),
-            stream_queue_depth: reg.gauge("coax.stream.queue_depth"),
-            query_latency_us: reg.histogram("coax.query.latency_us"),
-            translate_us: reg.histogram("coax.query.translate_us"),
-            primary_probe_us: reg.histogram("coax.query.primary_probe_us"),
-            outlier_probe_us: reg.histogram("coax.query.outlier_probe_us"),
-            pending_scan_us: reg.histogram("coax.query.pending_scan_us"),
-            merge_us: reg.histogram("coax.query.merge_us"),
-            handle_query_us: reg.histogram("coax.handle.query_us"),
-            batch_chunk_us: reg.histogram("coax.batch.chunk_us"),
-            batch_ttfr_us: reg.histogram("coax.batch.ttfr_us"),
-            insert_latency_us: reg.histogram("coax.insert.latency_us"),
-            maint_fold_us: reg.histogram("coax.maint.fold_us"),
-            maint_refit_us: reg.histogram("coax.maint.refit_us"),
+            query_count: reg.counter_shard("coax.query.count", shard),
+            query_rows_examined: reg.counter_shard("coax.query.rows_examined", shard),
+            query_cells_visited: reg.counter_shard("coax.query.cells_visited", shard),
+            query_scanned_pending: reg.counter_shard("coax.query.scanned_pending", shard),
+            query_matches: reg.counter_shard("coax.query.matches", shard),
+            batch_chunks: reg.counter_shard("coax.batch.chunks", shard),
+            batch_queries: reg.counter_shard("coax.batch.queries", shard),
+            insert_count: reg.counter_shard("coax.insert.count", shard),
+            insert_out_of_margin: reg.counter_shard("coax.insert.out_of_margin", shard),
+            overlay_cow_copies: reg.counter_shard("coax.overlay.cow_copies", shard),
+            maint_ticks: reg.counter_shard("coax.maint.ticks", shard),
+            maint_folds: reg.counter_shard("coax.maint.folds", shard),
+            maint_refits: reg.counter_shard("coax.maint.refits", shard),
+            epoch_publishes: reg.counter_shard("coax.epoch.publishes", shard),
+            epoch_current: reg.gauge_shard("coax.epoch.current", shard),
+            overlay_rows: reg.gauge_shard("coax.overlay.rows", shard),
+            stream_queue_depth: reg.gauge_shard("coax.stream.queue_depth", shard),
+            query_latency_us: reg.histogram_shard("coax.query.latency_us", shard),
+            translate_us: reg.histogram_shard("coax.query.translate_us", shard),
+            primary_probe_us: reg.histogram_shard("coax.query.primary_probe_us", shard),
+            outlier_probe_us: reg.histogram_shard("coax.query.outlier_probe_us", shard),
+            pending_scan_us: reg.histogram_shard("coax.query.pending_scan_us", shard),
+            merge_us: reg.histogram_shard("coax.query.merge_us", shard),
+            handle_query_us: reg.histogram_shard("coax.handle.query_us", shard),
+            batch_chunk_us: reg.histogram_shard("coax.batch.chunk_us", shard),
+            batch_ttfr_us: reg.histogram_shard("coax.batch.ttfr_us", shard),
+            insert_latency_us: reg.histogram_shard("coax.insert.latency_us", shard),
+            maint_fold_us: reg.histogram_shard("coax.maint.fold_us", shard),
+            maint_refit_us: reg.histogram_shard("coax.maint.refit_us", shard),
         }
     }
 
@@ -162,22 +173,43 @@ impl ObsHandles {
 #[derive(Clone, Debug, Default)]
 pub struct Obs {
     inner: Option<Arc<ObsHandles>>,
+    shard: Option<u32>,
 }
 
 impl Obs {
     /// Builds a recorder for `config`, registering (or re-opening) the
-    /// full metric set in the process-wide registry when enabled.
+    /// full metric set in the process-wide registry when enabled. When
+    /// [`ObsConfig::shard`] is set, every cell is the shard-labelled
+    /// series and every journal detail is prefixed `shard=<k>`.
     pub fn new(config: &ObsConfig) -> Self {
         if !config.enabled {
-            return Obs { inner: None };
+            return Obs { inner: None, shard: None };
         }
         coax_index::telemetry::set_enabled(true);
-        Obs { inner: Some(Arc::new(ObsHandles::new(MetricsRegistry::global()))) }
+        Obs {
+            inner: Some(Arc::new(ObsHandles::new(MetricsRegistry::global(), config.shard))),
+            shard: config.shard,
+        }
     }
 
     /// `true` when this recorder actually records.
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The shard label this recorder tags everything with (`None` for
+    /// the unlabelled process-wide recorder).
+    pub fn shard(&self) -> Option<u32> {
+        self.shard
+    }
+
+    /// `detail` with the `shard=<k>` attribution prefix when this is a
+    /// shard's recorder, so every journal entry is attributable.
+    fn tag(&self, detail: String) -> String {
+        match self.shard {
+            Some(k) => format!("shard={k} {detail}"),
+            None => detail,
+        }
     }
 
     /// Reads the clock — only when enabled, so disabled recorders pay
@@ -186,10 +218,11 @@ impl Obs {
         self.inner.as_ref().map(|_| Instant::now())
     }
 
-    /// Starts a query-lifecycle span tagged with the current epoch.
+    /// Starts a query-lifecycle span tagged with the current epoch and
+    /// this recorder's shard label.
     pub fn query_span(&self) -> QuerySpan {
         match &self.inner {
-            Some(h) => QuerySpan::started(Arc::clone(h), h.epoch_current.get()),
+            Some(h) => QuerySpan::started(Arc::clone(h), h.epoch_current.get(), self.shard),
             None => QuerySpan::disabled(),
         }
     }
@@ -228,7 +261,8 @@ impl Obs {
     pub fn record_overlay_cow(&self, rows: usize) {
         if let Some(h) = &self.inner {
             h.overlay_cow_copies.inc();
-            EventJournal::global().push("overlay_cow", format!("cloned {rows} overlay rows"));
+            EventJournal::global()
+                .push("overlay_cow", self.tag(format!("cloned {rows} overlay rows")));
         }
     }
 
@@ -261,7 +295,7 @@ impl Obs {
             if let Some(t) = started {
                 hist.record_duration(t.elapsed());
             }
-            EventJournal::global().push("epoch_publish", detail());
+            EventJournal::global().push("epoch_publish", self.tag(detail()));
         }
     }
 
@@ -270,7 +304,7 @@ impl Obs {
     pub fn record_maint_tick(&self, detail: impl FnOnce() -> String) {
         if let Some(h) = &self.inner {
             h.maint_ticks.inc();
-            EventJournal::global().push("maint_decision", detail());
+            EventJournal::global().push("maint_decision", self.tag(detail()));
         }
     }
 
@@ -295,7 +329,7 @@ impl Obs {
     /// Journals a batch-pool completion (chunk/query/thread counts).
     pub fn record_batch_pool(&self, detail: impl FnOnce() -> String) {
         if self.inner.is_some() {
-            EventJournal::global().push("batch_pool", detail());
+            EventJournal::global().push("batch_pool", self.tag(detail()));
         }
     }
 
@@ -322,16 +356,18 @@ pub fn snapshot() -> MetricsSnapshot {
     let (cells_scanned, cell_visits) = coax_index::telemetry::shared_probe_totals();
     samples.push(MetricSample {
         name: "coax.grid.shared_cells_scanned".to_string(),
+        shard: None,
         kind: MetricKind::Counter,
         value: cells_scanned,
         histogram: None,
     });
     samples.push(MetricSample {
         name: "coax.grid.shared_cell_visits".to_string(),
+        shard: None,
         kind: MetricKind::Counter,
         value: cell_visits,
         histogram: None,
     });
-    samples.sort_by(|a, b| a.name.cmp(&b.name));
+    samples.sort_by(|a, b| (&a.name, a.shard).cmp(&(&b.name, b.shard)));
     MetricsSnapshot { samples, events: EventJournal::global().events() }
 }

@@ -9,6 +9,13 @@
 //! by the `obs-naming` static-analysis rule: lowercase `snake_case`
 //! segments joined by dots, at least two segments
 //! (`coax.query.latency_us`).
+//!
+//! Every metric may additionally carry one optional `shard` label
+//! ([`MetricsRegistry::counter_shard`] and friends): a sharded index
+//! service registers one cell per `(name, shard)` pair so per-shard
+//! latency and epoch series stay separable in the export, while the
+//! unlabelled series (`shard == None`) remains the process-wide
+//! aggregate every unsharded handle records into.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -120,6 +127,7 @@ enum MetricCell {
 #[derive(Debug)]
 struct MetricEntry {
     name: String,
+    shard: Option<u32>,
     cell: MetricCell,
 }
 
@@ -149,10 +157,18 @@ impl MetricsRegistry {
 
     /// Registers (or re-opens) the counter `name` and returns a handle.
     pub fn counter(&self, name: &str) -> Counter {
+        // coax-analyze: allow(obs-naming, in-registry delegation: the caller's literal name was already checked at its own call site)
+        self.counter_shard(name, None)
+    }
+
+    /// Registers (or re-opens) the counter `name` labelled with `shard`
+    /// (`None` is the unlabelled process-wide series, the same cell
+    /// [`MetricsRegistry::counter`] returns).
+    pub fn counter_shard(&self, name: &str, shard: Option<u32>) -> Counter {
         debug_assert!(is_valid_metric_name(name), "invalid metric name: {name}");
         let mut entries = self.lock();
         for e in entries.iter() {
-            if e.name == name {
+            if e.name == name && e.shard == shard {
                 if let MetricCell::Counter(c) = &e.cell {
                     return Counter(Arc::clone(c));
                 }
@@ -163,6 +179,7 @@ impl MetricsRegistry {
         let cell = Arc::new(AtomicU64::new(0));
         entries.push(MetricEntry {
             name: name.to_string(),
+            shard,
             cell: MetricCell::Counter(Arc::clone(&cell)),
         });
         Counter(cell)
@@ -170,10 +187,18 @@ impl MetricsRegistry {
 
     /// Registers (or re-opens) the gauge `name` and returns a handle.
     pub fn gauge(&self, name: &str) -> Gauge {
+        // coax-analyze: allow(obs-naming, in-registry delegation: the caller's literal name was already checked at its own call site)
+        self.gauge_shard(name, None)
+    }
+
+    /// Registers (or re-opens) the gauge `name` labelled with `shard`
+    /// (`None` is the unlabelled process-wide series, the same cell
+    /// [`MetricsRegistry::gauge`] returns).
+    pub fn gauge_shard(&self, name: &str, shard: Option<u32>) -> Gauge {
         debug_assert!(is_valid_metric_name(name), "invalid metric name: {name}");
         let mut entries = self.lock();
         for e in entries.iter() {
-            if e.name == name {
+            if e.name == name && e.shard == shard {
                 if let MetricCell::Gauge(c) = &e.cell {
                     return Gauge(Arc::clone(c));
                 }
@@ -184,6 +209,7 @@ impl MetricsRegistry {
         let cell = Arc::new(AtomicU64::new(0));
         entries.push(MetricEntry {
             name: name.to_string(),
+            shard,
             cell: MetricCell::Gauge(Arc::clone(&cell)),
         });
         Gauge(cell)
@@ -191,10 +217,18 @@ impl MetricsRegistry {
 
     /// Registers (or re-opens) the histogram `name` and returns a handle.
     pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        // coax-analyze: allow(obs-naming, in-registry delegation: the caller's literal name was already checked at its own call site)
+        self.histogram_shard(name, None)
+    }
+
+    /// Registers (or re-opens) the histogram `name` labelled with
+    /// `shard` (`None` is the unlabelled process-wide series, the same
+    /// cell [`MetricsRegistry::histogram`] returns).
+    pub fn histogram_shard(&self, name: &str, shard: Option<u32>) -> Arc<LatencyHistogram> {
         debug_assert!(is_valid_metric_name(name), "invalid metric name: {name}");
         let mut entries = self.lock();
         for e in entries.iter() {
-            if e.name == name {
+            if e.name == name && e.shard == shard {
                 if let MetricCell::Histogram(h) = &e.cell {
                     return Arc::clone(h);
                 }
@@ -205,6 +239,7 @@ impl MetricsRegistry {
         let cell = Arc::new(LatencyHistogram::new());
         entries.push(MetricEntry {
             name: name.to_string(),
+            shard,
             cell: MetricCell::Histogram(Arc::clone(&cell)),
         });
         cell
@@ -223,12 +258,14 @@ impl MetricsRegistry {
             .map(|e| match &e.cell {
                 MetricCell::Counter(c) => MetricSample {
                     name: e.name.clone(),
+                    shard: e.shard,
                     kind: MetricKind::Counter,
                     value: c.load(Ordering::Relaxed),
                     histogram: None,
                 },
                 MetricCell::Gauge(c) => MetricSample {
                     name: e.name.clone(),
+                    shard: e.shard,
                     kind: MetricKind::Gauge,
                     value: c.load(Ordering::Relaxed),
                     histogram: None,
@@ -237,6 +274,7 @@ impl MetricsRegistry {
                     let summary = h.snapshot().summary();
                     MetricSample {
                         name: e.name.clone(),
+                        shard: e.shard,
                         kind: MetricKind::Histogram,
                         value: summary.count,
                         histogram: Some(summary),
@@ -252,6 +290,10 @@ impl MetricsRegistry {
 pub struct MetricSample {
     /// Registered metric name (`coax.query.latency_us`).
     pub name: String,
+    /// Shard label when the cell belongs to one shard of a
+    /// [`crate::shard::ShardedHandle`]; `None` for the process-wide
+    /// unlabelled series.
+    pub shard: Option<u32>,
     /// Counter, gauge or histogram.
     pub kind: MetricKind,
     /// Counter/gauge value; for histograms, the observation count.
@@ -271,23 +313,35 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Looks up a sample by metric name.
+    /// Looks up the unlabelled (process-wide) sample by metric name.
     pub fn get(&self, name: &str) -> Option<&MetricSample> {
-        self.samples.iter().find(|s| s.name == name)
+        self.samples.iter().find(|s| s.name == name && s.shard.is_none())
+    }
+
+    /// Looks up a shard-labelled sample by metric name and shard id.
+    pub fn get_shard(&self, name: &str, shard: u32) -> Option<&MetricSample> {
+        self.samples.iter().find(|s| s.name == name && s.shard == Some(shard))
     }
 
     /// Renders the snapshot in the Prometheus text exposition format:
-    /// one `# TYPE` header per metric (dots mapped to underscores),
-    /// histograms as `summary` series with `quantile` labels plus
-    /// `_sum`/`_count`, journal omitted (it is not a metric).
+    /// one `# TYPE` header per metric family (dots mapped to
+    /// underscores), shard-labelled cells as `{shard="N"}` series of the
+    /// same family, histograms as `summary` series with `quantile`
+    /// labels plus `_sum`/`_count`, journal omitted (it is not a
+    /// metric).
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        let mut headered: Vec<String> = Vec::new();
         for s in &self.samples {
             let name: String = s.name.chars().map(|c| if c == '.' { '_' } else { c }).collect();
+            let shard_label = s.shard.map(|k| format!("shard=\"{k}\""));
             match (&s.kind, &s.histogram) {
                 (MetricKind::Histogram, Some(h)) => {
-                    let _ = writeln!(out, "# TYPE {name} summary");
+                    if !headered.contains(&name) {
+                        let _ = writeln!(out, "# TYPE {name} summary");
+                        headered.push(name.clone());
+                    }
                     for (q, v) in [
                         ("0.5", h.p50_us),
                         ("0.9", h.p90_us),
@@ -295,14 +349,39 @@ impl MetricsSnapshot {
                         ("0.99", h.p99_us),
                         ("0.999", h.p999_us),
                     ] {
-                        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                        match &shard_label {
+                            Some(l) => {
+                                let _ = writeln!(out, "{name}{{{l},quantile=\"{q}\"}} {v}");
+                            }
+                            None => {
+                                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                            }
+                        }
                     }
-                    let _ = writeln!(out, "{name}_sum {}", h.sum_us);
-                    let _ = writeln!(out, "{name}_count {}", h.count);
+                    match &shard_label {
+                        Some(l) => {
+                            let _ = writeln!(out, "{name}_sum{{{l}}} {}", h.sum_us);
+                            let _ = writeln!(out, "{name}_count{{{l}}} {}", h.count);
+                        }
+                        None => {
+                            let _ = writeln!(out, "{name}_sum {}", h.sum_us);
+                            let _ = writeln!(out, "{name}_count {}", h.count);
+                        }
+                    }
                 }
                 _ => {
-                    let _ = writeln!(out, "# TYPE {name} {}", s.kind.as_str());
-                    let _ = writeln!(out, "{name} {}", s.value);
+                    if !headered.contains(&name) {
+                        let _ = writeln!(out, "# TYPE {name} {}", s.kind.as_str());
+                        headered.push(name.clone());
+                    }
+                    match &shard_label {
+                        Some(l) => {
+                            let _ = writeln!(out, "{name}{{{l}}} {}", s.value);
+                        }
+                        None => {
+                            let _ = writeln!(out, "{name} {}", s.value);
+                        }
+                    }
                 }
             }
         }
@@ -335,6 +414,33 @@ mod tests {
         b.add(4);
         assert_eq!(a.get(), 7);
         assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn shard_labelled_cells_are_distinct_series_of_one_family() {
+        let reg = MetricsRegistry::new();
+        let base = reg.counter("test.sharded_count");
+        let s0 = reg.counter_shard("test.sharded_count", Some(0));
+        let s1 = reg.counter_shard("test.sharded_count", Some(1));
+        base.add(1);
+        s0.add(10);
+        s1.add(100);
+        // Unlabelled and labelled cells are independent…
+        assert_eq!(reg.counter_shard("test.sharded_count", None).get(), 1);
+        assert_eq!(reg.counter_shard("test.sharded_count", Some(0)).get(), 10);
+        assert_eq!(reg.counter_shard("test.sharded_count", Some(1)).get(), 100);
+        // …snapshots expose all three, addressable by label…
+        let snap = MetricsSnapshot { samples: reg.snapshot(), events: Vec::new() };
+        assert_eq!(snap.get("test.sharded_count").map(|s| s.value), Some(1));
+        assert_eq!(snap.get_shard("test.sharded_count", 0).map(|s| s.value), Some(10));
+        assert_eq!(snap.get_shard("test.sharded_count", 1).map(|s| s.value), Some(100));
+        // …and the Prometheus exposition emits one TYPE header for the
+        // family with shard-labelled series under it.
+        let text = snap.render_prometheus();
+        assert_eq!(text.matches("# TYPE test_sharded_count counter").count(), 1);
+        assert!(text.contains("test_sharded_count{shard=\"0\"} 10"));
+        assert!(text.contains("test_sharded_count{shard=\"1\"} 100"));
+        assert!(text.contains("test_sharded_count 1"));
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub struct QuerySpan {
 struct SpanInner {
     handles: Arc<ObsHandles>,
     epoch: u64,
+    shard: Option<u32>,
     start: Instant,
     last: Instant,
 }
@@ -68,16 +69,23 @@ impl QuerySpan {
         QuerySpan { inner: None }
     }
 
-    /// A live span starting now, tagged with the publishing `epoch`.
-    pub(super) fn started(handles: Arc<ObsHandles>, epoch: u64) -> Self {
+    /// A live span starting now, tagged with the publishing `epoch` and
+    /// the recorder's `shard` label.
+    pub(super) fn started(handles: Arc<ObsHandles>, epoch: u64, shard: Option<u32>) -> Self {
         let now = Instant::now();
-        QuerySpan { inner: Some(SpanInner { handles, epoch, start: now, last: now }) }
+        QuerySpan { inner: Some(SpanInner { handles, epoch, shard, start: now, last: now }) }
     }
 
     /// The epoch this query is tagged with (0 when the span is inert or
     /// the index is not behind an epoch-swapped handle).
     pub fn epoch(&self) -> u64 {
         self.inner.as_ref().map_or(0, |s| s.epoch)
+    }
+
+    /// The shard this query ran on (`None` when the span is inert or
+    /// the index is not a shard of a sharded handle).
+    pub fn shard(&self) -> Option<u32> {
+        self.inner.as_ref().and_then(|s| s.shard)
     }
 
     /// Marks the end of `phase`: records the slice since the previous

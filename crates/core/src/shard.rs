@@ -1,0 +1,924 @@
+//! The sharded index service: rows partitioned across N independent
+//! [`IndexHandle`] shards, queries fanned out and merged.
+//!
+//! A single [`IndexHandle`] serialises every insert behind one overlay
+//! lock and every fold/refit behind one publish point. Sharding removes
+//! that ceiling by partitioning rows on one **shard key** attribute:
+//!
+//! ```text
+//!                    ShardedHandle
+//!       route(row[key_dim]) ── hash or range router
+//!      ┌──────────────┬──────────────┬──────────────┐
+//!      │  shard 0     │  shard 1     │  shard N−1   │
+//!      │ IndexHandle  │ IndexHandle  │ IndexHandle  │   per-shard epochs,
+//!      │ epoch e₀     │ epoch e₁     │ epoch e₂     │   overlays, drift
+//!      │ id table t₀  │ id table t₁  │ id table t₂  │   monitors
+//!      └──────┬───────┴──────┬───────┴──────┬───────┘
+//!             └── fan out query, remap local→global ids
+//!                 through tᵢ, concatenate in shard order,
+//!                 merge ScanStats componentwise ──▶ one result
+//! ```
+//!
+//! * **Shard-key selection** is correlation-aware: by default
+//!   ([`ShardKey::Auto`]) the key is the predictor of the discovered
+//!   correlation group with the most dependent models (soft FDs keep
+//!   per-group models independent, so partitioning on a predictor
+//!   composes with per-shard refits), falling back to dimension 0 when
+//!   nothing correlates. [`ShardKey::Hash`]/[`ShardKey::Range`] override
+//!   the routing and the dimension explicitly.
+//! * **Per-shard epochs**: each shard runs its own drift monitor and
+//!   [`Maintainer`] — a refit on one shard builds and publishes entirely
+//!   inside that shard's handle, so the other N−1 shards' readers never
+//!   block on it and their epoch counters do not move (pinned by the
+//!   independent-maintenance test).
+//! * **One discovery**: soft-FD discovery runs once over the full build
+//!   dataset and every shard is built from that shared result, so all
+//!   shards translate queries identically at epoch 0.
+//! * **Global ids**: each shard's handle speaks local ids
+//!   (`0..shard_len`); an append-only per-shard id table maps them back
+//!   to the caller's global ids. Table entries are written *before* the
+//!   row becomes visible in the shard and are immutable afterwards, so
+//!   queries remap through the live table under a brief read lock — no
+//!   copy-on-write, no global lock.
+//!
+//! # Merge policy and stats contract
+//!
+//! Results concatenate in **shard order** (shard 0's ids first), with
+//! each shard's internal order preserved; aggregated [`ScanStats`] are
+//! the componentwise [`ScanStats::merge`] of the per-shard stats in the
+//! same order. `matches` and `scanned_pending` therefore always equal
+//! the unsharded handle's (the same rows match and every buffered row is
+//! scanned exactly once, wherever it lives), while `cells_visited` /
+//! `rows_examined` coincide bit-for-bit at one shard and may differ at
+//! N > 1 (N smaller directories are probed instead of one big one).
+//! Every query surface of the sharded service — single, batch,
+//! streaming, cursor, handle or snapshot — reports **identical** ids and
+//! stats for the same version of the data, whatever the thread count
+//! (pinned by the cross-shard equivalence suite).
+
+use crate::discovery::{discover, Discovery};
+use crate::exec::ExecConfig;
+use crate::index::{CoaxConfig, CoaxIndex, InsertError};
+use crate::maint::{IndexHandle, Maintainer, MaintenanceAction, ReadSnapshot};
+use coax_data::{Dataset, RangeQuery, RowId, Value};
+use coax_index::{CursorSource, MultidimIndex, QueryResult, RowCursor, ScanStats};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// How rows are routed to shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardKey {
+    /// Correlation-aware default: hash-route on the predictor of the
+    /// discovered group with the most models (ties break to the lowest
+    /// predictor), or dimension 0 when nothing correlates.
+    #[default]
+    Auto,
+    /// Hash-route on an explicit dimension: uniform occupancy whatever
+    /// the key distribution, no locality.
+    Hash {
+        /// The routing attribute.
+        dim: usize,
+    },
+    /// Range-route on an explicit dimension: shard boundaries are the
+    /// build dataset's quantile cut points, so shards hold contiguous
+    /// key ranges (range queries on the key touch few shards).
+    Range {
+        /// The routing attribute.
+        dim: usize,
+    },
+}
+
+/// Row-partitioning policy carried in [`CoaxConfig::shard`] — the
+/// factory ([`crate::IndexSpec::build`]) builds a [`ShardedHandle`]
+/// when `shards > 1`, a plain index otherwise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of shards; `0` and `1` both mean unsharded layout (a
+    /// single-shard [`ShardedHandle`] is still buildable and is
+    /// bit-identical to the unsharded handle — the equivalence suite's
+    /// anchor case).
+    pub shards: usize,
+    /// Shard-key selection and routing policy.
+    pub key: ShardKey,
+}
+
+impl ShardSpec {
+    /// `shards` shards with correlation-aware key selection.
+    pub fn auto(shards: usize) -> Self {
+        ShardSpec { shards, key: ShardKey::Auto }
+    }
+
+    /// `shards` shards hash-routed on `dim`.
+    pub fn hash(shards: usize, dim: usize) -> Self {
+        ShardSpec { shards, key: ShardKey::Hash { dim } }
+    }
+
+    /// `shards` shards range-routed on `dim`.
+    pub fn range(shards: usize, dim: usize) -> Self {
+        ShardSpec { shards, key: ShardKey::Range { dim } }
+    }
+
+    /// The effective shard count (`max(shards, 1)`).
+    pub fn count(&self) -> usize {
+        self.shards.max(1)
+    }
+}
+
+/// The resolved routing function: which shard a row belongs to.
+#[derive(Clone, Debug)]
+enum Router {
+    /// `splitmix64(key.to_bits()) % shards`.
+    Hash { dim: usize, shards: usize },
+    /// `bounds` are ascending cut points (len `shards − 1`); a row goes
+    /// to the first bucket whose cut point exceeds its key.
+    Range { dim: usize, bounds: Vec<Value> },
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash for routing.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Router {
+    fn route(&self, row: &[Value]) -> usize {
+        match self {
+            Router::Hash { dim, shards } => {
+                (splitmix64(row[*dim].to_bits()) % *shards as u64) as usize
+            }
+            // `total_cmp` orders every finite value; a NaN key (possible
+            // only in a build dataset — inserts reject non-finite rows)
+            // sorts above every bound and lands in the last shard.
+            Router::Range { dim, bounds } => {
+                bounds.partition_point(|b| b.total_cmp(&row[*dim]).is_le())
+            }
+        }
+    }
+}
+
+/// Picks the shard-key dimension for [`ShardKey::Auto`]: the predictor
+/// of the group with the most models, ties to the lowest predictor,
+/// dimension 0 when nothing correlates.
+fn auto_key_dim(discovery: &Discovery) -> usize {
+    discovery
+        .groups
+        .iter()
+        .max_by(|a, b| {
+            (a.models.len(), std::cmp::Reverse(a.predictor))
+                .cmp(&(b.models.len(), std::cmp::Reverse(b.predictor)))
+        })
+        .map_or(0, |g| g.predictor)
+}
+
+/// `shards − 1` ascending quantile cut points of `column`, for
+/// [`Router::Range`]. Equal-occupancy by construction on the build data.
+fn quantile_bounds(column: &[Value], shards: usize) -> Vec<Value> {
+    let mut sorted: Vec<Value> = column.to_vec();
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+    (1..shards)
+        .map(|k| {
+            if sorted.is_empty() {
+                k as Value
+            } else {
+                sorted[(k * sorted.len() / shards).min(sorted.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Remaps a shard's local row ids to global ids through its id table.
+/// The table is append-only and entries are written before a local id
+/// becomes visible, so every id a query returns has its entry; the
+/// debug assert (and, in release, the bound-checked indexing) enforces
+/// the [`MultidimIndex::range_query_stats`] id contract on the shard.
+fn remap_global(ids: &mut [RowId], table: &[RowId]) {
+    for id in ids.iter_mut() {
+        debug_assert!(
+            (*id as usize) < table.len(),
+            "shard emitted local id {id} beyond its id table ({} rows)",
+            table.len()
+        );
+        *id = table[*id as usize];
+    }
+}
+
+/// Acquires a read guard on an id table, propagating a poisoned-lock
+/// panic (same rationale as the handle's state lock: a writer panicked
+/// mid-push, remapping through torn state would alias rows).
+fn table_read(lock: &RwLock<Vec<RowId>>) -> std::sync::RwLockReadGuard<'_, Vec<RowId>> {
+    // coax-analyze: allow(panic-free-library, poisoned id-table lock: a writer panicked mid-insert, remapping through torn state would alias rows)
+    lock.read().expect("id table lock poisoned")
+}
+
+/// Write-guard counterpart of [`table_read`].
+fn table_write(lock: &RwLock<Vec<RowId>>) -> std::sync::RwLockWriteGuard<'_, Vec<RowId>> {
+    // coax-analyze: allow(panic-free-library, poisoned id-table lock: a writer panicked mid-insert, remapping through torn state would alias rows)
+    lock.write().expect("id table lock poisoned")
+}
+
+/// Everything the shards share, behind one `Arc` so snapshots and
+/// streaming drainers can outlive the caller's borrow.
+#[derive(Debug)]
+struct ShardState {
+    dims: usize,
+    key_dim: usize,
+    router: Router,
+    /// One live-maintained handle per shard; `Arc` so callers can hang
+    /// per-shard [`Maintainer`]s off them.
+    handles: Vec<Arc<IndexHandle>>,
+    /// Per-shard local→global id tables. Append-only: an entry is
+    /// pushed (under the write lock) *before* the row is inserted into
+    /// the shard, and never changes afterwards — so readers remap
+    /// through the live table under a brief read lock.
+    tables: Vec<RwLock<Vec<RowId>>>,
+    /// Next global row id; also the logical row count.
+    next_global: AtomicU64,
+    /// Fan-out policy: how many shard queries run concurrently.
+    exec: ExecConfig,
+}
+
+/// Worker threads for an `n`-shard fan-out under `exec`: the shard
+/// fan-out *is* the worker pool, so `batch_threads` bounds it (0 = all
+/// cores) and `min_parallel_batch` is deliberately ignored — a single
+/// query still fans out across shards.
+fn shard_threads(exec: &ExecConfig, shards: usize) -> usize {
+    let t = if exec.batch_threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        exec.batch_threads
+    };
+    t.clamp(1, shards)
+}
+
+/// Runs `f(0..n)` on the fan-out pool, returning results in index
+/// order. Sequential when the pool resolves to one thread.
+fn fan_out<R: Send>(exec: &ExecConfig, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = shard_threads(exec, n);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                // coax-analyze: allow(panic-free-library, poisoned fan-out lock: a sibling shard worker panicked, so the merged result is already lost — propagate rather than return a truncated merge)
+                done.lock().expect("fan-out result lock poisoned")[i] = Some(r);
+            });
+        }
+    });
+    done.into_inner()
+        // coax-analyze: allow(panic-free-library, poisoned fan-out lock: a shard worker panicked mid-query, returning would silently drop its shard's rows — propagate instead)
+        .expect("fan-out result lock poisoned")
+        .into_iter()
+        // coax-analyze: allow(panic-free-library, scope() joins every worker before this line, so each shard slot is filled — a None means a worker died and its shard's rows are unrecoverable)
+        .map(|r| r.expect("every shard queried"))
+        .collect()
+}
+
+/// A sharded, live-maintained COAX index service: rows partitioned
+/// across N independent [`IndexHandle`] shards, single/batch/streaming
+/// queries fanned out and merged back under the module-level stats
+/// contract, inserts routed by the shard key, and maintenance running
+/// per shard so a refit never stalls the other N−1.
+///
+/// Implements [`MultidimIndex`], so it slots behind the factory and
+/// every spec-driven comparison path exactly like the unsharded handle.
+/// Cheap to clone (one `Arc`).
+#[derive(Clone, Debug)]
+pub struct ShardedHandle {
+    core: Arc<ShardState>,
+}
+
+impl ShardedHandle {
+    /// Builds the sharded service over `dataset` under `config`:
+    /// discovery runs **once** on the full dataset, the shard key is
+    /// resolved from `config.shard` (and, for [`ShardKey::Auto`] /
+    /// [`ShardKey::Range`], from the discovery result and the key
+    /// column), rows are routed, and one [`IndexHandle`] is built per
+    /// shard over its member rows with the shared discovery.
+    pub fn build(dataset: &Dataset, config: &CoaxConfig) -> Self {
+        let discovery = discover(dataset, &config.discovery, config.seed);
+        Self::build_with_discovery(dataset, discovery, config)
+    }
+
+    /// [`ShardedHandle::build`] from an externally supplied discovery
+    /// result (shared-discovery sweeps, the factory's
+    /// [`crate::IndexSpec::Coax`] path).
+    pub fn build_with_discovery(
+        dataset: &Dataset,
+        discovery: Discovery,
+        config: &CoaxConfig,
+    ) -> Self {
+        let dims = dataset.dims();
+        assert_eq!(discovery.dims, dims, "discovery dimensionality mismatch");
+        let shards = config.shard.count();
+        let key_dim = match config.shard.key {
+            ShardKey::Auto => auto_key_dim(&discovery),
+            ShardKey::Hash { dim } | ShardKey::Range { dim } => dim,
+        };
+        assert!(key_dim < dims.max(1), "shard key dimension {key_dim} out of range");
+        let router = match config.shard.key {
+            ShardKey::Range { dim } => {
+                Router::Range { dim, bounds: quantile_bounds(dataset.column(dim), shards) }
+            }
+            _ => Router::Hash { dim: key_dim, shards },
+        };
+
+        // Route every build row; member lists double as the initial
+        // local→global id tables (local id i of shard s is members[s][i]
+        // by `take_rows` construction).
+        let mut members: Vec<Vec<RowId>> = vec![Vec::new(); shards];
+        let mut row = vec![0.0; dims];
+        for id in dataset.row_ids() {
+            dataset.row_into(id, &mut row);
+            members[router.route(&row)].push(id);
+        }
+
+        let handles = members
+            .iter()
+            .enumerate()
+            .map(|(s, rows)| {
+                let sub = dataset.take_rows(rows);
+                let mut shard_config = config.clone();
+                // The shard is a leaf: no nested sharding, shard-labelled
+                // observability, and the inner batch engine stays on its
+                // calling thread — the shard fan-out is the worker pool.
+                shard_config.shard = ShardSpec::default();
+                shard_config.obs = config.obs.for_shard(s as u32);
+                shard_config.exec.batch_threads = 1;
+                Arc::new(IndexHandle::new(CoaxIndex::build_with_discovery(
+                    &sub,
+                    discovery.clone(),
+                    &shard_config,
+                )))
+            })
+            .collect();
+        let tables = members.into_iter().map(RwLock::new).collect();
+        ShardedHandle {
+            core: Arc::new(ShardState {
+                dims,
+                key_dim,
+                router,
+                handles,
+                tables,
+                next_global: AtomicU64::new(dataset.len() as u64),
+                exec: config.exec,
+            }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.handles.len()
+    }
+
+    /// The resolved shard-key dimension rows are routed on.
+    pub fn key_dim(&self) -> usize {
+        self.core.key_dim
+    }
+
+    /// The shard `row` routes to.
+    pub fn route(&self, row: &[Value]) -> usize {
+        debug_assert_eq!(row.len(), self.core.dims);
+        self.core.router.route(row)
+    }
+
+    /// Shard `s`'s live handle — hang a per-shard [`Maintainer`] off it,
+    /// or inspect its epoch/drift directly.
+    pub fn shard_handle(&self, s: usize) -> &Arc<IndexHandle> {
+        &self.core.handles[s]
+    }
+
+    /// One [`Maintainer`] per shard, each driving only its own shard —
+    /// run them on independent writer threads so a refit on one shard
+    /// never stalls the others.
+    pub fn maintainers(&self) -> Vec<Maintainer> {
+        self.core.handles.iter().map(|h| Maintainer::new(Arc::clone(h))).collect()
+    }
+
+    /// Every shard's current epoch counter, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.core.handles.iter().map(|h| h.epoch()).collect()
+    }
+
+    /// Runs one policy-driven maintenance decision on every shard (the
+    /// ad-hoc equivalent of one tick of each maintainer), in shard
+    /// order.
+    pub fn maintain_all(&self) -> Vec<MaintenanceAction> {
+        self.core.handles.iter().map(|h| h.maintain()).collect()
+    }
+
+    /// Rows buffered across all shards (the sum of per-shard
+    /// [`IndexHandle::pending_len`]).
+    pub fn pending_len(&self) -> usize {
+        self.core.handles.iter().map(|h| h.pending_len()).sum()
+    }
+
+    /// Inserts a row: validated, routed by the shard key, allocated the
+    /// next global id, and handed to the owning shard. The id-table
+    /// entry is pushed (under the table write lock) *before* the shard
+    /// insert publishes the row, so a concurrent reader can never see a
+    /// local id without its global mapping.
+    pub fn insert(&self, row: &[Value]) -> Result<RowId, InsertError> {
+        // Validate before allocating a global id, mirroring the shard
+        // handle's own checks — the shard insert below cannot fail.
+        if row.len() != self.core.dims {
+            return Err(InsertError::WrongArity { expected: self.core.dims, got: row.len() });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(InsertError::NonFinite);
+        }
+        let s = self.core.router.route(row);
+        let mut table = table_write(&self.core.tables[s]);
+        let gid = self.core.next_global.fetch_add(1, Ordering::Relaxed) as RowId;
+        table.push(gid);
+        match self.core.handles[s].insert(row) {
+            Ok(local) => {
+                debug_assert_eq!(
+                    local as usize,
+                    table.len() - 1,
+                    "shard {s} local id diverged from its id table"
+                );
+                Ok(gid)
+            }
+            // Unreachable (validation above matches the handle's), but
+            // keep the table consistent rather than panic.
+            Err(e) => {
+                table.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// Opens a cross-shard read session: one [`ReadSnapshot`] per shard,
+    /// taken in a single pass with **no global lock** — each shard's
+    /// epoch/overlay pair is internally consistent (cloned under that
+    /// shard's own read guard), and per-shard global-id remapping stays
+    /// exact however many inserts or refits land concurrently, because
+    /// id-table entries are immutable once written.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            core: Arc::clone(&self.core),
+            shards: self.core.handles.iter().map(|h| h.snapshot()).collect(),
+        }
+    }
+
+    /// Streaming batch execution against one cross-shard snapshot taken
+    /// now: sugar for `self.snapshot().batch_query_streaming(queries)`.
+    pub fn batch_query_streaming(&self, queries: &[RangeQuery]) -> ShardedBatchStream {
+        self.snapshot().batch_query_streaming(queries)
+    }
+}
+
+impl MultidimIndex for ShardedHandle {
+    fn name(&self) -> &str {
+        "coax-sharded"
+    }
+
+    fn dims(&self) -> usize {
+        self.core.dims
+    }
+
+    fn len(&self) -> usize {
+        self.core.next_global.load(Ordering::Relaxed) as usize
+    }
+
+    /// Fans the query out across shards (each shard answering through
+    /// its handle's inline one-query session), remaps each shard's local
+    /// ids to global ids, and merges per the module-level policy.
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        let core = &self.core;
+        let per_shard = fan_out(&core.exec, core.handles.len(), |s| {
+            let mut ids = Vec::new();
+            let stats = core.handles[s].range_query_stats(query, &mut ids);
+            remap_global(&mut ids, &table_read(&core.tables[s]));
+            (ids, stats)
+        });
+        let mut stats = ScanStats::default();
+        for (ids, shard_stats) in per_shard {
+            out.extend_from_slice(&ids);
+            stats = stats.merge(shard_stats);
+        }
+        stats
+    }
+
+    /// One cross-shard snapshot for the whole batch (see
+    /// [`ShardedSnapshot::batch_query`]).
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        self.snapshot().batch_query(queries)
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        for (s, h) in self.core.handles.iter().enumerate() {
+            // Clone the table prefix instead of holding the lock across
+            // the shard walk (cold path; keeps lock scopes disjoint).
+            let table: Vec<RowId> = table_read(&self.core.tables[s]).clone();
+            h.for_each_entry(&mut |local, values| {
+                debug_assert!((local as usize) < table.len());
+                f(table[local as usize], values);
+            });
+        }
+    }
+
+    /// Per-shard structure overhead plus the id tables (the price of
+    /// global-id remapping).
+    fn memory_overhead(&self) -> usize {
+        let tables: usize = self
+            .core
+            .tables
+            .iter()
+            .map(|t| table_read(t).len() * std::mem::size_of::<RowId>())
+            .sum();
+        self.core.handles.iter().map(|h| h.memory_overhead()).sum::<usize>() + tables
+    }
+}
+
+/// One consistent cross-shard read session: a vector of per-shard
+/// [`ReadSnapshot`]s taken in one pass. Every query through it — point,
+/// range, batch, cursor, streaming — sees exactly the captured per-shard
+/// versions, while inserts and per-shard refits keep landing on the live
+/// [`ShardedHandle`] (pinned by the sharded snapshot-isolation test).
+/// Cheap to clone; `Send + Sync`, so one session can fan out across
+/// reader threads.
+#[derive(Clone, Debug)]
+pub struct ShardedSnapshot {
+    core: Arc<ShardState>,
+    shards: Vec<ReadSnapshot>,
+}
+
+impl ShardedSnapshot {
+    /// The per-shard epochs this session reads, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.epoch()).collect()
+    }
+
+    /// Shard `s`'s frozen snapshot.
+    pub fn shard(&self, s: usize) -> &ReadSnapshot {
+        &self.shards[s]
+    }
+
+    /// Streaming batch execution against this session: per-shard
+    /// [`crate::exec::BatchStream`]s run concurrently (one detached
+    /// drainer per shard), and a query's merged result is yielded as
+    /// soon as its last shard delivers — `(query_index, QueryResult)`
+    /// pairs in completion order, each bit-identical to
+    /// [`ShardedSnapshot::batch_query`] at that index. Dropping the
+    /// stream cancels the remaining work on every shard.
+    pub fn batch_query_streaming(&self, queries: &[RangeQuery]) -> ShardedBatchStream {
+        let n = queries.len();
+        let shards = self.shards.len();
+        let queries = Arc::new(queries.to_vec());
+        let (tx, rx): (SyncSender<(usize, usize, QueryResult)>, _) =
+            std::sync::mpsc::sync_channel((shards * 16).clamp(16, 1024));
+        for (s, snap) in self.shards.iter().enumerate() {
+            let (snap, queries, core, tx) =
+                (snap.clone(), Arc::clone(&queries), Arc::clone(&self.core), tx.clone());
+            std::thread::spawn(move || {
+                // The shard stream panics if a worker died (exactly-once
+                // contract); that panic kills this drainer, the channel
+                // disconnects, and the merged stream re-raises with the
+                // outstanding count.
+                for (qi, mut result) in snap.batch_query_streaming(&queries) {
+                    remap_global(&mut result.ids, &table_read(&core.tables[s]));
+                    // A dropped ShardedBatchStream cancels the fan-out.
+                    if tx.send((s, qi, result)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        ShardedBatchStream {
+            rx,
+            parts: vec![Vec::new(); n],
+            filled: vec![0; n],
+            remaining: n,
+            shards,
+        }
+    }
+}
+
+impl MultidimIndex for ShardedSnapshot {
+    fn name(&self) -> &str {
+        "coax-sharded-snapshot"
+    }
+
+    fn dims(&self) -> usize {
+        self.core.dims
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Fan-out over the frozen per-shard snapshots, remap, merge — same
+    /// policy as the live handle, against this session's versions.
+    fn range_query_stats(&self, query: &RangeQuery, out: &mut Vec<RowId>) -> ScanStats {
+        let core = &self.core;
+        let shards = &self.shards;
+        let per_shard = fan_out(&core.exec, shards.len(), |s| {
+            let mut ids = Vec::new();
+            let stats = shards[s].range_query_stats(query, &mut ids);
+            remap_global(&mut ids, &table_read(&core.tables[s]));
+            (ids, stats)
+        });
+        let mut stats = ScanStats::default();
+        for (ids, shard_stats) in per_shard {
+            out.extend_from_slice(&ids);
+            stats = stats.merge(shard_stats);
+        }
+        stats
+    }
+
+    /// Streaming override: one merged cursor chaining the shards'
+    /// snapshot cursors in shard order, each chunk's local ids remapped
+    /// to global ids as it flows. Collected ids, order, and stats are
+    /// identical to [`ShardedSnapshot::range_query_stats`].
+    fn range_query_cursor(&self, query: &RangeQuery) -> RowCursor<'_> {
+        RowCursor::new(Box::new(ShardedCursor {
+            core: &self.core,
+            shards: &self.shards,
+            query: query.clone(),
+            shard: 0,
+            current: None,
+        }))
+    }
+
+    /// Whole batch against this session: per-shard batch engines run on
+    /// the fan-out pool, then each query's per-shard results merge in
+    /// shard order. Per-query results and stats are identical to
+    /// one-at-a-time [`ShardedSnapshot::range_query_stats`] calls.
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        let core = &self.core;
+        let shards = &self.shards;
+        let per_shard = fan_out(&core.exec, shards.len(), |s| {
+            let mut results = shards[s].batch_query(queries);
+            let table = table_read(&core.tables[s]);
+            for r in &mut results {
+                remap_global(&mut r.ids, &table);
+            }
+            results
+        });
+        let mut merged: Vec<QueryResult> = (0..queries.len())
+            .map(|_| QueryResult { ids: Vec::new(), stats: ScanStats::default() })
+            .collect();
+        for shard_results in per_shard {
+            for (m, r) in merged.iter_mut().zip(shard_results) {
+                m.ids.extend_from_slice(&r.ids);
+                m.stats = m.stats.merge(r.stats);
+            }
+        }
+        merged
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(RowId, &[Value])) {
+        for (s, snap) in self.shards.iter().enumerate() {
+            let table: Vec<RowId> = table_read(&self.core.tables[s]).clone();
+            snap.for_each_entry(&mut |local, values| {
+                debug_assert!((local as usize) < table.len());
+                f(table[local as usize], values);
+            });
+        }
+    }
+
+    fn memory_overhead(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_overhead()).sum()
+    }
+}
+
+/// The incremental scan behind [`ShardedSnapshot::range_query_cursor`]:
+/// shard 0's snapshot cursor chunk by chunk, then shard 1's, …, each
+/// chunk remapped to global ids under a brief id-table read guard.
+struct ShardedCursor<'a> {
+    core: &'a ShardState,
+    shards: &'a [ReadSnapshot],
+    query: RangeQuery,
+    shard: usize,
+    current: Option<RowCursor<'a>>,
+}
+
+impl CursorSource for ShardedCursor<'_> {
+    fn next_chunk(&mut self, out: &mut Vec<RowId>, stats: &mut ScanStats) -> bool {
+        loop {
+            if self.shard >= self.shards.len() {
+                return false;
+            }
+            let cur = match &mut self.current {
+                Some(cur) => cur,
+                None => {
+                    self.current =
+                        Some(self.shards[self.shard].range_query_cursor(&self.query));
+                    continue;
+                }
+            };
+            let before = cur.stats();
+            match cur.next_chunk() {
+                Some(chunk) => {
+                    let start = out.len();
+                    out.extend_from_slice(chunk);
+                    *stats = stats.merge(cur.stats().since(before));
+                    remap_global(&mut out[start..], &table_read(&self.core.tables[self.shard]));
+                    return true;
+                }
+                None => {
+                    // The sub-cursor may have folded trailing empty
+                    // chunks' counters into its stats before exhausting.
+                    *stats = stats.merge(cur.stats().since(before));
+                    self.current = None;
+                    self.shard += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A merged streaming batch over every shard: yields `(query_index,
+/// QueryResult)` pairs in completion order, one per query, each
+/// bit-identical to [`ShardedSnapshot::batch_query`] at that index.
+/// A query completes when its **last** shard's result arrives; per-shard
+/// partial results buffer inside the stream until then.
+///
+/// # Panics
+///
+/// [`Iterator::next`] panics if a shard's drainer died before delivering
+/// its results (the shard's own stream panics with its shard id first —
+/// see [`crate::exec::BatchStream`] — and this stream re-raises with the
+/// outstanding query count), mirroring the unsharded exactly-once
+/// contract.
+#[derive(Debug)]
+pub struct ShardedBatchStream {
+    rx: Receiver<(usize, usize, QueryResult)>,
+    /// Per-query partial results, indexed `[query][shard]` (allocated
+    /// lazily on first delivery).
+    parts: Vec<Vec<Option<QueryResult>>>,
+    /// How many shards have delivered each query.
+    filled: Vec<usize>,
+    /// Queries not yet yielded.
+    remaining: usize,
+    shards: usize,
+}
+
+impl ShardedBatchStream {
+    /// Merged results not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for ShardedBatchStream {
+    type Item = (usize, QueryResult);
+
+    fn next(&mut self) -> Option<(usize, QueryResult)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            match self.rx.recv() {
+                Ok((s, qi, result)) => {
+                    if self.parts[qi].is_empty() {
+                        self.parts[qi] = vec![None; self.shards];
+                    }
+                    self.parts[qi][s] = Some(result);
+                    self.filled[qi] += 1;
+                    if self.filled[qi] < self.shards {
+                        continue;
+                    }
+                    // Last shard delivered: merge in shard order.
+                    let mut merged =
+                        QueryResult { ids: Vec::new(), stats: ScanStats::default() };
+                    for part in std::mem::take(&mut self.parts[qi]).into_iter().flatten() {
+                        merged.ids.extend_from_slice(&part.ids);
+                        merged.stats = merged.stats.merge(part.stats);
+                    }
+                    self.remaining -= 1;
+                    return Some((qi, merged));
+                }
+                // Every drainer is gone with queries still owed: a shard
+                // worker died mid-batch (its own panic names the shard).
+                // coax-analyze: allow(panic-free-library, a dead shard drainer means owed results are gone for good — ending the iterator here would silently truncate the merged batch)
+                Err(_) => panic!(
+                    "sharded batch stream lost {} merged result(s): a shard worker \
+                     panicked mid-batch",
+                    self.remaining
+                ),
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coax_data::synth::{Generator, LinearPairConfig};
+
+    fn planted(rows: usize, seed: u64) -> Dataset {
+        LinearPairConfig {
+            rows,
+            slope: 2.0,
+            intercept: 10.0,
+            noise_sigma: 4.0,
+            outlier_fraction: 0.05,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    fn sorted(mut v: Vec<RowId>) -> Vec<RowId> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn sharded_handle_is_send_sync_and_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<ShardedHandle>();
+        assert_send_sync::<ShardedSnapshot>();
+    }
+
+    #[test]
+    fn auto_key_prefers_the_biggest_group() {
+        let ds = planted(3000, 11);
+        let sharded = ShardedHandle::build(
+            &ds,
+            &CoaxConfig { shard: ShardSpec::auto(3), ..Default::default() },
+        );
+        // The planted pair correlates 0 → 1, so the predictor (dim 0) is
+        // the shard key.
+        assert_eq!(sharded.key_dim(), 0);
+        assert_eq!(sharded.shard_count(), 3);
+    }
+
+    #[test]
+    fn range_router_partitions_at_quantiles() {
+        let bounds = quantile_bounds(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 4);
+        assert_eq!(bounds.len(), 3);
+        let router = Router::Range { dim: 0, bounds };
+        // Ascending keys route to ascending shards…
+        let shards: Vec<usize> = (0..8).map(|k| router.route(&[k as f64])).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(shards.first(), Some(&0));
+        assert_eq!(shards.last(), Some(&3));
+        // …and a NaN key lands in the last shard instead of panicking.
+        assert_eq!(router.route(&[f64::NAN]), 3);
+    }
+
+    #[test]
+    fn every_row_lands_in_exactly_one_shard() {
+        let ds = planted(2000, 12);
+        for spec in [ShardSpec::hash(3, 0), ShardSpec::range(3, 1), ShardSpec::auto(5)] {
+            let sharded =
+                ShardedHandle::build(&ds, &CoaxConfig { shard: spec, ..Default::default() });
+            assert_eq!(sharded.len(), ds.len());
+            let all = sorted(sharded.range_query(&RangeQuery::unbounded(2)));
+            assert_eq!(all, (0..ds.len() as RowId).collect::<Vec<_>>(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn inserts_route_and_get_global_ids() {
+        let ds = planted(1500, 13);
+        let sharded = ShardedHandle::build(
+            &ds,
+            &CoaxConfig { shard: ShardSpec::hash(3, 0), ..Default::default() },
+        );
+        let row = vec![123.0, 2.0 * 123.0 + 10.0];
+        let id = sharded.insert(&row).expect("valid row");
+        assert_eq!(id as usize, ds.len());
+        assert!(sharded.point_query(&row).contains(&id));
+        // Validation mirrors the unsharded handle, before id allocation.
+        assert_eq!(
+            sharded.insert(&[1.0]),
+            Err(InsertError::WrongArity { expected: 2, got: 1 })
+        );
+        assert_eq!(sharded.insert(&[1.0, f64::NAN]), Err(InsertError::NonFinite));
+        assert_eq!(sharded.len(), ds.len() + 1);
+    }
+
+    #[test]
+    fn maintenance_on_one_shard_leaves_other_epochs_alone() {
+        let ds = planted(2000, 14);
+        let sharded = ShardedHandle::build(
+            &ds,
+            &CoaxConfig { shard: ShardSpec::range(3, 0), ..Default::default() },
+        );
+        assert_eq!(sharded.epochs(), vec![0, 0, 0]);
+        sharded.shard_handle(1).fold();
+        assert_eq!(sharded.epochs(), vec![0, 1, 0]);
+        // Queries still see every row, bit-identically.
+        let all = sorted(sharded.range_query(&RangeQuery::unbounded(2)));
+        assert_eq!(all, (0..ds.len() as RowId).collect::<Vec<_>>());
+    }
+}

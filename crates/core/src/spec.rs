@@ -13,6 +13,7 @@
 use crate::discovery::{discover, Discovery};
 use crate::index::{CoaxConfig, CoaxIndex, PrimaryBackend};
 use crate::maint::IndexHandle;
+use crate::shard::ShardedHandle;
 use coax_data::Dataset;
 use coax_index::{BackendSpec, MultidimIndex};
 
@@ -62,15 +63,46 @@ impl IndexSpec {
     }
 
     /// Builds the described index over `dataset`, boxed behind the trait.
+    ///
+    /// A COAX config whose [`CoaxConfig::shard`] asks for more than one
+    /// shard builds the sharded service ([`ShardedHandle`]) instead of a
+    /// bare [`CoaxIndex`] — same trait surface, rows partitioned across
+    /// independently maintained shards.
     pub fn build(&self, dataset: &Dataset) -> Box<dyn MultidimIndex> {
         match self {
             IndexSpec::Backend(spec) => spec.build(dataset),
+            IndexSpec::Coax { config, discovery } if config.shard.count() > 1 => {
+                match discovery {
+                    Some(d) => Box::new(ShardedHandle::build_with_discovery(
+                        dataset,
+                        d.clone(),
+                        config,
+                    )),
+                    None => Box::new(ShardedHandle::build(dataset, config)),
+                }
+            }
             IndexSpec::Coax { config, discovery } => match discovery {
                 Some(d) => {
                     Box::new(CoaxIndex::build_with_discovery(dataset, d.clone(), config))
                 }
                 None => Box::new(CoaxIndex::build(dataset, config)),
             },
+        }
+    }
+
+    /// Builds the sharded service if this spec describes a COAX config
+    /// with more than one shard — the concrete-typed counterpart of
+    /// [`IndexSpec::build`]'s sharded path, for callers that need the
+    /// shard API (per-shard maintainers, cross-shard snapshots, routing).
+    pub fn build_sharded(&self, dataset: &Dataset) -> Option<ShardedHandle> {
+        match self {
+            IndexSpec::Coax { config, discovery } if config.shard.count() > 1 => {
+                Some(match discovery {
+                    Some(d) => ShardedHandle::build_with_discovery(dataset, d.clone(), config),
+                    None => ShardedHandle::build(dataset, config),
+                })
+            }
+            _ => None,
         }
     }
 
@@ -114,6 +146,7 @@ impl IndexSpec {
     pub fn name(&self) -> &'static str {
         match self {
             IndexSpec::Backend(spec) => spec.name(),
+            IndexSpec::Coax { config, .. } if config.shard.count() > 1 => "coax-sharded",
             IndexSpec::Coax { .. } => "coax",
         }
     }
@@ -203,6 +236,25 @@ mod tests {
             let hits = index.range_query(&RangeQuery::unbounded(3));
             assert_eq!(hits.len(), 400, "{spec:?} must return every row");
         }
+    }
+
+    #[test]
+    fn factory_routes_sharded_configs_to_the_sharded_service() {
+        use crate::shard::ShardSpec;
+        let ds = UniformConfig::cube(2, 400, 82).generate();
+        let spec =
+            IndexSpec::coax(CoaxConfig { shard: ShardSpec::hash(3, 0), ..Default::default() });
+        assert_eq!(spec.name(), "coax-sharded");
+        let boxed = spec.build(&ds);
+        assert_eq!(boxed.name(), spec.name());
+        assert_eq!(boxed.len(), 400);
+        assert_eq!(boxed.range_query(&RangeQuery::unbounded(2)).len(), 400);
+        let sharded = spec.build_sharded(&ds).expect("sharded spec");
+        assert_eq!(sharded.shard_count(), 3);
+        // Unsharded specs keep the plain paths.
+        let plain = IndexSpec::coax(CoaxConfig::default());
+        assert_eq!(plain.name(), "coax");
+        assert!(plain.build_sharded(&ds).is_none());
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Baseline / delta mode: land strict-on-new-code.
+//!
+//! A baseline is a committed snapshot of accepted findings
+//! (`analyze-baseline.json`, regenerated with `--write-baseline`).
+//! Under `check --baseline <file>` the gate exits non-zero only on
+//! findings **not** in the baseline, so a new rule can ship strict while
+//! a legacy site gets a grace period — and because the baseline is
+//! committed, growing it is a reviewable diff, never a silent drift.
+//!
+//! Matching is by `(file, rule, message)` and deliberately ignores the
+//! line number: unrelated edits move findings around without changing
+//! what they say, and a baseline that rots on every reformat would be
+//! regenerated reflexively, defeating the review gate.
+//!
+//! The format is versioned JSON:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "findings": [
+//!     {"file": "crates/x/src/a.rs", "line": 3, "rule": "lock-order", "message": "..."}
+//!   ]
+//! }
+//! ```
+//!
+//! The parser below is a minimal recursive-descent JSON reader — the
+//! analyzer is dependency-free by design, and the subset here (objects,
+//! arrays, strings, numbers, bools, null) covers everything the format
+//! and its hand-edits can contain.
+
+use crate::engine::{json_escape, Finding, Report};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// A parsed baseline: the set of accepted finding keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: HashSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// `true` if `f` is covered by the baseline (line-agnostic match).
+    pub fn contains(&self, f: &Finding) -> bool {
+        // Key clones are confined to lookups; the set is tiny.
+        self.keys.contains(&(f.file.clone(), f.rule.to_string(), f.message.clone()))
+    }
+
+    /// Number of accepted findings.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when the baseline accepts nothing (the steady state).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Renders a report's findings as baseline JSON.
+pub fn write_baseline(report: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.rule),
+            json_escape(&f.message)
+        );
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parses baseline JSON; errors carry enough context to fix the file.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let (value, rest) = parse_value(text.trim_start())?;
+    if !rest.trim_start().is_empty() {
+        return Err("trailing content after the top-level object".to_string());
+    }
+    let Json::Object(fields) = value else {
+        return Err("baseline must be a JSON object".to_string());
+    };
+    let version = fields.iter().find(|(k, _)| k == "version").map(|(_, v)| v);
+    match version {
+        Some(Json::Number(n)) if *n == 1.0 => {}
+        Some(_) => return Err("unsupported baseline `version` (expected 1)".to_string()),
+        None => return Err("baseline is missing the `version` field".to_string()),
+    }
+    let Some((_, Json::Array(items))) = fields.iter().find(|(k, _)| k == "findings") else {
+        return Err("baseline is missing the `findings` array".to_string());
+    };
+    let mut keys = HashSet::new();
+    for (i, item) in items.iter().enumerate() {
+        let Json::Object(entry) = item else {
+            return Err(format!("findings[{i}] is not an object"));
+        };
+        let get = |name: &str| -> Result<String, String> {
+            match entry.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                Some(Json::String(s)) => Ok(s.clone()),
+                _ => Err(format!("findings[{i}] is missing string field `{name}`")),
+            }
+        };
+        keys.insert((get("file")?, get("rule")?, get("message")?));
+    }
+    Ok(Baseline { keys })
+}
+
+/// Findings in `report` that the baseline does not cover.
+pub fn filter_new<'a>(findings: &'a [Finding], baseline: &Baseline) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| !baseline.contains(f)).collect()
+}
+
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool,
+    Null,
+}
+
+fn parse_value(s: &str) -> Result<(Json, &str), String> {
+    let s = s.trim_start();
+    match s.chars().next() {
+        Some('{') => parse_object(s),
+        Some('[') => parse_array(s),
+        Some('"') => parse_string(s).map(|(v, r)| (Json::String(v), r)),
+        Some('t') => s
+            .strip_prefix("true")
+            .map(|r| (Json::Bool, r))
+            .ok_or_else(|| "invalid literal".to_string()),
+        Some('f') => s
+            .strip_prefix("false")
+            .map(|r| (Json::Bool, r))
+            .ok_or_else(|| "invalid literal".to_string()),
+        Some('n') => s
+            .strip_prefix("null")
+            .map(|r| (Json::Null, r))
+            .ok_or_else(|| "invalid literal".to_string()),
+        Some(c) if c == '-' || c.is_ascii_digit() => parse_number(s),
+        _ => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(s: &str) -> Result<(Json, &str), String> {
+    let mut rest = s.strip_prefix('{').ok_or("expected `{`")?.trim_start();
+    let mut fields = Vec::new();
+    if let Some(r) = rest.strip_prefix('}') {
+        return Ok((Json::Object(fields), r));
+    }
+    loop {
+        let (key, r) = parse_string(rest.trim_start())?;
+        let r = r.trim_start().strip_prefix(':').ok_or("expected `:` after object key")?;
+        let (value, r) = parse_value(r)?;
+        fields.push((key, value));
+        let r = r.trim_start();
+        if let Some(r) = r.strip_prefix(',') {
+            rest = r;
+        } else if let Some(r) = r.strip_prefix('}') {
+            return Ok((Json::Object(fields), r));
+        } else {
+            return Err("expected `,` or `}` in object".to_string());
+        }
+    }
+}
+
+fn parse_array(s: &str) -> Result<(Json, &str), String> {
+    let mut rest = s.strip_prefix('[').ok_or("expected `[`")?.trim_start();
+    let mut items = Vec::new();
+    if let Some(r) = rest.strip_prefix(']') {
+        return Ok((Json::Array(items), r));
+    }
+    loop {
+        let (value, r) = parse_value(rest)?;
+        items.push(value);
+        let r = r.trim_start();
+        if let Some(r) = r.strip_prefix(',') {
+            rest = r;
+        } else if let Some(r) = r.strip_prefix(']') {
+            return Ok((Json::Array(items), r));
+        } else {
+            return Err("expected `,` or `]` in array".to_string());
+        }
+    }
+}
+
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let mut chars = s.strip_prefix('"').ok_or("expected `\"`")?.char_indices();
+    let rest = &s[1..];
+    let mut out = String::new();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &rest[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'b')) => out.push('\u{8}'),
+                Some((_, 'f')) => out.push('\u{c}'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code =
+                            code * 16 + h.to_digit(16).ok_or("non-hex digit in \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                _ => return Err("invalid escape in string".to_string()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(s: &str) -> Result<(Json, &str), String> {
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(s.len());
+    let n: f64 = s[..end].parse().map_err(|_| format!("invalid number `{}`", &s[..end]))?;
+    Ok((Json::Number(n), &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(file: &str, line: u32, message: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: "lock-order",
+            message: message.to_string(),
+        }
+    }
+
+    fn report(findings: Vec<Finding>) -> Report {
+        Report { root: PathBuf::from("."), files_scanned: 1, findings, suppressed: 0 }
+    }
+
+    #[test]
+    fn round_trips_empty_and_nonempty() {
+        let empty = parse(&write_baseline(&report(vec![]))).expect("empty baseline parses");
+        assert!(empty.is_empty());
+        let r = report(vec![finding("crates/x/src/a.rs", 3, "a \"quoted\" cycle\nline two")]);
+        let b = parse(&write_baseline(&r)).expect("baseline parses");
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(&r.findings[0]));
+    }
+
+    #[test]
+    fn matching_ignores_the_line_number() {
+        let b = parse(&write_baseline(&report(vec![finding("crates/x/src/a.rs", 3, "cycle")])))
+            .expect("parses");
+        assert!(b.contains(&finding("crates/x/src/a.rs", 99, "cycle")));
+        assert!(!b.contains(&finding("crates/x/src/a.rs", 3, "different message")));
+        assert!(!b.contains(&finding("crates/x/src/b.rs", 3, "cycle")));
+    }
+
+    #[test]
+    fn filter_new_returns_only_uncovered() {
+        let b = parse(&write_baseline(&report(vec![finding("crates/x/src/a.rs", 3, "old")])))
+            .expect("parses");
+        let live = vec![
+            finding("crates/x/src/a.rs", 7, "old"),
+            finding("crates/x/src/a.rs", 9, "new"),
+        ];
+        let fresh = filter_new(&live, &b);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].message, "new");
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(parse("[]").is_err());
+        assert!(parse("{\"findings\": []}").is_err(), "missing version");
+        assert!(parse("{\"version\": 2, \"findings\": []}").is_err(), "future version");
+        assert!(parse("{\"version\": 1}").is_err(), "missing findings");
+        assert!(parse("{\"version\": 1, \"findings\": [{\"file\": \"x\"}]}").is_err());
+        assert!(parse("{\"version\": 1, \"findings\": []} trailing").is_err());
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let b = parse(
+            "{\"version\": 1, \"findings\": [{\"file\": \"a\", \"rule\": \"lock-order\", \
+             \"message\": \"tab\\there \\u0041\"}]}",
+        )
+        .expect("parses");
+        assert!(b.contains(&finding("a", 1, "tab\there A")));
+    }
+}

@@ -1,11 +1,20 @@
 //! Analysis driver: walks the workspace, classifies files, tracks
 //! `#[cfg(test)]` regions, applies suppressions and aggregates findings.
 //!
-//! The engine is deliberately separable from the CLI so the test suite can
-//! run it over fixture snippets ([`analyze_source`]) and over the live
-//! workspace ([`check_workspace`]) without spawning a process.
+//! Since v2 the engine is two-phase: every file is lexed into a
+//! [`SourceFile`], the per-file rules ([`crate::rules`]) run over each
+//! in isolation, then the cross-file rules ([`crate::model`]) run over
+//! the whole set at once. Suppressions are audited *after* both phases:
+//! an `allow(...)` that no longer silences anything becomes a
+//! `stale-suppression` finding, so the ledger can only shrink.
+//!
+//! The engine is deliberately separable from the CLI so the test suite
+//! can run it over fixture snippets ([`analyze_source`],
+//! [`analyze_files`]) and over the live workspace ([`check_workspace`])
+//! without spawning a process.
 
 use crate::lexer::{self, Comment, Tok};
+use crate::model;
 use crate::rules;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -99,9 +108,56 @@ impl Report {
         out.push_str("]\n}\n");
         out
     }
+
+    /// Serializes the report as a minimal SARIF 2.1.0 log — the shape
+    /// GitHub code scanning ingests: one run, one driver, every rule
+    /// declared, every finding a `result` with a physical location.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str(
+            "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+             Schemata/sarif-schema-2.1.0.json\",\n",
+        );
+        out.push_str("  \"runs\": [{\n");
+        out.push_str("    \"tool\": {\"driver\": {\"name\": \"coax-analyze\", \"rules\": [");
+        for (i, r) in rules::RULES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                json_escape(r.name),
+                json_escape(r.description)
+            );
+        }
+        out.push_str("\n    ]}},\n");
+        out.push_str("    \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \
+                 \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_escape(f.rule),
+                json_escape(&f.message),
+                json_escape(&f.file),
+                f.line
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }]\n}\n");
+        out
+    }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -127,6 +183,48 @@ pub fn classify(path: &str) -> FileClass {
         FileClass::Binary
     } else {
         FileClass::Library
+    }
+}
+
+/// One lexed source file: the unit both analysis phases consume.
+pub struct SourceFile {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// Path-derived class of the whole file.
+    pub class: FileClass,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Out-of-band comments.
+    pub comments: Vec<Comment>,
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `source` as if it lived at `path`.
+    pub fn new(path: String, source: &str) -> SourceFile {
+        let (toks, comments) = lexer::lex(source);
+        let test_ranges = test_regions(&toks);
+        SourceFile { class: classify(&path), path, toks, comments, test_ranges }
+    }
+
+    /// The effective class at `line`: [`FileClass::Test`] inside
+    /// `#[cfg(test)]` regions, the file's class elsewhere.
+    pub fn class_at(&self, line: u32) -> FileClass {
+        if self.test_ranges.iter().any(|&(s, e)| s <= line && line <= e) {
+            FileClass::Test
+        } else {
+            self.class
+        }
+    }
+
+    fn ctx(&self) -> FileContext<'_> {
+        FileContext {
+            path: &self.path,
+            class: self.class,
+            toks: &self.toks,
+            comments: &self.comments,
+            test_ranges: &self.test_ranges,
+        }
     }
 }
 
@@ -289,7 +387,7 @@ fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
 }
 
 /// Index of the `}` matching the `{` at `open` (or the last token).
-fn match_brace(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn match_brace(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < toks.len() {
@@ -306,7 +404,7 @@ fn match_brace(toks: &[Tok], open: usize) -> usize {
     toks.len().saturating_sub(1)
 }
 
-/// Per-file context handed to every rule.
+/// Per-file context handed to every per-file rule.
 pub struct FileContext<'a> {
     /// Workspace-relative `/`-separated path.
     pub path: &'a str,
@@ -332,62 +430,131 @@ impl FileContext<'_> {
     }
 }
 
+/// A suppression with its file and audit flag, for the stale pass.
+struct LedgerEntry {
+    file: String,
+    line: u32,
+    rule: String,
+    used: bool,
+}
+
+/// Analyzes a set of sources as one workspace: per-file rules over each,
+/// model rules across all, then the suppression audit. Returns the
+/// surviving findings (sorted by file, line, rule) and the number of
+/// suppressed ones.
+///
+/// This is the core entry point; [`analyze_source`] (one virtual file)
+/// and [`check_workspace`] (the live tree) are wrappers.
+pub fn analyze_files(inputs: &[(String, String)]) -> (Vec<Finding>, usize) {
+    let files: Vec<SourceFile> =
+        inputs.iter().map(|(path, src)| SourceFile::new(path.clone(), src)).collect();
+    // Malformed suppressions are findings in their own right and are
+    // never themselves suppressible.
+    let mut malformed = Vec::new();
+    let mut ledger: Vec<LedgerEntry> = Vec::new();
+    let mut raw = Vec::new();
+    for file in &files {
+        for s in parse_suppressions(&file.path, &file.comments, &mut malformed) {
+            ledger.push(LedgerEntry {
+                file: file.path.clone(),
+                line: s.line,
+                rule: s.rule,
+                used: false,
+            });
+        }
+        raw.extend(rules::run_rules(&file.ctx()));
+    }
+    let workspace = model::build(&files);
+    model::run_model_rules(&files, &workspace, &mut raw);
+
+    // A suppression covers its own line and the next (the comment-above
+    // idiom) for its named rule, in its file only.
+    let covers = |s: &LedgerEntry, f: &Finding| {
+        s.file == f.file && s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line)
+    };
+    let mut suppressed = 0;
+    raw.retain(|f| match ledger.iter_mut().find(|s| covers(s, f)) {
+        Some(s) => {
+            s.used = true;
+            suppressed += 1;
+            false
+        }
+        None => true,
+    });
+
+    // Stale pass: every well-formed suppression that silenced nothing is
+    // itself a finding — the ledger can only shrink. A stale finding can
+    // be granted a grace period with `allow(stale-suppression, <why>)`,
+    // but an unused grace comment is in turn stale (and that is final:
+    // the audit does not recurse).
+    let mut stale = Vec::new();
+    for s in ledger.iter().filter(|s| !s.used && s.rule != "stale-suppression") {
+        stale.push(Finding {
+            file: s.file.clone(),
+            line: s.line,
+            rule: "stale-suppression",
+            message: format!(
+                "suppression of `{}` no longer matches any finding at this site: delete it \
+                 (the suppression ledger only shrinks)",
+                s.rule
+            ),
+        });
+    }
+    stale.retain(|f| {
+        match ledger.iter_mut().find(|s| s.rule == "stale-suppression" && covers(s, f)) {
+            Some(s) => {
+                s.used = true;
+                suppressed += 1;
+                false
+            }
+            None => true,
+        }
+    });
+    for s in ledger.iter().filter(|s| !s.used && s.rule == "stale-suppression") {
+        stale.push(Finding {
+            file: s.file.clone(),
+            line: s.line,
+            rule: "stale-suppression",
+            message: "grace suppression `allow(stale-suppression, ..)` matches no stale \
+                      finding: delete it"
+                .to_string(),
+        });
+    }
+
+    raw.extend(stale);
+    raw.extend(malformed);
+    raw.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    (raw, suppressed)
+}
+
 /// Analyzes one source text as if it lived at `path`, returning the
 /// surviving findings and the number of suppressed ones.
 ///
 /// This is the fixture-test entry point: the path decides classification
 /// and per-rule file scoping, so fixtures declare a *virtual* path.
 pub fn analyze_source(path: &str, source: &str) -> (Vec<Finding>, usize) {
-    let (toks, comments) = lexer::lex(source);
-    let ranges = test_regions(&toks);
-    let ctx = FileContext {
-        path,
-        class: classify(path),
-        toks: &toks,
-        comments: &comments,
-        test_ranges: &ranges,
-    };
-    let mut findings = Vec::new();
-    let suppressions = parse_suppressions(path, &comments, &mut findings);
-    let mut raw = rules::run_rules(&ctx);
-    let mut suppressed = 0;
-    raw.retain(|f| {
-        let hit = suppressions
-            .iter()
-            .any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
-        if hit {
-            suppressed += 1;
-        }
-        !hit
-    });
-    findings.extend(raw);
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    (findings, suppressed)
+    analyze_files(&[(path.to_string(), source.to_string())])
 }
 
 /// Walks `root/crates/**/*.rs` (skipping the analyzer's own fixture
-/// snippets, which violate rules on purpose) and analyzes every file.
+/// snippets, which violate rules on purpose) and analyzes the whole set
+/// as one workspace.
 pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(&root.join("crates"), &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
-    let mut suppressed = 0;
-    let mut scanned = 0;
+    let mut inputs = Vec::new();
     for file in &files {
         let rel = file.strip_prefix(root).unwrap_or(file).to_string_lossy().replace('\\', "/");
         if rel.starts_with("crates/analyze/tests/fixtures/") {
             continue;
         }
-        let source = std::fs::read_to_string(file)?;
-        let (mut f, s) = analyze_source(&rel, &source);
-        findings.append(&mut f);
-        suppressed += s;
-        scanned += 1;
+        inputs.push((rel, std::fs::read_to_string(file)?));
     }
-    findings.sort_by(|a, b| {
-        (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule))
-    });
+    let scanned = inputs.len();
+    let (findings, suppressed) = analyze_files(&inputs);
     Ok(Report { root: root.to_path_buf(), files_scanned: scanned, findings, suppressed })
 }
 
@@ -469,6 +636,55 @@ mod tests {
     }
 
     #[test]
+    fn unused_suppression_is_stale() {
+        let src = "// coax-analyze: allow(panic-free-library, used to unwrap here)\n\
+                   fn f() -> u32 { 1 }\n";
+        let (findings, suppressed) = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!(suppressed, 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "stale-suppression");
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("panic-free-library"));
+    }
+
+    #[test]
+    fn stale_finding_can_be_granted_grace() {
+        let src = "// coax-analyze: allow(stale-suppression, grace until the WAL PR lands)\n\
+                   // coax-analyze: allow(panic-free-library, used to unwrap here)\n\
+                   fn f() -> u32 { 1 }\n";
+        let (findings, suppressed) = analyze_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn unused_grace_suppression_is_itself_stale() {
+        let src = "// coax-analyze: allow(stale-suppression, nothing stale here)\n\
+                   fn f() -> u32 { 1 }\n";
+        let (findings, _) = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "stale-suppression");
+        assert!(findings[0].message.contains("grace suppression"));
+    }
+
+    #[test]
+    fn analyze_files_spans_files_for_model_rules() {
+        // The impl lives in one file, the equivalence reference in
+        // another: only the cross-file view keeps `trait-contract` quiet.
+        let imp = "struct G;\nimpl MultidimIndex for G {\n    fn batch_query(&self) {}\n}\n"
+            .to_string();
+        let test = "fn pin() { let _ = G; }\n".to_string();
+        let (findings, _) = analyze_files(&[
+            ("crates/index/src/g.rs".to_string(), imp.clone()),
+            ("crates/index/tests/equivalence.rs".to_string(), test),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+        let (findings, _) = analyze_files(&[("crates/index/src/g.rs".to_string(), imp)]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "trait-contract");
+    }
+
+    #[test]
     fn json_report_shape() {
         let report = Report {
             root: PathBuf::from("."),
@@ -485,5 +701,26 @@ mod tests {
         assert!(json.contains("\"files_scanned\": 2"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"rules\": ["));
+    }
+
+    #[test]
+    fn sarif_report_shape() {
+        let report = Report {
+            root: PathBuf::from("."),
+            files_scanned: 1,
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                rule: "lock-order",
+                message: "cycle".to_string(),
+            }],
+            suppressed: 0,
+        };
+        let sarif = report.to_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"coax-analyze\""));
+        assert!(sarif.contains("\"ruleId\": \"lock-order\""));
+        assert!(sarif.contains("\"startLine\": 3"));
+        assert!(sarif.contains("\"uri\": \"crates/x/src/lib.rs\""));
     }
 }

@@ -1,82 +1,287 @@
-//! CLI entry point: `coax-analyze check [--json] [--root <dir>]`.
+//! CLI entry point: `coax-analyze check [--format <f>] [--root <dir>]
+//! [--baseline <file> | --write-baseline <file>]`.
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! Exit codes: `0` clean (or no *new* findings under `--baseline`),
+//! `1` findings, `2` usage or I/O error.
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: coax-analyze check [--json] [--root <dir>]
+const USAGE: &str = "usage: coax-analyze check [options]
 
 Walks <root>/crates/**/*.rs and enforces the COAX project-invariant
 lint rules. Exit 0 when clean, 1 on findings, 2 on usage/IO errors.
 
-  --json        emit a machine-readable report on stdout
-  --root <dir>  workspace root to analyze (default: current directory)
+  --format <text|json|sarif>  output format (default: text)
+  --json                      deprecated alias for --format json
+  --root <dir>                workspace root to analyze (default: .)
+  --baseline <file>           exit 1 only on findings not in <file>
+  --write-baseline <file>     snapshot current findings to <file>, exit 0
 
 Suppress a finding inline with a mandatory reason:
   // coax-analyze: allow(<rule>, <reason>)";
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut json = false;
+/// Output format for the report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+/// Parsed command line.
+#[derive(Debug, PartialEq, Eq)]
+struct Opts {
+    format: Format,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    /// `--json` was used; a deprecation note goes to stderr.
+    json_deprecated: bool,
+}
+
+/// Parses argv (without the program name). Pure so the unit tests cover
+/// every rejection path: duplicated `check`, missing/dashed flag values,
+/// unknown arguments, conflicting baseline modes.
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut command_seen = false;
+    let mut format = None;
+    let mut json_deprecated = false;
     let mut root = PathBuf::from(".");
-    let mut command = None;
+    let mut baseline = None;
+    let mut write_baseline = None;
     let mut i = 0;
+    // A flag value must be a real operand: a `-`-leading token here is
+    // almost always a mistyped flag swallowed as a value.
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        match args.get(i) {
+            Some(v) if !v.starts_with('-') => Ok(v.clone()),
+            Some(v) => Err(format!("{flag} requires a value, got flag-like `{v}`")),
+            None => Err(format!("{flag} requires a value")),
+        }
+    };
     while i < args.len() {
         match args[i].as_str() {
-            "check" if command.is_none() => command = Some("check"),
-            "--json" => json = true,
+            "check" => {
+                if command_seen {
+                    return Err("duplicated `check` subcommand".to_string());
+                }
+                command_seen = true;
+            }
+            "--format" => {
+                i += 1;
+                format = Some(match value(args, i, "--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "unknown format `{other}` (expected text, json or sarif)"
+                        ))
+                    }
+                });
+            }
+            "--json" => {
+                format = Some(Format::Json);
+                json_deprecated = true;
+            }
             "--root" => {
                 i += 1;
-                match args.get(i) {
-                    Some(dir) => root = PathBuf::from(dir),
-                    None => {
-                        eprintln!("coax-analyze: --root requires a directory\n{USAGE}");
-                        return ExitCode::from(2);
-                    }
-                }
+                root = PathBuf::from(value(args, i, "--root")?);
             }
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return ExitCode::SUCCESS;
+            "--baseline" => {
+                i += 1;
+                baseline = Some(PathBuf::from(value(args, i, "--baseline")?));
             }
-            other => {
-                eprintln!("coax-analyze: unrecognized argument `{other}`\n{USAGE}");
-                return ExitCode::from(2);
+            "--write-baseline" => {
+                i += 1;
+                write_baseline = Some(PathBuf::from(value(args, i, "--write-baseline")?));
             }
+            other => return Err(format!("unrecognized argument `{other}`")),
         }
         i += 1;
     }
-    if command != Some("check") {
-        eprintln!("coax-analyze: expected the `check` command\n{USAGE}");
-        return ExitCode::from(2);
+    if !command_seen {
+        return Err("expected the `check` command".to_string());
+    }
+    if baseline.is_some() && write_baseline.is_some() {
+        return Err("--baseline and --write-baseline are mutually exclusive".to_string());
+    }
+    Ok(Opts {
+        format: format.unwrap_or(Format::Text),
+        root,
+        baseline,
+        write_baseline,
+        json_deprecated,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("coax-analyze: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json_deprecated {
+        eprintln!("coax-analyze: note: --json is deprecated, use --format json");
     }
 
-    let report = match coax_analyze::check_workspace(&root) {
+    let report = match coax_analyze::check_workspace(&opts.root) {
         Ok(report) => report,
         Err(e) => {
-            eprintln!("coax-analyze: failed to read workspace at {}: {e}", root.display());
+            eprintln!("coax-analyze: failed to read workspace at {}: {e}", opts.root.display());
             return ExitCode::from(2);
         }
     };
 
-    if json {
-        print!("{}", report.to_json());
-    } else {
-        for f in &report.findings {
-            println!("{}", f.render());
+    if let Some(path) = &opts.write_baseline {
+        let text = coax_analyze::baseline::write_baseline(&report);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("coax-analyze: failed to write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
         }
         eprintln!(
-            "coax-analyze: {} finding(s) in {} file(s) ({} suppressed with reasons)",
+            "coax-analyze: wrote baseline with {} finding(s) to {}",
             report.findings.len(),
-            report.files_scanned,
-            report.suppressed
+            path.display()
         );
+        return ExitCode::SUCCESS;
     }
-    if report.findings.is_empty() {
+
+    let new_findings: Vec<&coax_analyze::Finding> = match &opts.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("coax-analyze: failed to read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let baseline = match coax_analyze::baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("coax-analyze: invalid baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            coax_analyze::baseline::filter_new(&report.findings, &baseline)
+        }
+        None => report.findings.iter().collect(),
+    };
+
+    match opts.format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!("{}", report.to_sarif()),
+        Format::Text => {
+            for f in &new_findings {
+                println!("{}", f.render());
+            }
+            let baselined = report.findings.len() - new_findings.len();
+            if baselined > 0 {
+                eprintln!(
+                    "coax-analyze: {} new finding(s) ({} accepted by the baseline) in {} \
+                     file(s) ({} suppressed with reasons)",
+                    new_findings.len(),
+                    baselined,
+                    report.files_scanned,
+                    report.suppressed
+                );
+            } else {
+                eprintln!(
+                    "coax-analyze: {} finding(s) in {} file(s) ({} suppressed with reasons)",
+                    new_findings.len(),
+                    report.files_scanned,
+                    report.suppressed
+                );
+            }
+        }
+    }
+    if new_findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn plain_check_parses_with_defaults() {
+        let opts = parse_args(&argv("check")).expect("parses");
+        assert_eq!(opts.format, Format::Text);
+        assert_eq!(opts.root, PathBuf::from("."));
+        assert_eq!(opts.baseline, None);
+        assert_eq!(opts.write_baseline, None);
+        assert!(!opts.json_deprecated);
+    }
+
+    #[test]
+    fn duplicated_check_is_rejected() {
+        let err = parse_args(&argv("check check")).expect_err("rejects");
+        assert!(err.contains("duplicated"), "{err}");
+    }
+
+    #[test]
+    fn missing_command_is_rejected() {
+        assert!(parse_args(&argv("--format json")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn formats_parse_and_bad_format_is_rejected() {
+        assert_eq!(parse_args(&argv("check --format text")).expect("ok").format, Format::Text);
+        assert_eq!(parse_args(&argv("check --format json")).expect("ok").format, Format::Json);
+        assert_eq!(
+            parse_args(&argv("check --format sarif")).expect("ok").format,
+            Format::Sarif
+        );
+        assert!(parse_args(&argv("check --format yaml")).is_err());
+        assert!(parse_args(&argv("check --format")).is_err());
+    }
+
+    #[test]
+    fn json_alias_still_works_and_is_marked_deprecated() {
+        let opts = parse_args(&argv("check --json")).expect("parses");
+        assert_eq!(opts.format, Format::Json);
+        assert!(opts.json_deprecated);
+    }
+
+    #[test]
+    fn root_takes_a_real_value_not_a_flag() {
+        let opts = parse_args(&argv("check --root /tmp/ws")).expect("parses");
+        assert_eq!(opts.root, PathBuf::from("/tmp/ws"));
+        let err = parse_args(&argv("check --root --json")).expect_err("rejects");
+        assert!(err.contains("--root"), "{err}");
+        assert!(parse_args(&argv("check --root")).is_err());
+    }
+
+    #[test]
+    fn baseline_flags_parse_and_conflict() {
+        let opts = parse_args(&argv("check --baseline b.json")).expect("parses");
+        assert_eq!(opts.baseline, Some(PathBuf::from("b.json")));
+        let opts = parse_args(&argv("check --write-baseline b.json")).expect("parses");
+        assert_eq!(opts.write_baseline, Some(PathBuf::from("b.json")));
+        assert!(parse_args(&argv("check --baseline a.json --write-baseline b.json")).is_err());
+        assert!(parse_args(&argv("check --baseline --write-baseline")).is_err());
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        assert!(parse_args(&argv("check --frobnicate")).is_err());
+        assert!(parse_args(&argv("check extra")).is_err());
     }
 }

@@ -13,6 +13,14 @@
 //! | `seeded-randomness`   | RNGs come from explicit seeds — no environmental entropy |
 //! | `doc-headers`         | every `pub fn` in `coax-core`'s exec/maint documents its contract |
 //! | `obs-naming`          | metric names are literal, snake_case, dot-namespaced, registered through the registry constructors |
+//! | `lock-order`          | the workspace lock-acquisition graph is acyclic (cross-file, see `model.rs`) |
+//! | `guard-scope`         | no obs/journal/metrics traffic while a write/mutex guard is live (cross-file) |
+//! | `stale-suppression`   | every `allow(...)` still silences a finding — the ledger only shrinks (engine audit) |
+//! | `trait-contract`      | `MultidimIndex` impls overriding batch/cursor surfaces are pinned by an equivalence suite (cross-file) |
+//!
+//! This module holds the *per-file* rules (the first seven); the
+//! cross-file rules live in [`crate::model`] and the suppression audit
+//! in [`crate::engine`], but all share this table as the registry.
 //!
 //! Rules are scoped by [`FileClass`] (library / binary / test) and, for
 //! the encapsulation rules, by an allow-list of file paths. A finding can
@@ -65,6 +73,29 @@ pub const RULES: &[RuleInfo] = &[
             "metric registrations pass a literal snake_case dot-namespaced name to the \
              registry constructors",
     },
+    RuleInfo {
+        name: "lock-order",
+        description:
+            "the workspace lock-acquisition graph (nested guards plus one call-graph level) \
+             has no cycle",
+    },
+    RuleInfo {
+        name: "guard-scope",
+        description:
+            "no obs/journal/metrics call while a write or mutex guard is live — record \
+             after the guard drops",
+    },
+    RuleInfo {
+        name: "stale-suppression",
+        description:
+            "every allow(...) comment still silences a finding; dead suppressions are \
+             deleted, not accumulated",
+    },
+    RuleInfo {
+        name: "trait-contract",
+        description: "every MultidimIndex impl overriding a batch/cursor/streaming surface is \
+             referenced from an equivalence test file",
+    },
 ];
 
 /// Runs every rule over one file's token stream.
@@ -85,7 +116,7 @@ fn finding(ctx: &FileContext<'_>, line: u32, rule: &'static str, message: String
 }
 
 /// Index of the `)` matching the `(` at `open` (or the last token).
-fn match_paren(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn match_paren(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < toks.len() {

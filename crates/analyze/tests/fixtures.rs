@@ -1,12 +1,19 @@
 //! Golden-file tests for the analyzer: each fixture under
-//! `tests/fixtures/` is analyzed under a *virtual* workspace path (its
-//! first line, `// virtual-path: …`) and the rendered findings are
-//! compared against the `.expected` file next to it.
+//! `tests/fixtures/` is analyzed under *virtual* workspace paths and the
+//! rendered findings are compared against the `.expected` file next to
+//! it.
+//!
+//! A fixture starts with `// virtual-path: <path>`; additional
+//! `// virtual-path:` lines split the file into further virtual files
+//! (each section's lines count from 1, including its marker line), so
+//! one fixture can exercise the cross-file rules — an impl in one
+//! virtual file, its equivalence pin in another.
 //!
 //! Regenerate the goldens after an intentional diagnostic change with
 //! `COAX_ANALYZE_BLESS=1 cargo test -p coax-analyze --test fixtures`.
 
-use coax_analyze::analyze_source;
+use coax_analyze::analyze_files;
+use coax_analyze::Finding;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -14,26 +21,36 @@ fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
-/// Reads a fixture, returning its declared virtual path and full source.
-fn load(name: &str) -> (String, String) {
+/// Reads a fixture, splitting it into `(virtual path, source)` sections
+/// on `// virtual-path:` marker lines.
+fn load(name: &str) -> Vec<(String, String)> {
     let path = fixtures_dir().join(name);
     let source = fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
-    let first = source.lines().next().unwrap_or_default();
-    let virtual_path = first
-        .strip_prefix("// virtual-path: ")
-        .unwrap_or_else(|| panic!("{name}: first line must be `// virtual-path: <path>`"))
-        .trim()
-        .to_string();
-    (virtual_path, source)
+    let mut sections: Vec<(String, String)> = Vec::new();
+    for line in source.lines() {
+        if let Some(vp) = line.strip_prefix("// virtual-path: ") {
+            sections.push((vp.trim().to_string(), String::new()));
+        }
+        let Some(last) = sections.last_mut() else {
+            panic!("{name}: first line must be `// virtual-path: <path>`")
+        };
+        last.1.push_str(line);
+        last.1.push('\n');
+    }
+    assert!(!sections.is_empty(), "{name}: empty fixture");
+    sections
+}
+
+fn analyze(name: &str) -> (Vec<Finding>, usize) {
+    analyze_files(&load(name))
 }
 
 /// Renders the fixture's findings, one `file:line: rule: message` per
 /// line, plus a trailing `suppressed: N` marker (golden files pin the
 /// suppression count too, so a silently-ignored suppression fails).
 fn render(name: &str) -> String {
-    let (virtual_path, source) = load(name);
-    let (findings, suppressed) = analyze_source(&virtual_path, &source);
+    let (findings, suppressed) = analyze(name);
     let mut out = String::new();
     for f in &findings {
         out.push_str(&f.render());
@@ -86,13 +103,19 @@ golden! {
     suppression_honored => "suppression_honored.rs",
     suppression_reason_missing => "suppression_reason_missing.rs",
     suppression_unknown_rule => "suppression_unknown_rule.rs",
+    lock_order_violating => "lock_order_violating.rs",
+    lock_order_clean => "lock_order_clean.rs",
+    guard_scope_violating => "guard_scope_violating.rs",
+    guard_scope_clean => "guard_scope_clean.rs",
+    stale_suppression => "stale_suppression.rs",
+    trait_contract_violating => "trait_contract_violating.rs",
+    trait_contract_clean => "trait_contract_clean.rs",
 }
 
 /// A well-formed suppression removes the finding *and* is counted.
 #[test]
 fn suppression_honored_counts() {
-    let (virtual_path, source) = load("suppression_honored.rs");
-    let (findings, suppressed) = analyze_source(&virtual_path, &source);
+    let (findings, suppressed) = analyze("suppression_honored.rs");
     assert!(findings.is_empty(), "suppressed finding leaked: {findings:?}");
     assert_eq!(suppressed, 1);
 }
@@ -101,9 +124,40 @@ fn suppression_honored_counts() {
 /// silence the underlying finding.
 #[test]
 fn reasonless_suppression_rejected() {
-    let (virtual_path, source) = load("suppression_reason_missing.rs");
-    let (findings, suppressed) = analyze_source(&virtual_path, &source);
+    let (findings, suppressed) = analyze("suppression_reason_missing.rs");
     assert_eq!(suppressed, 0);
     assert!(findings.iter().any(|f| f.rule == "suppression"));
     assert!(findings.iter().any(|f| f.rule == "panic-free-library"));
+}
+
+/// The seeded two-lock cycle reports both acquisition chains by name —
+/// the reviewer must see both sides of the deadlock to pick which one
+/// to reorder.
+#[test]
+fn lock_order_cycle_names_both_chains() {
+    let (findings, _) = analyze("lock_order_violating.rs");
+    let cycle = findings
+        .iter()
+        .find(|f| f.rule == "lock-order")
+        .unwrap_or_else(|| panic!("no lock-order finding: {findings:?}"));
+    assert!(cycle.message.contains("`credit`"), "first chain: {}", cycle.message);
+    assert!(cycle.message.contains("`reconcile`"), "second chain: {}", cycle.message);
+    assert!(cycle.message.contains("`log`"), "the propagated hop: {}", cycle.message);
+}
+
+/// Deleting a load-bearing suppression's justification must fail the
+/// gate: the reasonless comment reports itself AND the finding it used
+/// to silence comes back.
+#[test]
+fn stripping_a_reason_resurrects_the_finding() {
+    let sections: Vec<(String, String)> = load("suppression_honored.rs")
+        .into_iter()
+        .map(|(p, src)| {
+            (p, src.replace(", slice is non-empty by construction in every caller", ""))
+        })
+        .collect();
+    let (findings, suppressed) = analyze_files(&sections);
+    assert_eq!(suppressed, 0);
+    assert!(findings.iter().any(|f| f.rule == "suppression"), "{findings:?}");
+    assert!(findings.iter().any(|f| f.rule == "panic-free-library"), "{findings:?}");
 }

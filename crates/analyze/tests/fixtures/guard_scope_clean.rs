@@ -1,0 +1,39 @@
+// virtual-path: crates/core/src/maint/handle_fixture.rs
+//! Fixture: the guard-disciplined twin of `guard_scope_violating.rs` —
+//! lengths are captured under the guard, every obs call runs after the
+//! drop, and the read-side path records under a read guard (shared
+//! guards are exempt).
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub struct Handle {
+    state: RwLock<Vec<u64>>,
+    obs: Obs,
+}
+
+fn read_guard<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_guard<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Handle {
+    /// Buffers one row; every obs call runs after the guard drops.
+    pub fn insert(&self, row: u64) {
+        let timer = self.obs.timer();
+        let mut st = write_guard(&self.state);
+        st.push(row);
+        let rows = st.len();
+        drop(st);
+        self.obs.set_overlay_rows(rows);
+        self.obs.record_insert(timer);
+    }
+
+    /// Buffered row count, recorded under a shared (exempt) guard.
+    pub fn len(&self) -> usize {
+        let st = read_guard(&self.state);
+        self.obs.record_len_probe(st.len());
+        st.len()
+    }
+}

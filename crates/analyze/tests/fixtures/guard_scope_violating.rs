@@ -1,0 +1,27 @@
+// virtual-path: crates/core/src/maint/handle_fixture.rs
+//! Fixture: a copy of `handle.rs`'s insert shape with the obs calls
+//! moved *inside* the write-guard scope — exactly the regression
+//! `guard-scope` exists to catch. The helper-returned guard must be
+//! tracked just like a direct `.write()`.
+use std::sync::{RwLock, RwLockWriteGuard};
+
+pub struct Handle {
+    state: RwLock<Vec<u64>>,
+    obs: Obs,
+}
+
+fn write_guard<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Handle {
+    /// Buffers one row; the obs calls here are deliberately misplaced.
+    pub fn insert(&self, row: u64) {
+        let timer = self.obs.timer();
+        let mut st = write_guard(&self.state);
+        st.push(row);
+        self.obs.set_overlay_rows(st.len());
+        drop(st);
+        self.obs.record_insert(timer);
+    }
+}

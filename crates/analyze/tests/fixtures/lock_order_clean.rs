@@ -1,0 +1,30 @@
+// virtual-path: crates/core/src/pairlocks.rs
+//! Fixture: the same two locks as `lock_order_violating.rs`, but every
+//! path acquires `accounts` before `audit` — the acquisition graph is
+//! acyclic and `lock-order` stays quiet.
+use std::sync::Mutex;
+
+pub struct Ledger {
+    accounts: Mutex<Vec<u64>>,
+    audit: Mutex<Vec<u64>>,
+}
+
+impl Ledger {
+    pub fn credit(&self, amount: u64) {
+        let mut accounts = self.accounts.lock().unwrap_or_else(|p| p.into_inner());
+        accounts.push(amount);
+        self.log(amount);
+        drop(accounts);
+    }
+
+    fn log(&self, amount: u64) {
+        let mut audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        audit.push(amount);
+    }
+
+    pub fn reconcile(&self) -> usize {
+        let accounts = self.accounts.lock().unwrap_or_else(|p| p.into_inner());
+        let audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        accounts.len() + audit.len()
+    }
+}

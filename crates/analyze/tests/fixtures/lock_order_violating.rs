@@ -1,0 +1,31 @@
+// virtual-path: crates/core/src/pairlocks.rs
+//! Fixture: inconsistent lock ordering. `credit` takes `accounts` and,
+//! with the guard live, calls `log` which takes `audit`; `reconcile`
+//! takes them in the opposite order. `lock-order` must report the cycle
+//! with both acquisition chains.
+use std::sync::Mutex;
+
+pub struct Ledger {
+    accounts: Mutex<Vec<u64>>,
+    audit: Mutex<Vec<u64>>,
+}
+
+impl Ledger {
+    pub fn credit(&self, amount: u64) {
+        let mut accounts = self.accounts.lock().unwrap_or_else(|p| p.into_inner());
+        accounts.push(amount);
+        self.log(amount);
+        drop(accounts);
+    }
+
+    fn log(&self, amount: u64) {
+        let mut audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        audit.push(amount);
+    }
+
+    pub fn reconcile(&self) -> usize {
+        let audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        let accounts = self.accounts.lock().unwrap_or_else(|p| p.into_inner());
+        accounts.len() + audit.len()
+    }
+}

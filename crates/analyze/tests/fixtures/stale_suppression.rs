@@ -1,0 +1,15 @@
+// virtual-path: crates/core/src/stale.rs
+//! Fixture: a suppression whose rule no longer fires at its site is
+//! itself a finding — the ledger only shrinks. A grace comment
+//! (`allow(stale-suppression, <why>)`) defers exactly one stale finding.
+
+// coax-analyze: allow(panic-free-library, the unwrap below was replaced by a typed error)
+pub fn formerly_panicky() -> u32 {
+    42
+}
+
+// coax-analyze: allow(stale-suppression, site is deleted by the WAL PR next week)
+// coax-analyze: allow(kernel-encapsulation, historical slab access)
+pub fn graced() -> u32 {
+    7
+}

@@ -1,0 +1,21 @@
+// virtual-path: crates/index/src/toy.rs
+//! Fixture: the same override as `trait_contract_violating.rs`, but a
+//! second virtual file — an equivalence suite — references the type, so
+//! `trait-contract` is satisfied. Exercises the multi-file fixture
+//! loader.
+
+pub struct ToyIndex;
+
+impl MultidimIndex for ToyIndex {
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        queries.iter().map(|_| QueryResult::default()).collect()
+    }
+}
+// virtual-path: crates/index/tests/toy_equivalence.rs
+//! The equivalence pin: the suite names `ToyIndex` and sweeps it
+//! against the reference.
+
+fn toy_matches_full_scan() {
+    let toy = ToyIndex;
+    let _ = toy;
+}

@@ -1,0 +1,12 @@
+// virtual-path: crates/index/src/toy.rs
+//! Fixture: a `MultidimIndex` impl overriding a batch surface with no
+//! equivalence-suite reference anywhere — `trait-contract` must demand
+//! the bit-identity pin.
+
+pub struct ToyIndex;
+
+impl MultidimIndex for ToyIndex {
+    fn batch_query(&self, queries: &[RangeQuery]) -> Vec<QueryResult> {
+        queries.iter().map(|_| QueryResult::default()).collect()
+    }
+}

@@ -222,18 +222,22 @@ impl IndexHandle {
         // copy-on-write `make_mut` leaves every open ReadSnapshot's
         // frozen overlay untouched.
         let mut st = write_guard(&self.state);
-        if Arc::strong_count(&st.overlay) > 1 {
-            // A live ReadSnapshot pins the overlay: this push clones it.
-            self.obs.record_overlay_cow(st.overlay.len());
-        }
+        let cow_len = (Arc::strong_count(&st.overlay) > 1).then(|| st.overlay.len());
         Arc::make_mut(&mut st.overlay).push(OverlayRow {
             id,
             values: row.to_vec(),
             in_margins,
         });
-        self.obs.set_overlay_rows(st.overlay.len());
+        let overlay_rows = st.overlay.len();
         drop(st);
         drop(guard);
+        // Record only after both guards drop: lock hold time must not
+        // grow with the observability layer (enforced by `guard-scope`).
+        if let Some(len) = cow_len {
+            // A live ReadSnapshot pinned the overlay: that push cloned it.
+            self.obs.record_overlay_cow(len);
+        }
+        self.obs.set_overlay_rows(overlay_rows);
         self.obs.record_insert(timer, in_margins);
         Ok(id)
     }
@@ -359,6 +363,11 @@ impl IndexHandle {
         let (new_epoch, survivors) = (st.epoch, st.overlay.len());
         drop(st);
         drop(ins);
+        // The publish is complete and visible; recording happens outside
+        // every guard, including the maintenance serialisation lock (the
+        // epoch number in the journal line keeps attribution exact even
+        // if a concurrent tick starts before the write lands).
+        drop(_serialise);
         self.obs.set_overlay_rows(survivors);
         self.obs.record_epoch_publish(new_epoch, refit, timer, || {
             let action = if refit { "refit" } else { "fold" };
